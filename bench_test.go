@@ -1,0 +1,164 @@
+// Package repro's root benchmarks regenerate every paper artifact under
+// the Go benchmark harness — one benchmark per figure/table plus the
+// quantitative claims. Ablation benchmarks for individual design choices
+// live next to their packages (shard compression, loader shuffle buffer,
+// GRIB bit width, parfs striping, parallel regridding).
+//
+// Run: go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/formats/grib"
+	"repro/internal/formats/tfrecord"
+)
+
+// BenchmarkFigure1PipelineStages times the full Figure 1 raw→AI-ready
+// flow (clean → normalize → augment → label → feature → split → shard).
+func BenchmarkFigure1PipelineStages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig1(24, 16, 32, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FinalLevel != core.AIReady {
+			b.Fatalf("final=%v", res.FinalLevel)
+		}
+	}
+}
+
+// Table 1: one benchmark per domain archetype pipeline.
+
+func BenchmarkTable1Climate(b *testing.B)   { benchDomain(b, core.Climate) }
+func BenchmarkTable1Fusion(b *testing.B)    { benchDomain(b, core.Fusion) }
+func BenchmarkTable1Bio(b *testing.B)       { benchDomain(b, core.BioHealth) }
+func BenchmarkTable1Materials(b *testing.B) { benchDomain(b, core.Materials) }
+
+func benchDomain(b *testing.B, domain core.Domain) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable1(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		found := false
+		for _, r := range rows {
+			if r.Domain == domain {
+				found = true
+				b.ReportMetric(float64(r.Records), "records")
+				if r.FinalLevel != core.AIReady {
+					b.Fatalf("%s final=%v", domain, r.FinalLevel)
+				}
+			}
+		}
+		if !found {
+			b.Fatalf("domain %s missing", domain)
+		}
+	}
+}
+
+// BenchmarkTable2Assessment times the maturity-matrix assessment that
+// places a dataset on the Table 2 grid.
+func BenchmarkTable2Assessment(b *testing.B) {
+	facts := core.Facts{Acquired: true, StandardFormat: true, Validated: true,
+		AlignedGrids: true, Normalized: true, LabelCoverage: 0.5, MetadataFields: 5}
+	th := core.DefaultThresholds()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := core.Assess(facts, th)
+		if a.Level != core.Labeled {
+			b.Fatalf("level=%v", a.Level)
+		}
+	}
+}
+
+// BenchmarkParallelShardingScaling is the C1 experiment: sharding a fixed
+// volume across worker counts on the simulated striped parallel FS.
+func BenchmarkParallelShardingScaling(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				points, err := experiments.RunScaling(8, []int{workers}, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(points[0].Throughput, "MiB/s")
+			}
+		})
+	}
+}
+
+// BenchmarkCurationComparison is the C2 experiment: manual-equivalent vs
+// automated fusion preparation.
+func BenchmarkCurationComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCuration(4, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.ManualCurationShare, "%curation")
+		b.ReportMetric(res.AutoSpeedup, "auto-speedup")
+	}
+}
+
+// BenchmarkFeedbackLoop is the C3 experiment: the iterative
+// pseudo-labeling loop from 10% seed labels.
+func BenchmarkFeedbackLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFeedback(400, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rounds[len(res.Rounds)-1]
+		b.ReportMetric(100*last.Coverage, "%coverage")
+	}
+}
+
+// BenchmarkGRIBPacking ablates the packing bit-width (size/error
+// trade-off of the encoded-gridded-binary ingest format).
+func BenchmarkGRIBPacking(b *testing.B) {
+	vals := make([]float64, 64*128)
+	for i := range vals {
+		vals[i] = 250 + float64(i%331)*0.21
+	}
+	for _, bits := range []int{8, 12, 16, 24} {
+		b.Run(fmt.Sprintf("bits%d", bits), func(b *testing.B) {
+			b.SetBytes(int64(len(vals) * 8))
+			var size int
+			for i := 0; i < b.N; i++ {
+				enc, err := grib.Encode(vals, 128, 64, bits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = len(enc)
+			}
+			b.ReportMetric(float64(size), "bytes")
+		})
+	}
+}
+
+// BenchmarkTFRecordRecordSize ablates record size against framing
+// overhead (16 bytes per record).
+func BenchmarkTFRecordRecordSize(b *testing.B) {
+	for _, size := range []int{256, 4096, 65536} {
+		b.Run(fmt.Sprintf("rec%d", size), func(b *testing.B) {
+			rec := make([]byte, size)
+			w := tfrecord.NewWriter(discard{})
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := w.Write(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

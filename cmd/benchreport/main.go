@@ -1,0 +1,100 @@
+// Command benchreport regenerates every paper artifact from running code:
+// Figure 1 (the raw→AI-ready flow), Table 1 (the four domain archetype
+// pipelines), Table 2 (the maturity matrix), and the quantitative claims
+// C1 (parallel I/O scaling), C2 (curation-time share), and C3 (iterative
+// feedback). EXPERIMENTS.md records paper-vs-measured for each.
+//
+// Usage:
+//
+//	benchreport               # run everything
+//	benchreport -exp table1   # one experiment: fig1|table1|table2|scaling|curation|feedback
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|fig1|table1|table2|scaling|curation|feedback")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	scaleMB := flag.Int("scale-mb", 16, "C1: megabytes to shard")
+	shots := flag.Int("curation-shots", 8, "C2: shots in the curation comparison")
+	flag.Parse()
+	log.SetFlags(0)
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			log.Fatalf("benchreport %s: %v", name, err)
+		}
+		fmt.Println()
+	}
+
+	run("fig1", func() error {
+		res, err := experiments.RunFig1(24, 16, 32, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		return nil
+	})
+
+	run("table1", func() error {
+		rows, err := experiments.RunTable1(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable1(rows))
+		return nil
+	})
+
+	run("table2", func() error {
+		res, err := experiments.RunTable2()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Table 2 reproduction — maturity matrix: %d populated cells, %d grey (N/A) cells, monotone=%t\n",
+			res.PopulatedCells, res.GreyCells, res.Monotone)
+		fmt.Println("Trajectory of a dataset advanced level by level (final state):")
+		fmt.Print(res.Rendered[len(res.Rendered)-1])
+		return nil
+	})
+
+	run("scaling", func() error {
+		points, err := experiments.RunScaling(*scaleMB, []int{1, 2, 4, 8, 16}, 8)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderScaling(points, *scaleMB, 8))
+		return nil
+	})
+
+	run("curation", func() error {
+		res, err := experiments.RunCuration(*shots, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		return nil
+	})
+
+	run("feedback", func() error {
+		res, err := experiments.RunFeedback(400, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		return nil
+	})
+
+	if *exp != "all" && !strings.Contains("fig1 table1 table2 scaling curation feedback", *exp) {
+		log.Fatalf("benchreport: unknown experiment %q", *exp)
+	}
+}

@@ -1,0 +1,103 @@
+// Command drai assesses dataset readiness against the paper's
+// two-dimensional framework and prints the Table 2 maturity matrix with
+// the dataset's position, stage maturities, and the gap list blocking the
+// next Data Readiness Level.
+//
+// Usage:
+//
+//	drai -demo                      # walk a dataset through all 5 levels
+//	drai -standard-format -validated -aligned -normalized \
+//	     -label-coverage 0.5 -metadata 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "render the matrix for datasets staged at every readiness level")
+	acquired := flag.Bool("acquired", true, "raw data exists")
+	standardFormat := flag.Bool("standard-format", false, "stored in a standard self-describing format")
+	validated := flag.Bool("validated", false, "ingest-time validation performed")
+	missing := flag.Float64("missing-rate", 0, "fraction of missing values remaining")
+	metadata := flag.Int("metadata", 0, "number of descriptive metadata fields")
+	aligned := flag.Bool("aligned", false, "spatial/temporal alignment or regridding done")
+	labelCoverage := flag.Float64("label-coverage", 0, "fraction of samples with labels")
+	normalized := flag.Bool("normalized", false, "variables normalized")
+	privacy := flag.Bool("requires-privacy", false, "dataset carries PHI/PII")
+	anonymized := flag.Bool("anonymized", false, "privacy transformations applied")
+	audit := flag.Bool("audit-trail", false, "provenance/audit records captured")
+	features := flag.Bool("features", false, "domain-specific features extracted")
+	structured := flag.Bool("structured", false, "fixed model-facing layout established")
+	splitDone := flag.Bool("split", false, "train/test/val partitions exist")
+	sharded := flag.Bool("sharded", false, "binary shards written")
+	automated := flag.Bool("automated", false, "end-to-end pipeline automated")
+	flag.Parse()
+
+	if *demo {
+		runDemo()
+		return
+	}
+
+	facts := core.Facts{
+		Acquired:          *acquired,
+		StandardFormat:    *standardFormat,
+		Validated:         *validated,
+		MissingRate:       *missing,
+		MetadataFields:    *metadata,
+		AlignedGrids:      *aligned,
+		LabelCoverage:     *labelCoverage,
+		Normalized:        *normalized,
+		RequiresPrivacy:   *privacy,
+		Anonymized:        *anonymized,
+		AuditTrail:        *audit,
+		FeaturesExtracted: *features,
+		StructuredLayout:  *structured,
+		SplitDone:         *splitDone,
+		Sharded:           *sharded,
+		PipelineAutomated: *automated,
+	}
+	a := core.Assess(facts, core.DefaultThresholds())
+	fmt.Printf("Data Readiness Level: %s\n\n", a.Level)
+	fmt.Println(core.RenderMatrix(a))
+	if len(a.Gaps) > 0 {
+		fmt.Println("Blocking the next level:")
+		for _, g := range a.Gaps {
+			fmt.Printf("  - %s\n", g)
+		}
+	} else {
+		fmt.Println("Dataset is fully AI-ready.")
+	}
+	_ = os.Stdout
+}
+
+func runDemo() {
+	th := core.DefaultThresholds()
+	stage := []struct {
+		name  string
+		facts core.Facts
+	}{
+		{"freshly acquired simulation dump", core.Facts{Acquired: true}},
+		{"validated + aligned NetCDF", core.Facts{Acquired: true, StandardFormat: true,
+			Validated: true, AlignedGrids: true}},
+		{"normalized with basic labels", core.Facts{Acquired: true, StandardFormat: true,
+			Validated: true, AlignedGrids: true, Normalized: true, LabelCoverage: 0.3,
+			MetadataFields: 5}},
+		{"feature-engineered, fully labeled", core.Facts{Acquired: true, StandardFormat: true,
+			Validated: true, AlignedGrids: true, Normalized: true, LabelCoverage: 1,
+			MetadataFields: 5, FeaturesExtracted: true, StructuredLayout: true}},
+		{"sharded, automated, audited", core.Facts{Acquired: true, StandardFormat: true,
+			Validated: true, AlignedGrids: true, Normalized: true, LabelCoverage: 1,
+			MetadataFields: 5, FeaturesExtracted: true, StructuredLayout: true,
+			SplitDone: true, Sharded: true, PipelineAutomated: true, AuditTrail: true}},
+	}
+	for _, s := range stage {
+		a := core.Assess(s.facts, th)
+		fmt.Printf("=== %s -> %s ===\n", s.name, a.Level)
+		fmt.Println(core.RenderMatrix(a))
+	}
+}

@@ -1,0 +1,149 @@
+// Command gendata writes synthetic raw datasets for all four domain
+// archetypes to a directory, in their community ingest formats: climate
+// NetCDF + GRIB, fusion shot summaries, bio FASTA + clinical CSV, and
+// materials POSCAR files.
+//
+// Usage:
+//
+//	gendata -out ./data -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bio"
+	"repro/internal/climate"
+	"repro/internal/formats/grib"
+	"repro/internal/fusion"
+	"repro/internal/materials"
+)
+
+func main() {
+	out := flag.String("out", "data", "output directory")
+	seed := flag.Int64("seed", 1, "generator seed")
+	months := flag.Int("climate-months", 24, "climate: months of data")
+	shots := flag.Int("fusion-shots", 12, "fusion: shots in the campaign")
+	subjects := flag.Int("bio-subjects", 30, "bio: cohort size")
+	structures := flag.Int("materials-structures", 40, "materials: structure count")
+	flag.Parse()
+
+	log.SetFlags(0)
+	if err := run(*out, *seed, *months, *shots, *subjects, *structures); err != nil {
+		log.Fatalf("gendata: %v", err)
+	}
+}
+
+func run(out string, seed int64, months, shots, subjects, structures int) error {
+	for _, sub := range []string{"climate", "fusion", "bio", "materials"} {
+		if err := os.MkdirAll(filepath.Join(out, sub), 0o755); err != nil {
+			return err
+		}
+	}
+
+	// Climate: NetCDF plus one GRIB-packed month.
+	field, err := climate.Synthesize(climate.SynthConfig{
+		Months: months, Lat: 32, Lon: 64, MissingRate: 0.005, Seed: seed})
+	if err != nil {
+		return err
+	}
+	nc, err := field.ToNetCDF()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(out, "climate", "tas_synthetic.nc"), nc, 0o644); err != nil {
+		return err
+	}
+	month, err := field.Data.SubTensor(0)
+	if err != nil {
+		return err
+	}
+	gb, err := grib.Encode(month.Data(), 64, 32, 16)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(out, "climate", "tas_month0.sgrb"), gb, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("climate: %d months on 32x64 -> tas_synthetic.nc (%d bytes), tas_month0.sgrb (%d bytes)\n",
+		months, len(nc), len(gb))
+
+	// Fusion: shot index + per-shot signal dumps as CSV.
+	store, err := fusion.SynthesizeCampaign(fusion.SynthConfig{
+		Shots: shots, DisruptionRate: 0.3, FlattopSeconds: 2, DropoutRate: 0.01, Seed: seed})
+	if err != nil {
+		return err
+	}
+	idx, err := os.Create(filepath.Join(out, "fusion", "shots.csv"))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(idx, "shot,disrupted,t_disrupt")
+	total := 0
+	for _, num := range store.Shots() {
+		s, err := store.Get(num)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(idx, "%d,%t,%.4f\n", s.Number, s.Disrupted, s.TDisrupt)
+		f, err := os.Create(filepath.Join(out, "fusion", fmt.Sprintf("shot_%d.csv", num)))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(f, "signal,t,value")
+		for _, name := range fusion.DiagnosticNames() {
+			sig := s.Signals[name]
+			for i := range sig.Times {
+				fmt.Fprintf(f, "%s,%.6f,%.6f\n", name, sig.Times[i], sig.Data[i])
+				total++
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if err := idx.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("fusion: %d shots, %d samples -> shots.csv + shot_*.csv\n", shots, total)
+
+	// Bio: FASTA + clinical CSV (with PHI, as raw clinical data has).
+	cohort, err := bio.Synthesize(bio.SynthConfig{Subjects: subjects, SeqLen: 512, Seed: seed})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(out, "bio", "cohort.fasta"), []byte(cohort.ToFASTA()), 0o600); err != nil {
+		return err
+	}
+	cl, err := os.OpenFile(filepath.Join(out, "bio", "clinical.csv"), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(cl, "id,name,birth_date,zip,age,sex,notes")
+	for _, r := range cohort.Clinical {
+		fmt.Fprintf(cl, "%s,%s,%s,%s,%d,%s,%q\n",
+			r.ID, r.Name, r.BirthDate.Format("2006-01-02"), r.ZIP, r.Age, r.Sex, r.Notes)
+	}
+	if err := cl.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("bio: %d subjects -> cohort.fasta + clinical.csv (mode 0600: contains synthetic PHI)\n", subjects)
+
+	// Materials: POSCAR files.
+	structs, err := materials.Synthesize(materials.SynthConfig{
+		Structures: structures, MinAtoms: 4, MaxAtoms: 16, ImbalanceRatio: 5, Seed: seed})
+	if err != nil {
+		return err
+	}
+	for _, s := range structs {
+		path := filepath.Join(out, "materials", s.ID+".poscar")
+		if err := os.WriteFile(path, []byte(s.ToPOSCAR()), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("materials: %d structures -> *.poscar\n", structures)
+	return nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bio"
+	"repro/internal/climate"
+	"repro/internal/formats/grib"
+	"repro/internal/materials"
+)
+
+func TestRunGeneratesAllDomains(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 1, 6, 3, 5, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Climate: the NetCDF decodes, the GRIB decodes.
+	nc, err := os.ReadFile(filepath.Join(dir, "climate", "tas_synthetic.nc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := climate.FromNetCDF(nc, "tas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Data.Dim(0) != 6 {
+		t.Fatalf("months=%d", f.Data.Dim(0))
+	}
+	gb, err := os.ReadFile(filepath.Join(dir, "climate", "tas_month0.sgrb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := grib.Decode(gb); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fusion: index lists 3 shots; per-shot CSVs exist.
+	idx, err := os.ReadFile(filepath.Join(dir, "fusion", "shots.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(idx)), "\n")
+	if len(lines) != 4 { // header + 3 shots
+		t.Fatalf("index lines=%d", len(lines))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fusion", "shot_170000.csv")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bio: FASTA parses with 5 subjects; clinical CSV is mode 0600.
+	fb, err := os.ReadFile(filepath.Join(dir, "bio", "cohort.fasta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := bio.ParseFASTA(string(fb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 5 {
+		t.Fatalf("subjects=%d", len(seqs))
+	}
+	info, err := os.Stat(filepath.Join(dir, "bio", "clinical.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Fatalf("clinical.csv mode=%v, want 0600 (contains PHI)", info.Mode().Perm())
+	}
+
+	// Materials: every POSCAR parses.
+	entries, err := os.ReadDir(filepath.Join(dir, "materials"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("poscars=%d", len(entries))
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, "materials", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := materials.ParsePOSCAR(string(data)); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	d1, d2 := t.TempDir(), t.TempDir()
+	if err := run(d1, 42, 2, 1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(d2, 42, 2, 1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(d1, "climate", "tas_synthetic.nc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(d2, "climate", "tas_synthetic.nc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("same seed must generate identical raw data")
+	}
+}

@@ -1,0 +1,80 @@
+// bio_genomics reproduces the Enformer/C-HER-style bio/health
+// preparation: one-hot encode genomic tiles, anonymize clinical records to
+// k-anonymity, fuse the modalities, write encrypted shards, then prove the
+// privacy and security invariants hold end to end.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/anonymize"
+	"repro/internal/bio"
+	"repro/internal/shard"
+)
+
+func main() {
+	log.SetFlags(0)
+	cohort, err := bio.Synthesize(bio.SynthConfig{Subjects: 50, SeqLen: 512, Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cohort: %d subjects, %d bp sequences, clinical notes contain PHI: %t\n",
+		len(cohort.Sequences), len(cohort.Sequences[0].Seq),
+		anonymize.ContainsPHI(cohort.Clinical[0].Notes))
+
+	// One-hot demo (the Enformer encoding).
+	oh := bio.OneHot(cohort.Sequences[0].Seq[:8])
+	fmt.Printf("one-hot of %q: %v...\n", cohort.Sequences[0].Seq[:8], oh[:8])
+
+	encKey := bytes.Repeat([]byte{0x5A}, 32)
+	sink := shard.NewMemSink()
+	p, err := bio.NewPipeline(bio.DefaultConfig(encKey, []byte("example-pseudonym-secret-key")), sink)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := bio.NewDataset("cohort", cohort.ToFASTA(), cohort.Clinical)
+	snaps, err := p.Run(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prod := ds.Payload.(*bio.Product)
+	fmt.Printf("\nanonymization audit: %d records, k=%d, %d suppressed, %d PHI redactions\n",
+		prod.Audit.Records, prod.Audit.K, prod.Audit.Suppressed, prod.Audit.Redactions)
+	fmt.Printf("fused samples: %d (features = 64 k-mers + GC + 3 clinical)\n", len(prod.Fused))
+	fmt.Printf("final readiness: %s\n", snaps[len(snaps)-1].Assessment.Level)
+
+	// Security proof: the sink holds only sealed shards; decryption with
+	// the right key and shard name recovers the payload.
+	fmt.Println("\nsecure-shard check:")
+	for _, name := range sink.Names() {
+		if !strings.HasSuffix(name, ".enc") {
+			log.Fatalf("plaintext shard leaked: %s", name)
+		}
+	}
+	for name, sealed := range prod.Sealed {
+		plain, err := anonymize.DecryptShard(encKey, name, sealed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s.enc: %d sealed bytes -> %d plaintext bytes OK\n", name, len(sealed), len(plain))
+		// Wrong key must fail.
+		wrong := bytes.Repeat([]byte{0x00}, 32)
+		if _, err := anonymize.DecryptShard(wrong, name, sealed); err == nil {
+			log.Fatal("decryption succeeded with the wrong key")
+		}
+	}
+	fmt.Println("  wrong-key decryption rejected for every shard")
+
+	// Privacy regression: no pseudonym maps back to a subject id, no PHI
+	// in any retained note.
+	for _, r := range prod.Anonymous {
+		if strings.HasPrefix(r.Pseudonym, "subj-") || anonymize.ContainsPHI(r.Notes) {
+			log.Fatalf("privacy violation in record %s", r.Pseudonym)
+		}
+	}
+	fmt.Printf("\nprivacy invariants hold for all %d released records\n", len(prod.Anonymous))
+	fmt.Println("\n" + p.Collector.Report())
+}

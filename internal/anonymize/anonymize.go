@@ -1,0 +1,329 @@
+// Package anonymize implements the privacy transformations the bio/health
+// archetype requires (paper §3.3: datasets carry PHI/PII and demand
+// HIPAA-grade handling; Table 1 lists "Anonymization" and "Secure
+// sharding" as bio workflow steps; §5 calls for secure enclaves and
+// auditability). It provides field scrubbing, deterministic HMAC
+// pseudonymization, per-record date shifting, k-anonymity generalization
+// for quasi-identifiers, and AES-GCM shard encryption.
+package anonymize
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Record is one clinical row: direct identifiers, quasi-identifiers, and
+// clinical payload fields.
+type Record struct {
+	ID        string // direct identifier (MRN, SSN-like)
+	Name      string // direct identifier
+	BirthDate time.Time
+	ZIP       string    // quasi-identifier
+	Age       int       // quasi-identifier
+	Sex       string    // quasi-identifier
+	Notes     string    // free text possibly containing PHI
+	Values    []float64 // clinical measurements (kept verbatim)
+}
+
+// Pseudonymizer maps direct identifiers to stable pseudonyms with
+// HMAC-SHA256 under a secret key, so the same patient maps to the same
+// pseudonym across datasets without the key-holder being able to reverse it.
+type Pseudonymizer struct {
+	key []byte
+}
+
+// NewPseudonymizer derives a pseudonymizer from a secret. Empty secrets
+// are rejected — an unkeyed hash would be re-identifiable by dictionary.
+func NewPseudonymizer(secret []byte) (*Pseudonymizer, error) {
+	if len(secret) < 16 {
+		return nil, fmt.Errorf("anonymize: secret too short (%d bytes, need >=16)", len(secret))
+	}
+	return &Pseudonymizer{key: append([]byte(nil), secret...)}, nil
+}
+
+// Pseudonym returns a stable 16-hex-char pseudonym for an identifier.
+func (p *Pseudonymizer) Pseudonym(id string) string {
+	mac := hmac.New(sha256.New, p.key)
+	mac.Write([]byte(id))
+	return hex.EncodeToString(mac.Sum(nil))[:16]
+}
+
+// DateShift returns a per-subject constant shift in [-365,+365) days
+// derived from the key and subject id; shifting all of a subject's dates
+// by the same offset preserves intervals (HIPAA Safe-Harbor-compatible
+// technique).
+func (p *Pseudonymizer) DateShift(id string) time.Duration {
+	mac := hmac.New(sha256.New, p.key)
+	mac.Write([]byte("dateshift:" + id))
+	sum := mac.Sum(nil)
+	days := int64(binary.BigEndian.Uint32(sum[:4]))%730 - 365
+	return time.Duration(days) * 24 * time.Hour
+}
+
+// phiPatterns matches common PHI shapes in free text.
+var phiPatterns = []*regexp.Regexp{
+	regexp.MustCompile(`\b\d{3}-\d{2}-\d{4}\b`),           // SSN
+	regexp.MustCompile(`\b\d{3}[-.\s]\d{3}[-.\s]\d{4}\b`), // phone
+	regexp.MustCompile(`\b[\w.+-]+@[\w-]+\.[\w.]+\b`),     // email
+	regexp.MustCompile(`\b\d{1,2}/\d{1,2}/\d{2,4}\b`),     // dates
+	regexp.MustCompile(`\bMRN[:\s]*\d+\b`),                // medical record numbers
+}
+
+// ScrubText replaces PHI-shaped substrings with [REDACTED] and returns the
+// scrubbed text and the number of redactions.
+func ScrubText(s string) (string, int) {
+	n := 0
+	for _, re := range phiPatterns {
+		s = re.ReplaceAllStringFunc(s, func(string) string {
+			n++
+			return "[REDACTED]"
+		})
+	}
+	return s, n
+}
+
+// GeneralizeZIP truncates a ZIP code to its first 3 digits (Safe Harbor).
+func GeneralizeZIP(zip string) string {
+	digits := strings.Map(func(r rune) rune {
+		if r >= '0' && r <= '9' {
+			return r
+		}
+		return -1
+	}, zip)
+	if len(digits) < 3 {
+		return "000"
+	}
+	return digits[:3] + "**"
+}
+
+// GeneralizeAge buckets an age into width-year bands ("40-49" for width 10).
+func GeneralizeAge(age, width int) string {
+	if width <= 0 {
+		width = 10
+	}
+	if age < 0 {
+		age = 0
+	}
+	lo := (age / width) * width
+	return fmt.Sprintf("%d-%d", lo, lo+width-1)
+}
+
+// AnonymizeOptions configures record anonymization.
+type AnonymizeOptions struct {
+	AgeBandWidth int
+	ScrubNotes   bool
+}
+
+// AnonymizedRecord is the privacy-preserving projection of a Record.
+type AnonymizedRecord struct {
+	Pseudonym string
+	AgeBand   string
+	ZIP3      string
+	Sex       string
+	BirthYear int // shifted birth year only
+	Notes     string
+	Values    []float64
+}
+
+// Anonymize transforms records: direct identifiers are pseudonymized,
+// quasi-identifiers generalized, dates shifted, free text scrubbed.
+func Anonymize(records []Record, p *Pseudonymizer, opts AnonymizeOptions) ([]AnonymizedRecord, error) {
+	if p == nil {
+		return nil, errors.New("anonymize: nil pseudonymizer")
+	}
+	out := make([]AnonymizedRecord, len(records))
+	for i, r := range records {
+		a := AnonymizedRecord{
+			Pseudonym: p.Pseudonym(r.ID),
+			AgeBand:   GeneralizeAge(r.Age, opts.AgeBandWidth),
+			ZIP3:      GeneralizeZIP(r.ZIP),
+			Sex:       r.Sex,
+			Values:    append([]float64(nil), r.Values...),
+		}
+		if !r.BirthDate.IsZero() {
+			a.BirthYear = r.BirthDate.Add(p.DateShift(r.ID)).Year()
+		}
+		if opts.ScrubNotes {
+			a.Notes, _ = ScrubText(r.Notes)
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// quasiKey builds the quasi-identifier tuple used for k-anonymity.
+func quasiKey(a AnonymizedRecord) string {
+	return a.AgeBand + "|" + a.ZIP3 + "|" + a.Sex
+}
+
+// KAnonymity returns the k of the dataset: the size of the smallest
+// quasi-identifier equivalence class (0 for an empty dataset).
+func KAnonymity(records []AnonymizedRecord) int {
+	if len(records) == 0 {
+		return 0
+	}
+	counts := make(map[string]int)
+	for _, r := range records {
+		counts[quasiKey(r)]++
+	}
+	k := len(records)
+	for _, c := range counts {
+		if c < k {
+			k = c
+		}
+	}
+	return k
+}
+
+// EnforceKAnonymity suppresses (drops) records in equivalence classes
+// smaller than k, returning the surviving records and the suppression
+// count. This is the simplest compliant strategy; widening
+// generalization bands first reduces suppression.
+func EnforceKAnonymity(records []AnonymizedRecord, k int) ([]AnonymizedRecord, int, error) {
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("anonymize: k=%d must be positive", k)
+	}
+	counts := make(map[string]int)
+	for _, r := range records {
+		counts[quasiKey(r)]++
+	}
+	var out []AnonymizedRecord
+	suppressed := 0
+	for _, r := range records {
+		if counts[quasiKey(r)] >= k {
+			out = append(out, r)
+		} else {
+			suppressed++
+		}
+	}
+	return out, suppressed, nil
+}
+
+// ContainsPHI scans free text for residual PHI-shaped content. Used as a
+// release gate on shard payloads.
+func ContainsPHI(s string) bool {
+	for _, re := range phiPatterns {
+		if re.MatchString(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- secure sharding ---------------------------------------------------
+
+// EncryptShard seals payload with AES-256-GCM under key (32 bytes),
+// prepending the nonce. The additional data binds the shard name so a
+// shard cannot be swapped for another without detection.
+func EncryptShard(key []byte, shardName string, payload []byte) ([]byte, error) {
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("anonymize: nonce: %w", err)
+	}
+	sealed := gcm.Seal(nil, nonce, payload, []byte(shardName))
+	return append(nonce, sealed...), nil
+}
+
+// DecryptShard opens a sealed shard, verifying integrity and the bound
+// shard name.
+func DecryptShard(key []byte, shardName string, sealed []byte) ([]byte, error) {
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	ns := gcm.NonceSize()
+	if len(sealed) < ns {
+		return nil, errors.New("anonymize: sealed shard too short")
+	}
+	plain, err := gcm.Open(nil, sealed[:ns], sealed[ns:], []byte(shardName))
+	if err != nil {
+		return nil, fmt.Errorf("anonymize: decrypt shard %q: %w", shardName, err)
+	}
+	return plain, nil
+}
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	if len(key) != 32 {
+		return nil, fmt.Errorf("anonymize: key must be 32 bytes, got %d", len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("anonymize: cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("anonymize: gcm: %w", err)
+	}
+	return gcm, nil
+}
+
+// AuditSummary reports an anonymization pass for compliance records.
+type AuditSummary struct {
+	Records    int
+	K          int
+	Suppressed int
+	Redactions int
+}
+
+// Process runs the full bio/health privacy path: anonymize, scrub, enforce
+// k-anonymity, and return the audit summary.
+func Process(records []Record, p *Pseudonymizer, k int, opts AnonymizeOptions) ([]AnonymizedRecord, AuditSummary, error) {
+	opts.ScrubNotes = true
+	anon, err := Anonymize(records, p, opts)
+	if err != nil {
+		return nil, AuditSummary{}, err
+	}
+	redactions := 0
+	for i := range records {
+		_, n := ScrubText(records[i].Notes)
+		redactions += n
+		_ = i
+	}
+	safe, suppressed, err := EnforceKAnonymity(anon, k)
+	if err != nil {
+		return nil, AuditSummary{}, err
+	}
+	// Release gate: no residual PHI in any retained note.
+	for _, r := range safe {
+		if ContainsPHI(r.Notes) {
+			return nil, AuditSummary{}, fmt.Errorf("anonymize: residual PHI in record %s", r.Pseudonym)
+		}
+	}
+	sum := AuditSummary{
+		Records:    len(records),
+		K:          KAnonymity(safe),
+		Suppressed: suppressed,
+		Redactions: redactions,
+	}
+	return safe, sum, nil
+}
+
+// EquivalenceClasses returns the sorted quasi-identifier class sizes
+// (diagnostics for generalization tuning).
+func EquivalenceClasses(records []AnonymizedRecord) []int {
+	counts := make(map[string]int)
+	for _, r := range records {
+		counts[quasiKey(r)]++
+	}
+	out := make([]int, 0, len(counts))
+	for _, c := range counts {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}

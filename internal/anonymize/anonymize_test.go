@@ -1,0 +1,375 @@
+package anonymize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newP(t *testing.T) *Pseudonymizer {
+	t.Helper()
+	p, err := NewPseudonymizer([]byte("a-very-secret-key-0123456789"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPseudonymStableAndOpaque(t *testing.T) {
+	p := newP(t)
+	a := p.Pseudonym("MRN-12345")
+	if a != p.Pseudonym("MRN-12345") {
+		t.Fatal("pseudonym unstable")
+	}
+	if a == p.Pseudonym("MRN-12346") {
+		t.Fatal("distinct ids collide")
+	}
+	if strings.Contains(a, "12345") {
+		t.Fatal("pseudonym leaks identifier")
+	}
+	if len(a) != 16 {
+		t.Fatalf("len=%d", len(a))
+	}
+}
+
+func TestPseudonymKeyDependence(t *testing.T) {
+	p1 := newP(t)
+	p2, err := NewPseudonymizer([]byte("another-secret-key-9876543210"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Pseudonym("x") == p2.Pseudonym("x") {
+		t.Fatal("pseudonyms must differ under different keys")
+	}
+}
+
+func TestNewPseudonymizerShortSecret(t *testing.T) {
+	if _, err := NewPseudonymizer([]byte("short")); err == nil {
+		t.Fatal("want short-secret error")
+	}
+}
+
+func TestDateShiftProperties(t *testing.T) {
+	p := newP(t)
+	s := p.DateShift("patient-1")
+	if s != p.DateShift("patient-1") {
+		t.Fatal("date shift unstable")
+	}
+	if s < -365*24*time.Hour || s >= 365*24*time.Hour {
+		t.Fatalf("shift out of range: %v", s)
+	}
+	// Interval preservation: two dates for the same subject keep spacing.
+	d1 := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	d2 := time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC)
+	if d2.Add(s).Sub(d1.Add(s)) != d2.Sub(d1) {
+		t.Fatal("intervals not preserved")
+	}
+}
+
+func TestScrubText(t *testing.T) {
+	in := "Pt John, SSN 123-45-6789, call 865-555-1234, j.doe@example.org, seen 3/14/2021, MRN: 99881"
+	out, n := ScrubText(in)
+	if n != 5 {
+		t.Fatalf("redactions=%d out=%q", n, out)
+	}
+	for _, leak := range []string{"123-45-6789", "865-555-1234", "j.doe@example.org", "3/14/2021", "99881"} {
+		if strings.Contains(out, leak) {
+			t.Fatalf("leak %q in %q", leak, out)
+		}
+	}
+	if !strings.Contains(out, "[REDACTED]") {
+		t.Fatalf("out=%q", out)
+	}
+}
+
+func TestScrubTextClean(t *testing.T) {
+	out, n := ScrubText("unremarkable echo, ef 60 percent")
+	if n != 0 || strings.Contains(out, "REDACTED") {
+		t.Fatalf("false positive: %q n=%d", out, n)
+	}
+}
+
+func TestGeneralizeZIP(t *testing.T) {
+	if got := GeneralizeZIP("37830"); got != "378**" {
+		t.Fatalf("zip=%q", got)
+	}
+	if got := GeneralizeZIP("37830-1234"); got != "378**" {
+		t.Fatalf("zip+4=%q", got)
+	}
+	if got := GeneralizeZIP("x9"); got != "000" {
+		t.Fatalf("short=%q", got)
+	}
+}
+
+func TestGeneralizeAge(t *testing.T) {
+	if got := GeneralizeAge(47, 10); got != "40-49" {
+		t.Fatalf("age=%q", got)
+	}
+	if got := GeneralizeAge(47, 0); got != "40-49" { // default width
+		t.Fatalf("age=%q", got)
+	}
+	if got := GeneralizeAge(-5, 10); got != "0-9" {
+		t.Fatalf("neg age=%q", got)
+	}
+	if got := GeneralizeAge(30, 5); got != "30-34" {
+		t.Fatalf("width5=%q", got)
+	}
+}
+
+func sampleRecords() []Record {
+	mk := func(id, name, zip, sex string, age int, notes string) Record {
+		return Record{
+			ID: id, Name: name, ZIP: zip, Sex: sex, Age: age, Notes: notes,
+			BirthDate: time.Date(1980, 6, 15, 0, 0, 0, 0, time.UTC),
+			Values:    []float64{1.0, 2.0},
+		}
+	}
+	return []Record{
+		mk("p1", "Alice", "37830", "F", 44, "SSN 123-45-6789 noted"),
+		mk("p2", "Bob", "37831", "M", 45, "clear"),
+		mk("p3", "Cara", "37832", "F", 46, "clear"),
+		mk("p4", "Dan", "37833", "M", 47, "clear"),
+		mk("p5", "Eve", "90210", "F", 80, "clear"), // lone outlier class
+	}
+}
+
+func TestAnonymize(t *testing.T) {
+	p := newP(t)
+	anon, err := Anonymize(sampleRecords(), p, AnonymizeOptions{AgeBandWidth: 10, ScrubNotes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anon) != 5 {
+		t.Fatalf("n=%d", len(anon))
+	}
+	a := anon[0]
+	if a.Pseudonym == "p1" || a.Pseudonym == "" {
+		t.Fatalf("pseudonym=%q", a.Pseudonym)
+	}
+	if a.ZIP3 != "378**" || a.AgeBand != "40-49" {
+		t.Fatalf("quasi: %q %q", a.ZIP3, a.AgeBand)
+	}
+	if strings.Contains(a.Notes, "123-45-6789") {
+		t.Fatal("PHI survived")
+	}
+	if a.BirthYear == 0 {
+		t.Fatal("birth year missing")
+	}
+	if a.Values[1] != 2.0 {
+		t.Fatal("clinical values must be preserved")
+	}
+}
+
+func TestAnonymizeNilPseudonymizer(t *testing.T) {
+	if _, err := Anonymize(nil, nil, AnonymizeOptions{}); err == nil {
+		t.Fatal("want nil error")
+	}
+}
+
+func TestKAnonymity(t *testing.T) {
+	p := newP(t)
+	anon, _ := Anonymize(sampleRecords(), p, AnonymizeOptions{AgeBandWidth: 10})
+	// Classes: F/378**/40-49 (2: p1,p3), M/378**/40-49 (2: p2,p4), F/902**/80-89 (1: p5).
+	if k := KAnonymity(anon); k != 1 {
+		t.Fatalf("k=%d", k)
+	}
+	safe, suppressed, err := EnforceKAnonymity(anon, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suppressed != 1 || len(safe) != 4 {
+		t.Fatalf("suppressed=%d kept=%d", suppressed, len(safe))
+	}
+	if k := KAnonymity(safe); k < 2 {
+		t.Fatalf("post-enforcement k=%d", k)
+	}
+}
+
+func TestKAnonymityEmpty(t *testing.T) {
+	if KAnonymity(nil) != 0 {
+		t.Fatal("empty k must be 0")
+	}
+}
+
+func TestEnforceKAnonymityBadK(t *testing.T) {
+	if _, _, err := EnforceKAnonymity(nil, 0); err == nil {
+		t.Fatal("want k error")
+	}
+}
+
+func TestEquivalenceClasses(t *testing.T) {
+	p := newP(t)
+	anon, _ := Anonymize(sampleRecords(), p, AnonymizeOptions{AgeBandWidth: 10})
+	classes := EquivalenceClasses(anon)
+	if len(classes) != 3 || classes[0] != 1 || classes[2] != 2 {
+		t.Fatalf("classes=%v", classes)
+	}
+}
+
+func TestProcessFullPath(t *testing.T) {
+	p := newP(t)
+	safe, sum, err := Process(sampleRecords(), p, 2, AnonymizeOptions{AgeBandWidth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Records != 5 || sum.Suppressed != 1 || sum.K < 2 {
+		t.Fatalf("summary=%+v", sum)
+	}
+	if sum.Redactions == 0 {
+		t.Fatal("expected redactions counted")
+	}
+	for _, r := range safe {
+		if ContainsPHI(r.Notes) {
+			t.Fatal("release gate failed")
+		}
+	}
+}
+
+func TestContainsPHI(t *testing.T) {
+	if !ContainsPHI("ssn 999-11-2222") {
+		t.Fatal("missed SSN")
+	}
+	if ContainsPHI("ejection fraction 60") {
+		t.Fatal("false positive")
+	}
+}
+
+func TestEncryptDecryptShard(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, 32)
+	payload := []byte("anonymized shard payload")
+	sealed, err := EncryptShard(key, "shard-0001", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, payload) {
+		t.Fatal("payload visible in ciphertext")
+	}
+	plain, err := DecryptShard(key, "shard-0001", sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, payload) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestDecryptShardWrongName(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, 32)
+	sealed, err := EncryptShard(key, "shard-0001", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecryptShard(key, "shard-0002", sealed); err == nil {
+		t.Fatal("want name-binding failure")
+	}
+}
+
+func TestDecryptShardTampered(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, 32)
+	sealed, err := EncryptShard(key, "s", []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed[len(sealed)-1] ^= 1
+	if _, err := DecryptShard(key, "s", sealed); err == nil {
+		t.Fatal("want integrity failure")
+	}
+}
+
+func TestEncryptShardKeyLength(t *testing.T) {
+	if _, err := EncryptShard([]byte("short"), "s", nil); err == nil {
+		t.Fatal("want key-length error")
+	}
+	if _, err := DecryptShard([]byte("short"), "s", nil); err == nil {
+		t.Fatal("want key-length error")
+	}
+}
+
+func TestDecryptShardTooShort(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, 32)
+	if _, err := DecryptShard(key, "s", []byte{1, 2}); err == nil {
+		t.Fatal("want too-short error")
+	}
+}
+
+// Property: enforcement always achieves at least k (or empties the set).
+func TestEnforceKAnonymityProperty(t *testing.T) {
+	f := func(ages []uint8, k8 uint8) bool {
+		k := int(k8)%4 + 1
+		recs := make([]AnonymizedRecord, len(ages))
+		for i, a := range ages {
+			recs[i] = AnonymizedRecord{
+				AgeBand: GeneralizeAge(int(a)%100, 20),
+				ZIP3:    "378**",
+				Sex:     []string{"F", "M"}[i%2],
+			}
+		}
+		safe, _, err := EnforceKAnonymity(recs, k)
+		if err != nil {
+			return false
+		}
+		return len(safe) == 0 || KAnonymity(safe) >= k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encryption round-trips arbitrary payloads.
+func TestEncryptRoundTripProperty(t *testing.T) {
+	key := bytes.Repeat([]byte{3}, 32)
+	f := func(payload []byte, name string) bool {
+		sealed, err := EncryptShard(key, name, payload)
+		if err != nil {
+			return false
+		}
+		plain, err := DecryptShard(key, name, sealed)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(plain, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAnonymize(b *testing.B) {
+	p, err := NewPseudonymizer(bytes.Repeat([]byte{5}, 32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := sampleRecordsBench()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Anonymize(recs, p, AnonymizeOptions{AgeBandWidth: 10, ScrubNotes: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sampleRecordsBench() []Record {
+	recs := make([]Record, 100)
+	for i := range recs {
+		recs[i] = Record{
+			ID: "p", Name: "n", ZIP: "37830", Sex: "F", Age: 40 + i%30,
+			Notes:  "routine visit, call 865-555-1234",
+			Values: []float64{1, 2, 3},
+		}
+	}
+	return recs
+}
+
+func BenchmarkEncryptShard(b *testing.B) {
+	key := bytes.Repeat([]byte{9}, 32)
+	payload := bytes.Repeat([]byte{1}, 1<<20)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncryptShard(key, "s", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package augment implements data-augmentation transforms for image-like
+// scientific samples (paper §2.1: "where scientific datasets contain an
+// insufficient number of samples, certain data augmentation techniques may
+// be employed … such as rotating images, adding noise, and generating
+// synthetic samples").
+package augment
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Rotate90 rotates a rank-2 tensor by quarter turns counter-clockwise
+// (turns may be negative) and returns a new tensor.
+func Rotate90(t *tensor.Tensor, turns int) (*tensor.Tensor, error) {
+	if t.Rank() != 2 {
+		return nil, fmt.Errorf("augment: Rotate90 needs rank 2, got %d", t.Rank())
+	}
+	turns = ((turns % 4) + 4) % 4
+	out := t.Clone()
+	for k := 0; k < turns; k++ {
+		h, w := out.Dim(0), out.Dim(1)
+		rot := tensor.New(w, h)
+		for i := 0; i < h; i++ {
+			for j := 0; j < w; j++ {
+				// CCW: (i,j) -> (w-1-j, i)
+				rot.Set(out.At(i, j), w-1-j, i)
+			}
+		}
+		out = rot
+	}
+	return out, nil
+}
+
+// FlipHorizontal mirrors a rank-2 tensor left-right into a new tensor.
+func FlipHorizontal(t *tensor.Tensor) (*tensor.Tensor, error) {
+	if t.Rank() != 2 {
+		return nil, fmt.Errorf("augment: FlipHorizontal needs rank 2, got %d", t.Rank())
+	}
+	h, w := t.Dim(0), t.Dim(1)
+	out := tensor.New(h, w)
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			out.Set(t.At(i, j), i, w-1-j)
+		}
+	}
+	return out, nil
+}
+
+// FlipVertical mirrors a rank-2 tensor top-bottom into a new tensor.
+func FlipVertical(t *tensor.Tensor) (*tensor.Tensor, error) {
+	if t.Rank() != 2 {
+		return nil, fmt.Errorf("augment: FlipVertical needs rank 2, got %d", t.Rank())
+	}
+	h, w := t.Dim(0), t.Dim(1)
+	out := tensor.New(h, w)
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			out.Set(t.At(i, j), h-1-i, j)
+		}
+	}
+	return out, nil
+}
+
+// AddGaussianNoise returns a copy of t with N(0, sigma²) noise added to
+// every non-NaN element, using the given seed.
+func AddGaussianNoise(t *tensor.Tensor, sigma float64, seed int64) (*tensor.Tensor, error) {
+	if sigma < 0 {
+		return nil, fmt.Errorf("augment: negative sigma %v", sigma)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := t.Clone()
+	data := out.Data()
+	for i, v := range data {
+		if !math.IsNaN(v) {
+			data[i] = v + rng.NormFloat64()*sigma
+		}
+	}
+	return out, nil
+}
+
+// Mixup blends two same-shape samples: out = lambda*a + (1-lambda)*b.
+// Lambda must lie in [0,1].
+func Mixup(a, b *tensor.Tensor, lambda float64) (*tensor.Tensor, error) {
+	if !tensor.SameShape(a, b) {
+		return nil, fmt.Errorf("augment: mixup shape mismatch %v vs %v", a.Shape(), b.Shape())
+	}
+	if lambda < 0 || lambda > 1 {
+		return nil, fmt.Errorf("augment: lambda %v out of [0,1]", lambda)
+	}
+	out := a.Clone()
+	bd := b.Data()
+	for i := range out.Data() {
+		out.Data()[i] = lambda*out.Data()[i] + (1-lambda)*bd[i]
+	}
+	return out, nil
+}
+
+// Policy is a reproducible augmentation plan applied to a pool of samples.
+type Policy struct {
+	Rotations  bool    // include all three nontrivial quarter turns
+	Flips      bool    // include horizontal and vertical mirrors
+	NoiseSigma float64 // if > 0, include one noisy copy per sample
+	MixupPairs int     // number of random mixup synthetics to add
+	Seed       int64
+}
+
+// Apply expands samples according to the policy. The original samples are
+// always first in the output, so labels can be extended in parallel by the
+// caller using ExpandLabels.
+func (p Policy) Apply(samples []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("augment: empty sample pool")
+	}
+	out := append([]*tensor.Tensor(nil), samples...)
+	for _, s := range samples {
+		if p.Rotations {
+			for _, turns := range []int{1, 2, 3} {
+				r, err := Rotate90(s, turns)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+		}
+		if p.Flips {
+			fh, err := FlipHorizontal(s)
+			if err != nil {
+				return nil, err
+			}
+			fv, err := FlipVertical(s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, fh, fv)
+		}
+		if p.NoiseSigma > 0 {
+			n, err := AddGaussianNoise(s, p.NoiseSigma, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, n)
+		}
+	}
+	if p.MixupPairs > 0 {
+		rng := rand.New(rand.NewSource(p.Seed))
+		for k := 0; k < p.MixupPairs; k++ {
+			i, j := rng.Intn(len(samples)), rng.Intn(len(samples))
+			lam := rng.Float64()
+			m, err := Mixup(samples[i], samples[j], lam)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// Multiplier returns how many outputs Apply produces per input sample
+// (mixup synthetics excluded since they are pool-level).
+func (p Policy) Multiplier() int {
+	m := 1
+	if p.Rotations {
+		m += 3
+	}
+	if p.Flips {
+		m += 2
+	}
+	if p.NoiseSigma > 0 {
+		m++
+	}
+	return m
+}
+
+// ExpandLabels repeats per-sample labels to match Policy.Apply output
+// order: originals first, then per-sample variants, then mixup synthetics
+// labeled by their (deterministic) dominant parent.
+func (p Policy) ExpandLabels(labels []string) ([]string, error) {
+	if len(labels) == 0 {
+		return nil, errors.New("augment: empty labels")
+	}
+	out := append([]string(nil), labels...)
+	perSample := p.Multiplier() - 1
+	for _, l := range labels {
+		for k := 0; k < perSample; k++ {
+			out = append(out, l)
+		}
+	}
+	if p.MixupPairs > 0 {
+		rng := rand.New(rand.NewSource(p.Seed))
+		for k := 0; k < p.MixupPairs; k++ {
+			i, j := rng.Intn(len(labels)), rng.Intn(len(labels))
+			lam := rng.Float64()
+			if lam >= 0.5 {
+				out = append(out, labels[i])
+			} else {
+				out = append(out, labels[j])
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,298 @@
+package augment
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func grid(t *testing.T, vals []float64, h, w int) *tensor.Tensor {
+	t.Helper()
+	x, err := tensor.FromSlice(vals, h, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestRotate90Once(t *testing.T) {
+	// 2x3:
+	// 1 2 3
+	// 4 5 6
+	x := grid(t, []float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	r, err := Rotate90(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CCW -> 3x2:
+	// 3 6
+	// 2 5
+	// 1 4
+	want := []float64{3, 6, 2, 5, 1, 4}
+	for i, v := range r.Data() {
+		if v != want[i] {
+			t.Fatalf("rotated=%v", r.Data())
+		}
+	}
+	if r.Dim(0) != 3 || r.Dim(1) != 2 {
+		t.Fatalf("shape=%v", r.Shape())
+	}
+}
+
+func TestRotate360Identity(t *testing.T) {
+	x := grid(t, []float64{1, 2, 3, 4}, 2, 2)
+	r, err := Rotate90(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range r.Data() {
+		if v != x.Data()[i] {
+			t.Fatal("4 turns must be identity")
+		}
+	}
+}
+
+func TestRotateNegativeTurns(t *testing.T) {
+	x := grid(t, []float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	cw, err := Rotate90(x, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccw3, err := Rotate90(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cw.Data() {
+		if cw.Data()[i] != ccw3.Data()[i] {
+			t.Fatal("-1 turn must equal 3 turns")
+		}
+	}
+}
+
+func TestRotateRankError(t *testing.T) {
+	if _, err := Rotate90(tensor.New(2, 2, 2), 1); err == nil {
+		t.Fatal("want rank error")
+	}
+}
+
+func TestFlipHorizontal(t *testing.T) {
+	x := grid(t, []float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	f, err := FlipHorizontal(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1, 6, 5, 4}
+	for i, v := range f.Data() {
+		if v != want[i] {
+			t.Fatalf("flipped=%v", f.Data())
+		}
+	}
+}
+
+func TestFlipVertical(t *testing.T) {
+	x := grid(t, []float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	f, err := FlipVertical(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 5, 6, 1, 2, 3}
+	for i, v := range f.Data() {
+		if v != want[i] {
+			t.Fatalf("flipped=%v", f.Data())
+		}
+	}
+}
+
+func TestFlipRankErrors(t *testing.T) {
+	if _, err := FlipHorizontal(tensor.New(3)); err == nil {
+		t.Fatal("want rank error")
+	}
+	if _, err := FlipVertical(tensor.New(3)); err == nil {
+		t.Fatal("want rank error")
+	}
+}
+
+func TestDoubleFlipIdentity(t *testing.T) {
+	x := grid(t, []float64{1, 2, 3, 4}, 2, 2)
+	f1, _ := FlipHorizontal(x)
+	f2, err := FlipHorizontal(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x.Data() {
+		if f2.Data()[i] != x.Data()[i] {
+			t.Fatal("double flip must be identity")
+		}
+	}
+}
+
+func TestAddGaussianNoise(t *testing.T) {
+	x := tensor.Full(10, 1000)
+	n, err := AddGaussianNoise(x, 1.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original untouched.
+	if x.At(0) != 10 {
+		t.Fatal("input mutated")
+	}
+	if math.Abs(n.Mean()-10) > 0.2 {
+		t.Fatalf("noisy mean=%v", n.Mean())
+	}
+	if math.Abs(n.Std()-1) > 0.2 {
+		t.Fatalf("noisy std=%v", n.Std())
+	}
+}
+
+func TestAddGaussianNoisePreservesNaN(t *testing.T) {
+	x, _ := tensor.FromSlice([]float64{1, math.NaN()}, 2)
+	n, err := AddGaussianNoise(x, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(n.At(1)) {
+		t.Fatal("NaN must survive noising")
+	}
+}
+
+func TestAddGaussianNoiseDeterministic(t *testing.T) {
+	x := tensor.Full(0, 10)
+	a, _ := AddGaussianNoise(x, 1, 5)
+	b, _ := AddGaussianNoise(x, 1, 5)
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatal("same seed must give same noise")
+		}
+	}
+}
+
+func TestAddGaussianNoiseNegativeSigma(t *testing.T) {
+	if _, err := AddGaussianNoise(tensor.New(1), -1, 0); err == nil {
+		t.Fatal("want sigma error")
+	}
+}
+
+func TestMixup(t *testing.T) {
+	a := tensor.Full(0, 4)
+	b := tensor.Full(10, 4)
+	m, err := Mixup(a, b, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.Data() {
+		if math.Abs(v-7) > 1e-12 { // 0.3*0 + 0.7*10
+			t.Fatalf("mixup=%v", m.Data())
+		}
+	}
+}
+
+func TestMixupErrors(t *testing.T) {
+	if _, err := Mixup(tensor.New(2), tensor.New(3), 0.5); err == nil {
+		t.Fatal("want shape error")
+	}
+	if _, err := Mixup(tensor.New(2), tensor.New(2), 1.5); err == nil {
+		t.Fatal("want lambda error")
+	}
+}
+
+func TestPolicyApplyCountsAndLabels(t *testing.T) {
+	samples := []*tensor.Tensor{
+		tensor.Full(1, 4, 4),
+		tensor.Full(2, 4, 4),
+	}
+	p := Policy{Rotations: true, Flips: true, NoiseSigma: 0.1, MixupPairs: 3, Seed: 1}
+	out, err := p.Apply(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 originals + 2*(3 rot + 2 flip + 1 noise) + 3 mixup = 2+12+3 = 17.
+	if len(out) != 17 {
+		t.Fatalf("outputs=%d", len(out))
+	}
+	labels, err := p.ExpandLabels([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != len(out) {
+		t.Fatalf("labels=%d outputs=%d", len(labels), len(out))
+	}
+	if labels[0] != "a" || labels[1] != "b" {
+		t.Fatalf("labels=%v", labels[:2])
+	}
+}
+
+func TestPolicyMultiplier(t *testing.T) {
+	if m := (Policy{}).Multiplier(); m != 1 {
+		t.Fatalf("empty policy multiplier=%d", m)
+	}
+	p := Policy{Rotations: true, Flips: true, NoiseSigma: 1}
+	if m := p.Multiplier(); m != 7 {
+		t.Fatalf("full policy multiplier=%d", m)
+	}
+}
+
+func TestPolicyApplyEmpty(t *testing.T) {
+	if _, err := (Policy{}).Apply(nil); err == nil {
+		t.Fatal("want empty error")
+	}
+	if _, err := (Policy{}).ExpandLabels(nil); err == nil {
+		t.Fatal("want empty error")
+	}
+}
+
+func TestPolicyApplyOriginalsFirst(t *testing.T) {
+	s := tensor.Full(5, 2, 2)
+	out, err := Policy{Flips: true}.Apply([]*tensor.Tensor{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != s {
+		t.Fatal("original must be first")
+	}
+}
+
+// Property: rotations and flips preserve the multiset of values (sum and
+// element count are invariant).
+func TestGeometryPreservesValuesProperty(t *testing.T) {
+	f := func(seed int64, hRaw, wRaw uint8, turns int8) bool {
+		h, w := int(hRaw)%6+1, int(wRaw)%6+1
+		vals := make([]float64, h*w)
+		for i := range vals {
+			vals[i] = float64((seed+int64(i*2654435761))%1000) * 0.5
+		}
+		x, err := tensor.FromSlice(vals, h, w)
+		if err != nil {
+			return false
+		}
+		r, err := Rotate90(x, int(turns))
+		if err != nil {
+			return false
+		}
+		fh, err := FlipHorizontal(x)
+		if err != nil {
+			return false
+		}
+		const eps = 1e-9
+		return math.Abs(r.Sum()-x.Sum()) < eps &&
+			math.Abs(fh.Sum()-x.Sum()) < eps &&
+			r.Numel() == x.Numel()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRotate90(b *testing.B) {
+	x := tensor.New(256, 256)
+	for i := range x.Data() {
+		x.Data()[i] = float64(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Rotate90(x, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package climate
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/formats/grib"
+	"repro/internal/tensor"
+)
+
+// ToGRIB encodes each timestep of the field as one GRIB-style message
+// with the given packing width (the ERA5-style encoded distribution
+// format; missing cells travel in the bitmap).
+func (f *Field) ToGRIB(bits int) ([][]byte, error) {
+	if f.Data.Rank() != 3 {
+		return nil, fmt.Errorf("climate: ToGRIB needs [T,lat,lon], got %v", f.Data.Shape())
+	}
+	T, lat, lon := f.Data.Dim(0), f.Data.Dim(1), f.Data.Dim(2)
+	out := make([][]byte, T)
+	for t := 0; t < T; t++ {
+		month, err := f.Data.SubTensor(t)
+		if err != nil {
+			return nil, err
+		}
+		msg, err := grib.Encode(month.Data(), lon, lat, bits)
+		if err != nil {
+			return nil, fmt.Errorf("climate: encode month %d: %w", t, err)
+		}
+		out[t] = msg
+	}
+	return out, nil
+}
+
+// FromGRIB decodes a message sequence (one per timestep, identical grids)
+// back into a Field. Quantization error is bounded by the messages'
+// packing parameters. Coordinates are reconstructed as uniform global.
+func FromGRIB(messages [][]byte, name, units string) (*Field, error) {
+	if len(messages) == 0 {
+		return nil, errors.New("climate: no GRIB messages")
+	}
+	first, err := grib.Decode(messages[0])
+	if err != nil {
+		return nil, fmt.Errorf("climate: decode message 0: %w", err)
+	}
+	lat, lon := first.Nj, first.Ni
+	stack := tensor.New(len(messages), lat, lon)
+	for t, raw := range messages {
+		msg, err := grib.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("climate: decode message %d: %w", t, err)
+		}
+		if msg.Ni != lon || msg.Nj != lat {
+			return nil, fmt.Errorf("climate: message %d grid %dx%d != %dx%d",
+				t, msg.Nj, msg.Ni, lat, lon)
+		}
+		sub, err := tensor.FromSlice(msg.Values, lat, lon)
+		if err != nil {
+			return nil, err
+		}
+		if err := stack.SetSubTensor(t, sub); err != nil {
+			return nil, err
+		}
+	}
+	return &Field{
+		Name:  name,
+		Units: units,
+		Data:  stack,
+		Lats:  linspace(-90, 90, lat),
+		Lons:  linspace(0, 360*(1-1/float64(lon)), lon),
+	}, nil
+}

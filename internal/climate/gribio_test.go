@@ -1,0 +1,102 @@
+package climate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGRIBStackRoundTrip(t *testing.T) {
+	f, err := Synthesize(SynthConfig{Months: 6, Lat: 12, Lon: 24, MissingRate: 0.02, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := f.ToGRIB(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 6 {
+		t.Fatalf("messages=%d", len(msgs))
+	}
+	g, err := FromGRIB(msgs, "tas", "K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Data.Dim(0) != 6 || g.Data.Dim(1) != 12 || g.Data.Dim(2) != 24 {
+		t.Fatalf("shape=%v", g.Data.Shape())
+	}
+	// Missing cells survive via bitmaps.
+	if f.Data.CountNaN() != g.Data.CountNaN() {
+		t.Fatalf("NaN %d vs %d", f.Data.CountNaN(), g.Data.CountNaN())
+	}
+	// Values within 16-bit quantization error (span ~80 K -> step ~1.2e-3).
+	fd, gd := f.Data.Data(), g.Data.Data()
+	for i := range fd {
+		if math.IsNaN(fd[i]) {
+			continue
+		}
+		if math.Abs(fd[i]-gd[i]) > 0.01 {
+			t.Fatalf("cell %d: %v vs %v", i, fd[i], gd[i])
+		}
+	}
+	if len(g.Lats) != 12 || len(g.Lons) != 24 {
+		t.Fatalf("coords %d/%d", len(g.Lats), len(g.Lons))
+	}
+}
+
+func TestGRIBIngestIntoPipeline(t *testing.T) {
+	// The ERA5-style path: GRIB in, NetCDF-independent, same pipeline.
+	f, _ := Synthesize(SynthConfig{Months: 12, Lat: 8, Lon: 16, Seed: 22})
+	msgs, err := f.ToGRIB(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromGRIB(msgs, "tas", "K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Convert to NetCDF and run the standard pipeline.
+	raw, err := g.ToNetCDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromNetCDF(raw, "tas"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromGRIBErrors(t *testing.T) {
+	if _, err := FromGRIB(nil, "x", ""); err == nil {
+		t.Fatal("want empty error")
+	}
+	if _, err := FromGRIB([][]byte{[]byte("junk")}, "x", ""); err == nil {
+		t.Fatal("want decode error")
+	}
+	// Mismatched grids across messages.
+	f1, _ := Synthesize(SynthConfig{Months: 1, Lat: 4, Lon: 8, Seed: 1})
+	f2, _ := Synthesize(SynthConfig{Months: 1, Lat: 8, Lon: 8, Seed: 1})
+	m1, err := f1.ToGRIB(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := f2.ToGRIB(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromGRIB([][]byte{m1[0], m2[0]}, "x", ""); err == nil {
+		t.Fatal("want grid mismatch error")
+	}
+}
+
+func TestToGRIBErrors(t *testing.T) {
+	bad := &Field{Data: nil}
+	_ = bad
+	f, _ := Synthesize(SynthConfig{Months: 1, Lat: 4, Lon: 8, Seed: 1})
+	month, _ := f.Data.SubTensor(0)
+	badField := &Field{Data: month} // rank 2
+	if _, err := badField.ToGRIB(8); err == nil {
+		t.Fatal("want rank error")
+	}
+	if _, err := f.ToGRIB(99); err == nil {
+		t.Fatal("want bits error")
+	}
+}

@@ -1,0 +1,176 @@
+package climate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
+)
+
+// Method selects the regridding scheme (paper §3.1: "interpolating
+// spatial grids" / "regrids reanalysis data to uniform spatial
+// resolutions").
+type Method int
+
+// Supported regridding methods.
+const (
+	// Bilinear interpolates each target cell from its four enclosing
+	// source points (ClimaX-style).
+	Bilinear Method = iota
+	// Conservative block-averages source cells into each target cell,
+	// preserving the grid mean (flux-conserving, used for downscaling).
+	Conservative
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Bilinear:
+		return "bilinear"
+	case Conservative:
+		return "conservative"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Regrid2D resamples one [lat, lon] grid to (newLat, newLon).
+func Regrid2D(src *tensor.Tensor, newLat, newLon int, m Method) (*tensor.Tensor, error) {
+	if src.Rank() != 2 {
+		return nil, fmt.Errorf("climate: Regrid2D needs rank 2, got %d", src.Rank())
+	}
+	if newLat < 1 || newLon < 1 {
+		return nil, fmt.Errorf("climate: invalid target grid %dx%d", newLat, newLon)
+	}
+	switch m {
+	case Bilinear:
+		return bilinear2D(src, newLat, newLon), nil
+	case Conservative:
+		return conservative2D(src, newLat, newLon), nil
+	}
+	return nil, fmt.Errorf("climate: unknown method %d", m)
+}
+
+func bilinear2D(src *tensor.Tensor, newLat, newLon int) *tensor.Tensor {
+	h, w := src.Dim(0), src.Dim(1)
+	out := tensor.New(newLat, newLon)
+	for i := 0; i < newLat; i++ {
+		// Map target row to source coordinates.
+		y := 0.0
+		if newLat > 1 {
+			y = float64(i) * float64(h-1) / float64(newLat-1)
+		}
+		y0 := int(math.Floor(y))
+		y1 := y0 + 1
+		if y1 >= h {
+			y1 = h - 1
+		}
+		fy := y - float64(y0)
+		for j := 0; j < newLon; j++ {
+			x := 0.0
+			if newLon > 1 {
+				x = float64(j) * float64(w-1) / float64(newLon-1)
+			}
+			x0 := int(math.Floor(x))
+			x1 := x0 + 1
+			if x1 >= w {
+				x1 = w - 1
+			}
+			fx := x - float64(x0)
+			v00, v01 := src.At(y0, x0), src.At(y0, x1)
+			v10, v11 := src.At(y1, x0), src.At(y1, x1)
+			out.Set(blend2(blend2(v00, v01, fx), blend2(v10, v11, fx), fy), i, j)
+		}
+	}
+	return out
+}
+
+// blend2 interpolates a and b by t, tolerating NaN by falling back to the
+// valid operand (nearest-available extension over gaps).
+func blend2(a, b, t float64) float64 {
+	aN, bN := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case aN && bN:
+		return math.NaN()
+	case aN:
+		return b
+	case bN:
+		return a
+	}
+	return a*(1-t) + b*t
+}
+
+func conservative2D(src *tensor.Tensor, newLat, newLon int) *tensor.Tensor {
+	h, w := src.Dim(0), src.Dim(1)
+	out := tensor.New(newLat, newLon)
+	for i := 0; i < newLat; i++ {
+		// Source row span covered by target row i (fractional overlap).
+		y0 := float64(i) * float64(h) / float64(newLat)
+		y1 := float64(i+1) * float64(h) / float64(newLat)
+		for j := 0; j < newLon; j++ {
+			x0 := float64(j) * float64(w) / float64(newLon)
+			x1 := float64(j+1) * float64(w) / float64(newLon)
+			sum, wsum := 0.0, 0.0
+			for sy := int(math.Floor(y0)); sy < int(math.Ceil(y1)) && sy < h; sy++ {
+				oy := overlap(y0, y1, float64(sy), float64(sy+1))
+				if oy <= 0 {
+					continue
+				}
+				for sx := int(math.Floor(x0)); sx < int(math.Ceil(x1)) && sx < w; sx++ {
+					ox := overlap(x0, x1, float64(sx), float64(sx+1))
+					if ox <= 0 {
+						continue
+					}
+					v := src.At(sy, sx)
+					if math.IsNaN(v) {
+						continue
+					}
+					wgt := oy * ox
+					sum += v * wgt
+					wsum += wgt
+				}
+			}
+			if wsum == 0 {
+				out.Set(math.NaN(), i, j)
+			} else {
+				out.Set(sum/wsum, i, j)
+			}
+		}
+	}
+	return out
+}
+
+func overlap(a0, a1, b0, b1 float64) float64 {
+	lo := math.Max(a0, b0)
+	hi := math.Min(a1, b1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// RegridStack resamples every timestep of a [T, lat, lon] stack, fanning
+// timesteps across `workers` goroutines (the parallel-preprocessing path;
+// workers<=1 runs serially).
+func RegridStack(src *tensor.Tensor, newLat, newLon int, m Method, workers int) (*tensor.Tensor, error) {
+	if src.Rank() != 3 {
+		return nil, fmt.Errorf("climate: RegridStack needs rank 3, got %d", src.Rank())
+	}
+	T := src.Dim(0)
+	out := tensor.New(T, newLat, newLon)
+	err := pipeline.ForEach(T, workers, func(t int) error {
+		slice, err := src.SubTensor(t)
+		if err != nil {
+			return err
+		}
+		rg, err := Regrid2D(slice, newLat, newLon, m)
+		if err != nil {
+			return err
+		}
+		return out.SetSubTensor(t, rg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

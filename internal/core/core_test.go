@@ -1,0 +1,368 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelStrings(t *testing.T) {
+	want := map[Level]string{
+		Raw:               "1-Raw",
+		Cleaned:           "2-Cleaned",
+		Labeled:           "3-Labeled",
+		FeatureEngineered: "4-Feature-engineered",
+		AIReady:           "5-Fully AI-ready",
+	}
+	for l, s := range want {
+		if l.String() != s {
+			t.Fatalf("%d: %q", l, l.String())
+		}
+	}
+	if !strings.Contains(Level(9).String(), "9") {
+		t.Fatal("unknown level string")
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	names := []string{"Ingest", "Preprocess", "Transform", "Structure", "Shard"}
+	for i, s := range Stages() {
+		if s.String() != names[i] {
+			t.Fatalf("stage %d: %q", i, s.String())
+		}
+	}
+	if !strings.Contains(Stage(9).String(), "9") {
+		t.Fatal("unknown stage string")
+	}
+}
+
+func TestValidity(t *testing.T) {
+	for _, l := range Levels() {
+		if !l.Valid() {
+			t.Fatalf("level %v invalid", l)
+		}
+	}
+	if Level(0).Valid() || Level(6).Valid() {
+		t.Fatal("out-of-range level valid")
+	}
+	for _, s := range Stages() {
+		if !s.Valid() {
+			t.Fatalf("stage %v invalid", s)
+		}
+	}
+	if Stage(-1).Valid() || Stage(5).Valid() {
+		t.Fatal("out-of-range stage valid")
+	}
+}
+
+// TestMaturityMatrixReproduction verifies the Table 2 staircase exactly:
+// level k populates the first k stages; everything else is grey.
+func TestMaturityMatrixReproduction(t *testing.T) {
+	wantCells := map[Level]int{Raw: 1, Cleaned: 2, Labeled: 3, FeatureEngineered: 4, AIReady: 5}
+	total := 0
+	for _, l := range Levels() {
+		n := 0
+		for _, s := range Stages() {
+			if Applicable(l, s) {
+				n++
+				if CellDescription(l, s) == "" {
+					t.Fatalf("applicable cell (%v,%v) has no description", l, s)
+				}
+			} else if CellDescription(l, s) != "" {
+				t.Fatalf("grey cell (%v,%v) has description", l, s)
+			}
+		}
+		if n != wantCells[l] {
+			t.Fatalf("level %v populates %d stages, want %d", l, n, wantCells[l])
+		}
+		total += n
+	}
+	if total != 15 { // 1+2+3+4+5 populated cells in Table 2
+		t.Fatalf("total populated cells=%d, want 15", total)
+	}
+}
+
+func TestTable2CellTexts(t *testing.T) {
+	// Spot-check the exact Table 2 wording.
+	cases := []struct {
+		l    Level
+		s    Stage
+		text string
+	}{
+		{Raw, Ingest, "Initial raw acquisition"},
+		{Cleaned, Preprocess, "Initial spatial/temporal alignment or regridding"},
+		{Labeled, Transform, "Initial normalization or anonymization; basic labels added"},
+		{FeatureEngineered, Structure, "Domain-specific feature extraction completed"},
+		{AIReady, Shard, "Data partitioned into train/test/val & sharded into binary formats for scalable ingestion"},
+	}
+	for _, c := range cases {
+		if got := CellDescription(c.l, c.s); got != c.text {
+			t.Fatalf("(%v,%v): %q", c.l, c.s, got)
+		}
+	}
+}
+
+func TestApplicableInvalidInputs(t *testing.T) {
+	if Applicable(Level(0), Ingest) || Applicable(Raw, Stage(7)) {
+		t.Fatal("invalid inputs must not be applicable")
+	}
+}
+
+// factsAt returns Facts representative of a dataset at exactly the given
+// level (used by the matrix reproduction and the monotonicity property).
+func factsAt(l Level) Facts {
+	f := Facts{}
+	if l >= Raw {
+		f.Acquired = true
+	}
+	if l >= Cleaned {
+		f.StandardFormat = true
+		f.Validated = true
+		f.MissingRate = 0
+		f.AlignedGrids = true
+	}
+	if l >= Labeled {
+		f.LabelCoverage = 0.5
+		f.Normalized = true
+		f.MetadataFields = 5
+	}
+	if l >= FeatureEngineered {
+		f.FeaturesExtracted = true
+		f.StructuredLayout = true
+		f.LabelCoverage = 1.0
+	}
+	if l >= AIReady {
+		f.SplitDone = true
+		f.Sharded = true
+		f.PipelineAutomated = true
+		f.AuditTrail = true
+	}
+	return f
+}
+
+func TestAssessEachLevel(t *testing.T) {
+	th := DefaultThresholds()
+	for _, l := range Levels() {
+		a := Assess(factsAt(l), th)
+		if a.Level != l {
+			t.Fatalf("facts for %v assessed as %v (gaps: %v)", l, a.Level, a.Gaps)
+		}
+	}
+}
+
+func TestAssessNoData(t *testing.T) {
+	a := Assess(Facts{}, DefaultThresholds())
+	if a.Level != 0 || len(a.Gaps) == 0 {
+		t.Fatalf("level=%v gaps=%v", a.Level, a.Gaps)
+	}
+}
+
+func TestAssessGapsNameBlockers(t *testing.T) {
+	th := DefaultThresholds()
+	f := factsAt(Cleaned)
+	a := Assess(f, th)
+	if a.Level != Cleaned {
+		t.Fatalf("level=%v", a.Level)
+	}
+	joined := strings.Join(a.Gaps, "; ")
+	if !strings.Contains(joined, "label") {
+		t.Fatalf("gaps should mention labels: %v", a.Gaps)
+	}
+	if !strings.Contains(joined, "normalization") {
+		t.Fatalf("gaps should mention normalization: %v", a.Gaps)
+	}
+}
+
+func TestAssessPrivacyGate(t *testing.T) {
+	th := DefaultThresholds()
+	f := factsAt(Labeled)
+	f.RequiresPrivacy = true
+	f.Anonymized = false
+	a := Assess(f, th)
+	if a.Level != Cleaned {
+		t.Fatalf("un-anonymized PHI dataset must stall at Cleaned, got %v", a.Level)
+	}
+	f.Anonymized = true
+	a = Assess(f, th)
+	if a.Level != Labeled {
+		t.Fatalf("anonymized dataset should reach Labeled, got %v", a.Level)
+	}
+}
+
+func TestAssessMissingValuesBlockCleaned(t *testing.T) {
+	th := DefaultThresholds()
+	f := factsAt(Cleaned)
+	f.MissingRate = 0.25
+	a := Assess(f, th)
+	if a.Level != Raw {
+		t.Fatalf("25%% missing should stall at Raw, got %v", a.Level)
+	}
+	found := false
+	for _, g := range a.Gaps {
+		if strings.Contains(g, "missing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("gaps=%v", a.Gaps)
+	}
+}
+
+func TestAssessComprehensiveLabelingGate(t *testing.T) {
+	th := DefaultThresholds()
+	f := factsAt(FeatureEngineered)
+	f.LabelCoverage = 0.5 // basic but not comprehensive
+	a := Assess(f, th)
+	if a.Level != Labeled {
+		t.Fatalf("partial labels should stall at Labeled, got %v", a.Level)
+	}
+}
+
+func TestAssessAuditGate(t *testing.T) {
+	th := DefaultThresholds()
+	f := factsAt(AIReady)
+	f.AuditTrail = false
+	a := Assess(f, th)
+	if a.Level != FeatureEngineered {
+		t.Fatalf("no audit trail should stall at L4, got %v", a.Level)
+	}
+}
+
+func TestStageMaturityGreyCellsZero(t *testing.T) {
+	th := DefaultThresholds()
+	a := Assess(factsAt(Cleaned), th)
+	for _, s := range []Stage{Transform, Structure, Shard} {
+		if a.StageMaturity[s] != 0 {
+			t.Fatalf("grey stage %v has maturity %v", s, a.StageMaturity[s])
+		}
+	}
+	if a.StageMaturity[Ingest] == 0 || a.StageMaturity[Preprocess] == 0 {
+		t.Fatalf("populated stages zero: %v", a.StageMaturity)
+	}
+}
+
+func TestStageMaturityFullAtAIReady(t *testing.T) {
+	a := Assess(factsAt(AIReady), DefaultThresholds())
+	for _, s := range Stages() {
+		if a.StageMaturity[s] < 0.99 {
+			t.Fatalf("stage %v maturity %v at AI-ready", s, a.StageMaturity[s])
+		}
+	}
+	if len(a.Gaps) != 0 {
+		t.Fatalf("AI-ready dataset has gaps: %v", a.Gaps)
+	}
+}
+
+// Property (paper claim C5): adding capabilities never lowers the level.
+func TestMonotonicityProperty(t *testing.T) {
+	th := DefaultThresholds()
+	f := func(bits uint16, missing, labels float64) bool {
+		base := Facts{
+			Acquired:          true,
+			StandardFormat:    bits&1 != 0,
+			Validated:         bits&2 != 0,
+			AlignedGrids:      bits&4 != 0,
+			Normalized:        bits&8 != 0,
+			FeaturesExtracted: bits&16 != 0,
+			StructuredLayout:  bits&32 != 0,
+			SplitDone:         bits&64 != 0,
+			Sharded:           bits&128 != 0,
+			PipelineAutomated: bits&256 != 0,
+			AuditTrail:        bits&512 != 0,
+			MetadataFields:    int(bits % 7),
+			MissingRate:       abs01(missing),
+			LabelCoverage:     abs01(labels),
+		}
+		before := Assess(base, th).Level
+
+		improved := base
+		improved.StandardFormat = true
+		improved.Validated = true
+		improved.MissingRate = 0
+		improved.AlignedGrids = true
+		after := Assess(improved, th).Level
+		return after >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs01(x float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	for x > 1 {
+		x /= 10
+	}
+	return x
+}
+
+func TestRenderMatrix(t *testing.T) {
+	a := Assess(factsAt(Labeled), DefaultThresholds())
+	out := RenderMatrix(a)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // header + 5 levels
+		t.Fatalf("lines=%d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "--") {
+		t.Fatalf("raw row should have grey cells:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "[") {
+		t.Fatalf("current level row should show maturity scores:\n%s", out)
+	}
+	if !strings.Contains(lines[5], "pending") {
+		t.Fatalf("higher level rows should be pending:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "done") {
+		t.Fatalf("lower level rows should be done:\n%s", out)
+	}
+}
+
+func TestTable1Catalog(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	domains := map[Domain]bool{}
+	for _, r := range rows {
+		domains[r.Domain] = true
+		if len(r.WorkflowSteps) != 4 {
+			t.Fatalf("%s: %d workflow steps, want 4 (Table 1)", r.Domain, len(r.WorkflowSteps))
+		}
+		if len(r.Challenges) != 3 {
+			t.Fatalf("%s: %d challenges, want 3", r.Domain, len(r.Challenges))
+		}
+		if r.Architecture == "" || r.Modality == "" || r.Name == "" {
+			t.Fatalf("%s: incomplete row %+v", r.Domain, r)
+		}
+	}
+	for _, d := range Domains() {
+		if !domains[d] {
+			t.Fatalf("missing domain %s", d)
+		}
+	}
+}
+
+func TestTable1WorkflowWording(t *testing.T) {
+	for _, r := range Table1() {
+		switch r.Domain {
+		case Climate:
+			if r.WorkflowSteps[1] != "Resample grids" {
+				t.Fatalf("climate steps=%v", r.WorkflowSteps)
+			}
+		case Fusion:
+			if r.WorkflowSteps[0] != "Extract/align diagnostics" {
+				t.Fatalf("fusion steps=%v", r.WorkflowSteps)
+			}
+		case BioHealth:
+			if r.WorkflowSteps[3] != "Secure sharding" {
+				t.Fatalf("bio steps=%v", r.WorkflowSteps)
+			}
+		case Materials:
+			if r.WorkflowSteps[2] != "Graph encoding" {
+				t.Fatalf("materials steps=%v", r.WorkflowSteps)
+			}
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package bp implements BP-lite, an ADIOS-style process-group container
+// (paper Fig. 1 and §3.4: materials pipelines shard graph data via ADIOS;
+// HydraGNN trains from ADIOS-sharded graphs). It reproduces the pattern
+// that makes ADIOS suit parallel HPC writers: each writer (MPI rank)
+// appends a self-contained *process group* (PG) block with its variables,
+// and a footer index written once at close lets readers locate any
+// variable without scanning.
+//
+// Layout:
+//
+//	[8]  magic "BPLITE\x01\x00"
+//	[..] PG blocks, append-only, each:
+//	       u32 rank, u32 step, u32 nvars, then per variable:
+//	         name (u16 len + bytes), u8 ndims, u64 dims[], u64 nbytes,
+//	         float64 data (little-endian), u32 CRC32 of the data bytes
+//	[..] footer: JSON index of PG offsets and variable metadata
+//	[8]  u64 footer offset
+//	[4]  u32 footer CRC32
+//	[4]  trailer magic "BPEN"
+package bp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+var (
+	magic   = []byte("BPLITE\x01\x00")
+	trailer = []byte("BPEN")
+)
+
+// ErrCorrupt reports a checksum failure.
+var ErrCorrupt = errors.New("bp: checksum mismatch")
+
+// VarMeta describes one variable inside a process group.
+type VarMeta struct {
+	Name  string `json:"name"`
+	Shape []int  `json:"shape"`
+}
+
+// PGMeta is the footer's description of one process group.
+type PGMeta struct {
+	Rank   int       `json:"rank"`
+	Step   int       `json:"step"`
+	Offset int64     `json:"offset"`
+	Vars   []VarMeta `json:"vars"`
+}
+
+type footer struct {
+	PGs []PGMeta `json:"pgs"`
+}
+
+// Variable is a named array written into a process group.
+type Variable struct {
+	Name  string
+	Shape []int
+	Data  []float64
+}
+
+// Writer accumulates process groups. It is not safe for concurrent use;
+// parallel writers should each build PG payloads with MarshalPG and a
+// coordinator appends them (mirroring ADIOS aggregation).
+type Writer struct {
+	buf  bytes.Buffer
+	foot footer
+	done bool
+}
+
+// NewWriter returns an empty BP-lite writer.
+func NewWriter() *Writer {
+	w := &Writer{}
+	w.buf.Write(magic)
+	return w
+}
+
+// AppendPG writes one process group for (rank, step).
+func (w *Writer) AppendPG(rank, step int, vars []Variable) error {
+	if w.done {
+		return errors.New("bp: writer already finalized")
+	}
+	payload, metas, err := MarshalPG(rank, step, vars)
+	if err != nil {
+		return err
+	}
+	w.foot.PGs = append(w.foot.PGs, PGMeta{
+		Rank: rank, Step: step, Offset: int64(w.buf.Len()), Vars: metas,
+	})
+	w.buf.Write(payload)
+	return nil
+}
+
+// AppendRawPG appends a payload produced by MarshalPG (the parallel-writer
+// aggregation path). The caller supplies the same rank/step used to build it.
+func (w *Writer) AppendRawPG(rank, step int, payload []byte, metas []VarMeta) error {
+	if w.done {
+		return errors.New("bp: writer already finalized")
+	}
+	w.foot.PGs = append(w.foot.PGs, PGMeta{
+		Rank: rank, Step: step, Offset: int64(w.buf.Len()), Vars: metas,
+	})
+	w.buf.Write(payload)
+	return nil
+}
+
+// MarshalPG serializes one process group payload without touching a
+// Writer, so ranks can build blocks concurrently.
+func MarshalPG(rank, step int, vars []Variable) ([]byte, []VarMeta, error) {
+	if rank < 0 || step < 0 {
+		return nil, nil, fmt.Errorf("bp: negative rank %d or step %d", rank, step)
+	}
+	var buf bytes.Buffer
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(rank))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(step))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(vars)))
+	buf.Write(hdr[:])
+
+	metas := make([]VarMeta, 0, len(vars))
+	for _, v := range vars {
+		if v.Name == "" {
+			return nil, nil, errors.New("bp: variable with empty name")
+		}
+		if len(v.Name) > math.MaxUint16 {
+			return nil, nil, fmt.Errorf("bp: variable name too long (%d)", len(v.Name))
+		}
+		n := 1
+		for _, d := range v.Shape {
+			if d < 0 {
+				return nil, nil, fmt.Errorf("bp: variable %q has negative dim", v.Name)
+			}
+			n *= d
+		}
+		if n != len(v.Data) {
+			return nil, nil, fmt.Errorf("bp: variable %q shape %v needs %d values, have %d",
+				v.Name, v.Shape, n, len(v.Data))
+		}
+		var nameLen [2]byte
+		binary.LittleEndian.PutUint16(nameLen[:], uint16(len(v.Name)))
+		buf.Write(nameLen[:])
+		buf.WriteString(v.Name)
+		buf.WriteByte(byte(len(v.Shape)))
+		for _, d := range v.Shape {
+			var db [8]byte
+			binary.LittleEndian.PutUint64(db[:], uint64(d))
+			buf.Write(db[:])
+		}
+		data := make([]byte, 8+len(v.Data)*8+4)
+		binary.LittleEndian.PutUint64(data[:8], uint64(len(v.Data)*8))
+		for i, x := range v.Data {
+			binary.LittleEndian.PutUint64(data[8+i*8:], math.Float64bits(x))
+		}
+		crc := crc32.ChecksumIEEE(data[8 : 8+len(v.Data)*8])
+		binary.LittleEndian.PutUint32(data[8+len(v.Data)*8:], crc)
+		buf.Write(data)
+		metas = append(metas, VarMeta{Name: v.Name, Shape: append([]int(nil), v.Shape...)})
+	}
+	return buf.Bytes(), metas, nil
+}
+
+// Finalize writes the footer and trailer and returns the container bytes.
+func (w *Writer) Finalize() ([]byte, error) {
+	if w.done {
+		return nil, errors.New("bp: writer already finalized")
+	}
+	w.done = true
+	off := int64(w.buf.Len())
+	enc, err := json.Marshal(&w.foot)
+	if err != nil {
+		return nil, fmt.Errorf("bp: encode footer: %w", err)
+	}
+	w.buf.Write(enc)
+	var tail [16]byte
+	binary.LittleEndian.PutUint64(tail[:8], uint64(off))
+	binary.LittleEndian.PutUint32(tail[8:12], crc32.ChecksumIEEE(enc))
+	copy(tail[12:], trailer)
+	w.buf.Write(tail[:])
+	return w.buf.Bytes(), nil
+}
+
+// File is a decoded BP-lite container.
+type File struct {
+	b    []byte
+	foot footer
+}
+
+// Open validates the container and parses the footer index.
+func Open(b []byte) (*File, error) {
+	if len(b) < len(magic)+16 || !bytes.Equal(b[:len(magic)], magic) {
+		return nil, errors.New("bp: bad magic")
+	}
+	tail := b[len(b)-16:]
+	if !bytes.Equal(tail[12:], trailer) {
+		return nil, errors.New("bp: bad trailer")
+	}
+	off := int64(binary.LittleEndian.Uint64(tail[:8]))
+	if off < int64(len(magic)) || off > int64(len(b)-16) {
+		return nil, errors.New("bp: footer offset out of range")
+	}
+	enc := b[off : len(b)-16]
+	if crc32.ChecksumIEEE(enc) != binary.LittleEndian.Uint32(tail[8:12]) {
+		return nil, fmt.Errorf("%w: footer", ErrCorrupt)
+	}
+	f := &File{b: b}
+	if err := json.Unmarshal(enc, &f.foot); err != nil {
+		return nil, fmt.Errorf("bp: decode footer: %w", err)
+	}
+	return f, nil
+}
+
+// PGs returns the footer's process-group index.
+func (f *File) PGs() []PGMeta { return f.foot.PGs }
+
+// ReadPG decodes the i-th process group's variables, verifying checksums.
+func (f *File) ReadPG(i int) (rank, step int, vars []Variable, err error) {
+	if i < 0 || i >= len(f.foot.PGs) {
+		return 0, 0, nil, fmt.Errorf("bp: PG index %d out of range [0,%d)", i, len(f.foot.PGs))
+	}
+	pos := int(f.foot.PGs[i].Offset)
+	b := f.b
+	if pos+12 > len(b) {
+		return 0, 0, nil, errors.New("bp: PG header out of bounds")
+	}
+	rank = int(binary.LittleEndian.Uint32(b[pos:]))
+	step = int(binary.LittleEndian.Uint32(b[pos+4:]))
+	nvars := int(binary.LittleEndian.Uint32(b[pos+8:]))
+	pos += 12
+	for v := 0; v < nvars; v++ {
+		if pos+2 > len(b) {
+			return 0, 0, nil, errors.New("bp: truncated variable name length")
+		}
+		nameLen := int(binary.LittleEndian.Uint16(b[pos:]))
+		pos += 2
+		if pos+nameLen+1 > len(b) {
+			return 0, 0, nil, errors.New("bp: truncated variable name")
+		}
+		name := string(b[pos : pos+nameLen])
+		pos += nameLen
+		ndims := int(b[pos])
+		pos++
+		if pos+ndims*8 > len(b) {
+			return 0, 0, nil, errors.New("bp: truncated dims")
+		}
+		shape := make([]int, ndims)
+		for d := range shape {
+			shape[d] = int(binary.LittleEndian.Uint64(b[pos:]))
+			pos += 8
+		}
+		if pos+8 > len(b) {
+			return 0, 0, nil, errors.New("bp: truncated data length")
+		}
+		nbytes := int(binary.LittleEndian.Uint64(b[pos:]))
+		pos += 8
+		if nbytes%8 != 0 || pos+nbytes+4 > len(b) {
+			return 0, 0, nil, errors.New("bp: truncated data")
+		}
+		payload := b[pos : pos+nbytes]
+		pos += nbytes
+		crc := binary.LittleEndian.Uint32(b[pos:])
+		pos += 4
+		if crc32.ChecksumIEEE(payload) != crc {
+			return 0, 0, nil, fmt.Errorf("%w: variable %q in PG %d", ErrCorrupt, name, i)
+		}
+		data := make([]float64, nbytes/8)
+		for j := range data {
+			data[j] = math.Float64frombits(binary.LittleEndian.Uint64(payload[j*8:]))
+		}
+		vars = append(vars, Variable{Name: name, Shape: shape, Data: data})
+	}
+	return rank, step, vars, nil
+}
+
+// ReadVar gathers a named variable across all process groups, returned in
+// PG order — the global-array read pattern ADIOS consumers use.
+func (f *File) ReadVar(name string) ([]Variable, error) {
+	var out []Variable
+	for i, pg := range f.foot.PGs {
+		has := false
+		for _, vm := range pg.Vars {
+			if vm.Name == name {
+				has = true
+				break
+			}
+		}
+		if !has {
+			continue
+		}
+		_, _, vars, err := f.ReadPG(i)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vars {
+			if v.Name == name {
+				out = append(out, v)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bp: variable %q not found in any PG", name)
+	}
+	return out, nil
+}

@@ -1,0 +1,311 @@
+package bp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripSinglePG(t *testing.T) {
+	w := NewWriter()
+	vars := []Variable{
+		{Name: "energy", Shape: []int{3}, Data: []float64{-1.5, 0, 2.25}},
+		{Name: "forces", Shape: []int{3, 3}, Data: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}},
+	}
+	if err := w.AppendPG(0, 0, vars); err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.PGs()) != 1 {
+		t.Fatalf("pgs=%d", len(f.PGs()))
+	}
+	rank, step, got, err := f.ReadPG(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 0 || step != 0 {
+		t.Fatalf("rank=%d step=%d", rank, step)
+	}
+	if len(got) != 2 || got[0].Name != "energy" || got[1].Name != "forces" {
+		t.Fatalf("vars=%+v", got)
+	}
+	if got[1].Shape[0] != 3 || got[1].Shape[1] != 3 {
+		t.Fatalf("shape=%v", got[1].Shape)
+	}
+	for i, v := range got[0].Data {
+		if v != vars[0].Data[i] {
+			t.Fatalf("energy=%v", got[0].Data)
+		}
+	}
+}
+
+func TestMultiRankMultiStep(t *testing.T) {
+	w := NewWriter()
+	for step := 0; step < 3; step++ {
+		for rank := 0; rank < 4; rank++ {
+			v := Variable{Name: "x", Shape: []int{2},
+				Data: []float64{float64(rank), float64(step)}}
+			if err := w.AppendPG(rank, step, []Variable{v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	b, _ := w.Finalize()
+	f, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.PGs()) != 12 {
+		t.Fatalf("pgs=%d", len(f.PGs()))
+	}
+	all, err := f.ReadVar("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 12 {
+		t.Fatalf("gathered %d", len(all))
+	}
+	// PG order: step-major as written.
+	if all[5].Data[0] != 1 || all[5].Data[1] != 1 {
+		t.Fatalf("pg5=%v", all[5].Data)
+	}
+}
+
+func TestParallelMarshalAggregation(t *testing.T) {
+	// Ranks marshal concurrently; a coordinator appends — the ADIOS
+	// aggregation pattern.
+	const ranks = 8
+	type result struct {
+		rank    int
+		payload []byte
+		metas   []VarMeta
+	}
+	results := make([]result, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			v := Variable{Name: "graph", Shape: []int{4}, Data: []float64{float64(r), 1, 2, 3}}
+			p, m, err := MarshalPG(r, 0, []Variable{v})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[r] = result{rank: r, payload: p, metas: m}
+		}(r)
+	}
+	wg.Wait()
+
+	w := NewWriter()
+	for _, res := range results {
+		if err := w.AppendRawPG(res.rank, 0, res.payload, res.metas); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, _ := w.Finalize()
+	f, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ranks; i++ {
+		rank, _, vars, err := f.ReadPG(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vars[0].Data[0] != float64(rank) {
+			t.Fatalf("pg %d: rank=%d data=%v", i, rank, vars[0].Data)
+		}
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	w := NewWriter()
+	if err := w.AppendPG(0, 0, []Variable{{Name: "v", Shape: []int{2}, Data: []float64{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Finalize()
+	bad := append([]byte(nil), b...)
+	// Flip a data byte: PG starts after the 8-byte magic; header 12 +
+	// name(2+1) + ndims(1) + dims(8) + nbytes(8) puts data ~40 in.
+	bad[len(magic)+35] ^= 0xFF
+	f, err := Open(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := f.ReadPG(0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestFooterCorruptionDetected(t *testing.T) {
+	w := NewWriter()
+	if err := w.AppendPG(0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Finalize()
+	bad := append([]byte(nil), b...)
+	bad[len(bad)-20] ^= 0xFF
+	if _, err := Open(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open([]byte("x")); err == nil {
+		t.Fatal("want magic error")
+	}
+	w := NewWriter()
+	b, _ := w.Finalize()
+	bad := append([]byte(nil), b...)
+	copy(bad[len(bad)-4:], "NOPE")
+	if _, err := Open(bad); err == nil {
+		t.Fatal("want trailer error")
+	}
+}
+
+func TestWriterErrors(t *testing.T) {
+	w := NewWriter()
+	if err := w.AppendPG(-1, 0, nil); err == nil {
+		t.Fatal("want negative-rank error")
+	}
+	if err := w.AppendPG(0, 0, []Variable{{Name: "", Shape: nil, Data: nil}}); err == nil {
+		t.Fatal("want empty-name error")
+	}
+	if err := w.AppendPG(0, 0, []Variable{{Name: "v", Shape: []int{3}, Data: []float64{1}}}); err == nil {
+		t.Fatal("want shape error")
+	}
+	if err := w.AppendPG(0, 0, []Variable{{Name: "v", Shape: []int{-1}, Data: nil}}); err == nil {
+		t.Fatal("want negative-dim error")
+	}
+	if _, err := w.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendPG(0, 0, nil); err == nil {
+		t.Fatal("want finalized error")
+	}
+	if _, err := w.Finalize(); err == nil {
+		t.Fatal("want double-finalize error")
+	}
+}
+
+func TestReadPGOutOfRange(t *testing.T) {
+	w := NewWriter()
+	b, _ := w.Finalize()
+	f, _ := Open(b)
+	if _, _, _, err := f.ReadPG(0); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+func TestReadVarMissing(t *testing.T) {
+	w := NewWriter()
+	if err := w.AppendPG(0, 0, []Variable{{Name: "a", Shape: []int{1}, Data: []float64{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Finalize()
+	f, _ := Open(b)
+	if _, err := f.ReadVar("missing"); err == nil {
+		t.Fatal("want not-found error")
+	}
+}
+
+func TestEmptyVariable(t *testing.T) {
+	w := NewWriter()
+	if err := w.AppendPG(2, 7, []Variable{{Name: "empty", Shape: []int{0}, Data: nil}}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Finalize()
+	f, _ := Open(b)
+	rank, step, vars, err := f.ReadPG(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 2 || step != 7 || len(vars[0].Data) != 0 {
+		t.Fatalf("rank=%d step=%d vars=%+v", rank, step, vars)
+	}
+}
+
+// Property: arbitrary PGs round-trip exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewWriter()
+		npgs := rng.Intn(5) + 1
+		want := make([][]Variable, npgs)
+		for p := 0; p < npgs; p++ {
+			nvars := rng.Intn(4)
+			vars := make([]Variable, 0, nvars)
+			for v := 0; v < nvars; v++ {
+				n := rng.Intn(20)
+				data := make([]float64, n)
+				for i := range data {
+					data[i] = rng.NormFloat64()
+				}
+				vars = append(vars, Variable{
+					Name: string(rune('a' + v)), Shape: []int{n}, Data: data})
+			}
+			want[p] = vars
+			if err := w.AppendPG(p%4, p/4, vars); err != nil {
+				return false
+			}
+		}
+		b, err := w.Finalize()
+		if err != nil {
+			return false
+		}
+		file, err := Open(b)
+		if err != nil {
+			return false
+		}
+		for p := 0; p < npgs; p++ {
+			_, _, got, err := file.ReadPG(p)
+			if err != nil || len(got) != len(want[p]) {
+				return false
+			}
+			for v := range got {
+				if got[v].Name != want[p][v].Name || len(got[v].Data) != len(want[p][v].Data) {
+					return false
+				}
+				for i := range got[v].Data {
+					a, b := got[v].Data[i], want[p][v].Data[i]
+					if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAppendPG(b *testing.B) {
+	data := make([]float64, 4096)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	b.SetBytes(int64(len(data) * 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter()
+		if err := w.AppendPG(0, 0, []Variable{{Name: "v", Shape: []int{4096}, Data: data}}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Finalize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package grib implements a GRIB-style encoded gridded-binary message
+// format. Climate reanalysis archives (ERA5, paper §3.1) distribute fields
+// as GRIB: values are quantized with the *simple packing* scheme —
+//
+//	packed = round((value - reference) / 2^binaryScale)
+//
+// stored as fixed-width N-bit unsigned integers. This package reproduces
+// that scheme (including the bit-level packing) inside a simplified
+// message framing, so the climate ingest path exercises the same
+// decode-quantized-grid code path a real GRIB reader does.
+//
+// Message layout (all integers big-endian):
+//
+//	[4]  magic "SGRB"
+//	[2]  version (1)
+//	[2]  grid Ni (points along a parallel)
+//	[2]  grid Nj (points along a meridian)
+//	[8]  reference value (float64 bits)
+//	[2]  binary scale factor E (signed, value = ref + packed * 2^E)
+//	[1]  bits per value (1..32)
+//	[1]  flags (bit0: bitmap present)
+//	[4]  number of data points
+//	[k]  optional bitmap, ceil(n/8) bytes, 1 = value present
+//	[m]  packed data, ceil(present*bits/8) bytes
+//	[4]  magic "7777" (end marker, as in real GRIB)
+package grib
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+var (
+	magic = []byte("SGRB")
+	end   = []byte("7777")
+)
+
+// ErrFormat reports a malformed message.
+var ErrFormat = errors.New("grib: malformed message")
+
+// Message is a decoded gridded field. Missing points are NaN.
+type Message struct {
+	Ni, Nj int
+	Values []float64
+	// Packing parameters used on encode (informational after decode).
+	Reference   float64
+	BinaryScale int
+	Bits        int
+}
+
+// Encode packs values (length ni*nj, NaN = missing) into a message using
+// `bits`-wide simple packing. The binary scale factor is chosen
+// automatically so the value range fits in the requested width.
+func Encode(values []float64, ni, nj, bits int) ([]byte, error) {
+	if ni <= 0 || nj <= 0 {
+		return nil, fmt.Errorf("grib: invalid grid %dx%d", ni, nj)
+	}
+	if len(values) != ni*nj {
+		return nil, fmt.Errorf("grib: grid %dx%d needs %d values, have %d", ni, nj, ni*nj, len(values))
+	}
+	if bits < 1 || bits > 32 {
+		return nil, fmt.Errorf("grib: bits per value %d out of [1,32]", bits)
+	}
+
+	// Scan for range and missing points.
+	ref := math.Inf(1)
+	maxV := math.Inf(-1)
+	missing := 0
+	for _, v := range values {
+		if math.IsNaN(v) {
+			missing++
+			continue
+		}
+		if math.IsInf(v, 0) {
+			return nil, errors.New("grib: cannot pack infinite value")
+		}
+		if v < ref {
+			ref = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	present := len(values) - missing
+	if present == 0 {
+		ref = 0
+	}
+
+	// Choose E so (max-ref)/2^E fits in bits. maxPacked = 2^bits - 1.
+	e := 0
+	if present > 0 && maxV > ref {
+		span := maxV - ref
+		maxPacked := float64(uint64(1)<<uint(bits) - 1)
+		e = int(math.Ceil(math.Log2(span / maxPacked)))
+		// Rounding up log2 can still overflow by one step due to float
+		// rounding in the packing below; verify and bump if needed.
+		for math.Round(span/math.Pow(2, float64(e))) > maxPacked {
+			e++
+		}
+	}
+	scale := math.Pow(2, float64(e))
+
+	out := make([]byte, 0, 28+len(values)/2)
+	out = append(out, magic...)
+	out = appendU16(out, 1)
+	out = appendU16(out, uint16(ni))
+	out = appendU16(out, uint16(nj))
+	var refBits [8]byte
+	binary.BigEndian.PutUint64(refBits[:], math.Float64bits(ref))
+	out = append(out, refBits[:]...)
+	out = appendU16(out, uint16(int16(e)))
+	out = append(out, byte(bits))
+	flags := byte(0)
+	if missing > 0 {
+		flags |= 1
+	}
+	out = append(out, flags)
+	out = appendU32(out, uint32(len(values)))
+
+	if missing > 0 {
+		bitmap := make([]byte, (len(values)+7)/8)
+		for i, v := range values {
+			if !math.IsNaN(v) {
+				bitmap[i/8] |= 1 << uint(7-i%8)
+			}
+		}
+		out = append(out, bitmap...)
+	}
+
+	bw := newBitWriter()
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		packed := uint32(math.Round((v - ref) / scale))
+		bw.write(packed, bits)
+	}
+	out = append(out, bw.bytes()...)
+	out = append(out, end...)
+	return out, nil
+}
+
+// Decode unpacks one message.
+func Decode(b []byte) (*Message, error) {
+	if len(b) < 24 {
+		return nil, fmt.Errorf("%w: too short (%d bytes)", ErrFormat, len(b))
+	}
+	if string(b[:4]) != string(magic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	if v := binary.BigEndian.Uint16(b[4:]); v != 1 {
+		return nil, fmt.Errorf("grib: unsupported version %d", v)
+	}
+	ni := int(binary.BigEndian.Uint16(b[6:]))
+	nj := int(binary.BigEndian.Uint16(b[8:]))
+	ref := math.Float64frombits(binary.BigEndian.Uint64(b[10:]))
+	e := int(int16(binary.BigEndian.Uint16(b[18:])))
+	bits := int(b[20])
+	flags := b[21]
+	n := int(binary.BigEndian.Uint32(b[22:]))
+	if n != ni*nj {
+		return nil, fmt.Errorf("%w: point count %d != grid %dx%d", ErrFormat, n, ni, nj)
+	}
+	if bits < 1 || bits > 32 {
+		return nil, fmt.Errorf("%w: bits per value %d", ErrFormat, bits)
+	}
+	pos := 26
+
+	present := n
+	var bitmap []byte
+	if flags&1 != 0 {
+		blen := (n + 7) / 8
+		if pos+blen > len(b) {
+			return nil, fmt.Errorf("%w: truncated bitmap", ErrFormat)
+		}
+		bitmap = b[pos : pos+blen]
+		pos += blen
+		present = 0
+		for i := 0; i < n; i++ {
+			if bitmap[i/8]&(1<<uint(7-i%8)) != 0 {
+				present++
+			}
+		}
+	}
+
+	dlen := (present*bits + 7) / 8
+	if pos+dlen+4 > len(b) {
+		return nil, fmt.Errorf("%w: truncated data section", ErrFormat)
+	}
+	if string(b[pos+dlen:pos+dlen+4]) != string(end) {
+		return nil, fmt.Errorf("%w: missing end marker", ErrFormat)
+	}
+
+	scale := math.Pow(2, float64(e))
+	br := &bitReader{b: b[pos : pos+dlen]}
+	values := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if bitmap != nil && bitmap[i/8]&(1<<uint(7-i%8)) == 0 {
+			values[i] = math.NaN()
+			continue
+		}
+		packed, err := br.read(bits)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		values[i] = ref + float64(packed)*scale
+	}
+	return &Message{Ni: ni, Nj: nj, Values: values, Reference: ref, BinaryScale: e, Bits: bits}, nil
+}
+
+// MaxQuantizationError returns the worst-case absolute error the packing
+// parameters of m permit: half of one quantization step.
+func (m *Message) MaxQuantizationError() float64 {
+	return math.Pow(2, float64(m.BinaryScale)) / 2
+}
+
+func appendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// bitWriter packs big-endian bit fields.
+type bitWriter struct {
+	out  []byte
+	cur  uint64
+	nbit int
+}
+
+func newBitWriter() *bitWriter { return &bitWriter{} }
+
+func (w *bitWriter) write(v uint32, bits int) {
+	w.cur = w.cur<<uint(bits) | uint64(v)&((1<<uint(bits))-1)
+	w.nbit += bits
+	for w.nbit >= 8 {
+		w.nbit -= 8
+		w.out = append(w.out, byte(w.cur>>uint(w.nbit)))
+	}
+}
+
+func (w *bitWriter) bytes() []byte {
+	if w.nbit > 0 {
+		b := byte(w.cur << uint(8-w.nbit))
+		w.out = append(w.out, b)
+		w.nbit = 0
+		w.cur = 0
+	}
+	return w.out
+}
+
+// bitReader unpacks big-endian bit fields.
+type bitReader struct {
+	b    []byte
+	pos  int
+	cur  uint64
+	nbit int
+}
+
+func (r *bitReader) read(bits int) (uint32, error) {
+	for r.nbit < bits {
+		if r.pos >= len(r.b) {
+			return 0, errors.New("bit stream exhausted")
+		}
+		r.cur = r.cur<<8 | uint64(r.b[r.pos])
+		r.pos++
+		r.nbit += 8
+	}
+	r.nbit -= bits
+	v := uint32(r.cur >> uint(r.nbit) & ((1 << uint(bits)) - 1))
+	return v, nil
+}

@@ -1,0 +1,279 @@
+package grib
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripWithinQuantizationError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ni, nj := 16, 8
+	vals := make([]float64, ni*nj)
+	for i := range vals {
+		vals[i] = 250 + rng.Float64()*60 // Kelvin-ish temperatures
+	}
+	enc, err := Encode(vals, ni, nj, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Ni != ni || msg.Nj != nj {
+		t.Fatalf("grid %dx%d", msg.Ni, msg.Nj)
+	}
+	tol := msg.MaxQuantizationError() + 1e-12
+	for i, v := range msg.Values {
+		if math.Abs(v-vals[i]) > tol {
+			t.Fatalf("point %d: %v vs %v (tol %v)", i, v, vals[i], tol)
+		}
+	}
+}
+
+func TestBitmapMissingValues(t *testing.T) {
+	vals := []float64{1, math.NaN(), 3, math.NaN(), 5, 6}
+	enc, err := Encode(vals, 3, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(msg.Values[1]) || !math.IsNaN(msg.Values[3]) {
+		t.Fatalf("missing points not NaN: %v", msg.Values)
+	}
+	tol := msg.MaxQuantizationError() + 1e-12
+	for _, i := range []int{0, 2, 4, 5} {
+		if math.Abs(msg.Values[i]-vals[i]) > tol {
+			t.Fatalf("point %d: %v vs %v", i, msg.Values[i], vals[i])
+		}
+	}
+}
+
+func TestAllMissing(t *testing.T) {
+	vals := []float64{math.NaN(), math.NaN()}
+	enc, err := Encode(vals, 2, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range msg.Values {
+		if !math.IsNaN(v) {
+			t.Fatalf("values=%v", msg.Values)
+		}
+	}
+}
+
+func TestConstantField(t *testing.T) {
+	vals := []float64{288.15, 288.15, 288.15, 288.15}
+	enc, err := Encode(vals, 2, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range msg.Values {
+		if v != 288.15 {
+			t.Fatalf("constant field: %v", msg.Values)
+		}
+	}
+	if msg.BinaryScale != 0 {
+		t.Fatalf("constant field should use E=0, got %d", msg.BinaryScale)
+	}
+}
+
+func TestHigherBitsLowerError(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+	}
+	errAt := func(bits int) float64 {
+		enc, err := Encode(vals, 100, 1, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 0.0
+		for i := range vals {
+			if d := math.Abs(msg.Values[i] - vals[i]); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	e8, e16, e24 := errAt(8), errAt(16), errAt(24)
+	if !(e24 < e16 && e16 < e8) {
+		t.Fatalf("errors not monotone: 8->%v 16->%v 24->%v", e8, e16, e24)
+	}
+}
+
+func TestNarrowBitsCompresses(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	enc8, err := Encode(vals, 1000, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc24, err := Encode(vals, 1000, 1, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc8) >= len(enc24) {
+		t.Fatalf("8-bit (%d) should be smaller than 24-bit (%d)", len(enc8), len(enc24))
+	}
+	// 8-bit data section ~1000 bytes vs raw float64 8000 bytes.
+	if len(enc8) > 1100 {
+		t.Fatalf("8-bit encoding too large: %d", len(enc8))
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode([]float64{1}, 2, 1, 8); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+	if _, err := Encode([]float64{1, 2}, 0, 2, 8); err == nil {
+		t.Fatal("want grid error")
+	}
+	if _, err := Encode([]float64{1, 2}, 2, 1, 0); err == nil {
+		t.Fatal("want bits error")
+	}
+	if _, err := Encode([]float64{1, 2}, 2, 1, 33); err == nil {
+		t.Fatal("want bits error")
+	}
+	if _, err := Encode([]float64{math.Inf(1), 2}, 2, 1, 8); err == nil {
+		t.Fatal("want infinity error")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("short")); !errors.Is(err, ErrFormat) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := Decode(make([]byte, 40)); !errors.Is(err, ErrFormat) {
+		t.Fatalf("err=%v", err)
+	}
+	good, err := Encode([]float64{1, 2, 3, 4}, 2, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt end marker.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] = 'X'
+	if _, err := Decode(bad); !errors.Is(err, ErrFormat) {
+		t.Fatalf("err=%v", err)
+	}
+	// Truncate.
+	if _, err := Decode(good[:len(good)-6]); !errors.Is(err, ErrFormat) {
+		t.Fatalf("err=%v", err)
+	}
+	// Corrupt version.
+	bad2 := append([]byte(nil), good...)
+	bad2[5] = 9
+	if _, err := Decode(bad2); err == nil {
+		t.Fatal("want version error")
+	}
+}
+
+func TestBitPackerExactWidths(t *testing.T) {
+	for _, bits := range []int{1, 3, 7, 8, 11, 16, 24, 31, 32} {
+		w := newBitWriter()
+		maxV := uint32(1)<<uint(bits) - 1
+		if bits == 32 {
+			maxV = math.MaxUint32
+		}
+		inputs := []uint32{0, 1, maxV, maxV / 2}
+		for _, v := range inputs {
+			w.write(v, bits)
+		}
+		r := &bitReader{b: w.bytes()}
+		for i, want := range inputs {
+			got, err := r.read(bits)
+			if err != nil {
+				t.Fatalf("bits=%d read %d: %v", bits, i, err)
+			}
+			if got != want {
+				t.Fatalf("bits=%d value %d: got %d, want %d", bits, i, got, want)
+			}
+		}
+	}
+}
+
+// Property: round-trip error is always bounded by the quantization step for
+// any finite field, any width.
+func TestQuantizationBoundProperty(t *testing.T) {
+	f := func(seed int64, nbits uint8) bool {
+		bits := int(nbits)%31 + 2 // 2..32
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 1
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 100
+		}
+		enc, err := Encode(vals, n, 1, bits)
+		if err != nil {
+			return false
+		}
+		msg, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		tol := msg.MaxQuantizationError()*1.0001 + 1e-9
+		for i := range vals {
+			if math.Abs(msg.Values[i]-vals[i]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode16bit(b *testing.B) {
+	vals := make([]float64, 64*128)
+	for i := range vals {
+		vals[i] = 250 + float64(i%60)
+	}
+	b.SetBytes(int64(len(vals) * 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(vals, 128, 64, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode16bit(b *testing.B) {
+	vals := make([]float64, 64*128)
+	for i := range vals {
+		vals[i] = 250 + float64(i%60)
+	}
+	enc, err := Encode(vals, 128, 64, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(vals) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

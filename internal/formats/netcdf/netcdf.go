@@ -1,0 +1,714 @@
+// Package netcdf implements an encoder/decoder for the NetCDF classic
+// on-disk format (CDF-1 and CDF-2), the community standard the climate
+// archetype ingests (paper §3.1: ClimaX/ORBIT convert CMIP6 NetCDF to
+// sharded NumPy). The subset covers dimensions (including one unlimited
+// record dimension), global and per-variable attributes, and fixed and
+// record variables of all six classic external types.
+//
+// Layout reference: the NetCDF classic format specification. All values
+// are big-endian; names and attribute payloads are padded to 4-byte
+// boundaries; each variable's data slab is padded to 4 bytes.
+package netcdf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Type enumerates the classic external data types.
+type Type int32
+
+// Classic NetCDF external types.
+const (
+	Byte   Type = 1
+	Char   Type = 2
+	Short  Type = 3
+	Int    Type = 4
+	Float  Type = 5
+	Double Type = 6
+)
+
+func (t Type) size() int {
+	switch t {
+	case Byte, Char:
+		return 1
+	case Short:
+		return 2
+	case Int, Float:
+		return 4
+	case Double:
+		return 8
+	}
+	return 0
+}
+
+func (t Type) valid() bool { return t.size() != 0 }
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Byte:
+		return "byte"
+	case Char:
+		return "char"
+	case Short:
+		return "short"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	}
+	return fmt.Sprintf("Type(%d)", int32(t))
+}
+
+// Header tags.
+const (
+	tagDimension = 0x0A
+	tagVariable  = 0x0B
+	tagAttribute = 0x0C
+	tagAbsent    = 0x00
+)
+
+// Dim is a named dimension. Unlimited marks the record dimension
+// (at most one per file, and it must be a variable's first dimension).
+type Dim struct {
+	Name      string
+	Len       int
+	Unlimited bool
+}
+
+// Attr is a typed attribute. Char attributes carry Str; numeric attributes
+// carry Values (widened to float64 in memory).
+type Attr struct {
+	Name   string
+	Type   Type
+	Str    string
+	Values []float64
+}
+
+// CharAttr builds a text attribute.
+func CharAttr(name, value string) Attr { return Attr{Name: name, Type: Char, Str: value} }
+
+// DoubleAttr builds a numeric attribute of type double.
+func DoubleAttr(name string, values ...float64) Attr {
+	return Attr{Name: name, Type: Double, Values: values}
+}
+
+// Var is a variable: a typed array over a list of dimensions. Data is the
+// flat row-major payload widened to float64 (Char variables use Text
+// instead). For record variables Data spans all written records.
+type Var struct {
+	Name   string
+	Type   Type
+	DimIDs []int
+	Attrs  []Attr
+	Data   []float64
+	Text   []byte // payload for Char variables
+}
+
+// File is an in-memory NetCDF dataset.
+type File struct {
+	Dims        []Dim
+	GlobalAttrs []Attr
+	Vars        []Var
+	NumRecs     int
+}
+
+// AddDim appends a dimension and returns its ID.
+func (f *File) AddDim(name string, length int, unlimited bool) int {
+	f.Dims = append(f.Dims, Dim{Name: name, Len: length, Unlimited: unlimited})
+	return len(f.Dims) - 1
+}
+
+// VarByName returns the named variable, or nil.
+func (f *File) VarByName(name string) *Var {
+	for i := range f.Vars {
+		if f.Vars[i].Name == name {
+			return &f.Vars[i]
+		}
+	}
+	return nil
+}
+
+// VarShape returns the concrete shape of v, with the record dimension
+// resolved to NumRecs.
+func (f *File) VarShape(v *Var) []int {
+	shape := make([]int, len(v.DimIDs))
+	for i, id := range v.DimIDs {
+		d := f.Dims[id]
+		if d.Unlimited {
+			shape[i] = f.NumRecs
+		} else {
+			shape[i] = d.Len
+		}
+	}
+	return shape
+}
+
+// isRecord reports whether v uses the unlimited dimension.
+func (f *File) isRecord(v *Var) bool {
+	return len(v.DimIDs) > 0 && f.Dims[v.DimIDs[0]].Unlimited
+}
+
+// chunkElems returns the number of elements in one "record chunk" of v:
+// the full element count for fixed variables, or the per-record count for
+// record variables.
+func (f *File) chunkElems(v *Var) int {
+	n := 1
+	for i, id := range v.DimIDs {
+		if i == 0 && f.Dims[id].Unlimited {
+			continue
+		}
+		n *= f.Dims[id].Len
+	}
+	return n
+}
+
+func pad4(n int) int { return (n + 3) &^ 3 }
+
+// validate checks structural invariants before encoding.
+func (f *File) validate() error {
+	unlimited := -1
+	for i, d := range f.Dims {
+		if d.Name == "" {
+			return fmt.Errorf("netcdf: dimension %d has empty name", i)
+		}
+		if d.Unlimited {
+			if unlimited >= 0 {
+				return errors.New("netcdf: multiple unlimited dimensions")
+			}
+			unlimited = i
+		} else if d.Len <= 0 {
+			return fmt.Errorf("netcdf: dimension %q has non-positive length %d", d.Name, d.Len)
+		}
+	}
+	for vi := range f.Vars {
+		v := &f.Vars[vi]
+		if v.Name == "" {
+			return fmt.Errorf("netcdf: variable %d has empty name", vi)
+		}
+		if !v.Type.valid() {
+			return fmt.Errorf("netcdf: variable %q has invalid type %d", v.Name, int32(v.Type))
+		}
+		for j, id := range v.DimIDs {
+			if id < 0 || id >= len(f.Dims) {
+				return fmt.Errorf("netcdf: variable %q references unknown dim %d", v.Name, id)
+			}
+			if f.Dims[id].Unlimited && j != 0 {
+				return fmt.Errorf("netcdf: variable %q uses record dim in position %d (must be first)", v.Name, j)
+			}
+		}
+		want := f.chunkElems(v)
+		if f.isRecord(v) {
+			want *= f.NumRecs
+		}
+		if v.Type == Char {
+			if len(v.Text) != want {
+				return fmt.Errorf("netcdf: char variable %q has %d bytes, shape needs %d", v.Name, len(v.Text), want)
+			}
+		} else if len(v.Data) != want {
+			return fmt.Errorf("netcdf: variable %q has %d values, shape needs %d", v.Name, len(v.Data), want)
+		}
+	}
+	return nil
+}
+
+// --- encoding ---------------------------------------------------------------
+
+type encoder struct {
+	buf bytes.Buffer
+}
+
+func (e *encoder) u32(v uint32) { _ = binary.Write(&e.buf, binary.BigEndian, v) }
+func (e *encoder) u64(v uint64) { _ = binary.Write(&e.buf, binary.BigEndian, v) }
+
+func (e *encoder) name(s string) {
+	e.u32(uint32(len(s)))
+	e.buf.WriteString(s)
+	for i := len(s); i%4 != 0; i++ {
+		e.buf.WriteByte(0)
+	}
+}
+
+func (e *encoder) attrValues(a *Attr) error {
+	if a.Type == Char {
+		e.u32(uint32(len(a.Str)))
+		e.buf.WriteString(a.Str)
+		for i := len(a.Str); i%4 != 0; i++ {
+			e.buf.WriteByte(0)
+		}
+		return nil
+	}
+	e.u32(uint32(len(a.Values)))
+	n := 0
+	for _, v := range a.Values {
+		if err := writeValue(&e.buf, a.Type, v); err != nil {
+			return fmt.Errorf("attribute %q: %w", a.Name, err)
+		}
+		n += a.Type.size()
+	}
+	for ; n%4 != 0; n++ {
+		e.buf.WriteByte(0)
+	}
+	return nil
+}
+
+func (e *encoder) attrList(attrs []Attr) error {
+	if len(attrs) == 0 {
+		e.u32(tagAbsent)
+		e.u32(0)
+		return nil
+	}
+	e.u32(tagAttribute)
+	e.u32(uint32(len(attrs)))
+	for i := range attrs {
+		a := &attrs[i]
+		if !a.Type.valid() {
+			return fmt.Errorf("netcdf: attribute %q has invalid type", a.Name)
+		}
+		e.name(a.Name)
+		e.u32(uint32(a.Type))
+		if err := e.attrValues(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeValue(buf *bytes.Buffer, t Type, v float64) error {
+	switch t {
+	case Byte:
+		buf.WriteByte(byte(int8(v)))
+	case Short:
+		_ = binary.Write(buf, binary.BigEndian, int16(v))
+	case Int:
+		_ = binary.Write(buf, binary.BigEndian, int32(v))
+	case Float:
+		_ = binary.Write(buf, binary.BigEndian, math.Float32bits(float32(v)))
+	case Double:
+		_ = binary.Write(buf, binary.BigEndian, math.Float64bits(v))
+	default:
+		return fmt.Errorf("netcdf: cannot encode value of type %v", t)
+	}
+	return nil
+}
+
+// vsize returns the on-disk padded byte size of one chunk of v.
+func (f *File) vsize(v *Var) int {
+	return pad4(f.chunkElems(v) * v.Type.size())
+}
+
+// Encode serializes f in CDF-2 (64-bit offset) classic format.
+func Encode(f *File) ([]byte, error) {
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	// Pass 1: compute the header size with placeholder offsets so we can
+	// assign real begin offsets, then re-encode.
+	hdr, err := encodeHeader(f, make([]uint64, len(f.Vars)))
+	if err != nil {
+		return nil, err
+	}
+	offsets := make([]uint64, len(f.Vars))
+	pos := uint64(len(hdr))
+	// Fixed variables first, in definition order.
+	for i := range f.Vars {
+		if f.isRecord(&f.Vars[i]) {
+			continue
+		}
+		offsets[i] = pos
+		pos += uint64(f.vsize(&f.Vars[i]))
+	}
+	// Then record variables: each begin points at its slot in record 0.
+	for i := range f.Vars {
+		if !f.isRecord(&f.Vars[i]) {
+			continue
+		}
+		offsets[i] = pos
+		pos += uint64(f.vsize(&f.Vars[i]))
+	}
+
+	hdr, err = encodeHeader(f, offsets)
+	if err != nil {
+		return nil, err
+	}
+	out := bytes.NewBuffer(hdr)
+
+	// Fixed data.
+	for i := range f.Vars {
+		v := &f.Vars[i]
+		if f.isRecord(v) {
+			continue
+		}
+		if err := writeChunk(out, f, v, 0); err != nil {
+			return nil, err
+		}
+	}
+	// Record data: interleave per record.
+	for rec := 0; rec < f.NumRecs; rec++ {
+		for i := range f.Vars {
+			v := &f.Vars[i]
+			if !f.isRecord(v) {
+				continue
+			}
+			if err := writeChunk(out, f, v, rec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out.Bytes(), nil
+}
+
+func writeChunk(out *bytes.Buffer, f *File, v *Var, rec int) error {
+	n := f.chunkElems(v)
+	start := rec * n
+	written := 0
+	if v.Type == Char {
+		out.Write(v.Text[start : start+n])
+		written = n
+	} else {
+		for _, val := range v.Data[start : start+n] {
+			if err := writeValue(out, v.Type, val); err != nil {
+				return fmt.Errorf("variable %q: %w", v.Name, err)
+			}
+		}
+		written = n * v.Type.size()
+	}
+	for ; written%4 != 0; written++ {
+		out.WriteByte(0)
+	}
+	return nil
+}
+
+func encodeHeader(f *File, offsets []uint64) ([]byte, error) {
+	e := &encoder{}
+	e.buf.WriteString("CDF")
+	e.buf.WriteByte(2) // CDF-2: 64-bit offsets
+	e.u32(uint32(f.NumRecs))
+
+	if len(f.Dims) == 0 {
+		e.u32(tagAbsent)
+		e.u32(0)
+	} else {
+		e.u32(tagDimension)
+		e.u32(uint32(len(f.Dims)))
+		for _, d := range f.Dims {
+			e.name(d.Name)
+			if d.Unlimited {
+				e.u32(0)
+			} else {
+				e.u32(uint32(d.Len))
+			}
+		}
+	}
+
+	if err := e.attrList(f.GlobalAttrs); err != nil {
+		return nil, err
+	}
+
+	if len(f.Vars) == 0 {
+		e.u32(tagAbsent)
+		e.u32(0)
+	} else {
+		e.u32(tagVariable)
+		e.u32(uint32(len(f.Vars)))
+		for i := range f.Vars {
+			v := &f.Vars[i]
+			e.name(v.Name)
+			e.u32(uint32(len(v.DimIDs)))
+			for _, id := range v.DimIDs {
+				e.u32(uint32(id))
+			}
+			if err := e.attrList(v.Attrs); err != nil {
+				return nil, err
+			}
+			e.u32(uint32(v.Type))
+			e.u32(uint32(f.vsize(v)))
+			e.u64(offsets[i])
+		}
+	}
+	return e.buf.Bytes(), nil
+}
+
+// --- decoding ---------------------------------------------------------------
+
+type decoder struct {
+	b   []byte
+	pos int
+	v2  bool
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.b) {
+		return 0, errors.New("netcdf: truncated header")
+	}
+	v := binary.BigEndian.Uint32(d.b[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if d.pos+8 > len(d.b) {
+		return 0, errors.New("netcdf: truncated header")
+	}
+	v := binary.BigEndian.Uint64(d.b[d.pos:])
+	d.pos += 8
+	return v, nil
+}
+
+func (d *decoder) name() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	end := d.pos + pad4(int(n))
+	if int(n) > len(d.b)-d.pos || end > len(d.b) {
+		return "", errors.New("netcdf: truncated name")
+	}
+	s := string(d.b[d.pos : d.pos+int(n)])
+	d.pos = end
+	return s, nil
+}
+
+func (d *decoder) attrList() ([]Attr, error) {
+	tag, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if tag == tagAbsent {
+		if n != 0 {
+			return nil, errors.New("netcdf: ABSENT attr list with nonzero count")
+		}
+		return nil, nil
+	}
+	if tag != tagAttribute {
+		return nil, fmt.Errorf("netcdf: expected attribute tag, got 0x%x", tag)
+	}
+	attrs := make([]Attr, 0, n)
+	for i := uint32(0); i < n; i++ {
+		name, err := d.name()
+		if err != nil {
+			return nil, err
+		}
+		tRaw, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		t := Type(tRaw)
+		if !t.valid() {
+			return nil, fmt.Errorf("netcdf: attribute %q has invalid type %d", name, tRaw)
+		}
+		count, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		a := Attr{Name: name, Type: t}
+		byteLen := int(count) * t.size()
+		if d.pos+pad4(byteLen) > len(d.b) {
+			return nil, fmt.Errorf("netcdf: truncated attribute %q", name)
+		}
+		if t == Char {
+			a.Str = string(d.b[d.pos : d.pos+int(count)])
+		} else {
+			a.Values = make([]float64, count)
+			for j := range a.Values {
+				a.Values[j] = readValue(d.b[d.pos+j*t.size():], t)
+			}
+		}
+		d.pos += pad4(byteLen)
+		attrs = append(attrs, a)
+	}
+	return attrs, nil
+}
+
+func readValue(b []byte, t Type) float64 {
+	switch t {
+	case Byte:
+		return float64(int8(b[0]))
+	case Short:
+		return float64(int16(binary.BigEndian.Uint16(b)))
+	case Int:
+		return float64(int32(binary.BigEndian.Uint32(b)))
+	case Float:
+		return float64(math.Float32frombits(binary.BigEndian.Uint32(b)))
+	case Double:
+		return math.Float64frombits(binary.BigEndian.Uint64(b))
+	}
+	return math.NaN()
+}
+
+// Decode parses a classic NetCDF (CDF-1 or CDF-2) byte stream.
+func Decode(b []byte) (*File, error) {
+	if len(b) < 8 || string(b[:3]) != "CDF" {
+		return nil, errors.New("netcdf: bad magic")
+	}
+	version := b[3]
+	if version != 1 && version != 2 {
+		return nil, fmt.Errorf("netcdf: unsupported version %d", version)
+	}
+	d := &decoder{b: b, pos: 4, v2: version == 2}
+	f := &File{}
+
+	numrecs, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	f.NumRecs = int(numrecs)
+
+	// Dimensions.
+	tag, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	ndims, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if tag == tagDimension {
+		for i := uint32(0); i < ndims; i++ {
+			name, err := d.name()
+			if err != nil {
+				return nil, err
+			}
+			length, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			f.Dims = append(f.Dims, Dim{Name: name, Len: int(length), Unlimited: length == 0})
+		}
+	} else if tag != tagAbsent {
+		return nil, fmt.Errorf("netcdf: expected dimension tag, got 0x%x", tag)
+	}
+
+	if f.GlobalAttrs, err = d.attrList(); err != nil {
+		return nil, err
+	}
+
+	// Variables.
+	tag, err = d.u32()
+	if err != nil {
+		return nil, err
+	}
+	nvars, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	type varMeta struct {
+		begin uint64
+	}
+	var metas []varMeta
+	if tag == tagVariable {
+		for i := uint32(0); i < nvars; i++ {
+			name, err := d.name()
+			if err != nil {
+				return nil, err
+			}
+			nd, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			v := Var{Name: name}
+			for j := uint32(0); j < nd; j++ {
+				id, err := d.u32()
+				if err != nil {
+					return nil, err
+				}
+				if int(id) >= len(f.Dims) {
+					return nil, fmt.Errorf("netcdf: variable %q references dim %d of %d", name, id, len(f.Dims))
+				}
+				v.DimIDs = append(v.DimIDs, int(id))
+			}
+			if v.Attrs, err = d.attrList(); err != nil {
+				return nil, err
+			}
+			tRaw, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			v.Type = Type(tRaw)
+			if !v.Type.valid() {
+				return nil, fmt.Errorf("netcdf: variable %q has invalid type %d", name, tRaw)
+			}
+			if _, err := d.u32(); err != nil { // vsize (recomputed below)
+				return nil, err
+			}
+			var begin uint64
+			if d.v2 {
+				if begin, err = d.u64(); err != nil {
+					return nil, err
+				}
+			} else {
+				b32, err := d.u32()
+				if err != nil {
+					return nil, err
+				}
+				begin = uint64(b32)
+			}
+			f.Vars = append(f.Vars, v)
+			metas = append(metas, varMeta{begin: begin})
+		}
+	} else if tag != tagAbsent {
+		return nil, fmt.Errorf("netcdf: expected variable tag, got 0x%x", tag)
+	}
+
+	// Compute the record stride: sum of padded chunk sizes of record vars.
+	recStride := 0
+	for i := range f.Vars {
+		if f.isRecord(&f.Vars[i]) {
+			recStride += f.vsize(&f.Vars[i])
+		}
+	}
+
+	// Data slabs.
+	for i := range f.Vars {
+		v := &f.Vars[i]
+		chunk := f.chunkElems(v)
+		esize := v.Type.size()
+		if f.isRecord(v) {
+			if v.Type == Char {
+				v.Text = make([]byte, chunk*f.NumRecs)
+			} else {
+				v.Data = make([]float64, chunk*f.NumRecs)
+			}
+			for rec := 0; rec < f.NumRecs; rec++ {
+				off := int(metas[i].begin) + rec*recStride
+				if err := readChunk(b, off, v, rec*chunk, chunk, esize); err != nil {
+					return nil, fmt.Errorf("variable %q record %d: %w", v.Name, rec, err)
+				}
+			}
+		} else {
+			if v.Type == Char {
+				v.Text = make([]byte, chunk)
+			} else {
+				v.Data = make([]float64, chunk)
+			}
+			if err := readChunk(b, int(metas[i].begin), v, 0, chunk, esize); err != nil {
+				return nil, fmt.Errorf("variable %q: %w", v.Name, err)
+			}
+		}
+	}
+	return f, nil
+}
+
+func readChunk(b []byte, off int, v *Var, dst, n, esize int) error {
+	if off < 0 || off+n*esize > len(b) {
+		return errors.New("netcdf: data slab out of bounds")
+	}
+	if v.Type == Char {
+		copy(v.Text[dst:dst+n], b[off:off+n])
+		return nil
+	}
+	for j := 0; j < n; j++ {
+		v.Data[dst+j] = readValue(b[off+j*esize:], v.Type)
+	}
+	return nil
+}

@@ -1,0 +1,494 @@
+package netcdf
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildClimate returns a small CMIP6-like file: lat/lon fixed dims, an
+// unlimited time dim, a fixed lat coordinate variable, and a record
+// temperature variable.
+func buildClimate(t *testing.T, nrecs int) *File {
+	t.Helper()
+	f := &File{NumRecs: nrecs}
+	timeID := f.AddDim("time", 0, true)
+	latID := f.AddDim("lat", 3, false)
+	lonID := f.AddDim("lon", 4, false)
+
+	lat := Var{
+		Name: "lat", Type: Double, DimIDs: []int{latID},
+		Attrs: []Attr{CharAttr("units", "degrees_north")},
+		Data:  []float64{-45, 0, 45},
+	}
+	tas := Var{
+		Name: "tas", Type: Float, DimIDs: []int{timeID, latID, lonID},
+		Attrs: []Attr{
+			CharAttr("units", "K"),
+			DoubleAttr("scale_factor", 1.0),
+		},
+		Data: make([]float64, nrecs*3*4),
+	}
+	for i := range tas.Data {
+		tas.Data[i] = 250 + float64(i%60)*0.5
+	}
+	f.GlobalAttrs = []Attr{
+		CharAttr("Conventions", "CF-1.8"),
+		CharAttr("source", "synthetic CMIP6-like generator"),
+	}
+	f.Vars = []Var{lat, tas}
+	_ = lonID
+	return f
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := buildClimate(t, 5)
+	b, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRecs != 5 {
+		t.Fatalf("numrecs=%d", g.NumRecs)
+	}
+	if len(g.Dims) != 3 || g.Dims[0].Name != "time" || !g.Dims[0].Unlimited {
+		t.Fatalf("dims=%+v", g.Dims)
+	}
+	if g.Dims[1].Len != 3 || g.Dims[2].Len != 4 {
+		t.Fatalf("dims=%+v", g.Dims)
+	}
+	lat := g.VarByName("lat")
+	if lat == nil || lat.Type != Double {
+		t.Fatal("lat variable missing or wrong type")
+	}
+	if lat.Data[0] != -45 || lat.Data[2] != 45 {
+		t.Fatalf("lat=%v", lat.Data)
+	}
+	tas := g.VarByName("tas")
+	if tas == nil {
+		t.Fatal("tas missing")
+	}
+	if len(tas.Data) != 5*3*4 {
+		t.Fatalf("tas len=%d", len(tas.Data))
+	}
+	for i, v := range tas.Data {
+		want := 250 + float64(i%60)*0.5 // exactly representable in float32
+		if v != want {
+			t.Fatalf("tas[%d]=%v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestMagicAndVersion(t *testing.T) {
+	b, err := Encode(&File{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b[:3]) != "CDF" || b[3] != 2 {
+		t.Fatalf("header=% x", b[:4])
+	}
+}
+
+func TestAttributesRoundTrip(t *testing.T) {
+	f := &File{
+		GlobalAttrs: []Attr{
+			CharAttr("title", "x"),
+			DoubleAttr("limits", 1.5, -2.5, 1e300),
+			{Name: "count", Type: Int, Values: []float64{42}},
+			{Name: "flag", Type: Byte, Values: []float64{-3}},
+			{Name: "level", Type: Short, Values: []float64{-30000, 30000}},
+			{Name: "ratio", Type: Float, Values: []float64{0.5}},
+		},
+	}
+	b, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.GlobalAttrs) != 6 {
+		t.Fatalf("attrs=%d", len(g.GlobalAttrs))
+	}
+	if g.GlobalAttrs[0].Str != "x" {
+		t.Fatalf("title=%q", g.GlobalAttrs[0].Str)
+	}
+	if g.GlobalAttrs[1].Values[2] != 1e300 {
+		t.Fatalf("limits=%v", g.GlobalAttrs[1].Values)
+	}
+	if g.GlobalAttrs[3].Values[0] != -3 {
+		t.Fatalf("byte attr=%v", g.GlobalAttrs[3].Values)
+	}
+	if g.GlobalAttrs[4].Values[1] != 30000 {
+		t.Fatalf("short attr=%v", g.GlobalAttrs[4].Values)
+	}
+}
+
+func TestCharVariable(t *testing.T) {
+	f := &File{}
+	n := f.AddDim("strlen", 8, false)
+	f.Vars = []Var{{
+		Name: "station", Type: Char, DimIDs: []int{n},
+		Text: []byte("KORD\x00\x00\x00\x00"),
+	}}
+	b, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.VarByName("station")
+	if got == nil || !strings.HasPrefix(string(got.Text), "KORD") {
+		t.Fatalf("station=%q", got.Text)
+	}
+}
+
+func TestAllNumericTypesRoundTrip(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		vals []float64
+	}{
+		{Byte, []float64{-128, 0, 127}},
+		{Short, []float64{-32768, 0, 32767}},
+		{Int, []float64{-2147483648, 0, 2147483647}},
+		{Float, []float64{-1.5, 0, 3.25}},
+		{Double, []float64{-math.Pi, 0, 1e-300}},
+	}
+	for _, c := range cases {
+		f := &File{}
+		d := f.AddDim("n", len(c.vals), false)
+		f.Vars = []Var{{Name: "v", Type: c.typ, DimIDs: []int{d}, Data: c.vals}}
+		b, err := Encode(f)
+		if err != nil {
+			t.Fatalf("%v: %v", c.typ, err)
+		}
+		g, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%v: %v", c.typ, err)
+		}
+		got := g.VarByName("v").Data
+		for i := range c.vals {
+			if got[i] != c.vals[i] {
+				t.Fatalf("%v[%d]=%v, want %v", c.typ, i, got[i], c.vals[i])
+			}
+		}
+	}
+}
+
+func TestPaddingOddSizes(t *testing.T) {
+	// 3 bytes of Byte data forces slab padding; 5-char attr forces attr padding.
+	f := &File{GlobalAttrs: []Attr{CharAttr("t", "abcde")}}
+	d := f.AddDim("n", 3, false)
+	f.Vars = []Var{{Name: "b", Type: Byte, DimIDs: []int{d}, Data: []float64{1, 2, 3}}}
+	b, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b)%4 != 0 {
+		t.Fatalf("file size %d not 4-aligned", len(b))
+	}
+	g, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.GlobalAttrs[0].Str != "abcde" {
+		t.Fatalf("attr=%q", g.GlobalAttrs[0].Str)
+	}
+	if got := g.VarByName("b").Data; got[2] != 3 {
+		t.Fatalf("data=%v", got)
+	}
+}
+
+func TestMultipleRecordVarsInterleaved(t *testing.T) {
+	f := &File{NumRecs: 3}
+	timeID := f.AddDim("time", 0, true)
+	xID := f.AddDim("x", 2, false)
+	a := Var{Name: "a", Type: Int, DimIDs: []int{timeID, xID},
+		Data: []float64{1, 2, 3, 4, 5, 6}}
+	b := Var{Name: "b", Type: Double, DimIDs: []int{timeID},
+		Data: []float64{10, 20, 30}}
+	f.Vars = []Var{a, b}
+	enc, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, gb := g.VarByName("a"), g.VarByName("b")
+	for i, want := range []float64{1, 2, 3, 4, 5, 6} {
+		if ga.Data[i] != want {
+			t.Fatalf("a=%v", ga.Data)
+		}
+	}
+	for i, want := range []float64{10, 20, 30} {
+		if gb.Data[i] != want {
+			t.Fatalf("b=%v", gb.Data)
+		}
+	}
+}
+
+func TestVarShape(t *testing.T) {
+	f := buildClimate(t, 7)
+	b, _ := Encode(f)
+	g, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := g.VarShape(g.VarByName("tas"))
+	if len(shape) != 3 || shape[0] != 7 || shape[1] != 3 || shape[2] != 4 {
+		t.Fatalf("shape=%v", shape)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	// Two unlimited dims.
+	f := &File{}
+	f.AddDim("t1", 0, true)
+	f.AddDim("t2", 0, true)
+	if _, err := Encode(f); err == nil {
+		t.Fatal("want multiple-unlimited error")
+	}
+	// Record dim not first.
+	f2 := &File{NumRecs: 1}
+	tid := f2.AddDim("time", 0, true)
+	xid := f2.AddDim("x", 2, false)
+	f2.Vars = []Var{{Name: "v", Type: Int, DimIDs: []int{xid, tid}, Data: []float64{1, 2}}}
+	if _, err := Encode(f2); err == nil {
+		t.Fatal("want record-dim-position error")
+	}
+	// Wrong data length.
+	f3 := &File{}
+	d := f3.AddDim("n", 4, false)
+	f3.Vars = []Var{{Name: "v", Type: Int, DimIDs: []int{d}, Data: []float64{1}}}
+	if _, err := Encode(f3); err == nil {
+		t.Fatal("want data-length error")
+	}
+	// Unknown dim reference.
+	f4 := &File{Vars: []Var{{Name: "v", Type: Int, DimIDs: []int{9}, Data: nil}}}
+	if _, err := Encode(f4); err == nil {
+		t.Fatal("want unknown-dim error")
+	}
+	// Empty names.
+	f5 := &File{Dims: []Dim{{Name: "", Len: 1}}}
+	if _, err := Encode(f5); err == nil {
+		t.Fatal("want empty-dim-name error")
+	}
+	// Invalid type.
+	f6 := &File{Vars: []Var{{Name: "v", Type: Type(99)}}}
+	if _, err := Encode(f6); err == nil {
+		t.Fatal("want invalid-type error")
+	}
+	// Non-positive fixed dim.
+	f7 := &File{Dims: []Dim{{Name: "n", Len: 0}}}
+	if _, err := Encode(f7); err == nil {
+		t.Fatal("want non-positive-dim error")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("NOPE")); err == nil {
+		t.Fatal("want bad-magic error")
+	}
+	if _, err := Decode([]byte("CDF\x09____")); err == nil {
+		t.Fatal("want version error")
+	}
+	f := buildClimate(t, 2)
+	b, _ := Encode(f)
+	if _, err := Decode(b[:len(b)/2]); err == nil {
+		t.Fatal("want truncation error")
+	}
+	if _, err := Decode(b[:16]); err == nil {
+		t.Fatal("want truncated-header error")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	b, err := Encode(&File{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Dims) != 0 || len(g.Vars) != 0 || len(g.GlobalAttrs) != 0 {
+		t.Fatalf("decoded nonempty: %+v", g)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if Double.String() != "double" || Type(99).String() == "" {
+		t.Fatal("type strings")
+	}
+}
+
+// Property: double-typed data round-trips exactly for arbitrary finite values.
+func TestRoundTripPropertyDouble(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		file := &File{}
+		d := file.AddDim("n", len(clean), false)
+		file.Vars = []Var{{Name: "v", Type: Double, DimIDs: []int{d}, Data: clean}}
+		b, err := Encode(file)
+		if err != nil {
+			return false
+		}
+		g, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		got := g.VarByName("v").Data
+		for i := range clean {
+			if got[i] != clean[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: record-variable layout is stable across record counts.
+func TestRecordCountProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		nrecs := int(n%20) + 1
+		file := &File{NumRecs: nrecs}
+		tid := file.AddDim("time", 0, true)
+		file.Vars = []Var{{Name: "v", Type: Double, DimIDs: []int{tid},
+			Data: seq(nrecs)}}
+		b, err := Encode(file)
+		if err != nil {
+			return false
+		}
+		g, err := Decode(b)
+		if err != nil || g.NumRecs != nrecs {
+			return false
+		}
+		got := g.VarByName("v").Data
+		for i := 0; i < nrecs; i++ {
+			if got[i] != float64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seq(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = float64(i)
+	}
+	return s
+}
+
+func BenchmarkEncode(b *testing.B) {
+	f := &File{NumRecs: 12}
+	tid := f.AddDim("time", 0, true)
+	latID := f.AddDim("lat", 64, false)
+	lonID := f.AddDim("lon", 128, false)
+	data := make([]float64, 12*64*128)
+	for i := range data {
+		data[i] = float64(i % 300)
+	}
+	f.Vars = []Var{{Name: "tas", Type: Float, DimIDs: []int{tid, latID, lonID}, Data: data}}
+	b.SetBytes(int64(len(data) * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	f := &File{NumRecs: 12}
+	tid := f.AddDim("time", 0, true)
+	latID := f.AddDim("lat", 64, false)
+	lonID := f.AddDim("lon", 128, false)
+	data := make([]float64, 12*64*128)
+	f.Vars = []Var{{Name: "tas", Type: Float, DimIDs: []int{tid, latID, lonID}, Data: data}}
+	enc, err := Encode(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDecodeCDF1 hand-builds a version-1 (32-bit offset) classic file and
+// verifies the decoder's CDF-1 path.
+func TestDecodeCDF1(t *testing.T) {
+	var buf []byte
+	u32 := func(v uint32) {
+		var b [4]byte
+		b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+		buf = append(buf, b[:]...)
+	}
+	name := func(s string) {
+		u32(uint32(len(s)))
+		buf = append(buf, s...)
+		for i := len(s); i%4 != 0; i++ {
+			buf = append(buf, 0)
+		}
+	}
+	buf = append(buf, 'C', 'D', 'F', 1)
+	u32(0)            // numrecs
+	u32(tagDimension) // dim list
+	u32(1)
+	name("n")
+	u32(2)         // dim length
+	u32(tagAbsent) // no global attrs
+	u32(0)
+	u32(tagVariable) // var list
+	u32(1)
+	name("v")
+	u32(1) // ndims
+	u32(0) // dimid 0
+	u32(tagAbsent)
+	u32(0)
+	u32(uint32(Int)) // type
+	u32(8)           // vsize
+	begin := uint32(len(buf) + 4)
+	u32(begin) // 32-bit begin offset (CDF-1!)
+	// data: two big-endian int32s
+	u32(7)
+	u32(9)
+
+	f, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.VarByName("v")
+	if v == nil || v.Data[0] != 7 || v.Data[1] != 9 {
+		t.Fatalf("decoded=%+v", v)
+	}
+}

@@ -1,0 +1,291 @@
+// Package npy reads and writes the NumPy NPY v1.0 array format and NPZ
+// archives (zip files of .npy members). Climate foundation-model pipelines
+// (ClimaX, ORBIT — paper §3.1) shard preprocessed fields as .npz files, so
+// this codec is the AI-ready output format of the climate archetype.
+//
+// Supported dtypes: '<f4' (float32), '<f8' (float64), '<i4' (int32),
+// '<i8' (int64). Arrays are written in C (row-major) order, matching what
+// the pipelines produce.
+package npy
+
+import (
+	"archive/zip"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// magic is the NPY file signature: \x93NUMPY.
+var magic = []byte{0x93, 'N', 'U', 'M', 'P', 'Y'}
+
+// DType identifies the element type of an array.
+type DType string
+
+// Supported dtypes (little-endian, as produced by NumPy on x86).
+const (
+	Float32 DType = "<f4"
+	Float64 DType = "<f8"
+	Int32   DType = "<i4"
+	Int64   DType = "<i8"
+)
+
+func (d DType) size() (int, error) {
+	switch d {
+	case Float32, Int32:
+		return 4, nil
+	case Float64, Int64:
+		return 8, nil
+	default:
+		return 0, fmt.Errorf("npy: unsupported dtype %q", string(d))
+	}
+}
+
+// Array is a decoded NPY array: flat row-major float64 data plus its
+// original shape and dtype. Integer and float32 arrays are widened to
+// float64 on read (the pipeline-internal precision).
+type Array struct {
+	Shape []int
+	DType DType
+	Data  []float64
+}
+
+// Numel returns the number of elements implied by the shape.
+func (a *Array) Numel() int {
+	n := 1
+	for _, d := range a.Shape {
+		n *= d
+	}
+	return n
+}
+
+// Write encodes data with the given shape and dtype to w in NPY v1.0
+// format. len(data) must equal the product of shape.
+func Write(w io.Writer, data []float64, shape []int, dtype DType) error {
+	esize, err := dtype.size()
+	if err != nil {
+		return err
+	}
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			return fmt.Errorf("npy: negative dimension %d", d)
+		}
+		n *= d
+	}
+	if n != len(data) {
+		return fmt.Errorf("npy: shape %v needs %d elements, have %d", shape, n, len(data))
+	}
+
+	header := buildHeader(shape, dtype)
+	if _, err := w.Write(magic); err != nil {
+		return fmt.Errorf("npy: write magic: %w", err)
+	}
+	if _, err := w.Write([]byte{1, 0}); err != nil { // version 1.0
+		return fmt.Errorf("npy: write version: %w", err)
+	}
+	var hlen [2]byte
+	binary.LittleEndian.PutUint16(hlen[:], uint16(len(header)))
+	if _, err := w.Write(hlen[:]); err != nil {
+		return fmt.Errorf("npy: write header length: %w", err)
+	}
+	if _, err := io.WriteString(w, header); err != nil {
+		return fmt.Errorf("npy: write header: %w", err)
+	}
+
+	buf := make([]byte, n*esize)
+	switch dtype {
+	case Float32:
+		for i, v := range data {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(float32(v)))
+		}
+	case Float64:
+		for i, v := range data {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+	case Int32:
+		for i, v := range data {
+			binary.LittleEndian.PutUint32(buf[i*4:], uint32(int32(v)))
+		}
+	case Int64:
+		for i, v := range data {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(int64(v)))
+		}
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("npy: write payload: %w", err)
+	}
+	return nil
+}
+
+// buildHeader constructs the Python-dict header, padded with spaces so the
+// total preamble (magic+version+len+header) is a multiple of 64 bytes and
+// terminated with '\n', exactly as the NPY 1.0 spec requires.
+func buildHeader(shape []int, dtype DType) string {
+	dims := make([]string, len(shape))
+	for i, d := range shape {
+		dims[i] = strconv.Itoa(d)
+	}
+	shapeStr := strings.Join(dims, ", ")
+	if len(shape) == 1 {
+		shapeStr += ","
+	}
+	h := fmt.Sprintf("{'descr': '%s', 'fortran_order': False, 'shape': (%s), }", dtype, shapeStr)
+	// preamble = 6 magic + 2 version + 2 header length.
+	total := 10 + len(h) + 1 // +1 for the trailing '\n'
+	pad := (64 - total%64) % 64
+	return h + strings.Repeat(" ", pad) + "\n"
+}
+
+var headerRe = regexp.MustCompile(
+	`'descr':\s*'([^']+)'\s*,\s*'fortran_order':\s*(True|False)\s*,\s*'shape':\s*\(([^)]*)\)`)
+
+// Read decodes an NPY v1.0/v2.0 stream.
+func Read(r io.Reader) (*Array, error) {
+	head := make([]byte, 8)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("npy: read preamble: %w", err)
+	}
+	if !bytes.Equal(head[:6], magic) {
+		return nil, errors.New("npy: bad magic")
+	}
+	major := head[6]
+	var hlen int
+	switch major {
+	case 1:
+		var b [2]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return nil, fmt.Errorf("npy: read header length: %w", err)
+		}
+		hlen = int(binary.LittleEndian.Uint16(b[:]))
+	case 2:
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return nil, fmt.Errorf("npy: read header length: %w", err)
+		}
+		hlen = int(binary.LittleEndian.Uint32(b[:]))
+	default:
+		return nil, fmt.Errorf("npy: unsupported version %d.%d", head[6], head[7])
+	}
+	hbuf := make([]byte, hlen)
+	if _, err := io.ReadFull(r, hbuf); err != nil {
+		return nil, fmt.Errorf("npy: read header: %w", err)
+	}
+	m := headerRe.FindSubmatch(hbuf)
+	if m == nil {
+		return nil, fmt.Errorf("npy: malformed header %q", hbuf)
+	}
+	dtype := DType(m[1])
+	esize, err := dtype.size()
+	if err != nil {
+		return nil, err
+	}
+	if string(m[2]) == "True" {
+		return nil, errors.New("npy: fortran_order arrays not supported")
+	}
+	var shape []int
+	n := 1
+	for _, part := range strings.Split(string(m[3]), ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("npy: bad shape element %q: %w", part, err)
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("npy: negative shape element %d", d)
+		}
+		shape = append(shape, d)
+		n *= d
+	}
+
+	raw := make([]byte, n*esize)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, fmt.Errorf("npy: read payload (%d bytes): %w", len(raw), err)
+	}
+	data := make([]float64, n)
+	switch dtype {
+	case Float32:
+		for i := range data {
+			data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
+		}
+	case Float64:
+		for i := range data {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	case Int32:
+		for i := range data {
+			data[i] = float64(int32(binary.LittleEndian.Uint32(raw[i*4:])))
+		}
+	case Int64:
+		for i := range data {
+			data[i] = float64(int64(binary.LittleEndian.Uint64(raw[i*8:])))
+		}
+	}
+	return &Array{Shape: shape, DType: dtype, Data: data}, nil
+}
+
+// NPZWriter writes an NPZ archive: a zip file whose members are .npy files.
+type NPZWriter struct {
+	zw *zip.Writer
+}
+
+// NewNPZWriter wraps w in an NPZ archive writer.
+func NewNPZWriter(w io.Writer) *NPZWriter {
+	return &NPZWriter{zw: zip.NewWriter(w)}
+}
+
+// Add appends one named array to the archive. The ".npy" suffix is added
+// automatically, matching numpy.savez naming.
+func (z *NPZWriter) Add(name string, data []float64, shape []int, dtype DType) error {
+	if name == "" {
+		return errors.New("npz: empty member name")
+	}
+	f, err := z.zw.Create(name + ".npy")
+	if err != nil {
+		return fmt.Errorf("npz: create member %q: %w", name, err)
+	}
+	return Write(f, data, shape, dtype)
+}
+
+// Close finalizes the zip central directory. The NPZ is unreadable until
+// Close succeeds.
+func (z *NPZWriter) Close() error { return z.zw.Close() }
+
+// ReadNPZ decodes all members of an NPZ archive from an io.ReaderAt.
+// Member names have their ".npy" suffix stripped.
+func ReadNPZ(r io.ReaderAt, size int64) (map[string]*Array, error) {
+	zr, err := zip.NewReader(r, size)
+	if err != nil {
+		return nil, fmt.Errorf("npz: open archive: %w", err)
+	}
+	out := make(map[string]*Array, len(zr.File))
+	for _, f := range zr.File {
+		rc, err := f.Open()
+		if err != nil {
+			return nil, fmt.Errorf("npz: open member %q: %w", f.Name, err)
+		}
+		arr, err := Read(rc)
+		closeErr := rc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("npz: decode member %q: %w", f.Name, err)
+		}
+		if closeErr != nil {
+			return nil, fmt.Errorf("npz: close member %q: %w", f.Name, closeErr)
+		}
+		out[strings.TrimSuffix(f.Name, ".npy")] = arr
+	}
+	return out, nil
+}
+
+// ReadNPZBytes is a convenience wrapper over ReadNPZ for in-memory archives.
+func ReadNPZBytes(b []byte) (map[string]*Array, error) {
+	return ReadNPZ(bytes.NewReader(b), int64(len(b)))
+}

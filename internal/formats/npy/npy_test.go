@@ -1,0 +1,299 @@
+package npy
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, data []float64, shape []int, dtype DType) *Array {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, data, shape, dtype); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	arr, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return arr
+}
+
+func TestRoundTripFloat64(t *testing.T) {
+	data := []float64{1.5, -2.25, 3.125, 0, math.Pi, -1e-300}
+	arr := roundTrip(t, data, []int{2, 3}, Float64)
+	if arr.DType != Float64 {
+		t.Fatalf("dtype=%s", arr.DType)
+	}
+	if len(arr.Shape) != 2 || arr.Shape[0] != 2 || arr.Shape[1] != 3 {
+		t.Fatalf("shape=%v", arr.Shape)
+	}
+	for i, v := range arr.Data {
+		if v != data[i] {
+			t.Fatalf("elem %d: %v != %v", i, v, data[i])
+		}
+	}
+}
+
+func TestRoundTripFloat32Precision(t *testing.T) {
+	data := []float64{1.5, 0.25, -8}
+	arr := roundTrip(t, data, []int{3}, Float32)
+	for i, v := range arr.Data {
+		if v != data[i] { // exactly representable in f32
+			t.Fatalf("elem %d: %v != %v", i, v, data[i])
+		}
+	}
+}
+
+func TestRoundTripInts(t *testing.T) {
+	data := []float64{-3, 0, 7, 2147483647}
+	arr := roundTrip(t, data, []int{4}, Int32)
+	for i, v := range arr.Data {
+		if v != data[i] {
+			t.Fatalf("i32 elem %d: %v != %v", i, v, data[i])
+		}
+	}
+	data64 := []float64{-9007199254740992, 9007199254740992}
+	arr = roundTrip(t, data64, []int{2}, Int64)
+	for i, v := range arr.Data {
+		if v != data64[i] {
+			t.Fatalf("i64 elem %d: %v != %v", i, v, data64[i])
+		}
+	}
+}
+
+func TestRoundTripScalarShape(t *testing.T) {
+	arr := roundTrip(t, []float64{42}, nil, Float64)
+	if len(arr.Shape) != 0 || arr.Numel() != 1 || arr.Data[0] != 42 {
+		t.Fatalf("scalar roundtrip: shape=%v data=%v", arr.Shape, arr.Data)
+	}
+}
+
+func TestRoundTrip1DTrailingComma(t *testing.T) {
+	// 1-D shapes must serialize as "(n,)" per the spec.
+	var buf bytes.Buffer
+	if err := Write(&buf, []float64{1, 2, 3}, []int{3}, Float64); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("(3,)")) {
+		t.Fatal("1-D shape must have trailing comma")
+	}
+	arr, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr.Shape) != 1 || arr.Shape[0] != 3 {
+		t.Fatalf("shape=%v", arr.Shape)
+	}
+}
+
+func TestRoundTripEmptyArray(t *testing.T) {
+	arr := roundTrip(t, nil, []int{0}, Float32)
+	if arr.Numel() != 0 || len(arr.Data) != 0 {
+		t.Fatalf("empty roundtrip: %v", arr)
+	}
+}
+
+func TestHeaderPaddingAlignment(t *testing.T) {
+	// Spec: data must begin at a multiple of 64 bytes.
+	for _, shape := range [][]int{{1}, {3, 4}, {2, 3, 4, 5}, {1000000}} {
+		h := buildHeader(shape, Float64)
+		if (10+len(h))%64 != 0 {
+			t.Fatalf("shape %v: preamble %d not 64-aligned", shape, 10+len(h))
+		}
+		if !strings.HasSuffix(h, "\n") {
+			t.Fatal("header must end with newline")
+		}
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []float64{1, 2}, []int{3}, Float64); err == nil {
+		t.Fatal("want element-count error")
+	}
+	if err := Write(&buf, []float64{1}, []int{1}, DType("<c16")); err == nil {
+		t.Fatal("want unsupported-dtype error")
+	}
+	if err := Write(&buf, []float64{1}, []int{-1}, Float64); err == nil {
+		t.Fatal("want negative-dim error")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not numpy data here"))); err == nil {
+		t.Fatal("want bad-magic error")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("want EOF error")
+	}
+	// Truncated payload.
+	var buf bytes.Buffer
+	if err := Write(&buf, []float64{1, 2, 3, 4}, []int{4}, Float64); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-8]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("want truncation error")
+	}
+}
+
+func TestReadRejectsFortranOrder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []float64{1}, []int{1}, Float64); err != nil {
+		t.Fatal(err)
+	}
+	b := bytes.Replace(buf.Bytes(), []byte("False"), []byte("True "), 1)
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Fatal("want fortran_order rejection")
+	}
+}
+
+func TestReadVersion2Header(t *testing.T) {
+	// Hand-build a v2.0 file (4-byte header length) and confirm we read it.
+	h := buildHeader([]int{2}, Float64)
+	var buf bytes.Buffer
+	buf.Write([]byte{0x93, 'N', 'U', 'M', 'P', 'Y', 2, 0})
+	var hlen [4]byte
+	binary.LittleEndian.PutUint32(hlen[:], uint32(len(h)))
+	buf.Write(hlen[:])
+	buf.WriteString(h)
+	var payload [16]byte
+	binary.LittleEndian.PutUint64(payload[0:], math.Float64bits(5))
+	binary.LittleEndian.PutUint64(payload[8:], math.Float64bits(6))
+	buf.Write(payload[:])
+	arr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Data[0] != 5 || arr.Data[1] != 6 {
+		t.Fatalf("v2 data=%v", arr.Data)
+	}
+}
+
+func TestReadRejectsUnknownVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0x93, 'N', 'U', 'M', 'P', 'Y', 9, 0, 0, 0})
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("want version error")
+	}
+}
+
+func TestNPZRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewNPZWriter(&buf)
+	if err := w.Add("temperature", []float64{280, 290, 300}, []int{3}, Float32); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add("pressure", []float64{1000, 900}, []int{2, 1}, Float64); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	arrs, err := ReadNPZBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrs) != 2 {
+		t.Fatalf("members=%d", len(arrs))
+	}
+	temp, ok := arrs["temperature"]
+	if !ok {
+		t.Fatalf("missing temperature member, have %v", arrs)
+	}
+	if temp.Data[2] != 300 {
+		t.Fatalf("temp=%v", temp.Data)
+	}
+	p := arrs["pressure"]
+	if len(p.Shape) != 2 || p.Shape[0] != 2 {
+		t.Fatalf("pressure shape=%v", p.Shape)
+	}
+}
+
+func TestNPZEmptyName(t *testing.T) {
+	w := NewNPZWriter(&bytes.Buffer{})
+	if err := w.Add("", nil, []int{0}, Float64); err == nil {
+		t.Fatal("want empty-name error")
+	}
+}
+
+func TestNPZBadArchive(t *testing.T) {
+	if _, err := ReadNPZBytes([]byte("garbage")); err == nil {
+		t.Fatal("want archive error")
+	}
+}
+
+// Property: float64 write→read is the identity for any finite data.
+func TestRoundTripPropertyFloat64(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) { // NaN != NaN breaks naive compare
+				clean = append(clean, v)
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, clean, []int{len(clean)}, Float64); err != nil {
+			return false
+		}
+		arr, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(arr.Data) != len(clean) {
+			return false
+		}
+		for i := range clean {
+			if arr.Data[i] != clean[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NaN payloads survive float64 round trips bit-for-bit as NaN.
+func TestRoundTripNaN(t *testing.T) {
+	arr := roundTrip(t, []float64{math.NaN(), 1}, []int{2}, Float64)
+	if !math.IsNaN(arr.Data[0]) || arr.Data[1] != 1 {
+		t.Fatalf("NaN roundtrip failed: %v", arr.Data)
+	}
+}
+
+func BenchmarkWriteFloat32(b *testing.B) {
+	data := make([]float64, 64*128)
+	for i := range data {
+		data[i] = float64(i) * 0.1
+	}
+	b.SetBytes(int64(len(data) * 4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, data, []int{64, 128}, Float32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadFloat32(b *testing.B) {
+	data := make([]float64, 64*128)
+	var buf bytes.Buffer
+	if err := Write(&buf, data, []int{64, 128}, Float32); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(data) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,530 @@
+// Package scih5 implements a hierarchical, chunked, checksummed binary
+// container — the reproduction's stand-in for HDF5 (paper Fig. 1 lists
+// HDF5 as an AI-ready target format; fusion pipelines shard to
+// "TFRecord/HDF5", Table 1). It preserves the HDF5 semantics the
+// pipelines rely on: a group tree addressed by slash paths, typed
+// n-dimensional datasets with attributes, chunked storage along the first
+// axis, optional per-chunk DEFLATE compression, and per-chunk CRC32
+// integrity checks.
+//
+// On-disk layout:
+//
+//	[8]  magic "SCIH5\x01\x00\x00"
+//	[..] chunk payloads, append-only
+//	[..] JSON-encoded object tree (groups, datasets, chunk index)
+//	[8]  little-endian offset of the JSON tree
+//	[4]  little-endian CRC32 of the JSON tree
+//	[4]  trailer magic "H5EN"
+package scih5
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+var (
+	magic   = []byte("SCIH5\x01\x00\x00")
+	trailer = []byte("H5EN")
+)
+
+// ErrCorrupt reports a checksum failure.
+var ErrCorrupt = errors.New("scih5: checksum mismatch")
+
+// ErrNotFound reports a missing object path.
+var ErrNotFound = errors.New("scih5: object not found")
+
+// DType identifies a dataset element type.
+type DType string
+
+// Supported element types.
+const (
+	Float32 DType = "f4"
+	Float64 DType = "f8"
+	Int64   DType = "i8"
+)
+
+func (d DType) size() (int, error) {
+	switch d {
+	case Float32:
+		return 4, nil
+	case Float64, Int64:
+		return 8, nil
+	}
+	return 0, fmt.Errorf("scih5: unsupported dtype %q", string(d))
+}
+
+// chunkRef locates one stored chunk.
+type chunkRef struct {
+	Offset int64  `json:"off"`
+	Size   int64  `json:"sz"`  // stored (possibly compressed) bytes
+	Raw    int64  `json:"raw"` // uncompressed bytes
+	CRC    uint32 `json:"crc"` // of the stored bytes
+	Rows   int    `json:"rows"`
+}
+
+// Dataset describes one stored array.
+type Dataset struct {
+	Path       string             `json:"path"`
+	Shape      []int              `json:"shape"`
+	DType      DType              `json:"dtype"`
+	Attrs      map[string]string  `json:"attrs,omitempty"`
+	NumAttrs   map[string]float64 `json:"nattrs,omitempty"`
+	Compressed bool               `json:"compressed"`
+	ChunkRows  int                `json:"chunk_rows"`
+	Chunks     []chunkRef         `json:"chunks"`
+}
+
+// Numel returns the number of elements implied by the shape.
+func (d *Dataset) Numel() int {
+	n := 1
+	for _, s := range d.Shape {
+		n *= s
+	}
+	return n
+}
+
+// rowElems returns elements per first-axis row (1 for scalars/vectors of rank<=1).
+func (d *Dataset) rowElems() int {
+	n := 1
+	for _, s := range d.Shape[1:] {
+		n *= s
+	}
+	return n
+}
+
+type tree struct {
+	Groups   []string          `json:"groups"`
+	Datasets []*Dataset        `json:"datasets"`
+	Attrs    map[string]string `json:"attrs,omitempty"` // group-path -> description
+}
+
+// Writer builds a container in memory.
+type Writer struct {
+	buf      bytes.Buffer
+	tree     tree
+	paths    map[string]bool
+	Compress bool // apply DEFLATE per chunk
+	// ChunkRows bounds rows (first-axis slices) per chunk; 0 = one chunk.
+	ChunkRows int
+	finalized bool
+}
+
+// NewWriter returns a Writer with compression enabled and 256-row chunks.
+func NewWriter() *Writer {
+	w := &Writer{
+		paths:     make(map[string]bool),
+		Compress:  true,
+		ChunkRows: 256,
+	}
+	w.buf.Write(magic)
+	w.tree.Attrs = make(map[string]string)
+	return w
+}
+
+func cleanPath(p string) (string, error) {
+	if !strings.HasPrefix(p, "/") {
+		return "", fmt.Errorf("scih5: path %q must be absolute", p)
+	}
+	p = strings.TrimRight(p, "/")
+	if p == "" {
+		p = "/"
+	}
+	for _, part := range strings.Split(strings.TrimPrefix(p, "/"), "/") {
+		if part == "" && p != "/" {
+			return "", fmt.Errorf("scih5: path %q has empty component", p)
+		}
+	}
+	return p, nil
+}
+
+// CreateGroup registers a group path (parents are created implicitly).
+func (w *Writer) CreateGroup(path string) error {
+	p, err := cleanPath(path)
+	if err != nil {
+		return err
+	}
+	w.ensureGroups(p)
+	return nil
+}
+
+func (w *Writer) ensureGroups(p string) {
+	if p == "/" {
+		return
+	}
+	parts := strings.Split(strings.TrimPrefix(p, "/"), "/")
+	cur := ""
+	for _, part := range parts {
+		cur += "/" + part
+		if !w.paths[cur] {
+			w.paths[cur] = true
+			w.tree.Groups = append(w.tree.Groups, cur)
+		}
+	}
+}
+
+// SetGroupAttr attaches a description string to a group path.
+func (w *Writer) SetGroupAttr(path, value string) error {
+	p, err := cleanPath(path)
+	if err != nil {
+		return err
+	}
+	w.ensureGroups(p)
+	w.tree.Attrs[p] = value
+	return nil
+}
+
+// WriteFloat64 stores data (row-major, shape-checked) at path as float64.
+func (w *Writer) WriteFloat64(path string, data []float64, shape []int, attrs map[string]string) error {
+	return w.write(path, data, shape, Float64, attrs)
+}
+
+// WriteFloat32 stores data at path narrowed to float32.
+func (w *Writer) WriteFloat32(path string, data []float64, shape []int, attrs map[string]string) error {
+	return w.write(path, data, shape, Float32, attrs)
+}
+
+// WriteInt64 stores data at path as int64 (values are truncated).
+func (w *Writer) WriteInt64(path string, data []float64, shape []int, attrs map[string]string) error {
+	return w.write(path, data, shape, Int64, attrs)
+}
+
+func (w *Writer) write(path string, data []float64, shape []int, dtype DType, attrs map[string]string) error {
+	if w.finalized {
+		return errors.New("scih5: writer already finalized")
+	}
+	p, err := cleanPath(path)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return errors.New("scih5: cannot create dataset at root")
+	}
+	if w.paths[p] {
+		return fmt.Errorf("scih5: object %q already exists", p)
+	}
+	esize, err := dtype.size()
+	if err != nil {
+		return err
+	}
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			return fmt.Errorf("scih5: negative dimension %d", s)
+		}
+		n *= s
+	}
+	if n != len(data) {
+		return fmt.Errorf("scih5: shape %v needs %d elements, have %d", shape, n, len(data))
+	}
+
+	parent := p[:strings.LastIndex(p, "/")]
+	if parent != "" {
+		w.ensureGroups(parent)
+	}
+	w.paths[p] = true
+
+	ds := &Dataset{
+		Path:       p,
+		Shape:      append([]int(nil), shape...),
+		DType:      dtype,
+		Attrs:      attrs,
+		Compressed: w.Compress,
+	}
+
+	rows := 1
+	if len(shape) > 0 {
+		rows = shape[0]
+	}
+	rowElems := 1
+	if len(shape) > 0 {
+		rowElems = n
+		if shape[0] > 0 {
+			rowElems = n / shape[0]
+		}
+	}
+	chunkRows := w.ChunkRows
+	if chunkRows <= 0 || chunkRows > rows {
+		chunkRows = rows
+	}
+	if chunkRows == 0 {
+		chunkRows = 1
+	}
+	ds.ChunkRows = chunkRows
+
+	for start := 0; start < rows || (rows == 0 && start == 0); start += chunkRows {
+		cr := chunkRows
+		if start+cr > rows {
+			cr = rows - start
+		}
+		elems := cr * rowElems
+		if rows == 0 {
+			elems = 0
+		}
+		raw := make([]byte, elems*esize)
+		src := data[start*rowElems : start*rowElems+elems]
+		encodeValues(raw, src, dtype)
+
+		stored := raw
+		if w.Compress {
+			var cbuf bytes.Buffer
+			fw, err := flate.NewWriter(&cbuf, flate.BestSpeed)
+			if err != nil {
+				return fmt.Errorf("scih5: flate init: %w", err)
+			}
+			if _, err := fw.Write(raw); err != nil {
+				return fmt.Errorf("scih5: compress: %w", err)
+			}
+			if err := fw.Close(); err != nil {
+				return fmt.Errorf("scih5: compress close: %w", err)
+			}
+			stored = cbuf.Bytes()
+		}
+		ref := chunkRef{
+			Offset: int64(w.buf.Len()),
+			Size:   int64(len(stored)),
+			Raw:    int64(len(raw)),
+			CRC:    crc32.ChecksumIEEE(stored),
+			Rows:   cr,
+		}
+		w.buf.Write(stored)
+		ds.Chunks = append(ds.Chunks, ref)
+		if rows == 0 {
+			break
+		}
+	}
+	w.tree.Datasets = append(w.tree.Datasets, ds)
+	return nil
+}
+
+func encodeValues(dst []byte, src []float64, dtype DType) {
+	switch dtype {
+	case Float32:
+		for i, v := range src {
+			binary.LittleEndian.PutUint32(dst[i*4:], math.Float32bits(float32(v)))
+		}
+	case Float64:
+		for i, v := range src {
+			binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(v))
+		}
+	case Int64:
+		for i, v := range src {
+			binary.LittleEndian.PutUint64(dst[i*8:], uint64(int64(v)))
+		}
+	}
+}
+
+// Finalize appends the object tree and trailer and returns the container
+// bytes. The writer cannot be used afterwards.
+func (w *Writer) Finalize() ([]byte, error) {
+	if w.finalized {
+		return nil, errors.New("scih5: writer already finalized")
+	}
+	w.finalized = true
+	sort.Strings(w.tree.Groups)
+	treeOff := int64(w.buf.Len())
+	enc, err := json.Marshal(&w.tree)
+	if err != nil {
+		return nil, fmt.Errorf("scih5: encode tree: %w", err)
+	}
+	w.buf.Write(enc)
+	var tail [16]byte
+	binary.LittleEndian.PutUint64(tail[:8], uint64(treeOff))
+	binary.LittleEndian.PutUint32(tail[8:12], crc32.ChecksumIEEE(enc))
+	copy(tail[12:], trailer)
+	w.buf.Write(tail[:])
+	return w.buf.Bytes(), nil
+}
+
+// File is a decoded container.
+type File struct {
+	b      []byte
+	tree   tree
+	byPath map[string]*Dataset
+}
+
+// Open parses a container produced by Writer.Finalize.
+func Open(b []byte) (*File, error) {
+	if len(b) < len(magic)+16 || !bytes.Equal(b[:len(magic)], magic) {
+		return nil, errors.New("scih5: bad magic")
+	}
+	tail := b[len(b)-16:]
+	if !bytes.Equal(tail[12:], trailer) {
+		return nil, errors.New("scih5: bad trailer")
+	}
+	treeOff := int64(binary.LittleEndian.Uint64(tail[:8]))
+	wantCRC := binary.LittleEndian.Uint32(tail[8:12])
+	if treeOff < int64(len(magic)) || treeOff > int64(len(b)-16) {
+		return nil, errors.New("scih5: tree offset out of range")
+	}
+	enc := b[treeOff : len(b)-16]
+	if crc32.ChecksumIEEE(enc) != wantCRC {
+		return nil, fmt.Errorf("%w: object tree", ErrCorrupt)
+	}
+	f := &File{b: b, byPath: make(map[string]*Dataset)}
+	if err := json.Unmarshal(enc, &f.tree); err != nil {
+		return nil, fmt.Errorf("scih5: decode tree: %w", err)
+	}
+	for _, ds := range f.tree.Datasets {
+		f.byPath[ds.Path] = ds
+	}
+	return f, nil
+}
+
+// Groups lists group paths in sorted order.
+func (f *File) Groups() []string { return f.tree.Groups }
+
+// GroupAttr returns the description attached to a group path.
+func (f *File) GroupAttr(path string) (string, bool) {
+	v, ok := f.tree.Attrs[path]
+	return v, ok
+}
+
+// Datasets lists all dataset descriptors.
+func (f *File) Datasets() []*Dataset { return f.tree.Datasets }
+
+// Dataset returns the descriptor at path.
+func (f *File) Dataset(path string) (*Dataset, error) {
+	p, err := cleanPath(path)
+	if err != nil {
+		return nil, err
+	}
+	ds, ok := f.byPath[p]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, p)
+	}
+	return ds, nil
+}
+
+// Read decompresses, verifies, and widens the dataset at path to float64.
+func (f *File) Read(path string) ([]float64, []int, error) {
+	ds, err := f.Dataset(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	esize, err := ds.DType.size()
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]float64, 0, ds.Numel())
+	for ci, c := range ds.Chunks {
+		if c.Offset < 0 || c.Offset+c.Size > int64(len(f.b)) {
+			return nil, nil, fmt.Errorf("scih5: chunk %d of %q out of bounds", ci, path)
+		}
+		stored := f.b[c.Offset : c.Offset+c.Size]
+		if crc32.ChecksumIEEE(stored) != c.CRC {
+			return nil, nil, fmt.Errorf("%w: chunk %d of %q", ErrCorrupt, ci, path)
+		}
+		raw := stored
+		if ds.Compressed {
+			fr := flate.NewReader(bytes.NewReader(stored))
+			raw, err = io.ReadAll(fr)
+			if err != nil {
+				return nil, nil, fmt.Errorf("scih5: decompress chunk %d of %q: %w", ci, path, err)
+			}
+			if err := fr.Close(); err != nil {
+				return nil, nil, fmt.Errorf("scih5: close inflater: %w", err)
+			}
+		}
+		if int64(len(raw)) != c.Raw {
+			return nil, nil, fmt.Errorf("%w: chunk %d of %q raw size %d != %d", ErrCorrupt, ci, path, len(raw), c.Raw)
+		}
+		n := len(raw) / esize
+		for i := 0; i < n; i++ {
+			switch ds.DType {
+			case Float32:
+				out = append(out, float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))))
+			case Float64:
+				out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:])))
+			case Int64:
+				out = append(out, float64(int64(binary.LittleEndian.Uint64(raw[i*8:]))))
+			}
+		}
+	}
+	if len(out) != ds.Numel() {
+		return nil, nil, fmt.Errorf("%w: %q decoded %d elements, shape needs %d", ErrCorrupt, path, len(out), ds.Numel())
+	}
+	return out, append([]int(nil), ds.Shape...), nil
+}
+
+// ReadRows reads rows [start, start+count) along the first axis of the
+// dataset, touching only the chunks that overlap — the partial-read
+// pattern HPC dataloaders use.
+func (f *File) ReadRows(path string, start, count int) ([]float64, error) {
+	ds, err := f.Dataset(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(ds.Shape) == 0 {
+		return nil, errors.New("scih5: ReadRows on scalar dataset")
+	}
+	rows := ds.Shape[0]
+	if start < 0 || count < 0 || start+count > rows {
+		return nil, fmt.Errorf("scih5: rows [%d,%d) out of [0,%d)", start, start+count, rows)
+	}
+	esize, _ := ds.DType.size()
+	rowElems := ds.rowElems()
+	out := make([]float64, 0, count*rowElems)
+
+	chunkStart := 0
+	for ci, c := range ds.Chunks {
+		chunkEnd := chunkStart + c.Rows
+		if chunkEnd <= start || chunkStart >= start+count {
+			chunkStart = chunkEnd
+			continue
+		}
+		stored := f.b[c.Offset : c.Offset+c.Size]
+		if crc32.ChecksumIEEE(stored) != c.CRC {
+			return nil, fmt.Errorf("%w: chunk %d of %q", ErrCorrupt, ci, path)
+		}
+		raw := stored
+		if ds.Compressed {
+			fr := flate.NewReader(bytes.NewReader(stored))
+			raw, err = io.ReadAll(fr)
+			if err != nil {
+				return nil, fmt.Errorf("scih5: decompress chunk %d: %w", ci, err)
+			}
+			_ = fr.Close()
+		}
+		lo := max(start, chunkStart) - chunkStart
+		hi := min(start+count, chunkEnd) - chunkStart
+		for r := lo; r < hi; r++ {
+			base := r * rowElems * esize
+			for e := 0; e < rowElems; e++ {
+				off := base + e*esize
+				switch ds.DType {
+				case Float32:
+					out = append(out, float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[off:]))))
+				case Float64:
+					out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(raw[off:])))
+				case Int64:
+					out = append(out, float64(int64(binary.LittleEndian.Uint64(raw[off:]))))
+				}
+			}
+		}
+		chunkStart = chunkEnd
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

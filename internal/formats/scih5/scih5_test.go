@@ -1,0 +1,484 @@
+package scih5
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripFloat64(t *testing.T) {
+	w := NewWriter()
+	data := []float64{1.5, -2.25, math.Pi, 0, 1e300, -1e-300}
+	if err := w.WriteFloat64("/exp/run1/signal", data, []int{2, 3}, map[string]string{"units": "V"}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, shape, err := f.Read("/exp/run1/signal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shape) != 2 || shape[0] != 2 || shape[1] != 3 {
+		t.Fatalf("shape=%v", shape)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("elem %d: %v != %v", i, got[i], data[i])
+		}
+	}
+	ds, err := f.Dataset("/exp/run1/signal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Attrs["units"] != "V" {
+		t.Fatalf("attrs=%v", ds.Attrs)
+	}
+}
+
+func TestImplicitGroups(t *testing.T) {
+	w := NewWriter()
+	if err := w.WriteFloat64("/a/b/c/d", []float64{1}, []int{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Finalize()
+	f, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := f.Groups()
+	want := map[string]bool{"/a": true, "/a/b": true, "/a/b/c": true}
+	found := 0
+	for _, g := range groups {
+		if want[g] {
+			found++
+		}
+	}
+	if found != 3 {
+		t.Fatalf("groups=%v", groups)
+	}
+}
+
+func TestGroupAttrs(t *testing.T) {
+	w := NewWriter()
+	if err := w.SetGroupAttr("/shots", "DIII-D campaign 2024"); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Finalize()
+	f, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := f.GroupAttr("/shots")
+	if !ok || v != "DIII-D campaign 2024" {
+		t.Fatalf("attr=%q ok=%v", v, ok)
+	}
+	if _, ok := f.GroupAttr("/missing"); ok {
+		t.Fatal("unexpected attr")
+	}
+}
+
+func TestFloat32Narrowing(t *testing.T) {
+	w := NewWriter()
+	if err := w.WriteFloat32("/x", []float64{1.5, 2.5}, []int{2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Finalize()
+	f, _ := Open(b)
+	got, _, err := f.Read("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1.5 || got[1] != 2.5 {
+		t.Fatalf("got %v", got)
+	}
+	ds, _ := f.Dataset("/x")
+	if ds.DType != Float32 {
+		t.Fatalf("dtype=%s", ds.DType)
+	}
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	w := NewWriter()
+	data := []float64{-9007199254740992, 0, 42, 9007199254740992}
+	if err := w.WriteInt64("/ids", data, []int{4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Finalize()
+	f, _ := Open(b)
+	got, _, err := f.Read("/ids")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("elem %d: %v != %v", i, got[i], data[i])
+		}
+	}
+}
+
+func TestChunking(t *testing.T) {
+	w := NewWriter()
+	w.ChunkRows = 10
+	data := make([]float64, 95*4)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	if err := w.WriteFloat64("/big", data, []int{95, 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Finalize()
+	f, _ := Open(b)
+	ds, _ := f.Dataset("/big")
+	if len(ds.Chunks) != 10 { // ceil(95/10)
+		t.Fatalf("chunks=%d", len(ds.Chunks))
+	}
+	got, _, err := f.Read("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("elem %d mismatch", i)
+		}
+	}
+}
+
+func TestReadRowsPartial(t *testing.T) {
+	w := NewWriter()
+	w.ChunkRows = 8
+	data := make([]float64, 30*3)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	if err := w.WriteFloat64("/m", data, []int{30, 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Finalize()
+	f, _ := Open(b)
+	// Rows 5..20 span three chunks (0-7, 8-15, 16-23).
+	got, err := f.ReadRows("/m", 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 15*3 {
+		t.Fatalf("len=%d", len(got))
+	}
+	for i := range got {
+		want := float64(5*3 + i)
+		if got[i] != want {
+			t.Fatalf("elem %d: %v != %v", i, got[i], want)
+		}
+	}
+}
+
+func TestReadRowsBounds(t *testing.T) {
+	w := NewWriter()
+	if err := w.WriteFloat64("/m", []float64{1, 2, 3}, []int{3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Finalize()
+	f, _ := Open(b)
+	if _, err := f.ReadRows("/m", 2, 5); err == nil {
+		t.Fatal("want bounds error")
+	}
+	if _, err := f.ReadRows("/m", -1, 1); err == nil {
+		t.Fatal("want bounds error")
+	}
+}
+
+func TestUncompressed(t *testing.T) {
+	w := NewWriter()
+	w.Compress = false
+	data := []float64{9, 8, 7}
+	if err := w.WriteFloat64("/u", data, []int{3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Finalize()
+	f, _ := Open(b)
+	got, _, err := f.Read("/u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 9 || got[2] != 7 {
+		t.Fatalf("got %v", got)
+	}
+	ds, _ := f.Dataset("/u")
+	if ds.Compressed {
+		t.Fatal("should be uncompressed")
+	}
+}
+
+func TestCompressionShrinksRedundantData(t *testing.T) {
+	data := make([]float64, 10000) // all zeros: highly compressible
+	wc := NewWriter()
+	wc.ChunkRows = 0
+	if err := wc.WriteFloat64("/z", data, []int{10000}, nil); err != nil {
+		t.Fatal(err)
+	}
+	bc, _ := wc.Finalize()
+
+	wu := NewWriter()
+	wu.Compress = false
+	wu.ChunkRows = 0
+	if err := wu.WriteFloat64("/z", data, []int{10000}, nil); err != nil {
+		t.Fatal(err)
+	}
+	bu, _ := wu.Finalize()
+	if len(bc) >= len(bu)/10 {
+		t.Fatalf("compressed %d vs raw %d: expected >10x shrink", len(bc), len(bu))
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	w := NewWriter()
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = float64(i) * 1.1
+	}
+	if err := w.WriteFloat64("/d", data, []int{100}, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Finalize()
+	// Flip a byte in the first chunk payload (just after magic).
+	bad := append([]byte(nil), b...)
+	bad[len(magic)+3] ^= 0xFF
+	f, err := Open(bad)
+	if err != nil {
+		t.Fatal(err) // tree is intact; open succeeds
+	}
+	if _, _, err := f.Read("/d"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestTreeCorruptionDetected(t *testing.T) {
+	w := NewWriter()
+	if err := w.WriteFloat64("/d", []float64{1}, []int{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Finalize()
+	bad := append([]byte(nil), b...)
+	bad[len(bad)-20] ^= 0xFF // inside the JSON tree
+	if _, err := Open(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open([]byte("tiny")); err == nil {
+		t.Fatal("want magic error")
+	}
+	w := NewWriter()
+	b, _ := w.Finalize()
+	bad := append([]byte(nil), b...)
+	copy(bad[len(bad)-4:], "XXXX")
+	if _, err := Open(bad); err == nil {
+		t.Fatal("want trailer error")
+	}
+}
+
+func TestWriterErrors(t *testing.T) {
+	w := NewWriter()
+	if err := w.WriteFloat64("relative/path", nil, nil, nil); err == nil {
+		t.Fatal("want absolute-path error")
+	}
+	if err := w.WriteFloat64("/", nil, nil, nil); err == nil {
+		t.Fatal("want root-dataset error")
+	}
+	if err := w.WriteFloat64("/x", []float64{1, 2}, []int{3}, nil); err == nil {
+		t.Fatal("want shape error")
+	}
+	if err := w.WriteFloat64("/ok", []float64{1}, []int{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFloat64("/ok", []float64{1}, []int{1}, nil); err == nil {
+		t.Fatal("want duplicate error")
+	}
+	if _, err := w.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Finalize(); err == nil {
+		t.Fatal("want double-finalize error")
+	}
+	if err := w.WriteFloat64("/late", []float64{1}, []int{1}, nil); err == nil {
+		t.Fatal("want finalized error")
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	w := NewWriter()
+	b, _ := w.Finalize()
+	f, _ := Open(b)
+	if _, _, err := f.Read("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err=%v, want ErrNotFound", err)
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	w := NewWriter()
+	if err := w.WriteFloat64("/empty", nil, []int{0, 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := w.Finalize()
+	f, _ := Open(b)
+	got, shape, err := f.Read("/empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || shape[0] != 0 {
+		t.Fatalf("got=%v shape=%v", got, shape)
+	}
+}
+
+func TestMultipleDatasets(t *testing.T) {
+	w := NewWriter()
+	for _, name := range []string{"/a", "/b", "/c/d"} {
+		if err := w.WriteFloat64(name, []float64{1, 2}, []int{2}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, _ := w.Finalize()
+	f, _ := Open(b)
+	if len(f.Datasets()) != 3 {
+		t.Fatalf("datasets=%d", len(f.Datasets()))
+	}
+}
+
+// Property: any finite float64 payload round-trips exactly through
+// arbitrary chunking.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, chunk uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := rng.Intn(40) + 1
+		cols := rng.Intn(5) + 1
+		data := make([]float64, rows*cols)
+		for i := range data {
+			data[i] = rng.NormFloat64() * 1e6
+		}
+		w := NewWriter()
+		w.ChunkRows = int(chunk)%7 + 1
+		if err := w.WriteFloat64("/p", data, []int{rows, cols}, nil); err != nil {
+			return false
+		}
+		b, err := w.Finalize()
+		if err != nil {
+			return false
+		}
+		file, err := Open(b)
+		if err != nil {
+			return false
+		}
+		got, _, err := file.Read("/p")
+		if err != nil || len(got) != len(data) {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		// ReadRows over a random window must agree too.
+		start := rng.Intn(rows)
+		count := rng.Intn(rows - start)
+		win, err := file.ReadRows("/p", start, count)
+		if err != nil || len(win) != count*cols {
+			return false
+		}
+		for i := range win {
+			if win[i] != data[start*cols+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteCompressed(b *testing.B) {
+	data := make([]float64, 64*1024)
+	for i := range data {
+		data[i] = float64(i % 100)
+	}
+	b.SetBytes(int64(len(data) * 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter()
+		if err := w.WriteFloat64("/d", data, []int{64, 1024}, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Finalize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadCompressed(b *testing.B) {
+	data := make([]float64, 64*1024)
+	for i := range data {
+		data[i] = float64(i % 100)
+	}
+	w := NewWriter()
+	if err := w.WriteFloat64("/d", data, []int{64, 1024}, nil); err != nil {
+		b.Fatal(err)
+	}
+	enc, err := w.Finalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := Open(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := f.Read("/d"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChunkRows ablates the chunk-size design choice: smaller chunks
+// cost more per-chunk overhead on full reads but enable cheaper partial
+// row reads.
+func BenchmarkChunkRows(b *testing.B) {
+	data := make([]float64, 512*64)
+	for i := range data {
+		data[i] = float64(i % 991)
+	}
+	for _, rows := range []int{16, 128, 512} {
+		name := map[int]string{16: "c16", 128: "c128", 512: "c512"}[rows]
+		b.Run(name, func(b *testing.B) {
+			w := NewWriter()
+			w.ChunkRows = rows
+			if err := w.WriteFloat64("/d", data, []int{512, 64}, nil); err != nil {
+				b.Fatal(err)
+			}
+			enc, err := w.Finalize()
+			if err != nil {
+				b.Fatal(err)
+			}
+			f, err := Open(enc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A window read touching ~2 chunks at c16.
+				if _, err := f.ReadRows("/d", 100, 20); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,450 @@
+// Package tfrecord implements the TFRecord container format used by the
+// fusion archetype (paper §3.2: the DIII-D ML pipeline "aggregates across
+// shots before sharding into TFRecords").
+//
+// The framing is byte-compatible with TensorFlow's:
+//
+//	uint64 length (little-endian)
+//	uint32 masked CRC32-C of the length bytes
+//	byte   data[length]
+//	uint32 masked CRC32-C of the data
+//
+// where masked(crc) = ((crc >> 15) | (crc << 17)) + 0xa282ead8.
+//
+// On top of the framing, the package provides a minimal protobuf wire-format
+// encoder/decoder for the tf.train.Example subset the pipelines need
+// (float_list, int64_list, bytes_list features), so emitted records are
+// readable by TensorFlow's tf.io.parse_example.
+package tfrecord
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+)
+
+const maskDelta = 0xa282ead8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maskedCRC computes the masked CRC32-C that TFRecord uses.
+func maskedCRC(b []byte) uint32 {
+	c := crc32.Checksum(b, castagnoli)
+	return ((c >> 15) | (c << 17)) + maskDelta
+}
+
+// ErrCorrupt reports a CRC mismatch while reading.
+var ErrCorrupt = errors.New("tfrecord: CRC mismatch")
+
+// Writer frames records onto an io.Writer.
+type Writer struct {
+	w io.Writer
+	n int64
+}
+
+// NewWriter returns a Writer emitting TFRecord framing to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write frames one record.
+func (tw *Writer) Write(rec []byte) error {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(len(rec)))
+	binary.LittleEndian.PutUint32(hdr[8:], maskedCRC(hdr[:8]))
+	if _, err := tw.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("tfrecord: write header: %w", err)
+	}
+	if _, err := tw.w.Write(rec); err != nil {
+		return fmt.Errorf("tfrecord: write payload: %w", err)
+	}
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], maskedCRC(rec))
+	if _, err := tw.w.Write(foot[:]); err != nil {
+		return fmt.Errorf("tfrecord: write footer: %w", err)
+	}
+	tw.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (tw *Writer) Count() int64 { return tw.n }
+
+// Reader unframes records from an io.Reader.
+type Reader struct {
+	r io.Reader
+}
+
+// NewReader returns a Reader consuming TFRecord framing from r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next returns the next record, io.EOF at clean end-of-stream, or an error
+// (ErrCorrupt on checksum failure).
+func (tr *Reader) Next() ([]byte, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("tfrecord: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[8:]) != maskedCRC(hdr[:8]) {
+		return nil, fmt.Errorf("%w: length CRC", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint64(hdr[:8])
+	if n > 1<<31 {
+		return nil, fmt.Errorf("tfrecord: implausible record length %d", n)
+	}
+	rec := make([]byte, n)
+	if _, err := io.ReadFull(tr.r, rec); err != nil {
+		return nil, fmt.Errorf("tfrecord: read payload: %w", err)
+	}
+	var foot [4]byte
+	if _, err := io.ReadFull(tr.r, foot[:]); err != nil {
+		return nil, fmt.Errorf("tfrecord: read footer: %w", err)
+	}
+	if binary.LittleEndian.Uint32(foot[:]) != maskedCRC(rec) {
+		return nil, fmt.Errorf("%w: data CRC", ErrCorrupt)
+	}
+	return rec, nil
+}
+
+// ReadAll drains the stream into a slice of records.
+func (tr *Reader) ReadAll() ([][]byte, error) {
+	var out [][]byte
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// --- tf.train.Example subset -----------------------------------------------
+//
+// Wire layout (all field numbers match the real .proto definitions):
+//
+//	Example    { Features features = 1 }
+//	Features   { map<string, Feature> feature = 1 }
+//	Feature    { oneof { BytesList bytes_list = 1;
+//	                     FloatList float_list = 2;
+//	                     Int64List int64_list = 3 } }
+//	BytesList  { repeated bytes value = 1 }
+//	FloatList  { repeated float value = 1 [packed] }
+//	Int64List  { repeated int64 value = 1 [packed] }
+
+// Feature is one typed feature of an Example; exactly one of the fields
+// should be set.
+type Feature struct {
+	Floats []float32
+	Ints   []int64
+	Bytes  [][]byte
+}
+
+// Example is a named-feature record, the logical unit the fusion pipeline
+// writes per time window.
+type Example struct {
+	Features map[string]Feature
+}
+
+// NewExample returns an empty Example ready for feature assignment.
+func NewExample() *Example { return &Example{Features: make(map[string]Feature)} }
+
+func appendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func appendTag(b []byte, field, wire int) []byte {
+	return appendVarint(b, uint64(field)<<3|uint64(wire))
+}
+
+func appendBytesField(b []byte, field int, p []byte) []byte {
+	b = appendTag(b, field, 2)
+	b = appendVarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// Marshal encodes the Example in protobuf wire format. Features are
+// emitted in sorted key order so output is deterministic.
+func (e *Example) Marshal() []byte {
+	keys := make([]string, 0, len(e.Features))
+	for k := range e.Features {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var features []byte
+	for _, k := range keys {
+		f := e.Features[k]
+
+		// Encode the Feature message (oneof).
+		var feat []byte
+		switch {
+		case f.Bytes != nil:
+			var bl []byte
+			for _, v := range f.Bytes {
+				bl = appendBytesField(bl, 1, v)
+			}
+			feat = appendBytesField(feat, 1, bl)
+		case f.Floats != nil:
+			packed := make([]byte, 4*len(f.Floats))
+			for i, v := range f.Floats {
+				binary.LittleEndian.PutUint32(packed[i*4:], math.Float32bits(v))
+			}
+			var fl []byte
+			fl = appendBytesField(fl, 1, packed)
+			feat = appendBytesField(feat, 2, fl)
+		case f.Ints != nil:
+			var packed []byte
+			for _, v := range f.Ints {
+				packed = appendVarint(packed, uint64(v))
+			}
+			var il []byte
+			il = appendBytesField(il, 1, packed)
+			feat = appendBytesField(feat, 3, il)
+		}
+
+		// map entry { key = 1; value = 2 }
+		var entry []byte
+		entry = appendBytesField(entry, 1, []byte(k))
+		entry = appendBytesField(entry, 2, feat)
+		features = appendBytesField(features, 1, entry)
+	}
+
+	var out []byte
+	out = appendBytesField(out, 1, features)
+	return out
+}
+
+type decoder struct {
+	b   []byte
+	pos int
+}
+
+func (d *decoder) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if d.pos >= len(d.b) {
+			return 0, io.ErrUnexpectedEOF
+		}
+		c := d.b[d.pos]
+		d.pos++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, errors.New("tfrecord: varint overflow")
+		}
+	}
+}
+
+func (d *decoder) bytesField() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(d.pos)+n > uint64(len(d.b)) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	p := d.b[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return p, nil
+}
+
+func (d *decoder) skip(wire uint64) error {
+	switch wire {
+	case 0:
+		_, err := d.varint()
+		return err
+	case 1:
+		d.pos += 8
+	case 2:
+		_, err := d.bytesField()
+		return err
+	case 5:
+		d.pos += 4
+	default:
+		return fmt.Errorf("tfrecord: unsupported wire type %d", wire)
+	}
+	if d.pos > len(d.b) {
+		return io.ErrUnexpectedEOF
+	}
+	return nil
+}
+
+// Unmarshal decodes a protobuf-encoded tf.train.Example subset.
+func Unmarshal(b []byte) (*Example, error) {
+	e := NewExample()
+	d := &decoder{b: b}
+	for d.pos < len(d.b) {
+		tag, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		field, wire := tag>>3, tag&7
+		if field == 1 && wire == 2 { // Features
+			fb, err := d.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			if err := decodeFeatures(fb, e); err != nil {
+				return nil, err
+			}
+		} else if err := d.skip(wire); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+func decodeFeatures(b []byte, e *Example) error {
+	d := &decoder{b: b}
+	for d.pos < len(d.b) {
+		tag, err := d.varint()
+		if err != nil {
+			return err
+		}
+		if tag>>3 == 1 && tag&7 == 2 { // map entry
+			entry, err := d.bytesField()
+			if err != nil {
+				return err
+			}
+			if err := decodeEntry(entry, e); err != nil {
+				return err
+			}
+		} else if err := d.skip(tag & 7); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeEntry(b []byte, e *Example) error {
+	d := &decoder{b: b}
+	var key string
+	var feat Feature
+	for d.pos < len(d.b) {
+		tag, err := d.varint()
+		if err != nil {
+			return err
+		}
+		switch {
+		case tag>>3 == 1 && tag&7 == 2:
+			kb, err := d.bytesField()
+			if err != nil {
+				return err
+			}
+			key = string(kb)
+		case tag>>3 == 2 && tag&7 == 2:
+			fb, err := d.bytesField()
+			if err != nil {
+				return err
+			}
+			feat, err = decodeFeature(fb)
+			if err != nil {
+				return err
+			}
+		default:
+			if err := d.skip(tag & 7); err != nil {
+				return err
+			}
+		}
+	}
+	if key == "" {
+		return errors.New("tfrecord: feature map entry without key")
+	}
+	e.Features[key] = feat
+	return nil
+}
+
+func decodeFeature(b []byte) (Feature, error) {
+	var f Feature
+	d := &decoder{b: b}
+	for d.pos < len(d.b) {
+		tag, err := d.varint()
+		if err != nil {
+			return f, err
+		}
+		field, wire := tag>>3, tag&7
+		if wire != 2 {
+			if err := d.skip(wire); err != nil {
+				return f, err
+			}
+			continue
+		}
+		inner, err := d.bytesField()
+		if err != nil {
+			return f, err
+		}
+		id := &decoder{b: inner}
+		for id.pos < len(id.b) {
+			itag, err := id.varint()
+			if err != nil {
+				return f, err
+			}
+			if itag>>3 != 1 {
+				if err := id.skip(itag & 7); err != nil {
+					return f, err
+				}
+				continue
+			}
+			switch field {
+			case 1: // BytesList
+				v, err := id.bytesField()
+				if err != nil {
+					return f, err
+				}
+				f.Bytes = append(f.Bytes, append([]byte(nil), v...))
+			case 2: // FloatList, packed
+				packed, err := id.bytesField()
+				if err != nil {
+					return f, err
+				}
+				if len(packed)%4 != 0 {
+					return f, errors.New("tfrecord: packed float list not multiple of 4")
+				}
+				if f.Floats == nil {
+					f.Floats = []float32{}
+				}
+				for i := 0; i+4 <= len(packed); i += 4 {
+					f.Floats = append(f.Floats, math.Float32frombits(binary.LittleEndian.Uint32(packed[i:])))
+				}
+			case 3: // Int64List, packed
+				packed, err := id.bytesField()
+				if err != nil {
+					return f, err
+				}
+				if f.Ints == nil {
+					f.Ints = []int64{}
+				}
+				pd := &decoder{b: packed}
+				for pd.pos < len(pd.b) {
+					v, err := pd.varint()
+					if err != nil {
+						return f, err
+					}
+					f.Ints = append(f.Ints, int64(v))
+				}
+			default:
+				// Unknown oneof arm: consume and ignore its payload.
+				if err := id.skip(itag & 7); err != nil {
+					return f, err
+				}
+			}
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,429 @@
+package tfrecord
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskedCRCInvertible(t *testing.T) {
+	// Masking is a bijection on crc32c: unmasking must recover the raw
+	// Castagnoli checksum for any input.
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], 3)
+	got := maskedCRC(hdr[:])
+	unmasked := got - maskDelta
+	raw := (unmasked >> 17) | (unmasked << 15)
+	if raw != crc32.Checksum(hdr[:], castagnoli) {
+		t.Fatalf("mask not invertible: got %x", got)
+	}
+}
+
+func TestMaskedCRCGoldenValue(t *testing.T) {
+	// crc32c("123456789") = 0xE3069283 is the standard check value;
+	// masked((0xE3069283)) = ((c>>15)|(c<<17)) + 0xa282ead8.
+	c := crc32.Checksum([]byte("123456789"), castagnoli)
+	if c != 0xE3069283 {
+		t.Fatalf("castagnoli check value wrong: %x", c)
+	}
+	want := ((c >> 15) | (c << 17)) + maskDelta
+	if got := maskedCRC([]byte("123456789")); got != want {
+		t.Fatalf("maskedCRC=%x, want %x", got, want)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	records := [][]byte{[]byte("hello"), []byte(""), []byte("fusion shot 12345"), bytes.Repeat([]byte{0xAB}, 1000)}
+	for _, r := range records {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != int64(len(records)) {
+		t.Fatalf("count=%d", w.Count())
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range records {
+		if !bytes.Equal(got[i], records[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestReaderCleanEOF(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err=%v, want io.EOF", err)
+	}
+}
+
+func TestReaderDetectsLengthCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[0] ^= 0xFF // corrupt length
+	_, err := NewReader(bytes.NewReader(b)).Next()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestReaderDetectsDataCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[14] ^= 0x01 // corrupt a payload byte (offset 12 is start of data)
+	_, err := NewReader(bytes.NewReader(b)).Next()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestReaderTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(bytes.Repeat([]byte{1}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[:50]
+	_, err := NewReader(bytes.NewReader(b)).Next()
+	if err == nil || err == io.EOF {
+		t.Fatalf("err=%v, want truncation error", err)
+	}
+}
+
+func TestExampleRoundTripAllTypes(t *testing.T) {
+	e := NewExample()
+	e.Features["signal"] = Feature{Floats: []float32{1.5, -2.25, 0, float32(math.Pi)}}
+	e.Features["shot_id"] = Feature{Ints: []int64{171234, 0, 42}}
+	e.Features["machine"] = Feature{Bytes: [][]byte{[]byte("DIII-D"), []byte("")}}
+
+	enc := e.Marshal()
+	dec, err := Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := dec.Features["signal"]
+	if len(sig.Floats) != 4 || sig.Floats[0] != 1.5 || sig.Floats[1] != -2.25 {
+		t.Fatalf("floats=%v", sig.Floats)
+	}
+	ids := dec.Features["shot_id"]
+	if len(ids.Ints) != 3 || ids.Ints[0] != 171234 {
+		t.Fatalf("ints=%v", ids.Ints)
+	}
+	m := dec.Features["machine"]
+	if len(m.Bytes) != 2 || string(m.Bytes[0]) != "DIII-D" {
+		t.Fatalf("bytes=%v", m.Bytes)
+	}
+}
+
+func TestExampleDeterministicEncoding(t *testing.T) {
+	e := NewExample()
+	e.Features["b"] = Feature{Ints: []int64{1}}
+	e.Features["a"] = Feature{Ints: []int64{2}}
+	e.Features["c"] = Feature{Ints: []int64{3}}
+	first := e.Marshal()
+	for i := 0; i < 10; i++ {
+		if !bytes.Equal(e.Marshal(), first) {
+			t.Fatal("encoding not deterministic")
+		}
+	}
+}
+
+func TestExampleEmpty(t *testing.T) {
+	e := NewExample()
+	dec, err := Unmarshal(e.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Features) != 0 {
+		t.Fatalf("features=%v", dec.Features)
+	}
+}
+
+func TestExampleEmptyLists(t *testing.T) {
+	e := NewExample()
+	e.Features["empty_f"] = Feature{Floats: []float32{}}
+	e.Features["empty_i"] = Feature{Ints: []int64{}}
+	dec, err := Unmarshal(e.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := dec.Features["empty_f"]; f.Floats == nil || len(f.Floats) != 0 {
+		t.Fatalf("empty float list roundtrip: %#v", f)
+	}
+	if f := dec.Features["empty_i"]; f.Ints == nil || len(f.Ints) != 0 {
+		t.Fatalf("empty int list roundtrip: %#v", f)
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}); err == nil {
+		t.Fatal("want error for garbage input")
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	e := NewExample()
+	e.Features["x"] = Feature{Floats: []float32{1, 2, 3}}
+	enc := e.Marshal()
+	if _, err := Unmarshal(enc[:len(enc)-3]); err == nil {
+		t.Fatal("want error for truncated message")
+	}
+}
+
+func TestExampleThroughTFRecordStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for shot := 0; shot < 5; shot++ {
+		e := NewExample()
+		e.Features["shot"] = Feature{Ints: []int64{int64(shot)}}
+		e.Features["ip"] = Feature{Floats: []float32{float32(shot) * 1.1}}
+		if err := w.Write(e.Marshal()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range recs {
+		e, err := Unmarshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Features["shot"].Ints[0] != int64(i) {
+			t.Fatalf("record %d: shot=%v", i, e.Features["shot"].Ints)
+		}
+	}
+}
+
+// Property: framing round-trips arbitrary byte payloads.
+func TestFramingProperty(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, p := range payloads {
+			if err := w.Write(p); err != nil {
+				return false
+			}
+		}
+		got, err := NewReader(&buf).ReadAll()
+		if err != nil {
+			return false
+		}
+		if len(got) != len(payloads) {
+			return false
+		}
+		for i := range payloads {
+			if !bytes.Equal(got[i], payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Example float features round-trip exactly.
+func TestExampleFloatProperty(t *testing.T) {
+	f := func(vals []float32) bool {
+		clean := make([]float32, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(float64(v)) {
+				clean = append(clean, v)
+			}
+		}
+		e := NewExample()
+		e.Features["v"] = Feature{Floats: clean}
+		dec, err := Unmarshal(e.Marshal())
+		if err != nil {
+			return false
+		}
+		got := dec.Features["v"].Floats
+		if len(got) != len(clean) {
+			return false
+		}
+		for i := range clean {
+			if got[i] != clean[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteRecord(b *testing.B) {
+	rec := bytes.Repeat([]byte{0x55}, 4096)
+	b.SetBytes(int64(len(rec)))
+	b.ReportAllocs()
+	w := NewWriter(io.Discard)
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExampleMarshal(b *testing.B) {
+	e := NewExample()
+	sig := make([]float32, 1024)
+	for i := range sig {
+		sig[i] = float32(i) * 0.01
+	}
+	e.Features["signal"] = Feature{Floats: sig}
+	e.Features["shot"] = Feature{Ints: []int64{171234}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = e.Marshal()
+	}
+}
+
+// encodeVarint is a test helper for hand-built protobuf messages.
+func encodeVarint(v uint64) []byte {
+	var out []byte
+	for v >= 0x80 {
+		out = append(out, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(out, byte(v))
+}
+
+func tag(field, wire int) []byte { return encodeVarint(uint64(field)<<3 | uint64(wire)) }
+
+func lenPrefixed(field int, payload []byte) []byte {
+	out := tag(field, 2)
+	out = append(out, encodeVarint(uint64(len(payload)))...)
+	return append(out, payload...)
+}
+
+// TestUnmarshalSkipsUnknownFields builds a message with unknown varint,
+// fixed64, fixed32, and length-delimited fields around a valid Features
+// submessage — a forward-compatibility requirement of protobuf decoding.
+func TestUnmarshalSkipsUnknownFields(t *testing.T) {
+	e := NewExample()
+	e.Features["x"] = Feature{Ints: []int64{7}}
+	valid := e.Marshal()
+
+	var msg []byte
+	msg = append(msg, tag(9, 0)...) // unknown varint field
+	msg = append(msg, encodeVarint(12345)...)
+	msg = append(msg, tag(10, 1)...) // unknown fixed64
+	msg = append(msg, make([]byte, 8)...)
+	msg = append(msg, tag(11, 5)...) // unknown fixed32
+	msg = append(msg, make([]byte, 4)...)
+	msg = append(msg, lenPrefixed(12, []byte("opaque"))...) // unknown bytes
+	msg = append(msg, valid...)
+
+	dec, err := Unmarshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.Features["x"].Ints; len(got) != 1 || got[0] != 7 {
+		t.Fatalf("features=%v", dec.Features)
+	}
+}
+
+func TestUnmarshalRejectsUnsupportedWireType(t *testing.T) {
+	msg := append(tag(9, 3), 0) // wire type 3 (group) unsupported
+	if _, err := Unmarshal(msg); err == nil {
+		t.Fatal("want wire-type error")
+	}
+}
+
+func TestUnmarshalMapEntryWithoutKey(t *testing.T) {
+	// Features { entry { value-only } } must be rejected.
+	feat := lenPrefixed(3, lenPrefixed(1, encodeVarint(5))) // Int64List{5}
+	entry := lenPrefixed(2, feat)                           // value without key
+	features := lenPrefixed(1, entry)
+	msg := lenPrefixed(1, features)
+	if _, err := Unmarshal(msg); err == nil {
+		t.Fatal("want missing-key error")
+	}
+}
+
+func TestUnmarshalPackedFloatBadLength(t *testing.T) {
+	// FloatList with a 3-byte packed payload (not multiple of 4).
+	fl := lenPrefixed(1, []byte{1, 2, 3})
+	feat := lenPrefixed(2, fl)
+	entry := append(lenPrefixed(1, []byte("k")), lenPrefixed(2, feat)...)
+	features := lenPrefixed(1, entry)
+	msg := lenPrefixed(1, features)
+	if _, err := Unmarshal(msg); err == nil {
+		t.Fatal("want packed-length error")
+	}
+}
+
+func TestUnmarshalUnknownOneofArmIgnored(t *testing.T) {
+	// Feature with oneof arm 7 (unknown) is ignored, not an error.
+	arm := lenPrefixed(1, encodeVarint(1))
+	feat := lenPrefixed(7, arm)
+	entry := append(lenPrefixed(1, []byte("k")), lenPrefixed(2, feat)...)
+	features := lenPrefixed(1, entry)
+	msg := lenPrefixed(1, features)
+	dec, err := Unmarshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := dec.Features["k"]
+	if f.Floats != nil || f.Ints != nil || f.Bytes != nil {
+		t.Fatalf("unknown arm decoded: %+v", f)
+	}
+}
+
+func TestVarintOverflowRejected(t *testing.T) {
+	// 11 continuation bytes exceed 64 bits.
+	msg := bytes.Repeat([]byte{0xFF}, 11)
+	if _, err := Unmarshal(msg); err == nil {
+		t.Fatal("want overflow error")
+	}
+}
+
+// errWriter fails after n bytes, exercising Write's error paths.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, io.ErrClosedPipe
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriterPropagatesSinkErrors(t *testing.T) {
+	for _, budget := range []int{0, 12, 14} { // fail at header, payload, footer
+		w := NewWriter(&errWriter{n: budget})
+		if err := w.Write([]byte("xx")); err == nil {
+			t.Fatalf("budget=%d: want write error", budget)
+		}
+	}
+}

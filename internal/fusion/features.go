@@ -1,0 +1,182 @@
+package fusion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// AlignedShot is a shot's diagnostics resampled onto one uniform time base
+// (the paper's "time-alignment across diagnostics").
+type AlignedShot struct {
+	Number    int
+	Dt        float64
+	T0        float64
+	Channels  []string    // sorted channel order
+	Series    [][]float64 // [channel][sample]
+	Disrupted bool
+	TDisrupt  float64
+}
+
+// Samples returns the common series length.
+func (a *AlignedShot) Samples() int {
+	if len(a.Series) == 0 {
+		return 0
+	}
+	return len(a.Series[0])
+}
+
+// Align resamples all of a shot's diagnostics to a uniform dt over their
+// common support.
+func Align(s *Shot, dt float64) (*AlignedShot, error) {
+	if len(s.Signals) == 0 {
+		return nil, fmt.Errorf("fusion: shot %d has no signals", s.Number)
+	}
+	t0, t1 := math.Inf(-1), math.Inf(1)
+	for _, sig := range s.Signals {
+		if len(sig.Times) == 0 {
+			return nil, fmt.Errorf("fusion: shot %d signal %q empty", s.Number, sig.Name)
+		}
+		if sig.Times[0] > t0 {
+			t0 = sig.Times[0]
+		}
+		if last := sig.Times[len(sig.Times)-1]; last < t1 {
+			t1 = last
+		}
+	}
+	if t1 <= t0 {
+		return nil, fmt.Errorf("fusion: shot %d signals share no time support", s.Number)
+	}
+	a := &AlignedShot{Number: s.Number, Dt: dt, T0: t0,
+		Disrupted: s.Disrupted, TDisrupt: s.TDisrupt}
+	for _, name := range sortedKeys(s.Signals) {
+		rs, err := s.Signals[name].Resample(t0, t1, dt)
+		if err != nil {
+			return nil, fmt.Errorf("fusion: shot %d align %q: %w", s.Number, name, err)
+		}
+		a.Channels = append(a.Channels, name)
+		a.Series = append(a.Series, rs)
+	}
+	return a, nil
+}
+
+func sortedKeys(m map[string]*Signal) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// Derivative computes the centered finite difference of a series
+// (the paper's "derivative-based features from diagnostics").
+func Derivative(xs []float64, dt float64) ([]float64, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("fusion: dt=%v must be positive", dt)
+	}
+	if len(xs) < 2 {
+		return nil, errors.New("fusion: derivative needs >=2 samples")
+	}
+	out := make([]float64, len(xs))
+	out[0] = (xs[1] - xs[0]) / dt
+	out[len(xs)-1] = (xs[len(xs)-1] - xs[len(xs)-2]) / dt
+	for i := 1; i < len(xs)-1; i++ {
+		out[i] = (xs[i+1] - xs[i-1]) / (2 * dt)
+	}
+	return out, nil
+}
+
+// AddDerivativeChannels appends d/dt channels for every base channel,
+// named "d<name>".
+func (a *AlignedShot) AddDerivativeChannels() error {
+	base := len(a.Channels)
+	for c := 0; c < base; c++ {
+		d, err := Derivative(a.Series[c], a.Dt)
+		if err != nil {
+			return fmt.Errorf("fusion: derivative of %q: %w", a.Channels[c], err)
+		}
+		a.Channels = append(a.Channels, "d"+a.Channels[c])
+		a.Series = append(a.Series, d)
+	}
+	return nil
+}
+
+// NormalizePerShot z-scores each channel within the shot (the paper's
+// "normalize shots" step) and returns per-channel (mean, std).
+func (a *AlignedShot) NormalizePerShot() ([][2]float64, error) {
+	stats := make([][2]float64, len(a.Series))
+	for c, xs := range a.Series {
+		mean, n := 0.0, 0
+		for _, v := range xs {
+			if !math.IsNaN(v) {
+				mean += v
+				n++
+			}
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("fusion: channel %q all-NaN", a.Channels[c])
+		}
+		mean /= float64(n)
+		variance := 0.0
+		for _, v := range xs {
+			if !math.IsNaN(v) {
+				d := v - mean
+				variance += d * d
+			}
+		}
+		std := math.Sqrt(variance / float64(n))
+		div := std
+		if div == 0 {
+			div = 1
+		}
+		for i, v := range xs {
+			if !math.IsNaN(v) {
+				xs[i] = (v - mean) / div
+			}
+		}
+		stats[c] = [2]float64{mean, std}
+	}
+	return stats, nil
+}
+
+// Window is one fixed-length multi-channel slice with its disruption
+// label: 1 if a disruption occurs within `horizon` after the window's end
+// (the DIII-D disruption-prediction target).
+type Window struct {
+	Shot     int
+	Start    int       // sample index
+	Features []float64 // [channel-major: c0 samples…, c1 samples…]
+	Label    int
+}
+
+// Windowize slices the aligned shot into windows of `length` samples with
+// `stride`, labeling each by whether disruption falls within horizon
+// seconds after the window end.
+func Windowize(a *AlignedShot, length, stride int, horizon float64) ([]Window, error) {
+	if length <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("fusion: length=%d stride=%d must be positive", length, stride)
+	}
+	n := a.Samples()
+	if n < length {
+		return nil, nil // shot too short: no windows
+	}
+	var out []Window
+	for start := 0; start+length <= n; start += stride {
+		w := Window{Shot: a.Number, Start: start,
+			Features: make([]float64, 0, length*len(a.Series))}
+		for _, series := range a.Series {
+			w.Features = append(w.Features, series[start:start+length]...)
+		}
+		endTime := a.T0 + float64(start+length)*a.Dt
+		if a.Disrupted && a.TDisrupt >= endTime && a.TDisrupt <= endTime+horizon {
+			w.Label = 1
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}

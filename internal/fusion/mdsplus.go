@@ -1,0 +1,159 @@
+// Package fusion implements the fusion archetype (paper §3.2, Table 1):
+// shot-level diagnostics are extracted from an MDSplus-like store, aligned
+// onto a common time base, turned into physics-based features, normalized
+// per shot, windowed, and sharded to TFRecords — the DIII-D disruption-ML
+// extract → align → normalize → shard pattern.
+package fusion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Signal is one diagnostic channel: irregular samples at its own rate.
+type Signal struct {
+	Name  string
+	Times []float64 // seconds, ascending
+	Data  []float64 // NaN = dropout
+	Units string
+}
+
+// Validate checks monotonic times and matching lengths.
+func (s *Signal) Validate() error {
+	if len(s.Times) != len(s.Data) {
+		return fmt.Errorf("fusion: signal %q has %d times, %d samples", s.Name, len(s.Times), len(s.Data))
+	}
+	for i := 1; i < len(s.Times); i++ {
+		if s.Times[i] <= s.Times[i-1] {
+			return fmt.Errorf("fusion: signal %q time not increasing at %d", s.Name, i)
+		}
+	}
+	return nil
+}
+
+// Shot is one plasma discharge: a tree of named diagnostics plus outcome
+// metadata (the label source).
+type Shot struct {
+	Number    int
+	Signals   map[string]*Signal
+	Disrupted bool
+	// TDisrupt is the disruption time (seconds), meaningful when Disrupted.
+	TDisrupt float64
+}
+
+// Store is an MDSplus-like shot archive; safe for concurrent reads.
+type Store struct {
+	mu    sync.RWMutex
+	shots map[int]*Shot
+}
+
+// NewStore returns an empty archive.
+func NewStore() *Store { return &Store{shots: make(map[int]*Shot)} }
+
+// Put validates and stores a shot.
+func (st *Store) Put(s *Shot) error {
+	if s == nil {
+		return errors.New("fusion: nil shot")
+	}
+	for _, sig := range s.Signals {
+		if err := sig.Validate(); err != nil {
+			return fmt.Errorf("shot %d: %w", s.Number, err)
+		}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.shots[s.Number]; dup {
+		return fmt.Errorf("fusion: shot %d already stored", s.Number)
+	}
+	st.shots[s.Number] = s
+	return nil
+}
+
+// Get retrieves a shot.
+func (st *Store) Get(number int) (*Shot, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s, ok := st.shots[number]
+	if !ok {
+		return nil, fmt.Errorf("fusion: shot %d not found", number)
+	}
+	return s, nil
+}
+
+// Shots lists stored shot numbers, ascending.
+func (st *Store) Shots() []int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	nums := make([]int, 0, len(st.shots))
+	for n := range st.shots {
+		nums = append(nums, n)
+	}
+	sort.Ints(nums)
+	return nums
+}
+
+// GetSignal fetches one diagnostic of one shot (the MDSplus
+// tree-traversal access pattern).
+func (st *Store) GetSignal(shot int, name string) (*Signal, error) {
+	s, err := st.Get(shot)
+	if err != nil {
+		return nil, err
+	}
+	sig, ok := s.Signals[name]
+	if !ok {
+		return nil, fmt.Errorf("fusion: shot %d has no signal %q", shot, name)
+	}
+	return sig, nil
+}
+
+// Resample linearly interpolates the signal onto a uniform time base
+// [t0, t1) with step dt. Points outside the signal's support and NaN
+// dropouts are bridged from valid neighbours; a signal with no valid
+// samples yields all NaN.
+func (s *Signal) Resample(t0, t1, dt float64) ([]float64, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("fusion: dt=%v must be positive", dt)
+	}
+	if t1 <= t0 {
+		return nil, fmt.Errorf("fusion: empty window [%v,%v)", t0, t1)
+	}
+	n := int(math.Ceil((t1 - t0) / dt))
+	out := make([]float64, n)
+
+	// Collect valid points only.
+	var ts, vs []float64
+	for i, v := range s.Data {
+		if !math.IsNaN(v) {
+			ts = append(ts, s.Times[i])
+			vs = append(vs, v)
+		}
+	}
+	if len(ts) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out, nil
+	}
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)*dt
+		out[i] = interp(ts, vs, t)
+	}
+	return out, nil
+}
+
+// interp linearly interpolates (ts, vs) at t with edge clamping.
+func interp(ts, vs []float64, t float64) float64 {
+	if t <= ts[0] {
+		return vs[0]
+	}
+	if t >= ts[len(ts)-1] {
+		return vs[len(vs)-1]
+	}
+	k := sort.SearchFloat64s(ts, t)
+	// ts[k-1] < t <= ts[k]
+	frac := (t - ts[k-1]) / (ts[k] - ts[k-1])
+	return vs[k-1] + frac*(vs[k]-vs[k-1])
+}

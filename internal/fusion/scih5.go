@@ -1,0 +1,84 @@
+package fusion
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/formats/scih5"
+)
+
+// ExportSciH5 writes aligned shots into a hierarchical container — the
+// "HDF5" half of Table 1's "TFRecord/HDF5" fusion output. Layout:
+//
+//	/shots/<number>/<channel>   one dataset per diagnostic channel
+//	/shots/<number>             group attribute "disrupted@t" metadata
+func ExportSciH5(aligned []*AlignedShot) ([]byte, error) {
+	if len(aligned) == 0 {
+		return nil, errors.New("fusion: no aligned shots to export")
+	}
+	w := scih5.NewWriter()
+	if err := w.SetGroupAttr("/shots", fmt.Sprintf("aligned campaign, %d shots", len(aligned))); err != nil {
+		return nil, err
+	}
+	for _, a := range aligned {
+		base := fmt.Sprintf("/shots/%d", a.Number)
+		meta := fmt.Sprintf("dt=%g t0=%g disrupted=%t tdisrupt=%g", a.Dt, a.T0, a.Disrupted, a.TDisrupt)
+		if err := w.SetGroupAttr(base, meta); err != nil {
+			return nil, err
+		}
+		for c, name := range a.Channels {
+			attrs := map[string]string{"channel": name}
+			path := base + "/" + name
+			if err := w.WriteFloat32(path, a.Series[c], []int{len(a.Series[c])}, attrs); err != nil {
+				return nil, fmt.Errorf("fusion: export shot %d channel %q: %w", a.Number, name, err)
+			}
+		}
+	}
+	return w.Finalize()
+}
+
+// ImportSciH5 reads a container produced by ExportSciH5 back into
+// aligned shots (channel data only; window labels are regenerated from
+// the group metadata by the caller if needed).
+func ImportSciH5(b []byte) ([]*AlignedShot, error) {
+	f, err := scih5.Open(b)
+	if err != nil {
+		return nil, err
+	}
+	byShot := make(map[int]*AlignedShot)
+	var order []int
+	for _, ds := range f.Datasets() {
+		var shot int
+		var channel string
+		if _, err := fmt.Sscanf(ds.Path, "/shots/%d/%s", &shot, &channel); err != nil {
+			continue
+		}
+		a, ok := byShot[shot]
+		if !ok {
+			a = &AlignedShot{Number: shot}
+			meta, found := f.GroupAttr(fmt.Sprintf("/shots/%d", shot))
+			if found {
+				if _, err := fmt.Sscanf(meta, "dt=%g t0=%g disrupted=%t tdisrupt=%g",
+					&a.Dt, &a.T0, &a.Disrupted, &a.TDisrupt); err != nil {
+					return nil, fmt.Errorf("fusion: shot %d metadata %q: %w", shot, meta, err)
+				}
+			}
+			byShot[shot] = a
+			order = append(order, shot)
+		}
+		data, _, err := f.Read(ds.Path)
+		if err != nil {
+			return nil, err
+		}
+		a.Channels = append(a.Channels, channel)
+		a.Series = append(a.Series, data)
+	}
+	if len(byShot) == 0 {
+		return nil, errors.New("fusion: container holds no shots")
+	}
+	out := make([]*AlignedShot, 0, len(order))
+	for _, n := range order {
+		out = append(out, byShot[n])
+	}
+	return out, nil
+}

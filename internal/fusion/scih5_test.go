@@ -1,0 +1,87 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSciH5ExportImportRoundTrip(t *testing.T) {
+	st, err := SynthesizeCampaign(SynthConfig{Shots: 4, DisruptionRate: 0.5, FlattopSeconds: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aligned []*AlignedShot
+	for _, num := range st.Shots() {
+		s, _ := st.Get(num)
+		a, err := Align(s, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aligned = append(aligned, a)
+	}
+	b, err := ExportSciH5(aligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportSciH5(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(aligned) {
+		t.Fatalf("shots %d vs %d", len(got), len(aligned))
+	}
+	for i, a := range aligned {
+		g := got[i]
+		if g.Number != a.Number || g.Disrupted != a.Disrupted {
+			t.Fatalf("shot %d metadata mismatch: %+v vs %+v", i, g, a)
+		}
+		if math.Abs(g.Dt-a.Dt) > 1e-12 || math.Abs(g.T0-a.T0) > 1e-6 {
+			t.Fatalf("shot %d timing: dt %v/%v t0 %v/%v", i, g.Dt, a.Dt, g.T0, a.T0)
+		}
+		if len(g.Channels) != len(a.Channels) {
+			t.Fatalf("shot %d channels %v vs %v", i, g.Channels, a.Channels)
+		}
+		for c := range a.Channels {
+			if g.Channels[c] != a.Channels[c] {
+				t.Fatalf("channel order: %v vs %v", g.Channels, a.Channels)
+			}
+			if len(g.Series[c]) != len(a.Series[c]) {
+				t.Fatalf("series length %d vs %d", len(g.Series[c]), len(a.Series[c]))
+			}
+			// float32 storage: compare loosely.
+			for k := range a.Series[c] {
+				av, gv := a.Series[c][k], g.Series[c][k]
+				if math.IsNaN(av) && math.IsNaN(gv) {
+					continue
+				}
+				if math.Abs(av-gv) > 1e-3*math.Max(1, math.Abs(av)) {
+					t.Fatalf("shot %d ch %s sample %d: %v vs %v", i, a.Channels[c], k, gv, av)
+				}
+			}
+		}
+	}
+}
+
+func TestExportSciH5Empty(t *testing.T) {
+	if _, err := ExportSciH5(nil); err == nil {
+		t.Fatal("want empty error")
+	}
+}
+
+func TestImportSciH5Garbage(t *testing.T) {
+	if _, err := ImportSciH5([]byte("junk")); err == nil {
+		t.Fatal("want open error")
+	}
+}
+
+func TestImportSciH5NoShots(t *testing.T) {
+	b, err := ExportSciH5([]*AlignedShot{{Number: 1, Dt: 0.1, Channels: []string{"ip"},
+		Series: [][]float64{{1, 2, 3}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportSciH5(b)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got=%v err=%v", got, err)
+	}
+}

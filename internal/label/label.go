@@ -1,0 +1,411 @@
+// Package label implements labeling support for partially labeled
+// scientific datasets: small pure-Go learners (kNN, multinomial logistic
+// regression, k-means) and the iterative pseudo-labeling loop the paper
+// highlights (§2.1: "model predictions on unlabeled data are iteratively
+// treated as labels to improve training" — the feedback edge in Fig. 1).
+package label
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Classifier predicts a class and a confidence in [0,1] for a feature vector.
+type Classifier interface {
+	Fit(features [][]float64, labels []int) error
+	Predict(x []float64) (class int, confidence float64)
+}
+
+// --- kNN ---------------------------------------------------------------
+
+// KNN is a k-nearest-neighbour classifier with Euclidean distance.
+type KNN struct {
+	K        int
+	features [][]float64
+	labels   []int
+	classes  int
+}
+
+// NewKNN returns a kNN classifier with the given neighbourhood size.
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+// Fit memorizes the training set.
+func (m *KNN) Fit(features [][]float64, labels []int) error {
+	if err := checkTraining(features, labels); err != nil {
+		return err
+	}
+	if m.K <= 0 {
+		return fmt.Errorf("label: k=%d must be positive", m.K)
+	}
+	m.features = features
+	m.labels = labels
+	m.classes = numClasses(labels)
+	return nil
+}
+
+// Predict votes among the K nearest training points; confidence is the
+// winning vote fraction.
+func (m *KNN) Predict(x []float64) (int, float64) {
+	if len(m.features) == 0 {
+		return 0, 0
+	}
+	type cand struct {
+		d     float64
+		label int
+	}
+	cands := make([]cand, len(m.features))
+	for i, f := range m.features {
+		cands[i] = cand{d: sqDist(f, x), label: m.labels[i]}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	k := m.K
+	if k > len(cands) {
+		k = len(cands)
+	}
+	votes := make(map[int]int)
+	for _, c := range cands[:k] {
+		votes[c.label]++
+	}
+	best, bestN := 0, -1
+	keys := make([]int, 0, len(votes))
+	for c := range votes {
+		keys = append(keys, c)
+	}
+	sort.Ints(keys) // deterministic tie-break: smallest class wins
+	for _, c := range keys {
+		if votes[c] > bestN {
+			best, bestN = c, votes[c]
+		}
+	}
+	return best, float64(bestN) / float64(k)
+}
+
+func sqDist(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// --- multinomial logistic regression ------------------------------------
+
+// Logistic is a multinomial logistic-regression classifier trained with
+// full-batch gradient descent.
+type Logistic struct {
+	LearningRate float64
+	Epochs       int
+	L2           float64
+	weights      [][]float64 // [class][feature+1], last is bias
+	classes      int
+	dims         int
+}
+
+// NewLogistic returns a classifier with sensible defaults.
+func NewLogistic() *Logistic {
+	return &Logistic{LearningRate: 0.1, Epochs: 200, L2: 1e-4}
+}
+
+// Fit trains by gradient descent on the softmax cross-entropy.
+func (m *Logistic) Fit(features [][]float64, labels []int) error {
+	if err := checkTraining(features, labels); err != nil {
+		return err
+	}
+	m.classes = numClasses(labels)
+	m.dims = len(features[0])
+	m.weights = make([][]float64, m.classes)
+	for c := range m.weights {
+		m.weights[c] = make([]float64, m.dims+1)
+	}
+	n := len(features)
+	probs := make([]float64, m.classes)
+	grad := make([][]float64, m.classes)
+	for c := range grad {
+		grad[c] = make([]float64, m.dims+1)
+	}
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		for c := range grad {
+			for j := range grad[c] {
+				grad[c][j] = 0
+			}
+		}
+		for i, x := range features {
+			m.softmax(x, probs)
+			for c := 0; c < m.classes; c++ {
+				delta := probs[c]
+				if labels[i] == c {
+					delta -= 1
+				}
+				for j := 0; j < m.dims; j++ {
+					grad[c][j] += delta * x[j]
+				}
+				grad[c][m.dims] += delta
+			}
+		}
+		for c := 0; c < m.classes; c++ {
+			for j := 0; j <= m.dims; j++ {
+				g := grad[c][j]/float64(n) + m.L2*m.weights[c][j]
+				m.weights[c][j] -= m.LearningRate * g
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Logistic) softmax(x []float64, out []float64) {
+	maxLogit := math.Inf(-1)
+	for c := 0; c < m.classes; c++ {
+		logit := m.weights[c][m.dims]
+		for j := 0; j < m.dims && j < len(x); j++ {
+			logit += m.weights[c][j] * x[j]
+		}
+		out[c] = logit
+		if logit > maxLogit {
+			maxLogit = logit
+		}
+	}
+	sum := 0.0
+	for c := range out {
+		out[c] = math.Exp(out[c] - maxLogit)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+}
+
+// Predict returns the argmax class and its softmax probability.
+func (m *Logistic) Predict(x []float64) (int, float64) {
+	if m.classes == 0 {
+		return 0, 0
+	}
+	probs := make([]float64, m.classes)
+	m.softmax(x, probs)
+	best := 0
+	for c := 1; c < m.classes; c++ {
+		if probs[c] > probs[best] {
+			best = c
+		}
+	}
+	return best, probs[best]
+}
+
+func checkTraining(features [][]float64, labels []int) error {
+	if len(features) == 0 {
+		return errors.New("label: empty training set")
+	}
+	if len(features) != len(labels) {
+		return fmt.Errorf("label: %d features vs %d labels", len(features), len(labels))
+	}
+	d := len(features[0])
+	for i, f := range features {
+		if len(f) != d {
+			return fmt.Errorf("label: feature %d has %d dims, want %d", i, len(f), d)
+		}
+	}
+	for i, l := range labels {
+		if l < 0 {
+			return fmt.Errorf("label: negative label %d at %d", l, i)
+		}
+	}
+	return nil
+}
+
+func numClasses(labels []int) int {
+	maxC := 0
+	for _, l := range labels {
+		if l > maxC {
+			maxC = l
+		}
+	}
+	return maxC + 1
+}
+
+// --- k-means -------------------------------------------------------------
+
+// KMeans clusters feature vectors (used for exploratory labeling of fully
+// unlabeled datasets).
+type KMeans struct {
+	K        int
+	MaxIters int
+	Centers  [][]float64
+}
+
+// NewKMeans returns a clusterer with k clusters.
+func NewKMeans(k int) *KMeans { return &KMeans{K: k, MaxIters: 100} }
+
+// Fit runs Lloyd's algorithm with deterministic seeding and returns the
+// cluster assignment per point.
+func (m *KMeans) Fit(features [][]float64, seed int64) ([]int, error) {
+	if len(features) == 0 {
+		return nil, errors.New("label: kmeans on empty data")
+	}
+	if m.K <= 0 || m.K > len(features) {
+		return nil, fmt.Errorf("label: k=%d out of range (n=%d)", m.K, len(features))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dims := len(features[0])
+	// Initialize with distinct random points.
+	perm := rng.Perm(len(features))
+	m.Centers = make([][]float64, m.K)
+	for i := 0; i < m.K; i++ {
+		m.Centers[i] = append([]float64(nil), features[perm[i]]...)
+	}
+	assign := make([]int, len(features))
+	for iter := 0; iter < m.MaxIters; iter++ {
+		changed := false
+		for i, x := range features {
+			best, bestD := 0, math.Inf(1)
+			for c, center := range m.Centers {
+				if d := sqDist(x, center); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		counts := make([]int, m.K)
+		sums := make([][]float64, m.K)
+		for c := range sums {
+			sums[c] = make([]float64, dims)
+		}
+		for i, x := range features {
+			c := assign[i]
+			counts[c]++
+			for j, v := range x {
+				sums[c][j] += v
+			}
+		}
+		for c := 0; c < m.K; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				m.Centers[c] = append([]float64(nil), features[rng.Intn(len(features))]...)
+				continue
+			}
+			for j := range sums[c] {
+				m.Centers[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+	}
+	return assign, nil
+}
+
+// --- pseudo-labeling loop --------------------------------------------------
+
+// PseudoLabelConfig tunes the iterative loop.
+type PseudoLabelConfig struct {
+	// Confidence is the minimum prediction confidence to accept a
+	// pseudo-label.
+	Confidence float64
+	// MaxRounds bounds the number of train→predict→accept iterations.
+	MaxRounds int
+}
+
+// DefaultPseudoLabelConfig matches the reproduction's experiments.
+func DefaultPseudoLabelConfig() PseudoLabelConfig {
+	return PseudoLabelConfig{Confidence: 0.8, MaxRounds: 10}
+}
+
+// RoundStats reports one pseudo-labeling round.
+type RoundStats struct {
+	Round    int
+	Labeled  int // total labeled samples after this round
+	Accepted int // pseudo-labels accepted this round
+	Coverage float64
+}
+
+// PseudoLabel iteratively trains clf on the labeled subset, predicts the
+// unlabeled remainder, and adopts confident predictions as labels. labels
+// uses -1 for "unlabeled". It returns the final labels (copy) and
+// per-round statistics; the loop stops when no new labels are accepted.
+func PseudoLabel(clf Classifier, features [][]float64, labels []int, cfg PseudoLabelConfig) ([]int, []RoundStats, error) {
+	if len(features) != len(labels) {
+		return nil, nil, fmt.Errorf("label: %d features vs %d labels", len(features), len(labels))
+	}
+	if cfg.Confidence < 0 || cfg.Confidence > 1 {
+		return nil, nil, fmt.Errorf("label: confidence %v out of [0,1]", cfg.Confidence)
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 1
+	}
+	cur := append([]int(nil), labels...)
+	var stats []RoundStats
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		var trainX [][]float64
+		var trainY []int
+		for i, l := range cur {
+			if l >= 0 {
+				trainX = append(trainX, features[i])
+				trainY = append(trainY, l)
+			}
+		}
+		if len(trainX) == 0 {
+			return nil, nil, errors.New("label: no seed labels for pseudo-labeling")
+		}
+		if err := clf.Fit(trainX, trainY); err != nil {
+			return nil, nil, fmt.Errorf("label: round %d fit: %w", round, err)
+		}
+		accepted := 0
+		for i, l := range cur {
+			if l >= 0 {
+				continue
+			}
+			class, conf := clf.Predict(features[i])
+			if conf >= cfg.Confidence {
+				cur[i] = class
+				accepted++
+			}
+		}
+		labeled := 0
+		for _, l := range cur {
+			if l >= 0 {
+				labeled++
+			}
+		}
+		stats = append(stats, RoundStats{
+			Round:    round,
+			Labeled:  labeled,
+			Accepted: accepted,
+			Coverage: float64(labeled) / float64(len(cur)),
+		})
+		if accepted == 0 {
+			break
+		}
+	}
+	return cur, stats, nil
+}
+
+// Accuracy computes the fraction of predictions matching truth, skipping
+// entries where truth is negative (unknown).
+func Accuracy(pred, truth []int) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("label: %d predictions vs %d truths", len(pred), len(truth))
+	}
+	n, correct := 0, 0
+	for i := range pred {
+		if truth[i] < 0 {
+			continue
+		}
+		n++
+		if pred[i] == truth[i] {
+			correct++
+		}
+	}
+	if n == 0 {
+		return 0, errors.New("label: no ground truth to score against")
+	}
+	return float64(correct) / float64(n), nil
+}

@@ -1,0 +1,334 @@
+package label
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoBlobs makes a linearly separable 2-class dataset.
+func twoBlobs(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	features := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range features {
+		c := i % 2
+		cx := float64(c)*6 - 3
+		features[i] = []float64{cx + rng.NormFloat64(), cx + rng.NormFloat64()}
+		labels[i] = c
+	}
+	return features, labels
+}
+
+func TestKNNSeparableBlobs(t *testing.T) {
+	x, y := twoBlobs(200, 1)
+	m := NewKNN(5)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		class, conf := m.Predict(x[i])
+		if class == y[i] {
+			correct++
+		}
+		if conf < 0 || conf > 1 {
+			t.Fatalf("confidence %v out of range", conf)
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.97 {
+		t.Fatalf("knn accuracy=%v", acc)
+	}
+}
+
+func TestKNNKLargerThanData(t *testing.T) {
+	m := NewKNN(10)
+	if err := m.Fit([][]float64{{0}, {1}}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	class, conf := m.Predict([]float64{0.1})
+	if class != 0 && class != 1 {
+		t.Fatalf("class=%d", class)
+	}
+	if conf != 0.5 {
+		t.Fatalf("conf=%v with k clamped to 2", conf)
+	}
+}
+
+func TestKNNErrors(t *testing.T) {
+	m := NewKNN(0)
+	if err := m.Fit([][]float64{{1}}, []int{0}); err == nil {
+		t.Fatal("want k error")
+	}
+	m = NewKNN(1)
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("want empty error")
+	}
+	if err := m.Fit([][]float64{{1}}, []int{0, 1}); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+	if err := m.Fit([][]float64{{1}, {1, 2}}, []int{0, 1}); err == nil {
+		t.Fatal("want ragged error")
+	}
+	if err := m.Fit([][]float64{{1}}, []int{-2}); err == nil {
+		t.Fatal("want negative label error")
+	}
+}
+
+func TestKNNPredictUnfitted(t *testing.T) {
+	class, conf := NewKNN(3).Predict([]float64{1})
+	if class != 0 || conf != 0 {
+		t.Fatalf("unfitted predict=(%d,%v)", class, conf)
+	}
+}
+
+func TestLogisticSeparableBlobs(t *testing.T) {
+	x, y := twoBlobs(200, 2)
+	m := NewLogistic()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		class, conf := m.Predict(x[i])
+		if class == y[i] {
+			correct++
+		}
+		if conf < 0 || conf > 1 {
+			t.Fatalf("probability %v out of range", conf)
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.97 {
+		t.Fatalf("logistic accuracy=%v", acc)
+	}
+}
+
+func TestLogisticThreeClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []int
+	centers := [][2]float64{{-5, 0}, {5, 0}, {0, 6}}
+	for i := 0; i < 300; i++ {
+		c := i % 3
+		x = append(x, []float64{centers[c][0] + rng.NormFloat64(), centers[c][1] + rng.NormFloat64()})
+		y = append(y, c)
+	}
+	m := NewLogistic()
+	m.Epochs = 400
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		if class, _ := m.Predict(x[i]); class == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.95 {
+		t.Fatalf("3-class accuracy=%v", acc)
+	}
+}
+
+func TestLogisticPredictUnfitted(t *testing.T) {
+	class, conf := NewLogistic().Predict([]float64{1})
+	if class != 0 || conf != 0 {
+		t.Fatalf("unfitted predict=(%d,%v)", class, conf)
+	}
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	x, y := twoBlobs(200, 4)
+	m := NewKMeans(2)
+	assign, err := m.Fit(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clustering is label-invariant: check agreement up to permutation.
+	agree, swap := 0, 0
+	for i := range assign {
+		if assign[i] == y[i] {
+			agree++
+		} else {
+			swap++
+		}
+	}
+	best := agree
+	if swap > best {
+		best = swap
+	}
+	if acc := float64(best) / float64(len(x)); acc < 0.95 {
+		t.Fatalf("kmeans agreement=%v", acc)
+	}
+	if len(m.Centers) != 2 {
+		t.Fatalf("centers=%d", len(m.Centers))
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := NewKMeans(2).Fit(nil, 1); err == nil {
+		t.Fatal("want empty error")
+	}
+	if _, err := NewKMeans(5).Fit([][]float64{{1}}, 1); err == nil {
+		t.Fatal("want k>n error")
+	}
+	if _, err := NewKMeans(0).Fit([][]float64{{1}}, 1); err == nil {
+		t.Fatal("want k<=0 error")
+	}
+}
+
+// TestPseudoLabelImprovesCoverage is the paper's C3/E6 experiment in
+// miniature: starting from 10% seed labels, the loop must raise coverage
+// substantially while staying accurate.
+func TestPseudoLabelImprovesCoverage(t *testing.T) {
+	x, truth := twoBlobs(400, 5)
+	labels := make([]int, len(x))
+	for i := range labels {
+		if i < 40 { // 10% seeds
+			labels[i] = truth[i]
+		} else {
+			labels[i] = -1
+		}
+	}
+	final, stats, err := PseudoLabel(NewKNN(5), x, labels, DefaultPseudoLabelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) == 0 {
+		t.Fatal("no rounds")
+	}
+	last := stats[len(stats)-1]
+	if last.Coverage < 0.95 {
+		t.Fatalf("final coverage=%v, stats=%+v", last.Coverage, stats)
+	}
+	// Coverage must be non-decreasing across rounds.
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Coverage < stats[i-1].Coverage {
+			t.Fatalf("coverage regressed: %+v", stats)
+		}
+	}
+	// Accuracy on pseudo-labels must be high (blobs are separable).
+	acc, err := Accuracy(final, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("pseudo-label accuracy=%v", acc)
+	}
+}
+
+func TestPseudoLabelStopsWhenNothingConfident(t *testing.T) {
+	// Unlabelable point far from seeds with an impossible threshold.
+	x := [][]float64{{0}, {0.1}, {100}}
+	labels := []int{0, 1, -1}
+	cfg := PseudoLabelConfig{Confidence: 1.1, MaxRounds: 5}
+	_, _, err := PseudoLabel(NewKNN(1), x, labels, cfg)
+	if err == nil {
+		t.Fatal("want confidence-range error")
+	}
+	cfg.Confidence = 1.0
+	final, stats, err := PseudoLabel(NewKNN(2), x, labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// kNN with k=2 over 2 points gives 0.5 confidence -> never accepted.
+	if final[2] != -1 {
+		t.Fatalf("final=%v", final)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("loop should stop after first empty round, stats=%+v", stats)
+	}
+}
+
+func TestPseudoLabelNoSeeds(t *testing.T) {
+	x := [][]float64{{1}}
+	if _, _, err := PseudoLabel(NewKNN(1), x, []int{-1}, DefaultPseudoLabelConfig()); err == nil {
+		t.Fatal("want no-seed error")
+	}
+}
+
+func TestPseudoLabelLengthMismatch(t *testing.T) {
+	if _, _, err := PseudoLabel(NewKNN(1), [][]float64{{1}}, []int{0, 1}, DefaultPseudoLabelConfig()); err == nil {
+		t.Fatal("want length error")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	acc, err := Accuracy([]int{0, 1, 1, 0}, []int{0, 1, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc-2.0/3.0) > 1e-12 {
+		t.Fatalf("acc=%v", acc)
+	}
+	if _, err := Accuracy([]int{0}, []int{0, 1}); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := Accuracy([]int{0}, []int{-1}); err == nil {
+		t.Fatal("want no-truth error")
+	}
+}
+
+// Property: pseudo-labeling never overwrites existing labels and never
+// decreases the labeled count.
+func TestPseudoLabelPreservesSeedsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 10
+		x := make([][]float64, n)
+		labels := make([]int, n)
+		for i := range x {
+			x[i] = []float64{rng.NormFloat64()}
+			if rng.Float64() < 0.3 {
+				labels[i] = rng.Intn(2)
+			} else {
+				labels[i] = -1
+			}
+		}
+		hasSeed := false
+		for _, l := range labels {
+			if l >= 0 {
+				hasSeed = true
+			}
+		}
+		if !hasSeed {
+			return true
+		}
+		final, _, err := PseudoLabel(NewKNN(3), x, labels, DefaultPseudoLabelConfig())
+		if err != nil {
+			return false
+		}
+		for i, l := range labels {
+			if l >= 0 && final[i] != l {
+				return false // seed overwritten
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKNNPredict(b *testing.B) {
+	x, y := twoBlobs(1000, 1)
+	m := NewKNN(5)
+	if err := m.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x[i%len(x)])
+	}
+}
+
+func BenchmarkLogisticFit(b *testing.B) {
+	x, y := twoBlobs(200, 1)
+	for i := 0; i < b.N; i++ {
+		m := NewLogistic()
+		m.Epochs = 50
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package loader
+
+import (
+	"errors"
+	"time"
+)
+
+// ConsumeStats reports how a simulated training consumer experienced the
+// loader: total batches, wall time, and time spent stalled waiting for
+// data — the metric that decides whether a dataset is *operationally*
+// AI-ready (paper §2.2: data must "interface efficiently with
+// GPU-accelerated AI training pipelines"; an input pipeline that stalls
+// the accelerator is not ready regardless of format).
+type ConsumeStats struct {
+	Batches  int
+	Samples  int
+	Wall     time.Duration
+	Stall    time.Duration
+	StepTime time.Duration
+}
+
+// StallFraction returns the share of wall time the consumer spent blocked
+// on the loader.
+func (s ConsumeStats) StallFraction() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Stall) / float64(s.Wall)
+}
+
+// Consume drains the loader while emulating a trainer that spends
+// stepTime of compute per batch. It measures the loader-induced stall:
+// time spent in Next() beyond the compute overlap.
+func Consume(l *Loader, stepTime time.Duration) (ConsumeStats, error) {
+	if l == nil {
+		return ConsumeStats{}, errors.New("loader: nil loader")
+	}
+	stats := ConsumeStats{StepTime: stepTime}
+	start := time.Now()
+	for {
+		waitStart := time.Now()
+		b := l.Next()
+		if b == nil {
+			break
+		}
+		stats.Stall += time.Since(waitStart)
+		stats.Batches++
+		stats.Samples += b.Len()
+		if stepTime > 0 {
+			time.Sleep(stepTime) // the "GPU step"
+		}
+	}
+	stats.Wall = time.Since(start)
+	return stats, l.Err()
+}

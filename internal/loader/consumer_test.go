@@ -1,0 +1,103 @@
+package loader
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/shard"
+)
+
+func TestConsumeDrainsEverything(t *testing.T) {
+	sink := shard.NewMemSink()
+	m, err := WriteSamples(sink, shard.Options{TargetBytes: 512}, mkSamples(40, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(sink, m, Options{BatchSize: 8, Prefetch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Consume(l, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Batches != 5 || stats.Samples != 40 {
+		t.Fatalf("stats=%+v", stats)
+	}
+	if stats.Wall <= 0 {
+		t.Fatalf("wall=%v", stats.Wall)
+	}
+}
+
+func TestConsumeNilLoader(t *testing.T) {
+	if _, err := Consume(nil, 0); err == nil {
+		t.Fatal("want nil error")
+	}
+}
+
+func TestConsumeStallFraction(t *testing.T) {
+	// With a slow "GPU step" and deep prefetch, the loader should hide
+	// its latency: stall fraction stays small.
+	sink := shard.NewMemSink()
+	m, err := WriteSamples(sink, shard.Options{TargetBytes: 4096}, mkSamples(64, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(sink, m, Options{BatchSize: 8, Prefetch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Consume(l, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StallFraction() > 0.5 {
+		t.Fatalf("stall fraction=%v (stall=%v wall=%v)", stats.StallFraction(), stats.Stall, stats.Wall)
+	}
+	var zero ConsumeStats
+	if zero.StallFraction() != 0 {
+		t.Fatal("zero stats stall fraction")
+	}
+}
+
+func TestConsumeSurfacesLoaderError(t *testing.T) {
+	sink := shard.NewMemSink()
+	w, _ := shard.NewWriter(sink, shard.Options{})
+	if err := w.Write([]byte{1}); err != nil { // invalid sample
+		t.Fatal(err)
+	}
+	m, _ := w.Close()
+	l, err := New(sink, m, Options{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Consume(l, 0); err == nil {
+		t.Fatal("want surfaced decode error")
+	}
+}
+
+// BenchmarkLoaderPrefetch ablates prefetch depth against a paced
+// consumer: deeper prefetch should not hurt and typically reduces stall.
+func BenchmarkLoaderPrefetch(b *testing.B) {
+	sink := shard.NewMemSink()
+	m, err := WriteSamples(sink, shard.Options{TargetBytes: 1 << 14}, mkSamples(512, 32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, depth := range []int{1, 4, 16} {
+		name := map[int]string{1: "p1", 4: "p4", 16: "p16"}[depth]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				l, err := New(sink, m, Options{BatchSize: 32, Prefetch: depth})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats, err := Consume(l, 100*time.Microsecond)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*stats.StallFraction(), "%stall")
+			}
+		})
+	}
+}

@@ -1,0 +1,224 @@
+// Package loader is the training-side consumer of AI-ready shards: it
+// defines the sample wire encoding, and a prefetching, shuffling, batching
+// data loader — the contract that makes a dataset "ready-to-train" (paper
+// §2.2: data must "interface efficiently with GPU-accelerated AI training
+// pipelines").
+package loader
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/shard"
+)
+
+// Sample is one training example: a float32 feature vector and an integer
+// label (-1 = unlabeled).
+type Sample struct {
+	Features []float32
+	Label    int32
+}
+
+// Encode serializes a sample:
+//
+//	u32 featureCount | float32 features… | i32 label   (little-endian)
+func (s *Sample) Encode() []byte {
+	buf := make([]byte, 4+4*len(s.Features)+4)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(s.Features)))
+	for i, f := range s.Features {
+		binary.LittleEndian.PutUint32(buf[4+i*4:], math.Float32bits(f))
+	}
+	binary.LittleEndian.PutUint32(buf[4+4*len(s.Features):], uint32(s.Label))
+	return buf
+}
+
+// DecodeSample parses an encoded sample.
+func DecodeSample(b []byte) (*Sample, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("loader: sample too short (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b[0:]))
+	want := 4 + 4*n + 4
+	if len(b) != want {
+		return nil, fmt.Errorf("loader: sample with %d features needs %d bytes, have %d", n, want, len(b))
+	}
+	s := &Sample{Features: make([]float32, n)}
+	for i := range s.Features {
+		s.Features[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4+i*4:]))
+	}
+	s.Label = int32(binary.LittleEndian.Uint32(b[4+4*n:]))
+	return s, nil
+}
+
+// Batch is a fixed group of samples stacked for a training step.
+type Batch struct {
+	Features [][]float32
+	Labels   []int32
+}
+
+// Len returns the number of samples in the batch.
+func (b *Batch) Len() int { return len(b.Labels) }
+
+// Options configures a Loader.
+type Options struct {
+	BatchSize int
+	// ShuffleBuffer holds this many samples for reservoir-style
+	// shuffling; 0 disables shuffling (deterministic order).
+	ShuffleBuffer int
+	// Prefetch is the batch channel depth (pipeline overlap with the
+	// consumer). Minimum effective value is 1.
+	Prefetch int
+	// DropRemainder discards a trailing partial batch.
+	DropRemainder bool
+	Seed          int64
+}
+
+// Loader streams batches from a shard set in a background goroutine.
+type Loader struct {
+	ch    chan *Batch
+	errMu sync.Mutex
+	err   error
+	stop  chan struct{}
+	once  sync.Once
+}
+
+// New starts a loader over the shards in the manifest.
+func New(open shard.Opener, m *shard.Manifest, opts Options) (*Loader, error) {
+	if opts.BatchSize <= 0 {
+		return nil, fmt.Errorf("loader: batch size %d must be positive", opts.BatchSize)
+	}
+	if opts.Prefetch < 1 {
+		opts.Prefetch = 1
+	}
+	l := &Loader{
+		ch:   make(chan *Batch, opts.Prefetch),
+		stop: make(chan struct{}),
+	}
+	go l.run(open, m, opts)
+	return l, nil
+}
+
+func (l *Loader) run(open shard.Opener, m *shard.Manifest, opts Options) {
+	defer close(l.ch)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var buffer []*Sample
+	var pending []*Sample
+
+	emit := func(s *Sample) bool {
+		pending = append(pending, s)
+		if len(pending) == opts.BatchSize {
+			b := stack(pending)
+			pending = pending[:0]
+			select {
+			case l.ch <- b:
+				return true
+			case <-l.stop:
+				return false
+			}
+		}
+		return true
+	}
+
+	err := shard.ReadAll(open, m, func(_ string, rec []byte) error {
+		s, err := DecodeSample(rec)
+		if err != nil {
+			return err
+		}
+		if opts.ShuffleBuffer <= 0 {
+			if !emit(s) {
+				return errStopped
+			}
+			return nil
+		}
+		buffer = append(buffer, s)
+		if len(buffer) >= opts.ShuffleBuffer {
+			k := rng.Intn(len(buffer))
+			out := buffer[k]
+			buffer[k] = buffer[len(buffer)-1]
+			buffer = buffer[:len(buffer)-1]
+			if !emit(out) {
+				return errStopped
+			}
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStopped) {
+		l.setErr(err)
+		return
+	}
+	if errors.Is(err, errStopped) {
+		return
+	}
+	// Drain the shuffle buffer.
+	rng.Shuffle(len(buffer), func(i, j int) { buffer[i], buffer[j] = buffer[j], buffer[i] })
+	for _, s := range buffer {
+		if !emit(s) {
+			return
+		}
+	}
+	if len(pending) > 0 && !opts.DropRemainder {
+		select {
+		case l.ch <- stack(pending):
+		case <-l.stop:
+		}
+	}
+}
+
+var errStopped = errors.New("loader: stopped")
+
+func stack(samples []*Sample) *Batch {
+	b := &Batch{
+		Features: make([][]float32, len(samples)),
+		Labels:   make([]int32, len(samples)),
+	}
+	for i, s := range samples {
+		b.Features[i] = append([]float32(nil), s.Features...)
+		b.Labels[i] = s.Label
+	}
+	return b
+}
+
+func (l *Loader) setErr(err error) {
+	l.errMu.Lock()
+	l.err = err
+	l.errMu.Unlock()
+}
+
+// Next returns the next batch, or nil when the stream ends. Check Err
+// after a nil return.
+func (l *Loader) Next() *Batch {
+	b, ok := <-l.ch
+	if !ok {
+		return nil
+	}
+	return b
+}
+
+// Err reports a decode/read failure that ended the stream early.
+func (l *Loader) Err() error {
+	l.errMu.Lock()
+	defer l.errMu.Unlock()
+	return l.err
+}
+
+// Stop cancels the background reader; safe to call multiple times.
+func (l *Loader) Stop() { l.once.Do(func() { close(l.stop) }) }
+
+// WriteSamples shards a sample set — the convenience used by pipelines and
+// tests to produce loader-compatible shard sets.
+func WriteSamples(sink shard.Sink, opts shard.Options, samples []*Sample) (*shard.Manifest, error) {
+	w, err := shard.NewWriter(sink, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range samples {
+		if err := w.Write(s.Encode()); err != nil {
+			return nil, err
+		}
+	}
+	return w.Close()
+}

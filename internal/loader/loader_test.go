@@ -1,0 +1,328 @@
+package loader
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/shard"
+)
+
+func mkSamples(n, dims int) []*Sample {
+	samples := make([]*Sample, n)
+	for i := range samples {
+		f := make([]float32, dims)
+		for j := range f {
+			f[j] = float32(i*dims + j)
+		}
+		samples[i] = &Sample{Features: f, Label: int32(i)}
+	}
+	return samples
+}
+
+func TestSampleEncodeDecode(t *testing.T) {
+	s := &Sample{Features: []float32{1.5, -2.25, 0}, Label: 7}
+	d, err := DecodeSample(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Label != 7 || len(d.Features) != 3 || d.Features[1] != -2.25 {
+		t.Fatalf("decoded=%+v", d)
+	}
+}
+
+func TestSampleUnlabeled(t *testing.T) {
+	s := &Sample{Features: []float32{1}, Label: -1}
+	d, err := DecodeSample(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Label != -1 {
+		t.Fatalf("label=%d", d.Label)
+	}
+}
+
+func TestSampleEmptyFeatures(t *testing.T) {
+	s := &Sample{Label: 3}
+	d, err := DecodeSample(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Features) != 0 || d.Label != 3 {
+		t.Fatalf("decoded=%+v", d)
+	}
+}
+
+func TestDecodeSampleErrors(t *testing.T) {
+	if _, err := DecodeSample([]byte{1, 2}); err == nil {
+		t.Fatal("want short error")
+	}
+	s := &Sample{Features: []float32{1, 2}}
+	enc := s.Encode()
+	if _, err := DecodeSample(enc[:len(enc)-2]); err == nil {
+		t.Fatal("want length error")
+	}
+}
+
+func writeSet(t *testing.T, n, dims int) (*shard.MemSink, *shard.Manifest) {
+	t.Helper()
+	sink := shard.NewMemSink()
+	m, err := WriteSamples(sink, shard.Options{Prefix: "t", TargetBytes: 512}, mkSamples(n, dims))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sink, m
+}
+
+func TestLoaderDeterministicOrder(t *testing.T) {
+	sink, m := writeSet(t, 25, 4)
+	l, err := New(sink, m, Options{BatchSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labels []int32
+	for b := l.Next(); b != nil; b = l.Next() {
+		labels = append(labels, b.Labels...)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 25 {
+		t.Fatalf("got %d samples", len(labels))
+	}
+	for i, lab := range labels {
+		if lab != int32(i) {
+			t.Fatalf("order broken at %d: %d", i, lab)
+		}
+	}
+}
+
+func TestLoaderBatchSizes(t *testing.T) {
+	sink, m := writeSet(t, 25, 2)
+	l, err := New(sink, m, Options{BatchSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{}
+	for b := l.Next(); b != nil; b = l.Next() {
+		sizes = append(sizes, b.Len())
+	}
+	if len(sizes) != 3 || sizes[0] != 10 || sizes[2] != 5 {
+		t.Fatalf("sizes=%v", sizes)
+	}
+}
+
+func TestLoaderDropRemainder(t *testing.T) {
+	sink, m := writeSet(t, 25, 2)
+	l, err := New(sink, m, Options{BatchSize: 10, DropRemainder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for b := l.Next(); b != nil; b = l.Next() {
+		if b.Len() != 10 {
+			t.Fatalf("partial batch leaked: %d", b.Len())
+		}
+		total += b.Len()
+	}
+	if total != 20 {
+		t.Fatalf("total=%d", total)
+	}
+}
+
+func TestLoaderShuffles(t *testing.T) {
+	sink, m := writeSet(t, 100, 2)
+	l, err := New(sink, m, Options{BatchSize: 100, ShuffleBuffer: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := l.Next()
+	if b == nil || b.Len() != 100 {
+		t.Fatal("missing batch")
+	}
+	inOrder := true
+	seen := make(map[int32]bool)
+	for i, lab := range b.Labels {
+		if lab != int32(i) {
+			inOrder = false
+		}
+		if seen[lab] {
+			t.Fatalf("duplicate label %d", lab)
+		}
+		seen[lab] = true
+	}
+	if inOrder {
+		t.Fatal("shuffle produced identity order")
+	}
+	if len(seen) != 100 {
+		t.Fatalf("lost samples: %d", len(seen))
+	}
+}
+
+func TestLoaderShuffleDeterministicPerSeed(t *testing.T) {
+	collect := func(seed int64) []int32 {
+		sink, m := writeSet(t, 50, 1)
+		l, err := New(sink, m, Options{BatchSize: 50, ShuffleBuffer: 32, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := l.Next()
+		if b == nil {
+			t.Fatal("no batch")
+		}
+		return b.Labels
+	}
+	a, b := collect(7), collect(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must shuffle identically")
+		}
+	}
+}
+
+func TestLoaderBadBatchSize(t *testing.T) {
+	sink, m := writeSet(t, 1, 1)
+	if _, err := New(sink, m, Options{BatchSize: 0}); err == nil {
+		t.Fatal("want batch-size error")
+	}
+}
+
+func TestLoaderDecodeErrorSurfaces(t *testing.T) {
+	sink := shard.NewMemSink()
+	w, _ := shard.NewWriter(sink, shard.Options{Prefix: "bad"})
+	if err := w.Write([]byte{1, 2, 3}); err != nil { // not a valid sample
+		t.Fatal(err)
+	}
+	m, _ := w.Close()
+	l, err := New(sink, m, Options{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := l.Next(); b != nil; b = l.Next() {
+	}
+	if l.Err() == nil {
+		t.Fatal("decode error not surfaced")
+	}
+}
+
+func TestLoaderStop(t *testing.T) {
+	sink, m := writeSet(t, 1000, 8)
+	l, err := New(sink, m, Options{BatchSize: 1, Prefetch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Next() == nil {
+		t.Fatal("no first batch")
+	}
+	l.Stop()
+	l.Stop() // idempotent
+	// Drain to termination; must not hang.
+	for b := l.Next(); b != nil; b = l.Next() {
+	}
+}
+
+func TestLoaderEmptyManifest(t *testing.T) {
+	sink := shard.NewMemSink()
+	w, _ := shard.NewWriter(sink, shard.Options{})
+	m, _ := w.Close()
+	l, err := New(sink, m, Options{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := l.Next(); b != nil {
+		t.Fatalf("batch from empty set: %+v", b)
+	}
+	if l.Err() != nil {
+		t.Fatal(l.Err())
+	}
+}
+
+// Property: every sample written is delivered exactly once, for any batch
+// size and shuffle buffer.
+func TestLoaderNoLossProperty(t *testing.T) {
+	f := func(n8, batch8, buf8 uint8, seed int64) bool {
+		n := int(n8)%80 + 1
+		batch := int(batch8)%16 + 1
+		buf := int(buf8) % 40
+		sink := shard.NewMemSink()
+		m, err := WriteSamples(sink, shard.Options{TargetBytes: 300}, mkSamples(n, 2))
+		if err != nil {
+			return false
+		}
+		l, err := New(sink, m, Options{BatchSize: batch, ShuffleBuffer: buf, Seed: seed})
+		if err != nil {
+			return false
+		}
+		seen := make(map[int32]int)
+		total := 0
+		for b := l.Next(); b != nil; b = l.Next() {
+			for _, lab := range b.Labels {
+				seen[lab]++
+				total++
+			}
+		}
+		if l.Err() != nil || total != n || len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sample encoding round-trips arbitrary float32 features.
+func TestSampleRoundTripProperty(t *testing.T) {
+	f := func(features []float32, label int32) bool {
+		clean := make([]float32, 0, len(features))
+		for _, v := range features {
+			if !math.IsNaN(float64(v)) {
+				clean = append(clean, v)
+			}
+		}
+		s := &Sample{Features: clean, Label: label}
+		d, err := DecodeSample(s.Encode())
+		if err != nil || d.Label != label || len(d.Features) != len(clean) {
+			return false
+		}
+		for i := range clean {
+			if d.Features[i] != clean[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLoaderShuffle(b *testing.B) {
+	samples := mkSamples(2000, 32)
+	sink := shard.NewMemSink()
+	m, err := WriteSamples(sink, shard.Options{TargetBytes: 1 << 16}, samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, buf := range []int{0, 64, 512} {
+		name := map[int]string{0: "none", 64: "buf64", 512: "buf512"}[buf]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				l, err := New(sink, m, Options{BatchSize: 64, ShuffleBuffer: buf, Prefetch: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for batch := l.Next(); batch != nil; batch = l.Next() {
+				}
+				if l.Err() != nil {
+					b.Fatal(l.Err())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,170 @@
+package materials
+
+import (
+	"fmt"
+	"math"
+)
+
+// Graph is a periodic cutoff graph over a structure's atoms: the
+// HydraGNN-style encoding (nodes = atoms with feature vectors, edges =
+// pairs within the cutoff under periodic boundary conditions).
+type Graph struct {
+	StructID string
+	// NodeFeatures is [atom][feature]: normalized Z, then one-hot-ish
+	// descriptors appended by NormalizeDescriptors.
+	NodeFeatures [][]float64
+	// Edges lists (i, j) pairs with i < j.
+	Edges [][2]int
+	// EdgeLengths holds the minimum-image distance per edge (Angstrom).
+	EdgeLengths []float64
+	Energy      float64
+	Class       string
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.NodeFeatures) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// minImageDist computes the minimum-image distance between two fractional
+// positions in a cubic cell of edge a.
+func minImageDist(p, q [3]float64, a float64) float64 {
+	s := 0.0
+	for d := 0; d < 3; d++ {
+		df := p[d] - q[d]
+		df -= math.Round(df) // wrap to [-0.5, 0.5)
+		dx := df * a
+		s += dx * dx
+	}
+	return math.Sqrt(s)
+}
+
+// BuildGraph encodes a structure as a cutoff graph. Cutoff is in
+// Angstrom; it must be positive and at most half the cell edge (the
+// minimum-image convention's validity bound).
+func BuildGraph(s *Structure, cutoff float64) (*Graph, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if cutoff <= 0 {
+		return nil, fmt.Errorf("materials: cutoff %v must be positive", cutoff)
+	}
+	if cutoff > s.Lattice/2 {
+		return nil, fmt.Errorf("materials: cutoff %v exceeds half cell edge %v (minimum image invalid)",
+			cutoff, s.Lattice/2)
+	}
+	g := &Graph{StructID: s.ID, Energy: s.Energy, Class: s.Class}
+	for _, sp := range s.Species {
+		g.NodeFeatures = append(g.NodeFeatures, []float64{float64(AtomicNumber(sp))})
+	}
+	n := s.NumAtoms()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := minImageDist(s.Frac[i], s.Frac[j], s.Lattice)
+			if d <= cutoff {
+				g.Edges = append(g.Edges, [2]int{i, j})
+				g.EdgeLengths = append(g.EdgeLengths, d)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Degree returns per-node degree counts.
+func (g *Graph) Degree() []int {
+	deg := make([]int, g.NumNodes())
+	for _, e := range g.Edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	return deg
+}
+
+// DescriptorStats holds normalization constants for graph node features
+// computed across a dataset (paper: "normalize descriptors").
+type DescriptorStats struct {
+	MeanZ, StdZ        float64
+	MeanEnergy, StdE   float64
+	MeanDegree, StdDeg float64
+}
+
+// ComputeDescriptorStats scans graphs for dataset-wide normalization
+// constants.
+func ComputeDescriptorStats(graphs []*Graph) (*DescriptorStats, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("materials: no graphs to profile")
+	}
+	var zs, es, ds []float64
+	for _, g := range graphs {
+		es = append(es, g.Energy/math.Max(1, float64(g.NumNodes()))) // per-atom energy
+		for _, f := range g.NodeFeatures {
+			zs = append(zs, f[0])
+		}
+		for _, d := range g.Degree() {
+			ds = append(ds, float64(d))
+		}
+	}
+	stats := &DescriptorStats{}
+	stats.MeanZ, stats.StdZ = meanStd(zs)
+	stats.MeanEnergy, stats.StdE = meanStd(es)
+	stats.MeanDegree, stats.StdDeg = meanStd(ds)
+	return stats, nil
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	if len(xs) == 0 {
+		return 0, 1
+	}
+	m := 0.0
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	s := math.Sqrt(v / float64(len(xs)))
+	if s == 0 {
+		s = 1
+	}
+	return m, s
+}
+
+// NormalizeDescriptors standardizes node features in place against the
+// dataset statistics and appends a normalized-degree feature per node.
+func NormalizeDescriptors(g *Graph, st *DescriptorStats) {
+	deg := g.Degree()
+	for i := range g.NodeFeatures {
+		g.NodeFeatures[i][0] = (g.NodeFeatures[i][0] - st.MeanZ) / st.StdZ
+		g.NodeFeatures[i] = append(g.NodeFeatures[i],
+			(float64(deg[i])-st.MeanDegree)/st.StdDeg)
+	}
+}
+
+// Flatten serializes the graph into BP-style flat variables, the layout
+// HydraGNN's ADIOS readers consume:
+//
+//	node_features [N, F] row-major, edges [E, 2], edge_lengths [E],
+//	energy [1], class_id [1]
+func (g *Graph) Flatten(classIDs map[string]int) (names []string, shapes [][]int, data [][]float64) {
+	F := 0
+	if g.NumNodes() > 0 {
+		F = len(g.NodeFeatures[0])
+	}
+	nf := make([]float64, 0, g.NumNodes()*F)
+	for _, row := range g.NodeFeatures {
+		nf = append(nf, row...)
+	}
+	ed := make([]float64, 0, g.NumEdges()*2)
+	for _, e := range g.Edges {
+		ed = append(ed, float64(e[0]), float64(e[1]))
+	}
+	names = []string{"node_features", "edges", "edge_lengths", "energy", "class_id"}
+	shapes = [][]int{{g.NumNodes(), F}, {g.NumEdges(), 2}, {g.NumEdges()}, {1}, {1}}
+	data = [][]float64{nf, ed, append([]float64(nil), g.EdgeLengths...),
+		{g.Energy}, {float64(classIDs[g.Class])}}
+	return names, shapes, data
+}

@@ -1,0 +1,317 @@
+package pipeline
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func noop(name string, kind core.Stage) Stage {
+	return StageFunc{StageName: name, StageKind: kind, Fn: func(*Dataset) error { return nil }}
+}
+
+// fullStages builds a 5-stage pipeline that legitimately advances the
+// dataset to fully AI-ready.
+func fullStages() []Stage {
+	return []Stage{
+		StageFunc{"ingest", core.Ingest, func(d *Dataset) error {
+			d.Facts.StandardFormat = true
+			d.Facts.Validated = true
+			d.SetMeta("source", "synthetic")
+			d.SetMeta("units", "K")
+			d.SetMeta("grid", "64x128")
+			return nil
+		}},
+		StageFunc{"clean+align", core.Preprocess, func(d *Dataset) error {
+			d.Facts.MissingRate = 0
+			d.Facts.AlignedGrids = true
+			return nil
+		}},
+		StageFunc{"normalize+label", core.Transform, func(d *Dataset) error {
+			d.Facts.Normalized = true
+			d.Facts.LabelCoverage = 1
+			return nil
+		}},
+		StageFunc{"features", core.Structure, func(d *Dataset) error {
+			d.Facts.FeaturesExtracted = true
+			d.Facts.StructuredLayout = true
+			return nil
+		}},
+		StageFunc{"split+shard", core.Shard, func(d *Dataset) error {
+			d.Facts.SplitDone = true
+			d.Facts.Sharded = true
+			d.Facts.PipelineAutomated = true
+			return nil
+		}},
+	}
+}
+
+func TestRunFullTrajectory(t *testing.T) {
+	p, err := New("demo", fullStages()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewDataset("cmip6-mini", core.Climate, nil)
+	snaps, err := p.Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 5 {
+		t.Fatalf("snapshots=%d", len(snaps))
+	}
+	if snaps[4].Assessment.Level != core.AIReady {
+		t.Fatalf("final level=%v gaps=%v", snaps[4].Assessment.Level, snaps[4].Assessment.Gaps)
+	}
+	if err := VerifyMonotone(snaps); err != nil {
+		t.Fatal(err)
+	}
+	// Levels reach each rung in order.
+	wantLevels := []core.Level{core.Raw, core.Cleaned, core.Labeled, core.FeatureEngineered, core.AIReady}
+	for i, s := range snaps {
+		if s.Assessment.Level != wantLevels[i] {
+			t.Fatalf("stage %d: level=%v want %v (gaps %v)", i, s.Assessment.Level, wantLevels[i], s.Assessment.Gaps)
+		}
+	}
+}
+
+func TestProvenanceCaptured(t *testing.T) {
+	p, _ := New("prov", fullStages()...)
+	ds := NewDataset("x", core.Fusion, nil)
+	if _, err := p.Run(ds); err != nil {
+		t.Fatal(err)
+	}
+	acts := p.Tracker.Activities()
+	if len(acts) != 5 {
+		t.Fatalf("activities=%d", len(acts))
+	}
+	if err := p.Tracker.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Lineage of the final artifact spans all five stages.
+	lin := p.Tracker.Lineage(ds.ID())
+	if len(lin) != 5 {
+		t.Fatalf("lineage=%d", len(lin))
+	}
+	if lin[0].Name != "ingest" || lin[4].Name != "split+shard" {
+		t.Fatalf("lineage order: %s … %s", lin[0].Name, lin[4].Name)
+	}
+}
+
+func TestMetricsCaptured(t *testing.T) {
+	p, _ := New("met", fullStages()...)
+	p.Category["split+shard"] = "io"
+	ds := NewDataset("x", core.Climate, nil)
+	ds.Bytes = 1 << 20
+	ds.Records = 100
+	if _, err := p.Run(ds); err != nil {
+		t.Fatal(err)
+	}
+	stats := p.Collector.ByStage()
+	if len(stats) != 5 {
+		t.Fatalf("stages timed=%d", len(stats))
+	}
+	shares := p.Collector.CategoryShare()
+	if _, ok := shares["curation"]; !ok {
+		t.Fatalf("shares=%v", shares)
+	}
+	if _, ok := shares["io"]; !ok {
+		t.Fatalf("shares=%v", shares)
+	}
+}
+
+func TestStageOrderEnforced(t *testing.T) {
+	_, err := New("bad", noop("shard-first", core.Shard), noop("then-ingest", core.Ingest))
+	if err == nil || !strings.Contains(err.Error(), "regresses") {
+		t.Fatalf("err=%v", err)
+	}
+	// Repeats of the same kind are allowed.
+	if _, err := New("ok", noop("a", core.Preprocess), noop("b", core.Preprocess)); err != nil {
+		t.Fatal(err)
+	}
+	// Skipping kinds is allowed (not every pipeline has all five).
+	if _, err := New("ok2", noop("a", core.Ingest), noop("b", core.Shard)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New("empty"); err == nil {
+		t.Fatal("want no-stages error")
+	}
+	if _, err := New("bad", noop("x", core.Stage(9))); err == nil {
+		t.Fatal("want invalid-kind error")
+	}
+}
+
+func TestRunNilDataset(t *testing.T) {
+	p, _ := New("p", noop("a", core.Ingest))
+	if _, err := p.Run(nil); err == nil {
+		t.Fatal("want nil error")
+	}
+}
+
+func TestStageFailureReturnsPartialSnapshots(t *testing.T) {
+	boom := errors.New("boom")
+	p, _ := New("fail",
+		noop("ok", core.Ingest),
+		StageFunc{"explode", core.Preprocess, func(*Dataset) error { return boom }},
+		noop("never", core.Shard),
+	)
+	ds := NewDataset("x", core.Materials, nil)
+	snaps, err := p.Run(ds)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots=%d", len(snaps))
+	}
+	if !strings.Contains(err.Error(), "explode") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestVerifyMonotoneDetectsRegression(t *testing.T) {
+	snaps := []Snapshot{
+		{Assessment: core.Assessment{Level: core.Labeled}},
+		{StageName: "oops", Assessment: core.Assessment{Level: core.Raw}},
+	}
+	if err := VerifyMonotone(snaps); err == nil {
+		t.Fatal("want regression error")
+	}
+}
+
+// TestAbstractStageMapping is the E7 structural check: a pipeline's kind
+// walk must be a subsequence of the canonical five stages.
+func TestAbstractStageMapping(t *testing.T) {
+	p, _ := New("walk",
+		noop("a", core.Ingest),
+		noop("b", core.Preprocess),
+		noop("c", core.Preprocess),
+		noop("d", core.Transform),
+		noop("e", core.Structure),
+		noop("f", core.Shard),
+	)
+	kinds := p.StageKinds()
+	want := core.Stages()
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds=%v", kinds)
+	}
+	for i := range kinds {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds=%v", kinds)
+		}
+	}
+}
+
+func TestIterateFeedbackLoop(t *testing.T) {
+	ds := NewDataset("x", core.BioHealth, nil)
+	improve := StageFunc{"pseudo-label", core.Transform, func(d *Dataset) error {
+		d.Facts.LabelCoverage += 0.25
+		return nil
+	}}
+	rounds, err := Iterate(ds, improve, func(d *Dataset) bool {
+		return d.Facts.LabelCoverage >= 0.9
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 4 {
+		t.Fatalf("rounds=%d coverage=%v", rounds, ds.Facts.LabelCoverage)
+	}
+}
+
+func TestIterateHitsMaxRounds(t *testing.T) {
+	ds := NewDataset("x", core.BioHealth, nil)
+	stall := noop("stall", core.Transform)
+	rounds, err := Iterate(ds, stall, func(*Dataset) bool { return false }, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 3 {
+		t.Fatalf("rounds=%d", rounds)
+	}
+}
+
+func TestIterateErrors(t *testing.T) {
+	ds := NewDataset("x", core.Climate, nil)
+	if _, err := Iterate(ds, noop("s", core.Transform), func(*Dataset) bool { return true }, 0); err == nil {
+		t.Fatal("want maxRounds error")
+	}
+	boom := errors.New("boom")
+	bad := StageFunc{"bad", core.Transform, func(*Dataset) error { return boom }}
+	rounds, err := Iterate(ds, bad, func(*Dataset) bool { return false }, 5)
+	if !errors.Is(err, boom) || rounds != 0 {
+		t.Fatalf("rounds=%d err=%v", rounds, err)
+	}
+}
+
+func TestForEachSequentialAndParallel(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		var sum int64
+		err := ForEach(100, workers, func(i int) error {
+			atomic.AddInt64(&sum, int64(i))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != 4950 {
+			t.Fatalf("workers=%d sum=%d", workers, sum)
+		}
+	}
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-1, 4, nil); err == nil {
+		t.Fatal("want negative error")
+	}
+	// workers <= 0 falls back to sequential.
+	n := 0
+	if err := ForEach(5, 0, func(int) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("n=%d", n)
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(50, 8, func(i int) error {
+		if i == 25 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestSetMetaTracksCount(t *testing.T) {
+	ds := NewDataset("x", core.Climate, nil)
+	ds.SetMeta("a", "1")
+	ds.SetMeta("b", "2")
+	ds.SetMeta("a", "updated")
+	if ds.Facts.MetadataFields != 2 {
+		t.Fatalf("fields=%d", ds.Facts.MetadataFields)
+	}
+}
+
+func TestDatasetIDChangesPerRevision(t *testing.T) {
+	p, _ := New("rev", noop("a", core.Ingest), noop("b", core.Shard))
+	ds := NewDataset("x", core.Climate, nil)
+	id0 := ds.ID()
+	if _, err := p.Run(ds); err != nil {
+		t.Fatal(err)
+	}
+	if ds.ID() == id0 {
+		t.Fatal("ID must change across revisions")
+	}
+}

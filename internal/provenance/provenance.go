@@ -1,0 +1,238 @@
+// Package provenance captures lineage for data-readiness pipelines. The
+// paper (§5, "Provenance and Reproducibility") calls out that establishing
+// traceable links between raw data, preprocessing steps, and trained models
+// is essential but remains ad hoc; this package is the reproduction's
+// ProvEn-style capture system: a content-hash lineage DAG plus an
+// append-only audit log, recorded at every pipeline stage.
+package provenance
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ArtifactID identifies an artifact by the SHA-256 of its content.
+type ArtifactID string
+
+// HashBytes computes the ArtifactID of raw content.
+func HashBytes(b []byte) ArtifactID {
+	sum := sha256.Sum256(b)
+	return ArtifactID(hex.EncodeToString(sum[:]))
+}
+
+// HashFloat64s hashes a numeric payload deterministically (NaN payloads
+// hash by their bit pattern, so hashes are stable).
+func HashFloat64s(vals []float64) ArtifactID {
+	h := sha256.New()
+	var buf [8]byte
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return ArtifactID(hex.EncodeToString(h.Sum(nil)))
+}
+
+// Activity records one transformation: inputs → outputs under named
+// parameters, attributed to an agent (pipeline stage).
+type Activity struct {
+	ID       string            `json:"id"`
+	Name     string            `json:"name"`
+	Agent    string            `json:"agent"`
+	Params   map[string]string `json:"params,omitempty"`
+	Inputs   []ArtifactID      `json:"inputs"`
+	Outputs  []ArtifactID      `json:"outputs"`
+	Started  time.Time         `json:"started"`
+	Finished time.Time         `json:"finished"`
+}
+
+// Tracker is a thread-safe lineage store. The zero value is not usable;
+// call NewTracker.
+type Tracker struct {
+	mu         sync.Mutex
+	activities []Activity
+	producers  map[ArtifactID]int // artifact -> index of producing activity
+	labels     map[ArtifactID]string
+	seq        int
+	clock      func() time.Time
+}
+
+// NewTracker returns an empty lineage tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		producers: make(map[ArtifactID]int),
+		labels:    make(map[ArtifactID]string),
+		clock:     time.Now,
+	}
+}
+
+// SetClock overrides the tracker's time source (tests, reproducible runs).
+func (t *Tracker) SetClock(clock func() time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clock = clock
+}
+
+// Label attaches a human-readable name to an artifact.
+func (t *Tracker) Label(id ArtifactID, name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.labels[id] = name
+}
+
+// Record appends one activity to the lineage. Started/Finished default to
+// the tracker clock when zero.
+func (t *Tracker) Record(a Activity) (string, error) {
+	if a.Name == "" {
+		return "", errors.New("provenance: activity needs a name")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	a.ID = fmt.Sprintf("act-%06d", t.seq)
+	now := t.clock()
+	if a.Started.IsZero() {
+		a.Started = now
+	}
+	if a.Finished.IsZero() {
+		a.Finished = now
+	}
+	idx := len(t.activities)
+	t.activities = append(t.activities, a)
+	for _, out := range a.Outputs {
+		t.producers[out] = idx
+	}
+	return a.ID, nil
+}
+
+// Activities returns a copy of the audit log in record order.
+func (t *Tracker) Activities() []Activity {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Activity(nil), t.activities...)
+}
+
+// Lineage returns every activity on the transitive production path of the
+// artifact, oldest first. Unknown artifacts yield an empty slice (raw
+// inputs have no producers).
+func (t *Tracker) Lineage(id ArtifactID) []Activity {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := make(map[int]bool)
+	var order []int
+	var visit func(ArtifactID)
+	visit = func(a ArtifactID) {
+		idx, ok := t.producers[a]
+		if !ok || seen[idx] {
+			return
+		}
+		seen[idx] = true
+		for _, in := range t.activities[idx].Inputs {
+			visit(in)
+		}
+		order = append(order, idx)
+	}
+	visit(id)
+	out := make([]Activity, len(order))
+	for i, idx := range order {
+		out[i] = t.activities[idx]
+	}
+	return out
+}
+
+// Verify checks referential integrity: every non-root input of every
+// activity must either be produced by an earlier activity or be a declared
+// raw artifact. Roots are artifacts with labels but no producer.
+func (t *Tracker) Verify() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	known := make(map[ArtifactID]bool)
+	for id := range t.labels {
+		known[id] = true
+	}
+	for i, a := range t.activities {
+		for _, in := range a.Inputs {
+			if _, produced := t.producers[in]; !produced && !known[in] {
+				return fmt.Errorf("provenance: activity %s (%s) consumes unknown artifact %s",
+					a.ID, a.Name, truncate(string(in)))
+			}
+			if idx, produced := t.producers[in]; produced && idx >= i {
+				// Self-production or future-production: the input's
+				// producer must precede the consumer.
+				if idx > i || containsID(t.activities[idx].Outputs, in) && idx == i {
+					return fmt.Errorf("provenance: activity %s consumes artifact produced at or after it", a.ID)
+				}
+			}
+		}
+		for _, out := range a.Outputs {
+			known[out] = true
+		}
+	}
+	return nil
+}
+
+func containsID(ids []ArtifactID, id ArtifactID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func truncate(s string) string {
+	if len(s) > 12 {
+		return s[:12] + "…"
+	}
+	return s
+}
+
+// Report is a serializable provenance export (the "datasheet" lineage
+// section).
+type Report struct {
+	Artifacts  map[string]string `json:"artifacts"` // id -> label
+	Activities []Activity        `json:"activities"`
+}
+
+// Export produces a deterministic JSON lineage report.
+func (t *Tracker) Export() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := Report{Artifacts: make(map[string]string, len(t.labels))}
+	for id, label := range t.labels {
+		r.Artifacts[string(id)] = label
+	}
+	r.Activities = append([]Activity(nil), t.activities...)
+	return json.MarshalIndent(&r, "", "  ")
+}
+
+// Import loads a report back into a fresh tracker (for cross-run audits).
+func Import(b []byte) (*Tracker, error) {
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("provenance: decode report: %w", err)
+	}
+	t := NewTracker()
+	for id, label := range r.Artifacts {
+		t.labels[ArtifactID(id)] = label
+	}
+	// Keep original order (IDs are act-%06d so sortable).
+	sort.Slice(r.Activities, func(i, j int) bool { return r.Activities[i].ID < r.Activities[j].ID })
+	for i, a := range r.Activities {
+		t.activities = append(t.activities, a)
+		for _, out := range a.Outputs {
+			t.producers[out] = i
+		}
+	}
+	t.seq = len(r.Activities)
+	return t, nil
+}

@@ -1,0 +1,232 @@
+package provenance
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHashBytesDeterministic(t *testing.T) {
+	a := HashBytes([]byte("raw climate field"))
+	b := HashBytes([]byte("raw climate field"))
+	if a != b {
+		t.Fatal("same content must hash equal")
+	}
+	if a == HashBytes([]byte("different")) {
+		t.Fatal("different content must hash differently")
+	}
+	if len(a) != 64 {
+		t.Fatalf("hex sha256 length=%d", len(a))
+	}
+}
+
+func TestHashFloat64s(t *testing.T) {
+	a := HashFloat64s([]float64{1, 2, 3})
+	if a != HashFloat64s([]float64{1, 2, 3}) {
+		t.Fatal("deterministic")
+	}
+	if a == HashFloat64s([]float64{1, 2, 4}) {
+		t.Fatal("collision on different data")
+	}
+	// NaN must hash stably.
+	n1 := HashFloat64s([]float64{math.NaN()})
+	n2 := HashFloat64s([]float64{math.NaN()})
+	if n1 != n2 {
+		t.Fatal("NaN hash unstable")
+	}
+}
+
+func TestRecordAndActivities(t *testing.T) {
+	tr := NewTracker()
+	raw := HashBytes([]byte("raw"))
+	clean := HashBytes([]byte("clean"))
+	tr.Label(raw, "raw-netcdf")
+	id, err := tr.Record(Activity{
+		Name: "clean", Agent: "preprocess-stage",
+		Params: map[string]string{"fill": "interpolate"},
+		Inputs: []ArtifactID{raw}, Outputs: []ArtifactID{clean},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "act-000001" {
+		t.Fatalf("id=%q", id)
+	}
+	acts := tr.Activities()
+	if len(acts) != 1 || acts[0].Name != "clean" || acts[0].Params["fill"] != "interpolate" {
+		t.Fatalf("acts=%+v", acts)
+	}
+	if acts[0].Started.IsZero() || acts[0].Finished.IsZero() {
+		t.Fatal("timestamps not defaulted")
+	}
+}
+
+func TestRecordRequiresName(t *testing.T) {
+	tr := NewTracker()
+	if _, err := tr.Record(Activity{}); err == nil {
+		t.Fatal("want name error")
+	}
+}
+
+func TestLineageChain(t *testing.T) {
+	tr := NewTracker()
+	raw := HashBytes([]byte("raw"))
+	clean := HashBytes([]byte("clean"))
+	norm := HashBytes([]byte("norm"))
+	shard := HashBytes([]byte("shard"))
+	tr.Label(raw, "raw")
+	mustRecord(t, tr, "clean", []ArtifactID{raw}, []ArtifactID{clean})
+	mustRecord(t, tr, "normalize", []ArtifactID{clean}, []ArtifactID{norm})
+	mustRecord(t, tr, "shard", []ArtifactID{norm}, []ArtifactID{shard})
+
+	lin := tr.Lineage(shard)
+	if len(lin) != 3 {
+		t.Fatalf("lineage depth=%d", len(lin))
+	}
+	if lin[0].Name != "clean" || lin[1].Name != "normalize" || lin[2].Name != "shard" {
+		t.Fatalf("order: %v %v %v", lin[0].Name, lin[1].Name, lin[2].Name)
+	}
+}
+
+func TestLineageDiamond(t *testing.T) {
+	// raw -> a, raw -> b, (a,b) -> merged: each activity appears once.
+	tr := NewTracker()
+	raw := HashBytes([]byte("raw"))
+	a := HashBytes([]byte("a"))
+	b := HashBytes([]byte("b"))
+	m := HashBytes([]byte("m"))
+	tr.Label(raw, "raw")
+	mustRecord(t, tr, "branch-a", []ArtifactID{raw}, []ArtifactID{a})
+	mustRecord(t, tr, "branch-b", []ArtifactID{raw}, []ArtifactID{b})
+	mustRecord(t, tr, "merge", []ArtifactID{a, b}, []ArtifactID{m})
+	lin := tr.Lineage(m)
+	if len(lin) != 3 {
+		t.Fatalf("diamond lineage=%d activities", len(lin))
+	}
+	if lin[2].Name != "merge" {
+		t.Fatalf("merge must come last: %v", lin[2].Name)
+	}
+}
+
+func TestLineageUnknownArtifact(t *testing.T) {
+	tr := NewTracker()
+	if lin := tr.Lineage(HashBytes([]byte("never seen"))); len(lin) != 0 {
+		t.Fatalf("lineage of unknown=%v", lin)
+	}
+}
+
+func TestVerifyDetectsUnknownInput(t *testing.T) {
+	tr := NewTracker()
+	mystery := HashBytes([]byte("mystery"))
+	out := HashBytes([]byte("out"))
+	mustRecord(t, tr, "use-mystery", []ArtifactID{mystery}, []ArtifactID{out})
+	if err := tr.Verify(); err == nil {
+		t.Fatal("want unknown-artifact error")
+	}
+	// Declaring the root fixes it.
+	tr.Label(mystery, "declared raw input")
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyOrdering(t *testing.T) {
+	tr := NewTracker()
+	raw := HashBytes([]byte("raw"))
+	mid := HashBytes([]byte("mid"))
+	tr.Label(raw, "raw")
+	mustRecord(t, tr, "produce", []ArtifactID{raw}, []ArtifactID{mid})
+	mustRecord(t, tr, "consume", []ArtifactID{mid}, []ArtifactID{HashBytes([]byte("end"))})
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	tr := NewTracker()
+	tr.SetClock(func() time.Time { return time.Unix(1700000000, 0).UTC() })
+	raw := HashBytes([]byte("raw"))
+	out := HashBytes([]byte("out"))
+	tr.Label(raw, "raw-grib")
+	mustRecord(t, tr, "decode", []ArtifactID{raw}, []ArtifactID{out})
+
+	b, err := tr.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "raw-grib") {
+		t.Fatal("export missing label")
+	}
+	tr2, err := Import(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin := tr2.Lineage(out)
+	if len(lin) != 1 || lin[0].Name != "decode" {
+		t.Fatalf("imported lineage=%+v", lin)
+	}
+	if err := tr2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Imported tracker continues sequence numbering.
+	id, err := tr2.Record(Activity{Name: "next"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "act-000002" {
+		t.Fatalf("continued id=%q", id)
+	}
+}
+
+func TestImportGarbage(t *testing.T) {
+	if _, err := Import([]byte("{broken")); err == nil {
+		t.Fatal("want decode error")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := HashFloat64s([]float64{float64(i)})
+			if _, err := tr.Record(Activity{Name: "worker", Outputs: []ArtifactID{out}}); err != nil {
+				t.Error(err)
+			}
+			tr.Label(out, "w")
+		}(i)
+	}
+	wg.Wait()
+	if len(tr.Activities()) != 50 {
+		t.Fatalf("activities=%d", len(tr.Activities()))
+	}
+	ids := map[string]bool{}
+	for _, a := range tr.Activities() {
+		if ids[a.ID] {
+			t.Fatalf("duplicate id %s", a.ID)
+		}
+		ids[a.ID] = true
+	}
+}
+
+func mustRecord(t *testing.T, tr *Tracker, name string, in, out []ArtifactID) {
+	t.Helper()
+	if _, err := tr.Record(Activity{Name: name, Inputs: in, Outputs: out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHashFloat64s(b *testing.B) {
+	vals := make([]float64, 8192)
+	for i := range vals {
+		vals[i] = float64(i) * 0.3
+	}
+	b.SetBytes(int64(len(vals) * 8))
+	for i := 0; i < b.N; i++ {
+		_ = HashFloat64s(vals)
+	}
+}

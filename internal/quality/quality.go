@@ -1,0 +1,347 @@
+// Package quality implements the data-cleaning and quality-assessment
+// substrate: missing-value handling, outlier detection, coverage and
+// imbalance metrics, and "Datasheets for Datasets"-style quality reports
+// (paper §5, "Data Quality, Bias, and Fairness"; §2.1 lists handling
+// missing values as the first common preprocessing task).
+package quality
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// FillStrategy selects how missing (NaN) values are repaired.
+type FillStrategy int
+
+// Supported strategies.
+const (
+	FillMean FillStrategy = iota
+	FillMedian
+	FillConstant
+	FillInterpolate // linear along the flattened series
+	DropRows        // remove first-axis rows containing NaN
+)
+
+// String implements fmt.Stringer.
+func (s FillStrategy) String() string {
+	switch s {
+	case FillMean:
+		return "mean"
+	case FillMedian:
+		return "median"
+	case FillConstant:
+		return "constant"
+	case FillInterpolate:
+		return "interpolate"
+	case DropRows:
+		return "drop-rows"
+	}
+	return fmt.Sprintf("FillStrategy(%d)", int(s))
+}
+
+// FillReport describes a missing-value repair.
+type FillReport struct {
+	Strategy    FillStrategy
+	Missing     int
+	Repaired    int
+	RowsDropped int
+}
+
+// FillMissing repairs NaNs in t according to the strategy, in place
+// (except DropRows, which returns a new tensor). The constant is only used
+// by FillConstant.
+func FillMissing(t *tensor.Tensor, strategy FillStrategy, constant float64) (*tensor.Tensor, FillReport, error) {
+	rep := FillReport{Strategy: strategy, Missing: t.CountNaN()}
+	switch strategy {
+	case FillMean:
+		m := t.Mean()
+		if math.IsNaN(m) && rep.Missing > 0 {
+			return nil, rep, errors.New("quality: cannot mean-fill an all-NaN tensor")
+		}
+		rep.Repaired = t.FillNaN(m)
+		return t, rep, nil
+	case FillMedian:
+		med, err := stats.Quantile(t.Data(), 0.5)
+		if err != nil {
+			if rep.Missing == 0 {
+				return t, rep, nil
+			}
+			return nil, rep, fmt.Errorf("quality: median fill: %w", err)
+		}
+		rep.Repaired = t.FillNaN(med)
+		return t, rep, nil
+	case FillConstant:
+		rep.Repaired = t.FillNaN(constant)
+		return t, rep, nil
+	case FillInterpolate:
+		rep.Repaired = interpolateNaN(t.Data())
+		return t, rep, nil
+	case DropRows:
+		out, dropped, err := dropNaNRows(t)
+		rep.RowsDropped = dropped
+		rep.Repaired = rep.Missing
+		return out, rep, err
+	}
+	return nil, rep, fmt.Errorf("quality: unknown fill strategy %d", strategy)
+}
+
+// interpolateNaN linearly interpolates interior NaN runs and extends edge
+// runs with the nearest valid value. Returns the number repaired; an
+// all-NaN series is left untouched.
+func interpolateNaN(xs []float64) int {
+	n := len(xs)
+	firstValid, lastValid := -1, -1
+	for i, v := range xs {
+		if !math.IsNaN(v) {
+			if firstValid < 0 {
+				firstValid = i
+			}
+			lastValid = i
+		}
+	}
+	if firstValid < 0 {
+		return 0
+	}
+	repaired := 0
+	for i := 0; i < firstValid; i++ {
+		xs[i] = xs[firstValid]
+		repaired++
+	}
+	for i := lastValid + 1; i < n; i++ {
+		xs[i] = xs[lastValid]
+		repaired++
+	}
+	i := firstValid
+	for i < lastValid {
+		if !math.IsNaN(xs[i+1]) {
+			i++
+			continue
+		}
+		// Find the run of NaNs starting at i+1.
+		j := i + 1
+		for math.IsNaN(xs[j]) {
+			j++
+		}
+		step := (xs[j] - xs[i]) / float64(j-i)
+		for k := i + 1; k < j; k++ {
+			xs[k] = xs[i] + step*float64(k-i)
+			repaired++
+		}
+		i = j
+	}
+	return repaired
+}
+
+func dropNaNRows(t *tensor.Tensor) (*tensor.Tensor, int, error) {
+	if t.Rank() == 0 {
+		return nil, 0, errors.New("quality: DropRows needs rank >= 1")
+	}
+	rows := t.Dim(0)
+	rowElems := t.Numel() / maxInt(rows, 1)
+	data := t.Data()
+	keep := make([]int, 0, rows)
+	for r := 0; r < rows; r++ {
+		ok := true
+		for _, v := range data[r*rowElems : (r+1)*rowElems] {
+			if math.IsNaN(v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, r)
+		}
+	}
+	shape := append([]int(nil), t.Shape()...)
+	shape[0] = len(keep)
+	out := tensor.New(shape...)
+	for i, r := range keep {
+		copy(out.Data()[i*rowElems:(i+1)*rowElems], data[r*rowElems:(r+1)*rowElems])
+	}
+	return out, rows - len(keep), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// OutlierMethod selects the detection scheme.
+type OutlierMethod int
+
+// Supported outlier detectors.
+const (
+	ZScore OutlierMethod = iota // |x-mean| > k*std
+	IQR                         // outside [Q1-k*IQR, Q3+k*IQR]
+)
+
+// DetectOutliers returns the indices of outlying values under the chosen
+// method with multiplier k (typical: 3 for ZScore, 1.5 for IQR). NaNs are
+// never flagged.
+func DetectOutliers(xs []float64, method OutlierMethod, k float64) ([]int, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("quality: multiplier %v must be positive", k)
+	}
+	switch method {
+	case ZScore:
+		var r stats.Running
+		r.AddSlice(xs)
+		if r.N() < 2 {
+			return nil, nil
+		}
+		mean, std := r.Mean(), r.Std()
+		if std == 0 {
+			return nil, nil
+		}
+		var out []int
+		for i, x := range xs {
+			if !math.IsNaN(x) && math.Abs(x-mean) > k*std {
+				out = append(out, i)
+			}
+		}
+		return out, nil
+	case IQR:
+		q1, err1 := stats.Quantile(xs, 0.25)
+		q3, err3 := stats.Quantile(xs, 0.75)
+		if err1 != nil || err3 != nil {
+			return nil, nil
+		}
+		iqr := q3 - q1
+		lo, hi := q1-k*iqr, q3+k*iqr
+		var out []int
+		for i, x := range xs {
+			if !math.IsNaN(x) && (x < lo || x > hi) {
+				out = append(out, i)
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("quality: unknown outlier method %d", method)
+}
+
+// WinsorizeOutliers clamps detected outliers to the nearest bound implied
+// by the method, in place, returning how many were clamped.
+func WinsorizeOutliers(xs []float64, method OutlierMethod, k float64) (int, error) {
+	idx, err := DetectOutliers(xs, method, k)
+	if err != nil || len(idx) == 0 {
+		return 0, err
+	}
+	var lo, hi float64
+	switch method {
+	case ZScore:
+		var r stats.Running
+		r.AddSlice(xs)
+		lo, hi = r.Mean()-k*r.Std(), r.Mean()+k*r.Std()
+	case IQR:
+		q1, _ := stats.Quantile(xs, 0.25)
+		q3, _ := stats.Quantile(xs, 0.75)
+		lo, hi = q1-k*(q3-q1), q3+k*(q3-q1)
+	}
+	for _, i := range idx {
+		if xs[i] < lo {
+			xs[i] = lo
+		} else if xs[i] > hi {
+			xs[i] = hi
+		}
+	}
+	return len(idx), nil
+}
+
+// Datasheet is a "Datasheets for Datasets"-style quality summary.
+type Datasheet struct {
+	Name          string
+	Samples       int
+	MissingRate   float64
+	OutlierRate   float64
+	Mean, Std     float64
+	Min, Max      float64
+	CoverageScore float64 // normalized histogram entropy in [0,1]
+	Imbalance     float64 // label imbalance ratio (1 = balanced)
+	Issues        []string
+}
+
+// BuildDatasheet profiles values (and optional labels) into a datasheet.
+func BuildDatasheet(name string, values []float64, labels []string) (*Datasheet, error) {
+	if len(values) == 0 {
+		return nil, errors.New("quality: datasheet of empty dataset")
+	}
+	var r stats.Running
+	r.AddSlice(values)
+	d := &Datasheet{
+		Name:        name,
+		Samples:     len(values),
+		MissingRate: r.MissingRate(),
+		Mean:        r.Mean(),
+		Std:         r.Std(),
+		Min:         r.Min(),
+		Max:         r.Max(),
+		Imbalance:   1,
+	}
+	if out, err := DetectOutliers(values, ZScore, 4); err == nil {
+		d.OutlierRate = float64(len(out)) / float64(len(values))
+	}
+	if r.N() > 0 && r.Max() > r.Min() {
+		h, err := stats.NewHistogram(r.Min(), r.Max()+1e-12, 20)
+		if err == nil {
+			for _, v := range values {
+				h.Add(v)
+			}
+			d.CoverageScore = h.Entropy() / math.Log(20)
+		}
+	}
+	if len(labels) > 0 {
+		d.Imbalance = stats.NewClassBalance(labels).ImbalanceRatio()
+	}
+
+	if d.MissingRate > 0.05 {
+		d.Issues = append(d.Issues, fmt.Sprintf("high missing rate (%.1f%%)", 100*d.MissingRate))
+	}
+	if d.OutlierRate > 0.01 {
+		d.Issues = append(d.Issues, fmt.Sprintf("outlier rate %.2f%%", 100*d.OutlierRate))
+	}
+	if d.CoverageScore < 0.5 && r.Max() > r.Min() {
+		d.Issues = append(d.Issues, "poor value coverage (concentrated distribution)")
+	}
+	if d.Imbalance > 10 {
+		d.Issues = append(d.Issues, fmt.Sprintf("severe class imbalance (%.0f:1)", d.Imbalance))
+	}
+	sort.Strings(d.Issues)
+	return d, nil
+}
+
+// QualityScore condenses the datasheet into [0,1] (1 = pristine).
+func (d *Datasheet) QualityScore() float64 {
+	score := 1.0
+	score -= math.Min(0.4, d.MissingRate*4)
+	score -= math.Min(0.2, d.OutlierRate*10)
+	if d.Imbalance > 1 {
+		score -= math.Min(0.2, (d.Imbalance-1)/50)
+	}
+	if d.CoverageScore > 0 {
+		score -= math.Min(0.2, (1-d.CoverageScore)*0.2)
+	}
+	return math.Max(0, score)
+}
+
+// String renders the datasheet as text.
+func (d *Datasheet) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Datasheet: %s\n", d.Name)
+	fmt.Fprintf(&b, "  samples=%d missing=%.2f%% outliers=%.2f%%\n",
+		d.Samples, 100*d.MissingRate, 100*d.OutlierRate)
+	fmt.Fprintf(&b, "  mean=%.4g std=%.4g range=[%.4g, %.4g]\n", d.Mean, d.Std, d.Min, d.Max)
+	fmt.Fprintf(&b, "  coverage=%.2f imbalance=%.1f quality=%.2f\n",
+		d.CoverageScore, d.Imbalance, d.QualityScore())
+	for _, issue := range d.Issues {
+		fmt.Fprintf(&b, "  ! %s\n", issue)
+	}
+	return b.String()
+}

@@ -1,0 +1,374 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func tensorFrom(t *testing.T, vals []float64, shape ...int) *tensor.Tensor {
+	t.Helper()
+	x, err := tensor.FromSlice(vals, shape...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestFillMean(t *testing.T) {
+	x := tensorFrom(t, []float64{1, math.NaN(), 3}, 3)
+	out, rep, err := FillMissing(x, FillMean, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missing != 1 || rep.Repaired != 1 {
+		t.Fatalf("report=%+v", rep)
+	}
+	if out.At(1) != 2 {
+		t.Fatalf("filled=%v", out.Data())
+	}
+}
+
+func TestFillMedian(t *testing.T) {
+	x := tensorFrom(t, []float64{1, 2, 100, math.NaN()}, 4)
+	out, _, err := FillMissing(x, FillMedian, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(3) != 2 { // median of {1,2,100}
+		t.Fatalf("filled=%v", out.Data())
+	}
+}
+
+func TestFillConstant(t *testing.T) {
+	x := tensorFrom(t, []float64{math.NaN(), math.NaN()}, 2)
+	out, rep, err := FillMissing(x, FillConstant, -999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repaired != 2 || out.At(0) != -999 {
+		t.Fatalf("rep=%+v data=%v", rep, out.Data())
+	}
+}
+
+func TestFillInterpolateInterior(t *testing.T) {
+	x := tensorFrom(t, []float64{0, math.NaN(), math.NaN(), 3}, 4)
+	out, rep, err := FillMissing(x, FillInterpolate, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repaired != 2 {
+		t.Fatalf("rep=%+v", rep)
+	}
+	if out.At(1) != 1 || out.At(2) != 2 {
+		t.Fatalf("interp=%v", out.Data())
+	}
+}
+
+func TestFillInterpolateEdges(t *testing.T) {
+	x := tensorFrom(t, []float64{math.NaN(), 5, 7, math.NaN(), math.NaN()}, 5)
+	out, _, err := FillMissing(x, FillInterpolate, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0) != 5 || out.At(3) != 7 || out.At(4) != 7 {
+		t.Fatalf("edge extend=%v", out.Data())
+	}
+}
+
+func TestFillInterpolateAllNaN(t *testing.T) {
+	x := tensorFrom(t, []float64{math.NaN(), math.NaN()}, 2)
+	out, rep, err := FillMissing(x, FillInterpolate, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repaired != 0 || out.CountNaN() != 2 {
+		t.Fatal("all-NaN should be untouched by interpolation")
+	}
+}
+
+func TestFillMeanAllNaNErrors(t *testing.T) {
+	x := tensorFrom(t, []float64{math.NaN()}, 1)
+	if _, _, err := FillMissing(x, FillMean, 0); err == nil {
+		t.Fatal("want all-NaN error")
+	}
+}
+
+func TestDropRows(t *testing.T) {
+	x := tensorFrom(t, []float64{
+		1, 2,
+		math.NaN(), 4,
+		5, 6,
+	}, 3, 2)
+	out, rep, err := FillMissing(x, DropRows, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsDropped != 1 {
+		t.Fatalf("rep=%+v", rep)
+	}
+	if out.Dim(0) != 2 || out.At(0, 0) != 1 || out.At(1, 1) != 6 {
+		t.Fatalf("out=%v shape=%v", out.Data(), out.Shape())
+	}
+}
+
+func TestDropRowsScalarErrors(t *testing.T) {
+	if _, _, err := FillMissing(tensor.New(), DropRows, 0); err == nil {
+		t.Fatal("want rank error")
+	}
+}
+
+func TestUnknownStrategy(t *testing.T) {
+	if _, _, err := FillMissing(tensor.New(1), FillStrategy(99), 0); err == nil {
+		t.Fatal("want unknown-strategy error")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	for _, s := range []FillStrategy{FillMean, FillMedian, FillConstant, FillInterpolate, DropRows} {
+		if strings.Contains(s.String(), "FillStrategy(") {
+			t.Fatalf("missing name for %d", s)
+		}
+	}
+	if !strings.Contains(FillStrategy(42).String(), "42") {
+		t.Fatal("unknown strategy string")
+	}
+}
+
+func TestDetectOutliersZScore(t *testing.T) {
+	xs := []float64{1, 1.1, 0.9, 1.05, 0.95, 50}
+	idx, err := DetectOutliers(xs, ZScore, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 1 || idx[0] != 5 {
+		t.Fatalf("idx=%v", idx)
+	}
+}
+
+func TestDetectOutliersIQR(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 1000}
+	idx, err := DetectOutliers(xs, IQR, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 1 || idx[0] != 8 {
+		t.Fatalf("idx=%v", idx)
+	}
+}
+
+func TestDetectOutliersConstantSeries(t *testing.T) {
+	idx, err := DetectOutliers([]float64{5, 5, 5, 5}, ZScore, 3)
+	if err != nil || len(idx) != 0 {
+		t.Fatalf("idx=%v err=%v", idx, err)
+	}
+}
+
+func TestDetectOutliersSkipsNaN(t *testing.T) {
+	xs := []float64{1, math.NaN(), 1, 1, 100}
+	idx, err := DetectOutliers(xs, ZScore, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range idx {
+		if i == 1 {
+			t.Fatal("NaN flagged as outlier")
+		}
+	}
+}
+
+func TestDetectOutliersBadK(t *testing.T) {
+	if _, err := DetectOutliers([]float64{1}, ZScore, 0); err == nil {
+		t.Fatal("want multiplier error")
+	}
+	if _, err := DetectOutliers([]float64{1}, OutlierMethod(9), 1); err == nil {
+		t.Fatal("want method error")
+	}
+}
+
+func TestWinsorize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 1000}
+	n, err := WinsorizeOutliers(xs, IQR, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("clamped=%d", n)
+	}
+	if xs[8] >= 1000 {
+		t.Fatalf("not clamped: %v", xs[8])
+	}
+	// After winsorizing, no further IQR outliers (bounds from original data).
+	if xs[8] < 8 {
+		t.Fatalf("clamped below max inlier: %v", xs[8])
+	}
+}
+
+func TestWinsorizeNoOutliers(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	n, err := WinsorizeOutliers(xs, ZScore, 5)
+	if err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestBuildDatasheetClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 2000)
+	for i := range vals {
+		vals[i] = rng.Float64() * 100 // uniform: good coverage
+	}
+	d, err := BuildDatasheet("clean", vals, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MissingRate != 0 {
+		t.Fatalf("missing=%v", d.MissingRate)
+	}
+	if d.QualityScore() < 0.9 {
+		t.Fatalf("clean data scored %v\n%s", d.QualityScore(), d)
+	}
+	if len(d.Issues) != 0 {
+		t.Fatalf("issues=%v", d.Issues)
+	}
+}
+
+func TestBuildDatasheetDirty(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = 1 // concentrated
+	}
+	for i := 0; i < 100; i++ {
+		vals[i] = math.NaN() // 10% missing
+	}
+	labels := make([]string, 1000)
+	for i := range labels {
+		if i < 950 {
+			labels[i] = "majority"
+		} else {
+			labels[i] = "minority"
+		}
+	}
+	d, err := BuildDatasheet("dirty", vals, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.QualityScore() > 0.7 {
+		t.Fatalf("dirty data scored %v", d.QualityScore())
+	}
+	joined := strings.Join(d.Issues, ";")
+	if !strings.Contains(joined, "missing") {
+		t.Fatalf("issues=%v", d.Issues)
+	}
+	if !strings.Contains(joined, "imbalance") {
+		t.Fatalf("issues=%v", d.Issues)
+	}
+	if d.Imbalance != 19 {
+		t.Fatalf("imbalance=%v", d.Imbalance)
+	}
+}
+
+func TestBuildDatasheetEmpty(t *testing.T) {
+	if _, err := BuildDatasheet("x", nil, nil); err == nil {
+		t.Fatal("want empty error")
+	}
+}
+
+func TestDatasheetString(t *testing.T) {
+	d, err := BuildDatasheet("demo", []float64{1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "samples=3") {
+		t.Fatalf("string=%q", s)
+	}
+}
+
+// Property: after any fill strategy except DropRows, no NaNs remain
+// (unless the input was entirely NaN).
+func TestFillEliminatesNaNProperty(t *testing.T) {
+	f := func(seed int64, strat uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 2
+		vals := make([]float64, n)
+		hasValid := false
+		for i := range vals {
+			if rng.Float64() < 0.3 {
+				vals[i] = math.NaN()
+			} else {
+				vals[i] = rng.NormFloat64()
+				hasValid = true
+			}
+		}
+		if !hasValid {
+			return true
+		}
+		strategy := []FillStrategy{FillMean, FillMedian, FillConstant, FillInterpolate}[strat%4]
+		x, err := tensor.FromSlice(vals, n)
+		if err != nil {
+			return false
+		}
+		out, _, err := FillMissing(x, strategy, 0)
+		if err != nil {
+			return false
+		}
+		return out.CountNaN() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interpolation is exact for linear series.
+func TestInterpolateLinearProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 5
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = a + b*float64(i)
+		}
+		// Punch interior holes (keep endpoints).
+		holes := rng.Intn(n - 2)
+		for h := 0; h < holes; h++ {
+			vals[1+rng.Intn(n-2)] = math.NaN()
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = a + b*float64(i)
+		}
+		interpolateNaN(vals)
+		for i := range vals {
+			if math.Abs(vals[i]-want[i]) > 1e-9*math.Max(1, math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFillInterpolate(b *testing.B) {
+	base := make([]float64, 100000)
+	for i := range base {
+		if i%7 == 0 {
+			base[i] = math.NaN()
+		} else {
+			base[i] = float64(i)
+		}
+	}
+	work := make([]float64, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, base)
+		interpolateNaN(work)
+	}
+}

@@ -1,0 +1,130 @@
+package registry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/climate"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/shard"
+)
+
+func TestAllDomainsRegistered(t *testing.T) {
+	domains := Domains()
+	if len(domains) != 4 {
+		t.Fatalf("domains=%v", domains)
+	}
+	for _, d := range core.Domains() {
+		tpl, err := Lookup(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tpl.Description == "" {
+			t.Fatalf("%s template lacks description", d)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup(core.Domain("astro")); err == nil {
+		t.Fatal("want not-found error")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if err := Register(Template{}); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestNewClimateDefault(t *testing.T) {
+	p, err := New(core.Climate, shard.NewMemSink(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "climate-archetype" {
+		t.Fatalf("name=%q", p.Name())
+	}
+}
+
+func TestNewClimateCustomConfig(t *testing.T) {
+	cfg := climate.DefaultConfig()
+	cfg.TargetLat, cfg.TargetLon = 6, 12
+	p, err := New(core.Climate, shard.NewMemSink(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run it end-to-end to prove the custom config took effect.
+	field, err := climate.Synthesize(climate.SynthConfig{Months: 12, Lat: 12, Lon: 24, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := field.ToNetCDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := climate.NewDataset("reg", raw)
+	if _, err := p.Run(ds); err != nil {
+		t.Fatal(err)
+	}
+	prod := ds.Payload.(*climate.Product)
+	if prod.Field.Data.Dim(1) != 6 || prod.Field.Data.Dim(2) != 12 {
+		t.Fatalf("custom grid ignored: %v", prod.Field.Data.Shape())
+	}
+}
+
+func TestNewFusionAndMaterialsDefaults(t *testing.T) {
+	for _, d := range []core.Domain{core.Fusion, core.Materials} {
+		p, err := New(d, shard.NewMemSink(), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if !strings.Contains(p.Name(), "archetype") {
+			t.Fatalf("%s name=%q", d, p.Name())
+		}
+	}
+}
+
+func TestNewBioRequiresSecrets(t *testing.T) {
+	if _, err := New(core.BioHealth, shard.NewMemSink(), nil); err == nil {
+		t.Fatal("bio without secrets must fail")
+	}
+	p, err := New(core.BioHealth, shard.NewMemSink(), BioSecrets{
+		EncryptionKey:   bytes.Repeat([]byte{1}, 32),
+		PseudonymSecret: []byte("registry-test-secret-key"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "bio-archetype" {
+		t.Fatalf("name=%q", p.Name())
+	}
+}
+
+// TestAllTemplatesWalkAbstractStages re-verifies E7 through the registry
+// entry point: every template's pipeline walks ingest→…→shard.
+func TestAllTemplatesWalkAbstractStages(t *testing.T) {
+	build := func(d core.Domain) *pipeline.Pipeline {
+		var opts any
+		if d == core.BioHealth {
+			opts = BioSecrets{
+				EncryptionKey:   bytes.Repeat([]byte{1}, 32),
+				PseudonymSecret: []byte("registry-test-secret-key"),
+			}
+		}
+		p, err := New(d, shard.NewMemSink(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, d := range core.Domains() {
+		p := build(d)
+		kinds := p.StageKinds()
+		if kinds[0] != core.Ingest || kinds[len(kinds)-1] != core.Shard {
+			t.Fatalf("%s kinds=%v", d, kinds)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package split partitions datasets into train/test/validation sets, the
+// final structural step before sharding (paper Fig. 1: "the data should be
+// split into train, test, and validation sets, and finally exported in a
+// standard compressed and sharded format"). Besides uniform random splits
+// it provides stratified (label-balanced), grouped (no group straddles a
+// split — e.g. fusion shots), and temporal (no future leakage — e.g.
+// climate forecasting) strategies.
+package split
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Fractions fixes the split proportions. They must be positive-or-zero and
+// sum to 1 within 1e-9.
+type Fractions struct {
+	Train, Val, Test float64
+}
+
+// DefaultFractions returns the common 80/10/10 split.
+func DefaultFractions() Fractions { return Fractions{Train: 0.8, Val: 0.1, Test: 0.1} }
+
+func (f Fractions) validate() error {
+	if f.Train < 0 || f.Val < 0 || f.Test < 0 {
+		return fmt.Errorf("split: negative fraction %+v", f)
+	}
+	sum := f.Train + f.Val + f.Test
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		return fmt.Errorf("split: fractions sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// Result holds sample indices per partition.
+type Result struct {
+	Train, Val, Test []int
+}
+
+// Counts returns the partition sizes.
+func (r *Result) Counts() (train, val, test int) {
+	return len(r.Train), len(r.Val), len(r.Test)
+}
+
+// Total returns the number of partitioned samples.
+func (r *Result) Total() int { return len(r.Train) + len(r.Val) + len(r.Test) }
+
+// Random shuffles indices [0,n) with the seed and cuts by fractions.
+func Random(n int, f Fractions, seed int64) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("split: need positive sample count, got %d", n)
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	return cut(idx, f), nil
+}
+
+func cut(idx []int, f Fractions) *Result {
+	n := len(idx)
+	nTrain := int(f.Train * float64(n))
+	nVal := int(f.Val * float64(n))
+	if nTrain+nVal > n {
+		nVal = n - nTrain
+	}
+	return &Result{
+		Train: idx[:nTrain],
+		Val:   idx[nTrain : nTrain+nVal],
+		Test:  idx[nTrain+nVal:],
+	}
+}
+
+// Stratified splits so each partition preserves the label distribution:
+// every class is split by the fractions independently.
+func Stratified(labels []string, f Fractions, seed int64) (*Result, error) {
+	if len(labels) == 0 {
+		return nil, errors.New("split: no labels")
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	byClass := make(map[string][]int)
+	for i, l := range labels {
+		byClass[l] = append(byClass[l], i)
+	}
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes) // determinism
+
+	rng := rand.New(rand.NewSource(seed))
+	out := &Result{}
+	for _, c := range classes {
+		idx := byClass[c]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		part := cut(idx, f)
+		out.Train = append(out.Train, part.Train...)
+		out.Val = append(out.Val, part.Val...)
+		out.Test = append(out.Test, part.Test...)
+	}
+	return out, nil
+}
+
+// Grouped splits so all samples sharing a group key land in the same
+// partition (fusion: all windows of a shot stay together, avoiding
+// shot-level leakage).
+func Grouped(groups []string, f Fractions, seed int64) (*Result, error) {
+	if len(groups) == 0 {
+		return nil, errors.New("split: no groups")
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	byGroup := make(map[string][]int)
+	for i, g := range groups {
+		byGroup[g] = append(byGroup[g], i)
+	}
+	keys := make([]string, 0, len(byGroup))
+	for g := range byGroup {
+		keys = append(keys, g)
+	}
+	sort.Strings(keys)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+
+	// Greedy: assign whole groups to train until its quota fills, then
+	// val, then test takes the remainder.
+	n := len(groups)
+	quotaTrain := int(f.Train * float64(n))
+	quotaVal := int(f.Val * float64(n))
+	out := &Result{}
+	part, assigned := 0, 0
+	for _, g := range keys {
+		idx := byGroup[g]
+		switch part {
+		case 0:
+			out.Train = append(out.Train, idx...)
+		case 1:
+			out.Val = append(out.Val, idx...)
+		default:
+			out.Test = append(out.Test, idx...)
+		}
+		assigned += len(idx)
+		if part == 0 && assigned >= quotaTrain {
+			part, assigned = 1, 0
+		} else if part == 1 && assigned >= quotaVal {
+			part, assigned = 2, 0
+		}
+	}
+	return out, nil
+}
+
+// Temporal splits ordered samples without shuffling: the earliest go to
+// train, then val, then test — no future data leaks into training.
+func Temporal(n int, f Fractions) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("split: need positive sample count, got %d", n)
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return cut(idx, f), nil
+}
+
+// Disjoint verifies the partitions are pairwise disjoint and cover exactly
+// [0,n). Use in tests and pipeline validation gates.
+func Disjoint(r *Result, n int) error {
+	seen := make([]bool, n)
+	check := func(part string, idx []int) error {
+		for _, i := range idx {
+			if i < 0 || i >= n {
+				return fmt.Errorf("split: %s index %d out of [0,%d)", part, i, n)
+			}
+			if seen[i] {
+				return fmt.Errorf("split: index %d appears in multiple partitions", i)
+			}
+			seen[i] = true
+		}
+		return nil
+	}
+	if err := check("train", r.Train); err != nil {
+		return err
+	}
+	if err := check("val", r.Val); err != nil {
+		return err
+	}
+	if err := check("test", r.Test); err != nil {
+		return err
+	}
+	for i, s := range seen {
+		if !s {
+			return fmt.Errorf("split: index %d unassigned", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package split
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomBasic(t *testing.T) {
+	r, err := Random(100, DefaultFractions(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, v, te := r.Counts()
+	if tr != 80 || v != 10 || te != 10 {
+		t.Fatalf("counts=%d/%d/%d", tr, v, te)
+	}
+	if err := Disjoint(r, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a, _ := Random(50, DefaultFractions(), 42)
+	b, _ := Random(50, DefaultFractions(), 42)
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatal("same seed must give same split")
+		}
+	}
+	c, _ := Random(50, DefaultFractions(), 43)
+	same := true
+	for i := range a.Train {
+		if a.Train[i] != c.Train[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical split (suspicious)")
+	}
+}
+
+func TestRandomErrors(t *testing.T) {
+	if _, err := Random(0, DefaultFractions(), 1); err == nil {
+		t.Fatal("want n error")
+	}
+	if _, err := Random(10, Fractions{0.5, 0.5, 0.5}, 1); err == nil {
+		t.Fatal("want sum error")
+	}
+	if _, err := Random(10, Fractions{1.2, -0.1, -0.1}, 1); err == nil {
+		t.Fatal("want negative error")
+	}
+}
+
+func TestRandomTinyDataset(t *testing.T) {
+	r, err := Random(1, DefaultFractions(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total() != 1 {
+		t.Fatalf("total=%d", r.Total())
+	}
+	if err := Disjoint(r, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStratifiedPreservesDistribution(t *testing.T) {
+	labels := make([]string, 1000)
+	for i := range labels {
+		if i%10 == 0 {
+			labels[i] = "rare"
+		} else {
+			labels[i] = "common"
+		}
+	}
+	r, err := Stratified(labels, DefaultFractions(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Disjoint(r, 1000); err != nil {
+		t.Fatal(err)
+	}
+	countRare := func(idx []int) int {
+		n := 0
+		for _, i := range idx {
+			if labels[i] == "rare" {
+				n++
+			}
+		}
+		return n
+	}
+	// Each partition should have ~10% rare.
+	if got := countRare(r.Train); got != 80 {
+		t.Fatalf("train rare=%d, want 80", got)
+	}
+	if got := countRare(r.Val); got != 10 {
+		t.Fatalf("val rare=%d, want 10", got)
+	}
+	if got := countRare(r.Test); got != 10 {
+		t.Fatalf("test rare=%d, want 10", got)
+	}
+}
+
+func TestStratifiedEmpty(t *testing.T) {
+	if _, err := Stratified(nil, DefaultFractions(), 1); err == nil {
+		t.Fatal("want empty error")
+	}
+}
+
+func TestGroupedKeepsGroupsTogether(t *testing.T) {
+	// 20 shots x 10 windows.
+	groups := make([]string, 200)
+	for i := range groups {
+		groups[i] = fmt.Sprintf("shot-%02d", i/10)
+	}
+	r, err := Grouped(groups, DefaultFractions(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Disjoint(r, 200); err != nil {
+		t.Fatal(err)
+	}
+	partOf := make(map[string]string)
+	assign := func(name string, idx []int) {
+		for _, i := range idx {
+			g := groups[i]
+			if prev, ok := partOf[g]; ok && prev != name {
+				t.Fatalf("group %s straddles %s and %s", g, prev, name)
+			}
+			partOf[g] = name
+		}
+	}
+	assign("train", r.Train)
+	assign("val", r.Val)
+	assign("test", r.Test)
+	if len(r.Train) < 100 {
+		t.Fatalf("train too small: %d", len(r.Train))
+	}
+	if len(r.Val) == 0 || len(r.Test) == 0 {
+		t.Fatalf("val=%d test=%d", len(r.Val), len(r.Test))
+	}
+}
+
+func TestGroupedEmpty(t *testing.T) {
+	if _, err := Grouped(nil, DefaultFractions(), 1); err == nil {
+		t.Fatal("want empty error")
+	}
+}
+
+func TestTemporalNoFutureLeakage(t *testing.T) {
+	r, err := Temporal(100, DefaultFractions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Disjoint(r, 100); err != nil {
+		t.Fatal(err)
+	}
+	maxTrain := -1
+	for _, i := range r.Train {
+		if i > maxTrain {
+			maxTrain = i
+		}
+	}
+	for _, i := range r.Val {
+		if i <= maxTrain {
+			t.Fatalf("val index %d <= max train %d", i, maxTrain)
+		}
+	}
+	maxVal := maxTrain
+	for _, i := range r.Val {
+		if i > maxVal {
+			maxVal = i
+		}
+	}
+	for _, i := range r.Test {
+		if i <= maxVal {
+			t.Fatalf("test index %d <= max val %d", i, maxVal)
+		}
+	}
+}
+
+func TestTemporalErrors(t *testing.T) {
+	if _, err := Temporal(-1, DefaultFractions()); err == nil {
+		t.Fatal("want n error")
+	}
+}
+
+func TestDisjointDetectsOverlap(t *testing.T) {
+	r := &Result{Train: []int{0, 1}, Val: []int{1}, Test: []int{2}}
+	if err := Disjoint(r, 3); err == nil {
+		t.Fatal("want overlap error")
+	}
+}
+
+func TestDisjointDetectsGap(t *testing.T) {
+	r := &Result{Train: []int{0}, Val: []int{}, Test: []int{2}}
+	if err := Disjoint(r, 3); err == nil {
+		t.Fatal("want gap error")
+	}
+}
+
+func TestDisjointDetectsOutOfRange(t *testing.T) {
+	r := &Result{Train: []int{0, 5}, Val: nil, Test: nil}
+	if err := Disjoint(r, 2); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+// Property: every strategy yields a valid partition of [0,n).
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, strat uint8) bool {
+		n := int(nRaw)%500 + 1
+		fr := DefaultFractions()
+		var r *Result
+		var err error
+		switch strat % 4 {
+		case 0:
+			r, err = Random(n, fr, seed)
+		case 1:
+			labels := make([]string, n)
+			for i := range labels {
+				labels[i] = string(rune('a' + i%3))
+			}
+			r, err = Stratified(labels, fr, seed)
+		case 2:
+			groups := make([]string, n)
+			for i := range groups {
+				groups[i] = fmt.Sprintf("g%d", i/4)
+			}
+			r, err = Grouped(groups, fr, seed)
+		default:
+			r, err = Temporal(n, fr)
+		}
+		if err != nil {
+			return false
+		}
+		return Disjoint(r, n) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fractions are honored within rounding for Random.
+func TestFractionAccuracyProperty(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int(nRaw)%1000 + 10
+		r, err := Random(n, DefaultFractions(), 1)
+		if err != nil {
+			return false
+		}
+		tr, _, _ := r.Counts()
+		return math.Abs(float64(tr)/float64(n)-0.8) < 0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,314 @@
+// Package stats provides streaming and batch statistics used by the
+// readiness pipelines: Welford online mean/variance (so normalization
+// constants can be computed in one pass over out-of-core data), exact
+// quantiles, histograms, and class-balance metrics.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates count, mean and variance online using Welford's
+// algorithm. The zero value is ready to use. NaN inputs are skipped and
+// counted separately, which lets pipelines report missing-value rates from
+// the same pass that computes normalization constants.
+type Running struct {
+	n    int64
+	nan  int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (r *Running) Add(x float64) {
+	if math.IsNaN(x) {
+		r.nan++
+		return
+	}
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// AddSlice folds every value of xs into the accumulator.
+func (r *Running) AddSlice(xs []float64) {
+	for _, x := range xs {
+		r.Add(x)
+	}
+}
+
+// Merge combines another accumulator into r (parallel reduction), using
+// Chan et al.'s pairwise update so per-worker accumulators can be reduced.
+func (r *Running) Merge(o *Running) {
+	if o.n == 0 {
+		r.nan += o.nan
+		return
+	}
+	if r.n == 0 {
+		*r = *o
+		return
+	}
+	n1, n2 := float64(r.n), float64(o.n)
+	d := o.mean - r.mean
+	tot := n1 + n2
+	r.m2 += o.m2 + d*d*n1*n2/tot
+	r.mean += d * n2 / tot
+	r.n += o.n
+	r.nan += o.nan
+	if o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+}
+
+// N returns the number of non-NaN observations.
+func (r *Running) N() int64 { return r.n }
+
+// NaNCount returns the number of NaN observations skipped.
+func (r *Running) NaNCount() int64 { return r.nan }
+
+// Mean returns the running mean (NaN when no observations).
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Variance returns the population variance (NaN when no observations).
+func (r *Running) Variance() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n)
+}
+
+// Std returns the population standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the minimum observation (NaN when empty).
+func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.min
+}
+
+// Max returns the maximum observation (NaN when empty).
+func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.max
+}
+
+// MissingRate returns the fraction of observations that were NaN.
+func (r *Running) MissingRate() float64 {
+	total := r.n + r.nan
+	if total == 0 {
+		return 0
+	}
+	return float64(r.nan) / float64(total)
+}
+
+// String summarizes the accumulator.
+func (r *Running) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g max=%.4g missing=%.2f%%",
+		r.n, r.Mean(), r.Std(), r.Min(), r.Max(), 100*r.MissingRate())
+}
+
+// Quantile returns the q-th quantile (0<=q<=1) of xs by linear
+// interpolation, ignoring NaNs. It returns an error for empty input or an
+// out-of-range q.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		return 0, errors.New("stats: quantile of empty data")
+	}
+	sort.Float64s(clean)
+	pos := q * float64(len(clean)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return clean[lo], nil
+	}
+	frac := pos - float64(lo)
+	return clean[lo]*(1-frac) + clean[hi]*frac, nil
+}
+
+// Histogram is a fixed-width binning of observations over [Lo, Hi).
+// Out-of-range observations are clamped to the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	total  int64
+}
+
+// NewHistogram creates a histogram with nbins bins over [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) (*Histogram, error) {
+	if nbins <= 0 {
+		return nil, fmt.Errorf("stats: nbins %d must be positive", nbins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram range [%v,%v) is empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, nbins)}, nil
+}
+
+// Add bins one observation. NaNs are ignored.
+func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	bin := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(h.Counts) {
+		bin = len(h.Counts) - 1
+	}
+	h.Counts[bin]++
+	h.total++
+}
+
+// Total returns the number of binned observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mode returns the lower edge of the most populated bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + float64(best)*w
+}
+
+// Entropy returns the Shannon entropy (nats) of the bin distribution, a
+// coverage/diversity indicator used in quality reports.
+func (h *Histogram) Entropy() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(h.total)
+		e -= p * math.Log(p)
+	}
+	return e
+}
+
+// ClassBalance describes the label distribution of a classification
+// dataset; the paper flags class imbalance as a materials-domain readiness
+// challenge (Table 1).
+type ClassBalance struct {
+	Counts map[string]int
+	Total  int
+}
+
+// NewClassBalance tallies the labels.
+func NewClassBalance(labels []string) *ClassBalance {
+	cb := &ClassBalance{Counts: make(map[string]int)}
+	for _, l := range labels {
+		cb.Counts[l]++
+		cb.Total++
+	}
+	return cb
+}
+
+// ImbalanceRatio returns max-class-count / min-class-count (1 = perfectly
+// balanced; +Inf if some class seen zero times is impossible here since
+// counts come from observed labels). Returns 1 for <=1 class.
+func (cb *ClassBalance) ImbalanceRatio() float64 {
+	if len(cb.Counts) <= 1 {
+		return 1
+	}
+	minC, maxC := math.MaxInt64, 0
+	for _, c := range cb.Counts {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return float64(maxC) / float64(minC)
+}
+
+// NormalizedEntropy returns label entropy divided by log(k) so 1 means a
+// uniform distribution across the k observed classes. Returns 1 for <=1 class.
+func (cb *ClassBalance) NormalizedEntropy() float64 {
+	k := len(cb.Counts)
+	if k <= 1 || cb.Total == 0 {
+		return 1
+	}
+	e := 0.0
+	for _, c := range cb.Counts {
+		p := float64(c) / float64(cb.Total)
+		e -= p * math.Log(p)
+	}
+	return e / math.Log(float64(k))
+}
+
+// Correlation returns the Pearson correlation of two equal-length series,
+// skipping pairs where either value is NaN. It errors on length mismatch
+// or fewer than two valid pairs.
+func Correlation(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: correlation length mismatch %d vs %d", len(a), len(b))
+	}
+	var ra, rb Running
+	pairs := make([][2]float64, 0, len(a))
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			continue
+		}
+		ra.Add(a[i])
+		rb.Add(b[i])
+		pairs = append(pairs, [2]float64{a[i], b[i]})
+	}
+	if len(pairs) < 2 {
+		return 0, errors.New("stats: correlation needs >=2 valid pairs")
+	}
+	cov := 0.0
+	for _, p := range pairs {
+		cov += (p[0] - ra.Mean()) * (p[1] - rb.Mean())
+	}
+	cov /= float64(len(pairs))
+	denom := ra.Std() * rb.Std()
+	if denom == 0 {
+		return 0, errors.New("stats: correlation undefined for constant series")
+	}
+	return cov / denom, nil
+}

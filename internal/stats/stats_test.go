@@ -1,0 +1,326 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasic(t *testing.T) {
+	var r Running
+	r.AddSlice([]float64{2, 4, 6, 8})
+	if r.N() != 4 {
+		t.Fatalf("n=%d", r.N())
+	}
+	if r.Mean() != 5 {
+		t.Fatalf("mean=%v", r.Mean())
+	}
+	if got := r.Variance(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("var=%v, want 5", got)
+	}
+	if r.Min() != 2 || r.Max() != 8 {
+		t.Fatalf("min=%v max=%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if !math.IsNaN(r.Mean()) || !math.IsNaN(r.Std()) || !math.IsNaN(r.Min()) || !math.IsNaN(r.Max()) {
+		t.Fatal("empty accumulator should give NaN stats")
+	}
+	if r.MissingRate() != 0 {
+		t.Fatal("empty missing rate should be 0")
+	}
+}
+
+func TestRunningNaNHandling(t *testing.T) {
+	var r Running
+	r.AddSlice([]float64{1, math.NaN(), 3, math.NaN()})
+	if r.N() != 2 || r.NaNCount() != 2 {
+		t.Fatalf("n=%d nan=%d", r.N(), r.NaNCount())
+	}
+	if r.Mean() != 2 {
+		t.Fatalf("mean=%v", r.Mean())
+	}
+	if r.MissingRate() != 0.5 {
+		t.Fatalf("missing=%v", r.MissingRate())
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+	}
+	var whole Running
+	whole.AddSlice(xs)
+
+	var a, b Running
+	a.AddSlice(xs[:317])
+	b.AddSlice(xs[317:])
+	a.Merge(&b)
+
+	if a.N() != whole.N() {
+		t.Fatalf("n %d vs %d", a.N(), whole.N())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-10 {
+		t.Fatalf("mean %v vs %v", a.Mean(), whole.Mean())
+	}
+	if math.Abs(a.Variance()-whole.Variance()) > 1e-8 {
+		t.Fatalf("var %v vs %v", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatal("min/max mismatch after merge")
+	}
+}
+
+func TestRunningMergeEmptySides(t *testing.T) {
+	var a, b Running
+	b.AddSlice([]float64{1, 2, 3})
+	a.Merge(&b) // empty <- full
+	if a.Mean() != 2 {
+		t.Fatalf("mean=%v", a.Mean())
+	}
+	var c Running
+	a.Merge(&c) // full <- empty
+	if a.Mean() != 2 || a.N() != 3 {
+		t.Fatal("merge with empty changed stats")
+	}
+}
+
+// Property: merging any split of a series equals processing it whole.
+func TestRunningMergeProperty(t *testing.T) {
+	f := func(raw []float64, cut uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		k := int(cut) % len(xs)
+		var whole, a, b Running
+		whole.AddSlice(xs)
+		a.AddSlice(xs[:k])
+		b.AddSlice(xs[k:])
+		a.Merge(&b)
+		if a.N() != whole.N() || a.NaNCount() != whole.NaNCount() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(whole.Mean()))
+		return math.Abs(a.Mean()-whole.Mean()) < 1e-6*scale &&
+			math.Abs(a.Variance()-whole.Variance()) <= 1e-6*math.Max(1, whole.Variance())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("q=%v: got %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	got, err := Quantile([]float64{0, 10}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("got %v, want 5", got)
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Fatal("want error for empty data")
+	}
+	if _, err := Quantile([]float64{math.NaN()}, 0.5); err == nil {
+		t.Fatal("want error for all-NaN data")
+	}
+	if _, err := Quantile([]float64{1}, 1.5); err == nil {
+		t.Fatal("want error for q out of range")
+	}
+}
+
+func TestQuantileIgnoresNaN(t *testing.T) {
+	got, err := Quantile([]float64{math.NaN(), 1, 3, math.NaN()}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("got %v, want 2", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 1, 3, 5, 7, 9, 9.9} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total=%d", h.Total())
+	}
+	if h.Counts[0] != 2 { // 0.5 and 1
+		t.Fatalf("bin0=%d counts=%v", h.Counts[0], h.Counts)
+	}
+	if h.Counts[4] != 2 { // 9 and 9.9
+		t.Fatalf("bin4=%d", h.Counts[4])
+	}
+}
+
+func TestHistogramClampsAndSkipsNaN(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 2)
+	h.Add(-5)         // clamps to bin 0
+	h.Add(99)         // clamps to bin 1
+	h.Add(math.NaN()) // ignored
+	if h.Total() != 2 || h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Fatalf("counts=%v total=%d", h.Counts, h.Total())
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Fatal("want error for 0 bins")
+	}
+	if _, err := NewHistogram(1, 1, 3); err == nil {
+		t.Fatal("want error for empty range")
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 10)
+	for i := 0; i < 5; i++ {
+		h.Add(7.3)
+	}
+	h.Add(2)
+	if got := h.Mode(); got != 7 {
+		t.Fatalf("mode=%v, want 7", got)
+	}
+}
+
+func TestHistogramEntropy(t *testing.T) {
+	h, _ := NewHistogram(0, 2, 2)
+	if h.Entropy() != 0 {
+		t.Fatal("empty histogram entropy must be 0")
+	}
+	h.Add(0.5)
+	h.Add(1.5)
+	if got := h.Entropy(); math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Fatalf("entropy=%v, want ln2", got)
+	}
+	// Concentrated distribution: lower entropy.
+	h2, _ := NewHistogram(0, 2, 2)
+	h2.Add(0.5)
+	h2.Add(0.5)
+	if h2.Entropy() != 0 {
+		t.Fatalf("concentrated entropy=%v, want 0", h2.Entropy())
+	}
+}
+
+func TestClassBalance(t *testing.T) {
+	cb := NewClassBalance([]string{"a", "a", "a", "b"})
+	if cb.Total != 4 {
+		t.Fatalf("total=%d", cb.Total)
+	}
+	if got := cb.ImbalanceRatio(); got != 3 {
+		t.Fatalf("ratio=%v", got)
+	}
+	if ne := cb.NormalizedEntropy(); ne <= 0 || ne >= 1 {
+		t.Fatalf("normalized entropy=%v, want in (0,1)", ne)
+	}
+}
+
+func TestClassBalanceUniform(t *testing.T) {
+	cb := NewClassBalance([]string{"x", "y", "x", "y"})
+	if cb.ImbalanceRatio() != 1 {
+		t.Fatalf("ratio=%v", cb.ImbalanceRatio())
+	}
+	if math.Abs(cb.NormalizedEntropy()-1) > 1e-12 {
+		t.Fatalf("entropy=%v", cb.NormalizedEntropy())
+	}
+}
+
+func TestClassBalanceDegenerate(t *testing.T) {
+	cb := NewClassBalance([]string{"only"})
+	if cb.ImbalanceRatio() != 1 || cb.NormalizedEntropy() != 1 {
+		t.Fatal("single class should be 'balanced' by convention")
+	}
+	empty := NewClassBalance(nil)
+	if empty.ImbalanceRatio() != 1 {
+		t.Fatal("empty should be 1")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	got, err := Correlation(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("corr=%v, want 1", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	got, err = Correlation(a, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got+1) > 1e-12 {
+		t.Fatalf("corr=%v, want -1", got)
+	}
+}
+
+func TestCorrelationErrors(t *testing.T) {
+	if _, err := Correlation([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+	if _, err := Correlation([]float64{1, math.NaN()}, []float64{1, 2}); err == nil {
+		t.Fatal("want error with <2 valid pairs")
+	}
+	if _, err := Correlation([]float64{3, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("want error for constant series")
+	}
+}
+
+func TestCorrelationSkipsNaNPairs(t *testing.T) {
+	a := []float64{1, math.NaN(), 2, 3}
+	b := []float64{2, 100, 4, 6}
+	got, err := Correlation(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("corr=%v, want 1 (NaN pair skipped)", got)
+	}
+}
+
+func BenchmarkRunningAdd(b *testing.B) {
+	var r Running
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add(float64(i % 1000))
+	}
+}

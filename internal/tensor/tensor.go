@@ -1,0 +1,454 @@
+// Package tensor provides dense n-dimensional arrays of float64 used as the
+// in-memory interchange type throughout the data-readiness pipelines.
+//
+// Scientific AI workloads demand high numeric precision (paper §2.2), so the
+// canonical element type is float64; conversion to float32 happens only at
+// shard boundaries. Missing values are represented as NaN and every
+// statistical reduction has a NaN-aware variant.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, row-major n-dimensional array of float64.
+// The zero value is an empty (rank-0, 1-element) scalar tensor holding 0.
+type Tensor struct {
+	shape   []int
+	strides []int
+	data    []float64
+}
+
+// ErrShape reports an operation applied to tensors of incompatible shape.
+var ErrShape = errors.New("tensor: shape mismatch")
+
+// New returns a zero-filled tensor with the given shape.
+// New() with no dims returns a scalar. New panics only on negative dims;
+// invalid runtime shapes should be checked with Numel beforehand.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d", d))
+		}
+		n *= d
+	}
+	t := &Tensor{
+		shape: append([]int(nil), shape...),
+		data:  make([]float64, n),
+	}
+	t.strides = computeStrides(t.shape)
+	return t
+}
+
+// FromSlice wraps data (not copied) in a tensor of the given shape.
+// It returns an error if len(data) does not match the shape's element count.
+func FromSlice(data []float64, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			return nil, fmt.Errorf("tensor: negative dimension %d", d)
+		}
+		n *= d
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("%w: data length %d, shape %v needs %d", ErrShape, len(data), shape, n)
+	}
+	t := &Tensor{shape: append([]int(nil), shape...), data: data}
+	t.strides = computeStrides(t.shape)
+	return t, nil
+}
+
+// Full returns a tensor of the given shape with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+func computeStrides(shape []int) []int {
+	strides := make([]int, len(shape))
+	s := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= shape[i]
+	}
+	return strides
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be mutated.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Numel returns the total number of elements.
+func (t *Tensor) Numel() int { return len(t.data) }
+
+// Data returns the underlying flat row-major storage. Mutations are visible
+// to the tensor; callers needing isolation should Clone first.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// offset computes the flat index for the given coordinates.
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d != tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) in dim %d", x, t.shape[i], i))
+		}
+		off += x * t.strides[i]
+	}
+	return off
+}
+
+// At returns the element at the given coordinates.
+func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx)] }
+
+// Set assigns v at the given coordinates.
+func (t *Tensor) Set(v float64, idx ...int) { t.data[t.offset(idx)] = v }
+
+// Reshape returns a view of t with a new shape covering the same elements.
+// The underlying data is shared.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		return nil, fmt.Errorf("%w: cannot reshape %v (%d elems) to %v (%d elems)",
+			ErrShape, t.shape, len(t.data), shape, n)
+	}
+	nt := &Tensor{shape: append([]int(nil), shape...), data: t.data}
+	nt.strides = computeStrides(nt.shape)
+	return nt, nil
+}
+
+// SubTensor returns a copy of the slice t[i] along the first axis
+// (e.g. one timestep of a [T,H,W] stack), with shape t.Shape()[1:].
+func (t *Tensor) SubTensor(i int) (*Tensor, error) {
+	if t.Rank() == 0 {
+		return nil, errors.New("tensor: cannot subscript a scalar")
+	}
+	if i < 0 || i >= t.shape[0] {
+		return nil, fmt.Errorf("tensor: index %d out of range [0,%d)", i, t.shape[0])
+	}
+	sub := New(t.shape[1:]...)
+	stride := t.strides[0]
+	copy(sub.data, t.data[i*stride:(i+1)*stride])
+	return sub, nil
+}
+
+// SetSubTensor copies src into slot i along the first axis.
+func (t *Tensor) SetSubTensor(i int, src *Tensor) error {
+	if t.Rank() == 0 {
+		return errors.New("tensor: cannot subscript a scalar")
+	}
+	if i < 0 || i >= t.shape[0] {
+		return fmt.Errorf("tensor: index %d out of range [0,%d)", i, t.shape[0])
+	}
+	stride := t.strides[0]
+	if src.Numel() != stride {
+		return fmt.Errorf("%w: subtensor needs %d elems, got %d", ErrShape, stride, src.Numel())
+	}
+	copy(t.data[i*stride:(i+1)*stride], src.data)
+	return nil
+}
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply replaces each element x with f(x) in place and returns t.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+	return t
+}
+
+// AddScalar adds s to every element in place.
+func (t *Tensor) AddScalar(s float64) *Tensor {
+	for i := range t.data {
+		t.data[i] += s
+	}
+	return t
+}
+
+// MulScalar multiplies every element by s in place.
+func (t *Tensor) MulScalar(s float64) *Tensor {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+	return t
+}
+
+// Add accumulates other into t element-wise in place.
+func (t *Tensor) Add(other *Tensor) error {
+	if !SameShape(t, other) {
+		return fmt.Errorf("%w: %v vs %v", ErrShape, t.shape, other.shape)
+	}
+	for i := range t.data {
+		t.data[i] += other.data[i]
+	}
+	return nil
+}
+
+// Sub subtracts other from t element-wise in place.
+func (t *Tensor) Sub(other *Tensor) error {
+	if !SameShape(t, other) {
+		return fmt.Errorf("%w: %v vs %v", ErrShape, t.shape, other.shape)
+	}
+	for i := range t.data {
+		t.data[i] -= other.data[i]
+	}
+	return nil
+}
+
+// Mul multiplies t by other element-wise in place.
+func (t *Tensor) Mul(other *Tensor) error {
+	if !SameShape(t, other) {
+		return fmt.Errorf("%w: %v vs %v", ErrShape, t.shape, other.shape)
+	}
+	for i := range t.data {
+		t.data[i] *= other.data[i]
+	}
+	return nil
+}
+
+// Min returns the minimum element, ignoring NaNs. It returns NaN when the
+// tensor holds no finite values.
+func (t *Tensor) Min() float64 {
+	m := math.NaN()
+	for _, v := range t.data {
+		if math.IsNaN(v) {
+			continue
+		}
+		if math.IsNaN(m) || v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the maximum element, ignoring NaNs. It returns NaN when the
+// tensor holds no finite values.
+func (t *Tensor) Max() float64 {
+	m := math.NaN()
+	for _, v := range t.data {
+		if math.IsNaN(v) {
+			continue
+		}
+		if math.IsNaN(m) || v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of all elements, ignoring NaNs.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		if !math.IsNaN(v) {
+			s += v
+		}
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of non-NaN elements
+// (NaN if all elements are NaN or the tensor is empty).
+func (t *Tensor) Mean() float64 {
+	s, n := 0.0, 0
+	for _, v := range t.data {
+		if !math.IsNaN(v) {
+			s += v
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return s / float64(n)
+}
+
+// Std returns the population standard deviation of non-NaN elements.
+func (t *Tensor) Std() float64 {
+	mean := t.Mean()
+	if math.IsNaN(mean) {
+		return math.NaN()
+	}
+	s, n := 0.0, 0
+	for _, v := range t.data {
+		if !math.IsNaN(v) {
+			d := v - mean
+			s += d * d
+			n++
+		}
+	}
+	return math.Sqrt(s / float64(n))
+}
+
+// CountNaN returns the number of NaN elements.
+func (t *Tensor) CountNaN() int {
+	n := 0
+	for _, v := range t.data {
+		if math.IsNaN(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// Normalize standardizes t in place to zero mean and unit variance
+// (NaNs are left untouched) and returns the (mean, std) used.
+// A zero std leaves values mean-centered only.
+func (t *Tensor) Normalize() (mean, std float64) {
+	mean, std = t.Mean(), t.Std()
+	if math.IsNaN(mean) {
+		return mean, std
+	}
+	div := std
+	if div == 0 {
+		div = 1
+	}
+	for i, v := range t.data {
+		if !math.IsNaN(v) {
+			t.data[i] = (v - mean) / div
+		}
+	}
+	return mean, std
+}
+
+// Denormalize reverses Normalize with the given statistics, in place.
+func (t *Tensor) Denormalize(mean, std float64) {
+	if std == 0 {
+		std = 1
+	}
+	for i, v := range t.data {
+		if !math.IsNaN(v) {
+			t.data[i] = v*std + mean
+		}
+	}
+}
+
+// FillNaN replaces every NaN element with v and returns the number replaced.
+func (t *Tensor) FillNaN(v float64) int {
+	n := 0
+	for i, x := range t.data {
+		if math.IsNaN(x) {
+			t.data[i] = v
+			n++
+		}
+	}
+	return n
+}
+
+// Float32 returns the tensor's elements converted to float32, the
+// precision typically used at shard boundaries.
+func (t *Tensor) Float32() []float32 {
+	out := make([]float32, len(t.data))
+	for i, v := range t.data {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// FromFloat32 builds a float64 tensor from float32 data.
+func FromFloat32(data []float32, shape ...int) (*Tensor, error) {
+	d := make([]float64, len(data))
+	for i, v := range data {
+		d[i] = float64(v)
+	}
+	return FromSlice(d, shape...)
+}
+
+// String implements fmt.Stringer with a compact shape+stats summary.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v(n=%d, mean=%.4g, std=%.4g, nan=%d)",
+		t.shape, t.Numel(), t.Mean(), t.Std(), t.CountNaN())
+}
+
+// MeanAxis0 reduces a rank>=1 tensor along its first axis, returning a
+// tensor of shape t.Shape()[1:] whose elements are NaN-aware means.
+func (t *Tensor) MeanAxis0() (*Tensor, error) {
+	if t.Rank() == 0 {
+		return nil, errors.New("tensor: MeanAxis0 on scalar")
+	}
+	inner := t.strides[0]
+	out := New(t.shape[1:]...)
+	counts := make([]int, inner)
+	for i := 0; i < t.shape[0]; i++ {
+		row := t.data[i*inner : (i+1)*inner]
+		for j, v := range row {
+			if !math.IsNaN(v) {
+				out.data[j] += v
+				counts[j]++
+			}
+		}
+	}
+	for j := range out.data {
+		if counts[j] == 0 {
+			out.data[j] = math.NaN()
+		} else {
+			out.data[j] /= float64(counts[j])
+		}
+	}
+	return out, nil
+}
+
+// StdAxis0 reduces along the first axis to per-cell population standard
+// deviations (NaN-aware), mirroring MeanAxis0.
+func (t *Tensor) StdAxis0() (*Tensor, error) {
+	mean, err := t.MeanAxis0()
+	if err != nil {
+		return nil, err
+	}
+	inner := t.strides[0]
+	out := New(t.shape[1:]...)
+	counts := make([]int, inner)
+	for i := 0; i < t.shape[0]; i++ {
+		row := t.data[i*inner : (i+1)*inner]
+		for j, v := range row {
+			if !math.IsNaN(v) && !math.IsNaN(mean.data[j]) {
+				d := v - mean.data[j]
+				out.data[j] += d * d
+				counts[j]++
+			}
+		}
+	}
+	for j := range out.data {
+		if counts[j] == 0 {
+			out.data[j] = math.NaN()
+		} else {
+			out.data[j] = math.Sqrt(out.data[j] / float64(counts[j]))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,415 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndZeroFill(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Rank() != 3 || x.Numel() != 24 {
+		t.Fatalf("rank=%d numel=%d, want 3, 24", x.Rank(), x.Numel())
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestNewScalar(t *testing.T) {
+	s := New()
+	if s.Rank() != 0 || s.Numel() != 1 {
+		t.Fatalf("scalar rank=%d numel=%d", s.Rank(), s.Numel())
+	}
+}
+
+func TestFromSliceValid(t *testing.T) {
+	x, err := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x.At(1, 2); got != 6 {
+		t.Fatalf("At(1,2)=%v, want 6", got)
+	}
+	if got := x.At(0, 0); got != 1 {
+		t.Fatalf("At(0,0)=%v, want 1", got)
+	}
+}
+
+func TestFromSliceShapeMismatch(t *testing.T) {
+	_, err := FromSlice([]float64{1, 2, 3}, 2, 2)
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("err=%v, want ErrShape", err)
+	}
+}
+
+func TestFromSliceNegativeDim(t *testing.T) {
+	if _, err := FromSlice([]float64{1}, -1); err == nil {
+		t.Fatal("want error for negative dim")
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4)
+	x.Set(7.5, 2, 1)
+	if got := x.At(2, 1); got != 7.5 {
+		t.Fatalf("got %v, want 7.5", got)
+	}
+	// Row-major layout: (2,1) is flat index 2*4+1=9.
+	if x.Data()[9] != 7.5 {
+		t.Fatalf("flat layout wrong: %v", x.Data())
+	}
+}
+
+func TestFull(t *testing.T) {
+	x := Full(3.25, 2, 2)
+	for _, v := range x.Data() {
+		if v != 3.25 {
+			t.Fatalf("got %v", v)
+		}
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x, _ := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y, err := x.Reshape(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y.Set(99, 0, 0)
+	if x.At(0, 0) != 99 {
+		t.Fatal("reshape must share storage")
+	}
+}
+
+func TestReshapeBadCount(t *testing.T) {
+	x := New(2, 3)
+	if _, err := x.Reshape(4, 2); !errors.Is(err, ErrShape) {
+		t.Fatalf("err=%v, want ErrShape", err)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	x, _ := FromSlice([]float64{1, 2}, 2)
+	c := x.Clone()
+	c.Set(42, 0)
+	if x.At(0) != 1 {
+		t.Fatal("clone must not alias original")
+	}
+}
+
+func TestSubTensorAndSet(t *testing.T) {
+	x, _ := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 3, 2)
+	s, err := x.SubTensor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(0) != 3 || s.At(1) != 4 {
+		t.Fatalf("subtensor=%v", s.Data())
+	}
+	repl, _ := FromSlice([]float64{9, 9}, 2)
+	if err := x.SetSubTensor(2, repl); err != nil {
+		t.Fatal(err)
+	}
+	if x.At(2, 0) != 9 || x.At(2, 1) != 9 {
+		t.Fatal("SetSubTensor did not write")
+	}
+}
+
+func TestSubTensorOutOfRange(t *testing.T) {
+	x := New(2, 2)
+	if _, err := x.SubTensor(5); err == nil {
+		t.Fatal("want range error")
+	}
+	if err := x.SetSubTensor(-1, New(2)); err == nil {
+		t.Fatal("want range error")
+	}
+	if err := x.SetSubTensor(0, New(3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("err=%v, want ErrShape", err)
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a, _ := FromSlice([]float64{1, 2, 3}, 3)
+	b, _ := FromSlice([]float64{10, 20, 30}, 3)
+	if err := a.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{11, 22, 33}
+	for i, v := range a.Data() {
+		if v != want[i] {
+			t.Fatalf("add: got %v", a.Data())
+		}
+	}
+	if err := a.Sub(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(2) != 3 {
+		t.Fatalf("sub: got %v", a.Data())
+	}
+	if err := a.Mul(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(1) != 40 {
+		t.Fatalf("mul: got %v", a.Data())
+	}
+}
+
+func TestElementwiseShapeMismatch(t *testing.T) {
+	a, b := New(2), New(3)
+	for _, err := range []error{a.Add(b), a.Sub(b), a.Mul(b)} {
+		if !errors.Is(err, ErrShape) {
+			t.Fatalf("err=%v, want ErrShape", err)
+		}
+	}
+}
+
+func TestScalarOps(t *testing.T) {
+	x, _ := FromSlice([]float64{1, 2}, 2)
+	x.AddScalar(1).MulScalar(3)
+	if x.At(0) != 6 || x.At(1) != 9 {
+		t.Fatalf("got %v", x.Data())
+	}
+}
+
+func TestApply(t *testing.T) {
+	x, _ := FromSlice([]float64{1, 4, 9}, 3)
+	x.Apply(math.Sqrt)
+	if x.At(2) != 3 {
+		t.Fatalf("got %v", x.Data())
+	}
+}
+
+func TestStatsIgnoreNaN(t *testing.T) {
+	x, _ := FromSlice([]float64{1, math.NaN(), 3}, 3)
+	if got := x.Mean(); got != 2 {
+		t.Fatalf("mean=%v, want 2", got)
+	}
+	if got := x.Sum(); got != 4 {
+		t.Fatalf("sum=%v, want 4", got)
+	}
+	if got := x.Min(); got != 1 {
+		t.Fatalf("min=%v, want 1", got)
+	}
+	if got := x.Max(); got != 3 {
+		t.Fatalf("max=%v, want 3", got)
+	}
+	if got := x.Std(); got != 1 {
+		t.Fatalf("std=%v, want 1", got)
+	}
+	if got := x.CountNaN(); got != 1 {
+		t.Fatalf("nan count=%d", got)
+	}
+}
+
+func TestAllNaNStats(t *testing.T) {
+	x := Full(math.NaN(), 3)
+	if !math.IsNaN(x.Mean()) || !math.IsNaN(x.Min()) || !math.IsNaN(x.Max()) || !math.IsNaN(x.Std()) {
+		t.Fatal("all-NaN tensor must yield NaN stats")
+	}
+}
+
+func TestNormalizeMoments(t *testing.T) {
+	x, _ := FromSlice([]float64{2, 4, 6, 8}, 4)
+	mean, std := x.Normalize()
+	if mean != 5 {
+		t.Fatalf("mean=%v", mean)
+	}
+	if math.Abs(x.Mean()) > 1e-12 {
+		t.Fatalf("post-normalize mean=%v", x.Mean())
+	}
+	if math.Abs(x.Std()-1) > 1e-12 {
+		t.Fatalf("post-normalize std=%v", x.Std())
+	}
+	x.Denormalize(mean, std)
+	want := []float64{2, 4, 6, 8}
+	for i, v := range x.Data() {
+		if math.Abs(v-want[i]) > 1e-9 {
+			t.Fatalf("denormalize: got %v", x.Data())
+		}
+	}
+}
+
+func TestNormalizeConstantTensor(t *testing.T) {
+	x := Full(7, 5)
+	mean, std := x.Normalize()
+	if mean != 7 || std != 0 {
+		t.Fatalf("mean=%v std=%v", mean, std)
+	}
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("constant tensor should normalize to 0, got %v", v)
+		}
+	}
+}
+
+func TestNormalizePreservesNaN(t *testing.T) {
+	x, _ := FromSlice([]float64{1, math.NaN(), 3}, 3)
+	x.Normalize()
+	if !math.IsNaN(x.At(1)) {
+		t.Fatal("NaN must survive normalization")
+	}
+}
+
+func TestFillNaN(t *testing.T) {
+	x, _ := FromSlice([]float64{math.NaN(), 2, math.NaN()}, 3)
+	if n := x.FillNaN(0); n != 2 {
+		t.Fatalf("filled %d, want 2", n)
+	}
+	if x.CountNaN() != 0 {
+		t.Fatal("NaNs remain")
+	}
+}
+
+func TestFloat32RoundTrip(t *testing.T) {
+	x, _ := FromSlice([]float64{1.5, -2.25}, 2)
+	f := x.Float32()
+	y, err := FromFloat32(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.At(0) != 1.5 || y.At(1) != -2.25 {
+		t.Fatalf("roundtrip: %v", y.Data())
+	}
+}
+
+func TestMeanStdAxis0(t *testing.T) {
+	// Two 2x2 "timesteps".
+	x, _ := FromSlice([]float64{
+		1, 2, 3, 4,
+		3, 6, 5, 8,
+	}, 2, 2, 2)
+	m, err := x.MeanAxis0()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantM := []float64{2, 4, 4, 6}
+	for i, v := range m.Data() {
+		if v != wantM[i] {
+			t.Fatalf("mean axis0: %v", m.Data())
+		}
+	}
+	s, err := x.StdAxis0()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantS := []float64{1, 2, 1, 2}
+	for i, v := range s.Data() {
+		if v != wantS[i] {
+			t.Fatalf("std axis0: %v", s.Data())
+		}
+	}
+}
+
+func TestMeanAxis0WithNaN(t *testing.T) {
+	x, _ := FromSlice([]float64{
+		1, math.NaN(),
+		3, math.NaN(),
+	}, 2, 2)
+	m, err := x.MeanAxis0()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0) != 2 {
+		t.Fatalf("got %v", m.At(0))
+	}
+	if !math.IsNaN(m.At(1)) {
+		t.Fatal("all-NaN column must be NaN")
+	}
+}
+
+func TestMeanAxis0Scalar(t *testing.T) {
+	if _, err := New().MeanAxis0(); err == nil {
+		t.Fatal("want error for scalar")
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	if !SameShape(New(2, 3), New(2, 3)) {
+		t.Fatal("equal shapes")
+	}
+	if SameShape(New(2, 3), New(3, 2)) || SameShape(New(2), New(2, 1)) {
+		t.Fatal("unequal shapes reported equal")
+	}
+}
+
+// Property: normalization always yields mean ~0 and std ~1 (or 0 for
+// constant input) for any finite data.
+func TestNormalizeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) < 2 {
+			return true
+		}
+		x, err := FromSlice(vals, len(vals))
+		if err != nil {
+			return false
+		}
+		_, std := x.Normalize()
+		if std == 0 {
+			return math.Abs(x.Mean()) < 1e-6
+		}
+		return math.Abs(x.Mean()) < 1e-6 && math.Abs(x.Std()-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone+mutate never affects the source.
+func TestCloneProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		x, err := FromSlice(append([]float64(nil), vals...), len(vals))
+		if err != nil {
+			return false
+		}
+		before := append([]float64(nil), x.Data()...)
+		c := x.Clone()
+		c.AddScalar(1)
+		for i, v := range x.Data() {
+			if v != before[i] && !(math.IsNaN(v) && math.IsNaN(before[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	x := New(256, 256)
+	for i := range x.Data() {
+		x.Data()[i] = float64(i%97) * 0.37
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Normalize()
+	}
+}
+
+func BenchmarkMeanAxis0(b *testing.B) {
+	x := New(64, 128, 128)
+	for i := range x.Data() {
+		x.Data()[i] = float64(i % 31)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.MeanAxis0(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
