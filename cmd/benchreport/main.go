@@ -4,26 +4,38 @@
 // C1 (parallel I/O scaling), C2 (curation-time share), and C3 (iterative
 // feedback). EXPERIMENTS.md records paper-vs-measured for each.
 //
+// The serve experiment benchmarks the draid serving tier (N concurrent
+// clients streaming batches over HTTP) and writes its result to
+// BENCH_serve.json alongside the console report, so serving throughput
+// is tracked the same way as the pipeline benchmarks.
+//
 // Usage:
 //
 //	benchreport               # run everything
-//	benchreport -exp table1   # one experiment: fig1|table1|table2|scaling|curation|feedback
+//	benchreport -exp table1   # one experiment: fig1|table1|table2|scaling|curation|feedback|serve
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"slices"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/server"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig1|table1|table2|scaling|curation|feedback")
+	exp := flag.String("exp", "all", "experiment: all|fig1|table1|table2|scaling|curation|feedback|serve")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	scaleMB := flag.Int("scale-mb", 16, "C1: megabytes to shard")
 	shots := flag.Int("curation-shots", 8, "C2: shots in the curation comparison")
+	serveClients := flag.Int("serve-clients", 8, "serve: concurrent streaming clients")
+	servePasses := flag.Int("serve-passes", 2, "serve: streaming passes per client")
+	serveJSON := flag.String("serve-json", "BENCH_serve.json", "serve: result file (empty disables)")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -94,7 +106,28 @@ func main() {
 		return nil
 	})
 
-	if *exp != "all" && !strings.Contains("fig1 table1 table2 scaling curation feedback", *exp) {
-		log.Fatalf("benchreport: unknown experiment %q", *exp)
+	run("serve", func() error {
+		res, err := server.RunServeBenchmark(*serveClients, 16, 0, *servePasses)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if *serveJSON == "" {
+			return nil
+		}
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*serveJSON, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *serveJSON)
+		return nil
+	})
+
+	known := []string{"fig1", "table1", "table2", "scaling", "curation", "feedback", "serve"}
+	if *exp != "all" && !slices.Contains(known, *exp) {
+		log.Fatalf("benchreport: unknown experiment %q (want all|%s)", *exp, strings.Join(known, "|"))
 	}
 }

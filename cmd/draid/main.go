@@ -1,0 +1,74 @@
+// Command draid serves dataset readiness as a facility service: domain
+// templates from the registry, asynchronous pipeline jobs on a bounded
+// worker pool, trained-side batch streaming from completed jobs' shard
+// sets, and Prometheus-style metrics.
+//
+// Usage:
+//
+//	draid                          # listen on :8080 with 4 workers
+//	draid -addr :9000 -workers 8 -cache-mb 256
+//
+// API:
+//
+//	GET  /v1/templates               list registered domain templates
+//	POST /v1/jobs                    submit {"domain":"climate", ...}
+//	GET  /v1/jobs                    list jobs
+//	GET  /v1/jobs/{id}               job state + readiness trajectory
+//	GET  /v1/jobs/{id}/provenance    lineage report (JSON)
+//	GET  /v1/jobs/{id}/batches       stream NDJSON training batches
+//	GET  /metrics                    serving + pipeline metrics
+//	GET  /healthz                    liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "concurrent pipeline executions")
+	queueDepth := flag.Int("queue", 64, "max queued jobs before submissions get 429")
+	cacheMB := flag.Int64("cache-mb", 128, "decoded-shard LRU cache budget in MiB (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+	log.SetFlags(0)
+
+	s := server.New(server.Options{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		CacheBytes: *cacheMB << 20,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("draid: listening on %s (%d workers, %d MiB shard cache)", *addr, *workers, *cacheMB)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("draid: %v", err)
+		}
+	case got := <-sig:
+		log.Printf("draid: %v — draining (up to %s)", got, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("draid: shutdown: %v", err)
+		}
+		s.Close()
+		log.Printf("draid: stopped")
+	}
+}

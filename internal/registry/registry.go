@@ -54,6 +54,19 @@ func Lookup(d core.Domain) (Template, error) {
 	return t, nil
 }
 
+// Templates lists all registered templates sorted by domain — the
+// catalog a serving tier exposes to clients choosing a pipeline.
+func Templates() []Template {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Template, 0, len(templates))
+	for _, t := range templates {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
 // Domains lists registered domains, sorted.
 func Domains() []core.Domain {
 	mu.RLock()

@@ -2,7 +2,9 @@ package registry
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/climate"
@@ -125,6 +127,82 @@ func TestAllTemplatesWalkAbstractStages(t *testing.T) {
 		kinds := p.StageKinds()
 		if kinds[0] != core.Ingest || kinds[len(kinds)-1] != core.Shard {
 			t.Fatalf("%s kinds=%v", d, kinds)
+		}
+	}
+}
+
+// TestTemplatesCatalog checks the catalog view the serving tier exposes.
+func TestTemplatesCatalog(t *testing.T) {
+	tpls := Templates()
+	if len(tpls) != len(Domains()) {
+		t.Fatalf("templates=%d domains=%d", len(tpls), len(Domains()))
+	}
+	for i := 1; i < len(tpls); i++ {
+		if tpls[i-1].Domain >= tpls[i].Domain {
+			t.Fatalf("catalog not sorted: %v before %v", tpls[i-1].Domain, tpls[i].Domain)
+		}
+	}
+	for _, tpl := range tpls {
+		if tpl.Description == "" || tpl.Build == nil {
+			t.Fatalf("incomplete template %+v", tpl.Domain)
+		}
+	}
+}
+
+// TestConcurrentRegistryAccess hammers the registry the way draid does
+// under parallel requests: template listing, lookups, and pipeline
+// instantiation racing concurrent registrations. Run with -race.
+func TestConcurrentRegistryAccess(t *testing.T) {
+	const workers = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scratch := core.Domain(fmt.Sprintf("scratch-%d", w))
+			for r := 0; r < rounds; r++ {
+				if err := Register(Template{
+					Domain:      scratch,
+					Description: "ephemeral test template",
+					Build: func(sink shard.Sink, opts any) (*pipeline.Pipeline, error) {
+						return New(core.Climate, sink, opts)
+					},
+				}); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := Lookup(scratch); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := Lookup(core.Climate); err != nil {
+					errs <- err
+					return
+				}
+				if got := len(Templates()); got < 4 {
+					errs <- fmt.Errorf("round %d: %d templates", r, got)
+					return
+				}
+				if _, err := New(core.Materials, shard.NewMemSink(), nil); err != nil {
+					errs <- err
+					return
+				}
+				Domains()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Scratch domains leak into the package-level registry; confirm the
+	// four real templates are still intact for later tests.
+	for _, d := range core.Domains() {
+		if _, err := Lookup(d); err != nil {
+			t.Fatal(err)
 		}
 	}
 }

@@ -1,0 +1,28 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkServeThroughput measures concurrent batch streaming against
+// a live draid server: N clients each stream the full shard set of one
+// completed climate job. The MiB/s metric is the serving-tier headline
+// number future PRs track.
+func BenchmarkServeThroughput(b *testing.B) {
+	for _, clients := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("clients%d", clients), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := RunServeBenchmark(clients, 16, 0, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Batches == 0 {
+					b.Fatal("no batches streamed")
+				}
+				b.ReportMetric(res.BytesPerSec/(1024*1024), "MiB/s")
+				b.ReportMetric(res.BatchesPerSec, "batches/s")
+			}
+		})
+	}
+}

@@ -1,0 +1,188 @@
+// Serving-throughput benchmark harness: stands up a draid server over
+// httptest, prepares one completed job, then hammers the batch endpoint
+// with N concurrent streaming clients. Shared by the Go benchmark, the
+// end-to-end tests, and cmd/benchreport's BENCH_serve.json artifact, so
+// future PRs track serving speed with one number.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ServeBenchResult reports one throughput run; JSON field names are the
+// BENCH_serve.json schema.
+type ServeBenchResult struct {
+	Clients       int     `json:"clients"`
+	BatchSize     int     `json:"batch_size"`
+	Batches       int64   `json:"batches"`
+	Samples       int64   `json:"samples"`
+	Bytes         int64   `json:"bytes"`
+	Seconds       float64 `json:"seconds"`
+	BytesPerSec   float64 `json:"bytes_per_sec"`
+	BatchesPerSec float64 `json:"batches_per_sec"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+}
+
+// Render formats the result for benchreport's console output.
+func (r *ServeBenchResult) Render() string {
+	return fmt.Sprintf(
+		"Serving throughput — %d concurrent clients, batch size %d:\n"+
+			"  %d batches (%d samples, %d bytes) in %.3fs\n"+
+			"  %.2f MiB/s, %.0f batches/s; shard cache %d hits / %d misses\n",
+		r.Clients, r.BatchSize, r.Batches, r.Samples, r.Bytes, r.Seconds,
+		r.BytesPerSec/(1024*1024), r.BatchesPerSec, r.CacheHits, r.CacheMisses)
+}
+
+// RunServeBenchmark measures concurrent streaming throughput: it
+// submits one climate job, waits for readiness, then runs `clients`
+// parallel readers each streaming up to maxBatches batches of
+// batchSize samples. passes<=0 means each client streams once.
+func RunServeBenchmark(clients, batchSize, maxBatches, passes int) (*ServeBenchResult, error) {
+	if clients <= 0 {
+		return nil, fmt.Errorf("server: clients=%d must be positive", clients)
+	}
+	if passes <= 0 {
+		passes = 1
+	}
+	s := New(Options{Workers: 2, CacheBytes: 64 << 20})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id, err := SubmitAndWait(ts.URL, JobSpec{Domain: core.Climate, Name: "serve-bench", Seed: 1}, 60*time.Second)
+	if err != nil {
+		return nil, err
+	}
+
+	url := fmt.Sprintf("%s/v1/jobs/%s/batches?batch_size=%d&max_batches=%d", ts.URL, id, batchSize, maxBatches)
+	res := &ServeBenchResult{Clients: clients, BatchSize: batchSize}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := 0; p < passes; p++ {
+				batches, samples, n, err := StreamBatches(url)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				res.Batches += batches
+				res.Samples += samples
+				res.Bytes += n
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.Seconds = time.Since(start).Seconds()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if res.Seconds > 0 {
+		res.BytesPerSec = float64(res.Bytes) / res.Seconds
+		res.BatchesPerSec = float64(res.Batches) / res.Seconds
+	}
+	cs := s.cache.Stats()
+	res.CacheHits, res.CacheMisses = cs.Hits, cs.Misses
+	return res, nil
+}
+
+// SubmitAndWait posts a job spec to a running draid server and polls it
+// until done, returning the job ID.
+func SubmitAndWait(baseURL string, spec JobSpec, timeout time.Duration) (string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.Post(baseURL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	var st JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit: status %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(baseURL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return "", err
+		}
+		var cur JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&cur)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		switch cur.State {
+		case JobDone:
+			return cur.ID, nil
+		case JobFailed:
+			return "", fmt.Errorf("job %s failed: %s", cur.ID, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("job %s still %s after %s", cur.ID, cur.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// StreamBatches consumes one NDJSON batch stream, validating every
+// line, and returns (batches, samples, bytes).
+func StreamBatches(url string) (batches, samples, n int64, err error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return 0, 0, 0, fmt.Errorf("stream: status %d: %s", resp.StatusCode, b)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		n += int64(len(line)) + 1
+		var wire struct {
+			Error    string      `json:"error"`
+			Features [][]float32 `json:"features"`
+			Labels   []int32     `json:"labels"`
+		}
+		if err := json.Unmarshal(line, &wire); err != nil {
+			return batches, samples, n, fmt.Errorf("stream: bad line: %w", err)
+		}
+		if wire.Error != "" {
+			return batches, samples, n, fmt.Errorf("stream: server error: %s", wire.Error)
+		}
+		if len(wire.Features) != len(wire.Labels) {
+			return batches, samples, n, fmt.Errorf("stream: %d feature rows vs %d labels", len(wire.Features), len(wire.Labels))
+		}
+		batches++
+		samples += int64(len(wire.Labels))
+	}
+	return batches, samples, n, sc.Err()
+}

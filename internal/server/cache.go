@@ -1,0 +1,137 @@
+// LRU shard-index cache for the serving tier. Opening a shard means
+// verifying its SHA-256, inflating gzip, walking TFRecord frames, and
+// decoding every sample — work worth doing once per shard, not once per
+// reader. The cache keys decoded shard contents by (job, shard) and
+// evicts least-recently-served entries when the configured byte budget
+// is exceeded, so many concurrent streaming clients share one decode.
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/loader"
+)
+
+// shardEntry is one cached, fully decoded shard.
+type shardEntry struct {
+	key     string
+	samples []*loader.Sample
+	bytes   int64
+	elem    *list.Element
+}
+
+// inflight coalesces concurrent loads of the same shard (singleflight):
+// the first reader decodes, the rest wait on done.
+type inflight struct {
+	done    chan struct{}
+	samples []*loader.Sample
+	bytes   int64
+	err     error
+}
+
+// ShardCache is a byte-budgeted LRU over decoded shards, safe for
+// concurrent use.
+type ShardCache struct {
+	mu      sync.Mutex
+	max     int64
+	size    int64
+	entries map[string]*shardEntry
+	lru     *list.List // front = most recently used; values are *shardEntry
+	loads   map[string]*inflight
+
+	hits, misses, evictions int64
+}
+
+// NewShardCache returns a cache that holds at most maxBytes of decoded
+// sample data. maxBytes <= 0 disables caching (every read decodes).
+func NewShardCache(maxBytes int64) *ShardCache {
+	return &ShardCache{
+		max:     maxBytes,
+		entries: make(map[string]*shardEntry),
+		lru:     list.New(),
+		loads:   make(map[string]*inflight),
+	}
+}
+
+// Samples returns the decoded samples for key, loading them via load on
+// a miss. Concurrent misses on one key run load once and share the
+// result. The returned slice is shared — callers must not mutate it.
+func (c *ShardCache) Samples(key string, load func() ([]*loader.Sample, int64, error)) ([]*loader.Sample, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.hits++
+		samples := e.samples
+		c.mu.Unlock()
+		return samples, nil
+	}
+	if fl, ok := c.loads[key]; ok {
+		// Another reader is decoding this shard; wait for it.
+		c.mu.Unlock()
+		<-fl.done
+		return fl.samples, fl.err
+	}
+	fl := &inflight{done: make(chan struct{})}
+	c.loads[key] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	fl.samples, fl.bytes, fl.err = load()
+	close(fl.done)
+
+	c.mu.Lock()
+	delete(c.loads, key)
+	if fl.err == nil && c.max > 0 {
+		c.insert(key, fl.samples, fl.bytes)
+	}
+	c.mu.Unlock()
+	return fl.samples, fl.err
+}
+
+// insert adds an entry and evicts from the LRU tail until within budget.
+// Caller holds c.mu.
+func (c *ShardCache) insert(key string, samples []*loader.Sample, bytes int64) {
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	e := &shardEntry{key: key, samples: samples, bytes: bytes}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.size += bytes
+	for c.size > c.max && c.lru.Len() > 1 {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		victim := tail.Value.(*shardEntry)
+		c.lru.Remove(tail)
+		delete(c.entries, victim.key)
+		c.size -= victim.bytes
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time view of cache effectiveness.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats snapshots the cache counters.
+func (c *ShardCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.entries),
+		Bytes:     c.size,
+		MaxBytes:  c.max,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,366 @@
+// Job model for the draid service: a submission names a registry
+// template and synthetic-input scale; the server runs the archetype
+// pipeline asynchronously on a bounded worker pool and retains the
+// outputs (shard sink, manifest, readiness trajectory, provenance) for
+// the serving endpoints.
+package server
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/anonymize"
+	"repro/internal/bio"
+	"repro/internal/climate"
+	"repro/internal/core"
+	"repro/internal/fusion"
+	"repro/internal/materials"
+	"repro/internal/pipeline"
+	"repro/internal/provenance"
+	"repro/internal/registry"
+	"repro/internal/shard"
+)
+
+// JobState is the lifecycle position of a submitted job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// JobSpec is the submission body: which registry template to run and
+// how large a synthetic input to prepare. Zero-valued knobs pick
+// per-domain defaults sized for interactive turnaround.
+type JobSpec struct {
+	Domain core.Domain `json:"domain"`
+	Name   string      `json:"name,omitempty"`
+	Seed   int64       `json:"seed,omitempty"`
+	// Climate: source grid before regridding.
+	Months int `json:"months,omitempty"`
+	Lat    int `json:"lat,omitempty"`
+	Lon    int `json:"lon,omitempty"`
+	// Fusion.
+	Shots int `json:"shots,omitempty"`
+	// Bio/health.
+	Subjects int `json:"subjects,omitempty"`
+	SeqLen   int `json:"seq_len,omitempty"`
+	// Materials.
+	Structures int `json:"structures,omitempty"`
+}
+
+// Scale-knob ceilings: submissions are unauthenticated, so a single
+// oversized spec must not be able to allocate the server to death.
+const (
+	maxMonths     = 1200
+	maxGridDim    = 512
+	maxShots      = 256
+	maxSubjects   = 5000
+	maxSeqLen     = 100000
+	maxStructures = 5000
+)
+
+// Validate rejects specs whose synthetic input would exceed the
+// per-job resource ceilings.
+func (s JobSpec) Validate() error {
+	check := func(name string, v, max int) error {
+		if v > max {
+			return fmt.Errorf("server: %s=%d exceeds limit %d", name, v, max)
+		}
+		if v < 0 {
+			return fmt.Errorf("server: %s=%d must not be negative", name, v)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name   string
+		v, max int
+	}{
+		{"months", s.Months, maxMonths},
+		{"lat", s.Lat, maxGridDim},
+		{"lon", s.Lon, maxGridDim},
+		{"shots", s.Shots, maxShots},
+		{"subjects", s.Subjects, maxSubjects},
+		{"seq_len", s.SeqLen, maxSeqLen},
+		{"structures", s.Structures, maxStructures},
+	} {
+		if err := check(c.name, c.v, c.max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TrajectoryPoint is one stage of the job's readiness trajectory — the
+// Table 2 walk exposed over the API.
+type TrajectoryPoint struct {
+	Stage     string   `json:"stage"`
+	Kind      string   `json:"kind"`
+	Level     int      `json:"level"`
+	LevelName string   `json:"level_name"`
+	Gaps      []string `json:"gaps,omitempty"`
+}
+
+// JobStatus is the JSON view of a job.
+type JobStatus struct {
+	ID         string            `json:"id"`
+	Spec       JobSpec           `json:"spec"`
+	State      JobState          `json:"state"`
+	Error      string            `json:"error,omitempty"`
+	Submitted  time.Time         `json:"submitted"`
+	Started    *time.Time        `json:"started,omitempty"`
+	Finished   *time.Time        `json:"finished,omitempty"`
+	Records    int64             `json:"records"`
+	Shards     int               `json:"shards"`
+	Servable   bool              `json:"servable"`
+	Trajectory []TrajectoryPoint `json:"trajectory,omitempty"`
+}
+
+// Job is one pipeline run owned by the server.
+type Job struct {
+	mu         sync.Mutex
+	id         string
+	spec       JobSpec
+	state      JobState
+	err        string
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	trajectory []TrajectoryPoint
+	records    int64
+
+	// Populated on success.
+	manifest *shard.Manifest
+	open     shard.Opener
+	servable bool // shards hold loader.Sample records
+	tracker  *provenance.Tracker
+}
+
+// Status snapshots the job for JSON rendering.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, Spec: j.spec, State: j.state, Error: j.err,
+		Submitted: j.submitted, Records: j.records, Servable: j.servable,
+		Trajectory: append([]TrajectoryPoint(nil), j.trajectory...),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.manifest != nil {
+		st.Shards = len(j.manifest.Shards)
+	}
+	return st
+}
+
+// serveHandle returns what the batch endpoint needs, or an error string
+// describing why the job cannot serve samples yet.
+func (j *Job) serveHandle() (*shard.Manifest, shard.Opener, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.state == JobQueued || j.state == JobRunning:
+		return nil, nil, fmt.Errorf("job %s is %s; samples are served once it is done", j.id, j.state)
+	case j.state == JobFailed:
+		return nil, nil, fmt.Errorf("job %s failed: %s", j.id, j.err)
+	case !j.servable || j.manifest == nil:
+		return nil, nil, fmt.Errorf("job %s (%s) does not produce loader-sample shards", j.id, j.spec.Domain)
+	}
+	return j.manifest, j.open, nil
+}
+
+// decryptOpener presents a bio job's sealed shard set as plaintext: the
+// sink stores "<name>.enc" AES-GCM blobs; readers see the manifest's
+// plaintext names and checksums.
+type decryptOpener struct {
+	sink *shard.MemSink
+	key  []byte
+}
+
+// Open implements shard.Opener over sealed shards.
+func (o decryptOpener) Open(name string) (io.ReadCloser, error) {
+	rc, err := o.sink.Open(name + ".enc")
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := io.ReadAll(rc)
+	if cerr := rc.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	plain, err := anonymize.DecryptShard(o.key, name, sealed)
+	if err != nil {
+		return nil, err
+	}
+	return io.NopCloser(bytes.NewReader(plain)), nil
+}
+
+// jobResult carries a finished pipeline run back onto the Job.
+type jobResult struct {
+	trajectory []TrajectoryPoint
+	records    int64
+	manifest   *shard.Manifest
+	open       shard.Opener
+	servable   bool
+	tracker    *provenance.Tracker
+	pipe       *pipeline.Pipeline
+}
+
+// runSpec synthesizes the domain input, instantiates the registry
+// template over a fresh in-memory sink, and runs it — the body of one
+// worker-pool slot.
+func runSpec(spec JobSpec) (*jobResult, error) {
+	sink := shard.NewMemSink()
+	res := &jobResult{open: sink}
+
+	var (
+		p   *pipeline.Pipeline
+		ds  *pipeline.Dataset
+		err error
+	)
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	switch spec.Domain {
+	case core.Climate:
+		months, lat, lon := orDefault(spec.Months, 24), orDefault(spec.Lat, 16), orDefault(spec.Lon, 32)
+		field, serr := climate.Synthesize(climate.SynthConfig{
+			Months: months, Lat: lat, Lon: lon, MissingRate: 0.01, Seed: seed})
+		if serr != nil {
+			return nil, serr
+		}
+		raw, serr := field.ToNetCDF()
+		if serr != nil {
+			return nil, serr
+		}
+		p, err = registry.New(spec.Domain, sink, climate.Config{
+			TargetLat: lat / 2, TargetLon: lon / 2, Method: climate.Bilinear,
+			Workers: 2, ShardTargetBytes: 8 << 10, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		ds = climate.NewDataset(spec.Name, raw)
+		res.servable = true
+
+	case core.Fusion:
+		st, serr := fusion.SynthesizeCampaign(fusion.SynthConfig{
+			Shots: orDefault(spec.Shots, 8), DisruptionRate: 0.35,
+			FlattopSeconds: 1, DropoutRate: 0.01, Seed: seed})
+		if serr != nil {
+			return nil, serr
+		}
+		cfg := fusion.DefaultConfig()
+		cfg.Seed = seed
+		p, err = registry.New(spec.Domain, sink, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ds = fusion.NewDataset(spec.Name, st)
+
+	case core.BioHealth:
+		// The bio template tiles at the default length; shorter synthetic
+		// sequences would fail every job, so floor SeqLen there.
+		seqLen := orDefault(spec.SeqLen, 256)
+		if min := bio.DefaultConfig(nil, nil).TileLen; seqLen < min {
+			seqLen = min
+		}
+		cohort, serr := bio.Synthesize(bio.SynthConfig{
+			Subjects: orDefault(spec.Subjects, 24), SeqLen: seqLen, Seed: seed})
+		if serr != nil {
+			return nil, serr
+		}
+		key := make([]byte, 32)
+		if _, kerr := rand.Read(key); kerr != nil {
+			return nil, kerr
+		}
+		secret := make([]byte, 32)
+		if _, kerr := rand.Read(secret); kerr != nil {
+			return nil, kerr
+		}
+		p, err = registry.New(spec.Domain, sink, registry.BioSecrets{
+			EncryptionKey: key, PseudonymSecret: secret})
+		if err != nil {
+			return nil, err
+		}
+		ds = bio.NewDataset(spec.Name, cohort.ToFASTA(), cohort.Clinical)
+		res.open = decryptOpener{sink: sink, key: key}
+		res.servable = true
+
+	case core.Materials:
+		structs, serr := materials.Synthesize(materials.SynthConfig{
+			Structures: orDefault(spec.Structures, 24), MinAtoms: 4, MaxAtoms: 10,
+			ImbalanceRatio: 3, Seed: seed})
+		if serr != nil {
+			return nil, serr
+		}
+		poscars := make([]string, len(structs))
+		for i, s := range structs {
+			poscars[i] = s.ToPOSCAR()
+		}
+		p, err = registry.New(spec.Domain, sink, nil)
+		if err != nil {
+			return nil, err
+		}
+		ds = materials.NewDataset(spec.Name, poscars)
+
+	default:
+		return nil, fmt.Errorf("server: unknown domain %q", spec.Domain)
+	}
+
+	snaps, err := p.Run(ds)
+	res.trajectory = toTrajectory(snaps)
+	res.tracker = p.Tracker
+	res.pipe = p
+	if err != nil {
+		return res, err
+	}
+	res.records = ds.Records
+
+	switch prod := ds.Payload.(type) {
+	case *climate.Product:
+		res.manifest = prod.Manifest
+	case *fusion.Product:
+		res.manifest = prod.Manifest
+	case *bio.Product:
+		res.manifest = prod.Manifest
+	}
+	return res, nil
+}
+
+func toTrajectory(snaps []pipeline.Snapshot) []TrajectoryPoint {
+	out := make([]TrajectoryPoint, len(snaps))
+	for i, s := range snaps {
+		out[i] = TrajectoryPoint{
+			Stage:     s.StageName,
+			Kind:      s.StageKind.String(),
+			Level:     int(s.Assessment.Level),
+			LevelName: s.Assessment.Level.String(),
+			Gaps:      append([]string(nil), s.Assessment.Gaps...),
+		}
+	}
+	return out
+}
+
+func orDefault(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
+}

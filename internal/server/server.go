@@ -1,0 +1,492 @@
+// Package server is the draid serving tier: it turns the in-process
+// data-readiness library into a facility service. Clients list the
+// registry's domain templates, submit pipeline jobs that run
+// asynchronously on a bounded worker pool, follow each job's readiness
+// trajectory and provenance, and stream training batches from completed
+// jobs' shard sets through an LRU shard cache. /metrics exposes the
+// paper-facing accounting (stage timings, jobs in flight, bytes served)
+// built on internal/metrics.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/loader"
+	"repro/internal/metrics"
+	"repro/internal/registry"
+	"repro/internal/shard"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// Workers bounds concurrent pipeline executions. <=0 means 2.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker; submissions beyond it
+	// are rejected with 429 (explicit backpressure, not unbounded RAM).
+	// <=0 means 64.
+	QueueDepth int
+	// CacheBytes budgets the decoded-shard LRU cache. <=0 disables it.
+	CacheBytes int64
+}
+
+// Server is the draid HTTP service. Create with New, serve via Handler,
+// stop with Close.
+type Server struct {
+	mux   *http.ServeMux
+	cache *ShardCache
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order for listing
+	seq    int
+	closed bool
+
+	queue chan *Job
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	collector     *metrics.Collector
+	jobsRunning   atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	bytesServed   atomic.Int64
+	batchesServed atomic.Int64
+	samplesServed atomic.Int64
+}
+
+// New starts a server's worker pool and registers its routes.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	s := &Server{
+		mux:       http.NewServeMux(),
+		cache:     NewShardCache(opts.CacheBytes),
+		jobs:      make(map[string]*Job),
+		queue:     make(chan *Job, opts.QueueDepth),
+		stop:      make(chan struct{}),
+		collector: metrics.NewCollector(),
+	}
+	s.routes()
+	for w := 0; w < opts.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler (also usable under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close initiates graceful shutdown: no new submissions are accepted,
+// running jobs finish, and workers exit. Jobs still queued stay queued
+// and are reported as such.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		// Check stop first: a blocking select alone picks randomly when
+		// both channels are ready, which would keep draining a full
+		// queue instead of shutting down.
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		select {
+		case <-s.stop:
+			return
+		case job := <-s.queue:
+			s.runJob(job)
+		}
+	}
+}
+
+func (s *Server) runJob(job *Job) {
+	job.mu.Lock()
+	job.state = JobRunning
+	job.started = time.Now()
+	spec := job.spec
+	job.mu.Unlock()
+	s.jobsRunning.Add(1)
+	defer s.jobsRunning.Add(-1)
+
+	var res *jobResult
+	err := s.collector.Time("job:"+string(spec.Domain), "pipeline", 0, 0, func() error {
+		var rerr error
+		res, rerr = runSpec(spec)
+		return rerr
+	})
+
+	job.mu.Lock()
+	job.finished = time.Now()
+	if res != nil {
+		job.trajectory = res.trajectory
+		job.tracker = res.tracker
+	}
+	if err != nil {
+		job.state = JobFailed
+		job.err = err.Error()
+		job.mu.Unlock()
+		s.jobsFailed.Add(1)
+		return
+	}
+	job.records = res.records
+	job.manifest = res.manifest
+	job.open = res.open
+	job.servable = res.servable && res.manifest != nil
+	job.state = JobDone
+	job.mu.Unlock()
+	s.jobsDone.Add(1)
+
+	// Fold the pipeline's per-stage timings into the server collector so
+	// /metrics aggregates stage cost across all jobs.
+	for _, st := range res.pipe.Collector.ByStage() {
+		s.collector.Record(metrics.Sample{
+			Stage: st.Stage, Category: "curation",
+			Duration: st.Total, Bytes: st.Bytes, Records: st.Records,
+		})
+	}
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /v1/templates", s.handleTemplates)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/provenance", s.handleProvenance)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/batches", s.handleBatches)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// TemplateInfo is the catalog entry served by /v1/templates.
+type TemplateInfo struct {
+	Domain      string `json:"domain"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleTemplates(w http.ResponseWriter, _ *http.Request) {
+	tpls := registry.Templates()
+	out := make([]TemplateInfo, len(tpls))
+	for i, t := range tpls {
+		out[i] = TemplateInfo{Domain: string(t.Domain), Description: t.Description}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
+		return
+	}
+	if _, err := registry.Lookup(spec.Domain); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down"))
+		return
+	}
+	s.seq++
+	job := &Job{
+		id:        fmt.Sprintf("job-%06d", s.seq),
+		spec:      spec,
+		state:     JobQueued,
+		submitted: time.Now(),
+	}
+	if job.spec.Name == "" {
+		job.spec.Name = job.id
+	}
+	select {
+	case s.queue <- job:
+		s.jobs[job.id] = job
+		s.order = append(s.order, job.id)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, job.Status())
+	default:
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, fmt.Errorf("job queue full (%d waiting)", cap(s.queue)))
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) *Job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return nil
+	}
+	return job
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if job := s.job(w, r); job != nil {
+		writeJSON(w, http.StatusOK, job.Status())
+	}
+}
+
+func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	job := s.job(w, r)
+	if job == nil {
+		return
+	}
+	job.mu.Lock()
+	tracker := job.tracker
+	job.mu.Unlock()
+	if tracker == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s has no provenance yet", job.id))
+		return
+	}
+	b, err := tracker.Export()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+// BatchWire is one streamed NDJSON line of /v1/jobs/{id}/batches.
+type BatchWire struct {
+	Batch    int         `json:"batch"`
+	Features [][]float32 `json:"features"`
+	Labels   []int32     `json:"labels"`
+}
+
+func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
+	job := s.job(w, r)
+	if job == nil {
+		return
+	}
+	manifest, open, err := job.serveHandle()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	batchSize, err := queryInt(r, "batch_size", 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	maxBatches, err := queryInt(r, "max_batches", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if batchSize <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch_size must be positive"))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	cw := &countingResponseWriter{w: w}
+	enc := json.NewEncoder(cw)
+	flusher, _ := w.(http.Flusher)
+
+	served := 0
+	failed := false
+	var pending []*loader.Sample
+	emit := func(samples []*loader.Sample) error {
+		// Reference the cached feature slices directly — encoding only
+		// reads them, and copying every batch would double memory
+		// traffic on the serving hot path.
+		wire := BatchWire{Batch: served, Features: make([][]float32, len(samples)), Labels: make([]int32, len(samples))}
+		for i, sm := range samples {
+			wire.Features[i] = sm.Features
+			wire.Labels[i] = sm.Label
+		}
+		if err := enc.Encode(&wire); err != nil {
+			return err
+		}
+		served++
+		s.batchesServed.Add(1)
+		s.samplesServed.Add(int64(len(samples)))
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+shards:
+	for _, info := range manifest.Shards {
+		samples, err := s.shardSamples(job.id, manifest, info, open)
+		if err != nil {
+			// Headers are gone; the NDJSON error line is the only channel left.
+			line, _ := json.Marshal(map[string]string{"error": err.Error()})
+			cw.writeLine(string(line))
+			failed = true
+			break
+		}
+		for _, sm := range samples {
+			pending = append(pending, sm)
+			if len(pending) == batchSize {
+				if err := emit(pending); err != nil {
+					break shards
+				}
+				pending = pending[:0]
+				if maxBatches > 0 && served >= maxBatches {
+					break shards
+				}
+			}
+		}
+	}
+	if !failed && len(pending) > 0 && (maxBatches <= 0 || served < maxBatches) {
+		_ = emit(pending)
+	}
+	s.bytesServed.Add(cw.n)
+	s.collector.Record(metrics.Sample{
+		Stage: "serve:batches", Category: "serve",
+		Bytes: cw.n, Records: int64(served),
+	})
+}
+
+// shardSamples returns one shard's decoded samples through the LRU
+// cache, verifying checksums and decoding on first access only.
+func (s *Server) shardSamples(jobID string, m *shard.Manifest, info shard.Info, open shard.Opener) ([]*loader.Sample, error) {
+	key := jobID + "/" + info.Name
+	return s.cache.Samples(key, func() ([]*loader.Sample, int64, error) {
+		one := &shard.Manifest{Prefix: m.Prefix, Compressed: m.Compressed, Shards: []shard.Info{info}}
+		var samples []*loader.Sample
+		var bytes int64
+		err := shard.ReadAll(open, one, func(_ string, rec []byte) error {
+			sm, derr := loader.DecodeSample(rec)
+			if derr != nil {
+				return derr
+			}
+			samples = append(samples, sm)
+			bytes += int64(len(rec))
+			return nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return samples, bytes, nil
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.mu.Lock()
+	queued := 0
+	for _, j := range s.jobs {
+		if st := j.Status().State; st == JobQueued {
+			queued++
+		}
+	}
+	total := len(s.jobs)
+	s.mu.Unlock()
+
+	fmt.Fprintf(w, "draid_jobs_total %d\n", total)
+	fmt.Fprintf(w, "draid_jobs_queued %d\n", queued)
+	fmt.Fprintf(w, "draid_jobs_in_flight %d\n", s.jobsRunning.Load())
+	fmt.Fprintf(w, "draid_jobs_done_total %d\n", s.jobsDone.Load())
+	fmt.Fprintf(w, "draid_jobs_failed_total %d\n", s.jobsFailed.Load())
+	fmt.Fprintf(w, "draid_bytes_served_total %d\n", s.bytesServed.Load())
+	fmt.Fprintf(w, "draid_batches_served_total %d\n", s.batchesServed.Load())
+	fmt.Fprintf(w, "draid_samples_served_total %d\n", s.samplesServed.Load())
+
+	cs := s.cache.Stats()
+	fmt.Fprintf(w, "draid_shard_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "draid_shard_cache_bytes %d\n", cs.Bytes)
+	fmt.Fprintf(w, "draid_shard_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "draid_shard_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "draid_shard_cache_evictions_total %d\n", cs.Evictions)
+
+	stats := s.collector.ByStage()
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Stage < stats[j].Stage })
+	for _, st := range stats {
+		fmt.Fprintf(w, "draid_stage_seconds_total{stage=%q} %.6f\n", st.Stage, st.Total.Seconds())
+		fmt.Fprintf(w, "draid_stage_calls_total{stage=%q} %d\n", st.Stage, st.Calls)
+		fmt.Fprintf(w, "draid_stage_bytes_total{stage=%q} %d\n", st.Stage, st.Bytes)
+	}
+}
+
+// countingResponseWriter tracks bytes written for the serving metrics.
+type countingResponseWriter struct {
+	w http.ResponseWriter
+	n int64
+}
+
+func (c *countingResponseWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingResponseWriter) writeLine(line string) {
+	n, _ := c.w.Write([]byte(line + "\n"))
+	c.n += int64(n)
+}
+
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("query %s=%q is not an integer", key, v)
+	}
+	return n, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
