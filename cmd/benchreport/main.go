@@ -7,12 +7,16 @@
 // The serve experiment benchmarks the draid serving tier (N concurrent
 // clients streaming batches over HTTP) and writes its result to
 // BENCH_serve.json alongside the console report, so serving throughput
-// is tracked the same way as the pipeline benchmarks.
+// is tracked the same way as the pipeline benchmarks. With -compare it
+// also gates CI: the fresh run is compared against a committed
+// baseline BENCH_serve.json and the process exits non-zero when serve
+// throughput regressed more than -compare-threshold.
 //
 // Usage:
 //
 //	benchreport               # run everything
 //	benchreport -exp table1   # one experiment: fig1|table1|table2|scaling|curation|feedback|serve
+//	benchreport -exp serve -compare BENCH_serve.json   # regression gate
 package main
 
 import (
@@ -36,6 +40,9 @@ func main() {
 	serveClients := flag.Int("serve-clients", 8, "serve: concurrent streaming clients")
 	servePasses := flag.Int("serve-passes", 2, "serve: streaming passes per client")
 	serveJSON := flag.String("serve-json", "BENCH_serve.json", "serve: result file (empty disables)")
+	serveBackend := flag.String("serve-backend", "mem", "serve: shard store backend (mem|fs|parfs)")
+	compare := flag.String("compare", "", "serve: baseline BENCH_serve.json to gate against (empty disables)")
+	compareThreshold := flag.Float64("compare-threshold", 0.20, "serve: max tolerated fractional throughput regression")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -107,22 +114,27 @@ func main() {
 	})
 
 	run("serve", func() error {
-		res, err := server.RunServeBenchmark(*serveClients, 16, 0, *servePasses)
+		res, err := server.RunServeBenchmark(server.ServeBenchConfig{
+			Clients: *serveClients, BatchSize: 16, Passes: *servePasses,
+			Backend: *serveBackend,
+		})
 		if err != nil {
 			return err
 		}
 		fmt.Print(res.Render())
-		if *serveJSON == "" {
-			return nil
+		if *serveJSON != "" {
+			b, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*serveJSON, append(b, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *serveJSON)
 		}
-		b, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			return err
+		if *compare != "" {
+			return compareServe(res, *compare, *compareThreshold)
 		}
-		if err := os.WriteFile(*serveJSON, append(b, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", *serveJSON)
 		return nil
 	})
 
@@ -130,4 +142,31 @@ func main() {
 	if *exp != "all" && !slices.Contains(known, *exp) {
 		log.Fatalf("benchreport: unknown experiment %q (want all|%s)", *exp, strings.Join(known, "|"))
 	}
+}
+
+// compareServe gates serve throughput against a committed baseline:
+// a fresh result more than threshold below the baseline's samples/sec
+// is a regression and fails the process (CI turns that into a red
+// build). Improvements are reported and always pass.
+func compareServe(cur *server.ServeBenchResult, baselinePath string, threshold float64) error {
+	b, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	var base server.ServeBenchResult
+	if err := json.Unmarshal(b, &base); err != nil {
+		return fmt.Errorf("compare: decode %s: %w", baselinePath, err)
+	}
+	baseRate := float64(base.Samples) / base.Seconds
+	curRate := float64(cur.Samples) / cur.Seconds
+	if base.Seconds <= 0 || baseRate <= 0 {
+		return fmt.Errorf("compare: baseline %s has no throughput", baselinePath)
+	}
+	delta := curRate/baseRate - 1
+	fmt.Printf("serve throughput vs %s: %.0f samples/s now, %.0f baseline (%+.1f%%)\n",
+		baselinePath, curRate, baseRate, delta*100)
+	if delta < -threshold {
+		return fmt.Errorf("serve throughput regressed %.1f%% (budget %.0f%%)", -delta*100, threshold*100)
+	}
+	return nil
 }

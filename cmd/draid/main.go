@@ -5,8 +5,16 @@
 //
 // Usage:
 //
-//	draid                          # listen on :8080 with 4 workers
+//	draid                          # listen on :8080 with 4 workers, in-memory
 //	draid -addr :9000 -workers 8 -cache-mb 256
+//	draid -data-dir /var/lib/draid -job-ttl 24h -max-jobs 100
+//
+// With -data-dir, completed jobs' shard sets are written to
+// <data-dir>/jobs/<id> with an atomic MANIFEST.json and every job
+// transition is appended to <data-dir>/jobs.log; a restarted draid
+// replays the log and re-serves completed jobs from disk. -job-ttl and
+// -max-jobs evict idle completed jobs (deleting their shard
+// directories) so retained state stays bounded.
 //
 // API:
 //
@@ -16,6 +24,7 @@
 //	GET  /v1/jobs/{id}               job state + readiness trajectory
 //	GET  /v1/jobs/{id}/provenance    lineage report (JSON)
 //	GET  /v1/jobs/{id}/batches       stream NDJSON training batches
+//	     ?batch_size=&max_batches=&cursor=<shard>:<record>  (resume point)
 //	GET  /metrics                    serving + pipeline metrics
 //	GET  /healthz                    liveness
 package main
@@ -39,20 +48,33 @@ func main() {
 	workers := flag.Int("workers", 4, "concurrent pipeline executions")
 	queueDepth := flag.Int("queue", 64, "max queued jobs before submissions get 429")
 	cacheMB := flag.Int64("cache-mb", 128, "decoded-shard LRU cache budget in MiB (0 disables)")
+	dataDir := flag.String("data-dir", "", "durable root for shard sets + job log (empty keeps jobs in memory)")
+	jobTTL := flag.Duration("job-ttl", 0, "evict completed jobs idle this long, deleting their shards (0 disables)")
+	maxJobs := flag.Int("max-jobs", 0, "max retained completed jobs; least recently served evicted first (0 = unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	flag.Parse()
 	log.SetFlags(0)
 
-	s := server.New(server.Options{
+	s, err := server.New(server.Options{
 		Workers:    *workers,
 		QueueDepth: *queueDepth,
 		CacheBytes: *cacheMB << 20,
+		DataDir:    *dataDir,
+		JobTTL:     *jobTTL,
+		MaxJobs:    *maxJobs,
 	})
+	if err != nil {
+		log.Fatalf("draid: %v", err)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("draid: listening on %s (%d workers, %d MiB shard cache)", *addr, *workers, *cacheMB)
+	durability := "in-memory jobs"
+	if *dataDir != "" {
+		durability = "data dir " + *dataDir
+	}
+	log.Printf("draid: listening on %s (%d workers, %d MiB shard cache, %s)", *addr, *workers, *cacheMB, durability)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

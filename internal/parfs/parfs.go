@@ -179,6 +179,20 @@ func (fs *FS) ReadFile(name string) ([]byte, error) {
 	return data, nil
 }
 
+// Size returns a file's stored byte size without charging I/O (a
+// metadata operation, like stat on a real parallel FS).
+func (fs *FS) Size(name string) int64 {
+	fs.mu.Lock()
+	f, ok := fs.files[name]
+	fs.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.data))
+}
+
 // Exists reports whether a file is present.
 func (fs *FS) Exists(name string) bool {
 	fs.mu.Lock()

@@ -13,7 +13,7 @@ func BenchmarkServeThroughput(b *testing.B) {
 	for _, clients := range []int{1, 4, 8, 16} {
 		b.Run(fmt.Sprintf("clients%d", clients), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := RunServeBenchmark(clients, 16, 0, 2)
+				res, err := RunServeBenchmark(ServeBenchConfig{Clients: clients, BatchSize: 16, Passes: 2})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -22,6 +22,23 @@ func BenchmarkServeThroughput(b *testing.B) {
 				}
 				b.ReportMetric(res.BytesPerSec/(1024*1024), "MiB/s")
 				b.ReportMetric(res.BatchesPerSec, "batches/s")
+			}
+		})
+	}
+}
+
+// BenchmarkServeThroughputBackends compares the same streaming load
+// across the three store backends: in-memory, durable files, and the
+// striped parallel-FS simulation (stripe contention included).
+func BenchmarkServeThroughputBackends(b *testing.B) {
+	for _, backend := range []string{"mem", "fs", "parfs"} {
+		b.Run(backend, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := RunServeBenchmark(ServeBenchConfig{Clients: 4, BatchSize: 16, Passes: 2, Backend: backend})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.BytesPerSec/(1024*1024), "MiB/s")
 			}
 		})
 	}

@@ -13,10 +13,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/parfs"
+	"repro/internal/shard"
 )
 
 // ServeBenchResult reports one throughput run; JSON field names are the
@@ -24,6 +27,7 @@ import (
 type ServeBenchResult struct {
 	Clients       int     `json:"clients"`
 	BatchSize     int     `json:"batch_size"`
+	Backend       string  `json:"backend"`
 	Batches       int64   `json:"batches"`
 	Samples       int64   `json:"samples"`
 	Bytes         int64   `json:"bytes"`
@@ -37,25 +41,76 @@ type ServeBenchResult struct {
 // Render formats the result for benchreport's console output.
 func (r *ServeBenchResult) Render() string {
 	return fmt.Sprintf(
-		"Serving throughput — %d concurrent clients, batch size %d:\n"+
+		"Serving throughput — %d concurrent clients, batch size %d, %s store:\n"+
 			"  %d batches (%d samples, %d bytes) in %.3fs\n"+
 			"  %.2f MiB/s, %.0f batches/s; shard cache %d hits / %d misses\n",
-		r.Clients, r.BatchSize, r.Batches, r.Samples, r.Bytes, r.Seconds,
+		r.Clients, r.BatchSize, r.Backend, r.Batches, r.Samples, r.Bytes, r.Seconds,
 		r.BytesPerSec/(1024*1024), r.BatchesPerSec, r.CacheHits, r.CacheMisses)
 }
 
+// ServeBenchConfig parameterizes RunServeBenchmark.
+type ServeBenchConfig struct {
+	// Clients is the number of concurrent streaming readers (required).
+	Clients int
+	// BatchSize is samples per NDJSON batch line.
+	BatchSize int
+	// MaxBatches caps each stream; <=0 streams the whole shard set.
+	MaxBatches int
+	// Passes is how many times each client streams; <=0 means once.
+	Passes int
+	// Backend picks the per-job shard store: "mem" (default), "fs"
+	// (durable FSSink under DataDir or a temp dir), or "parfs" (the
+	// simulated striped parallel FS, so stripe contention shows up in
+	// the measurement).
+	Backend string
+	// DataDir roots the "fs" backend; empty uses a temp dir that is
+	// removed afterwards.
+	DataDir string
+}
+
 // RunServeBenchmark measures concurrent streaming throughput: it
-// submits one climate job, waits for readiness, then runs `clients`
-// parallel readers each streaming up to maxBatches batches of
-// batchSize samples. passes<=0 means each client streams once.
-func RunServeBenchmark(clients, batchSize, maxBatches, passes int) (*ServeBenchResult, error) {
-	if clients <= 0 {
-		return nil, fmt.Errorf("server: clients=%d must be positive", clients)
+// submits one climate job, waits for readiness, then runs Clients
+// parallel readers each streaming up to MaxBatches batches of
+// BatchSize samples against the configured store backend.
+func RunServeBenchmark(cfg ServeBenchConfig) (*ServeBenchResult, error) {
+	if cfg.Clients <= 0 {
+		return nil, fmt.Errorf("server: clients=%d must be positive", cfg.Clients)
 	}
-	if passes <= 0 {
-		passes = 1
+	if cfg.Passes <= 0 {
+		cfg.Passes = 1
 	}
-	s := New(Options{Workers: 2, CacheBytes: 64 << 20})
+	if cfg.Backend == "" {
+		cfg.Backend = "mem"
+	}
+	opts := Options{Workers: 2, CacheBytes: 64 << 20}
+	switch cfg.Backend {
+	case "mem":
+	case "fs":
+		dir := cfg.DataDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "draid-bench-")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		opts.DataDir = dir
+	case "parfs":
+		opts.NewStore = func(string) (shard.Store, error) {
+			fs, err := parfs.New(parfs.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			return shard.NewParfsSink(fs), nil
+		}
+	default:
+		return nil, fmt.Errorf("server: unknown store backend %q (want mem|fs|parfs)", cfg.Backend)
+	}
+	s, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -65,8 +120,9 @@ func RunServeBenchmark(clients, batchSize, maxBatches, passes int) (*ServeBenchR
 		return nil, err
 	}
 
-	url := fmt.Sprintf("%s/v1/jobs/%s/batches?batch_size=%d&max_batches=%d", ts.URL, id, batchSize, maxBatches)
-	res := &ServeBenchResult{Clients: clients, BatchSize: batchSize}
+	url := fmt.Sprintf("%s/v1/jobs/%s/batches?batch_size=%d&max_batches=%d", ts.URL, id, cfg.BatchSize, cfg.MaxBatches)
+	res := &ServeBenchResult{Clients: cfg.Clients, BatchSize: cfg.BatchSize, Backend: cfg.Backend}
+	clients, passes := cfg.Clients, cfg.Passes
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -153,14 +209,27 @@ func SubmitAndWait(baseURL string, spec JobSpec, timeout time.Duration) (string,
 // StreamBatches consumes one NDJSON batch stream, validating every
 // line, and returns (batches, samples, bytes).
 func StreamBatches(url string) (batches, samples, n int64, err error) {
+	batches, samples, n, _, err = StreamBatchesFrom(url, "")
+	return batches, samples, n, err
+}
+
+// StreamBatchesFrom streams like StreamBatches but resumes from the
+// given cursor (empty starts at the beginning) and returns the cursor
+// after the last batch received — the value a reconnecting client
+// passes back to continue the stream.
+func StreamBatchesFrom(url, cursor string) (batches, samples, n int64, last string, err error) {
+	last = cursor
+	if cursor != "" {
+		url += "&cursor=" + cursor
+	}
 	resp, err := http.Get(url)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, last, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(resp.Body)
-		return 0, 0, 0, fmt.Errorf("stream: status %d: %s", resp.StatusCode, b)
+		return 0, 0, 0, last, fmt.Errorf("stream: status %d: %s", resp.StatusCode, b)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -169,20 +238,22 @@ func StreamBatches(url string) (batches, samples, n int64, err error) {
 		n += int64(len(line)) + 1
 		var wire struct {
 			Error    string      `json:"error"`
+			Cursor   string      `json:"cursor"`
 			Features [][]float32 `json:"features"`
 			Labels   []int32     `json:"labels"`
 		}
 		if err := json.Unmarshal(line, &wire); err != nil {
-			return batches, samples, n, fmt.Errorf("stream: bad line: %w", err)
+			return batches, samples, n, last, fmt.Errorf("stream: bad line: %w", err)
 		}
 		if wire.Error != "" {
-			return batches, samples, n, fmt.Errorf("stream: server error: %s", wire.Error)
+			return batches, samples, n, last, fmt.Errorf("stream: server error: %s", wire.Error)
 		}
 		if len(wire.Features) != len(wire.Labels) {
-			return batches, samples, n, fmt.Errorf("stream: %d feature rows vs %d labels", len(wire.Features), len(wire.Labels))
+			return batches, samples, n, last, fmt.Errorf("stream: %d feature rows vs %d labels", len(wire.Features), len(wire.Labels))
 		}
 		batches++
 		samples += int64(len(wire.Labels))
+		last = wire.Cursor
 	}
-	return batches, samples, n, sc.Err()
+	return batches, samples, n, last, sc.Err()
 }

@@ -8,6 +8,7 @@ package server
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 
 	"repro/internal/loader"
@@ -109,6 +110,21 @@ func (c *ShardCache) insert(key string, samples []*loader.Sample, bytes int64) {
 		delete(c.entries, victim.key)
 		c.size -= victim.bytes
 		c.evictions++
+	}
+}
+
+// DropPrefix removes every cached shard whose key starts with prefix —
+// the eviction hook that frees a deleted job's decoded samples without
+// waiting for LRU pressure.
+func (c *ShardCache) DropPrefix(prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, e := range c.entries {
+		if strings.HasPrefix(key, prefix) {
+			c.lru.Remove(e.elem)
+			delete(c.entries, key)
+			c.size -= e.bytes
+		}
 	}
 }
 

@@ -1,0 +1,93 @@
+// Resume cursors for the batch stream. A cursor is a position in a
+// job's shard set — "<shard index>:<record offset>" — handed to the
+// client with every batch, so a reconnecting reader continues exactly
+// after the last batch it saw instead of re-streaming from the start.
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/shard"
+)
+
+// Cursor addresses the next unread record of a shard set: Shard
+// indexes manifest.Shards, Record counts records already consumed in
+// that shard. The end-of-stream cursor is {len(Shards), 0}.
+type Cursor struct {
+	Shard  int
+	Record int
+}
+
+// String renders the wire form "<shard>:<record>".
+func (c Cursor) String() string { return strconv.Itoa(c.Shard) + ":" + strconv.Itoa(c.Record) }
+
+// ParseCursor decodes the wire form. It is strict — exactly two
+// base-10 non-negative integers joined by one colon — because cursors
+// come from clients and feed slice indexing.
+func ParseCursor(s string) (Cursor, error) {
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return Cursor{}, fmt.Errorf("cursor %q: want \"<shard>:<record>\"", s)
+	}
+	sh, err := parseCursorInt(s[:i])
+	if err != nil {
+		return Cursor{}, fmt.Errorf("cursor %q: shard index: %w", s, err)
+	}
+	rec, err := parseCursorInt(s[i+1:])
+	if err != nil {
+		return Cursor{}, fmt.Errorf("cursor %q: record offset: %w", s, err)
+	}
+	return Cursor{Shard: sh, Record: rec}, nil
+}
+
+// parseCursorInt accepts canonical non-negative decimals only: no
+// signs, spaces, hex, or leading zeros ("007" would alias "7" and make
+// cursor equality ambiguous).
+func parseCursorInt(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty")
+	}
+	if len(s) > 1 && s[0] == '0' {
+		return 0, fmt.Errorf("leading zero in %q", s)
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, fmt.Errorf("non-digit in %q", s)
+		}
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("%q out of range", s)
+	}
+	return n, nil
+}
+
+// validate bounds-checks the cursor against a manifest: the shard
+// index must address a shard (or be the end sentinel), and the record
+// offset must not exceed that shard's record count.
+func (c Cursor) validate(m *shard.Manifest) error {
+	switch {
+	case c.Shard < 0 || c.Record < 0:
+		return fmt.Errorf("cursor %s: negative component", c)
+	case c.Shard > len(m.Shards):
+		return fmt.Errorf("cursor %s: shard index beyond %d shards", c, len(m.Shards))
+	case c.Shard == len(m.Shards) && c.Record != 0:
+		return fmt.Errorf("cursor %s: record offset past end of stream", c)
+	case c.Shard < len(m.Shards) && c.Record > m.Shards[c.Shard].Records:
+		return fmt.Errorf("cursor %s: record offset beyond %d records in shard %d",
+			c, m.Shards[c.Shard].Records, c.Shard)
+	}
+	return nil
+}
+
+// advance returns the cursor after consuming one record at position
+// (shardIdx, recIdx), normalizing a shard's end to the next shard's
+// start so every position has exactly one wire form.
+func advanceCursor(m *shard.Manifest, shardIdx, recIdx int) Cursor {
+	if recIdx+1 >= m.Shards[shardIdx].Records {
+		return Cursor{Shard: shardIdx + 1, Record: 0}
+	}
+	return Cursor{Shard: shardIdx, Record: recIdx + 1}
+}

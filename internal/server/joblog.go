@@ -1,0 +1,231 @@
+// Persistent job log: an append-only NDJSON file under the data
+// directory recording every job's spec, state transitions, readiness
+// trajectory, shard manifest, and (for bio jobs) the per-job shard key
+// sealed under a server master key. A restarted draid replays the log
+// and re-serves completed jobs' shard sets straight from disk — the
+// same recover-by-replay design as an audit ledger, where the log is
+// the source of truth and process memory is just a cache of its tail.
+package server
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/anonymize"
+	"repro/internal/shard"
+)
+
+// Log record types, one per line of jobs.log.
+const (
+	recSubmitted = "submitted" // job accepted into the queue
+	recDone      = "done"      // pipeline finished; payload fields set
+	recFailed    = "failed"    // pipeline errored (or lost to a restart)
+	recEvicted   = "evicted"   // completed job expired; shards deleted
+)
+
+// logRecord is one NDJSON line. Only the fields relevant to its Type
+// are populated.
+type logRecord struct {
+	Type      string            `json:"type"`
+	ID        string            `json:"id"`
+	Time      time.Time         `json:"time"`
+	Spec      *JobSpec          `json:"spec,omitempty"`
+	Error     string            `json:"error,omitempty"`
+	Started   time.Time         `json:"started,omitzero"`
+	Records   int64             `json:"records,omitempty"`
+	Servable  bool              `json:"servable,omitempty"`
+	Manifest  *shard.Manifest   `json:"manifest,omitempty"`
+	Traject   []TrajectoryPoint `json:"trajectory,omitempty"`
+	SealedKey string            `json:"sealed_key,omitempty"` // hex(AES-GCM(master, jobKey))
+}
+
+// jobLog appends NDJSON records to jobs.log, syncing each append so a
+// crash loses at most the record being written (which replay then
+// discards as a torn tail).
+type jobLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openJobLog(path string) (*jobLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: open job log: %w", err)
+	}
+	// A crash mid-append leaves a torn line with no trailing newline.
+	// Seal it so the next record starts on its own line instead of
+	// merging into the garbage; replay skips the sealed fragment.
+	if fi, err := f.Stat(); err == nil && fi.Size() > 0 {
+		tail := make([]byte, 1)
+		if _, err := f.ReadAt(tail, fi.Size()-1); err == nil && tail[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("server: seal torn job log tail: %w", err)
+			}
+		}
+	}
+	return &jobLog{f: f}, nil
+}
+
+func (l *jobLog) append(rec logRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("server: encode job log record: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("server: append job log: %w", err)
+	}
+	return l.f.Sync()
+}
+
+func (l *jobLog) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// readJobLog parses every complete line of the log. Unparsable lines
+// (torn appends from a crash, later sealed by openJobLog) are skipped:
+// a record either committed fully — one line, one fsync — or it never
+// happened.
+func readJobLog(path string) ([]logRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: read job log: %w", err)
+	}
+	defer f.Close()
+	var recs []logRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec logRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("server: scan job log: %w", err)
+	}
+	return recs, nil
+}
+
+// masterKeyFile holds the 32-byte key that seals per-job bio shard
+// keys inside log records, so plaintext shard keys never rest on disk.
+const masterKeyFile = "master.key"
+
+// loadOrCreateMasterKey returns the data directory's sealing key,
+// creating it (0600) on first start.
+func loadOrCreateMasterKey(dataDir string) ([]byte, error) {
+	path := filepath.Join(dataDir, masterKeyFile)
+	b, err := os.ReadFile(path)
+	if err == nil {
+		key, derr := hex.DecodeString(strings.TrimSpace(string(b)))
+		if derr != nil || len(key) != 32 {
+			return nil, fmt.Errorf("server: %s is not a hex-encoded 32-byte key", path)
+		}
+		return key, nil
+	}
+	if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("server: read master key: %w", err)
+	}
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("server: generate master key: %w", err)
+	}
+	if err := os.WriteFile(path, []byte(hex.EncodeToString(key)+"\n"), 0o600); err != nil {
+		return nil, fmt.Errorf("server: write master key: %w", err)
+	}
+	return key, nil
+}
+
+// sealJobKey protects a per-job shard key for the log, binding it to
+// the job ID so sealed keys cannot be swapped between records.
+func sealJobKey(master, jobKey []byte, jobID string) (string, error) {
+	sealed, err := anonymize.EncryptShard(master, "jobkey/"+jobID, jobKey)
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(sealed), nil
+}
+
+// unsealJobKey reverses sealJobKey.
+func unsealJobKey(master []byte, sealedHex, jobID string) ([]byte, error) {
+	sealed, err := hex.DecodeString(sealedHex)
+	if err != nil {
+		return nil, fmt.Errorf("server: sealed key for %s is not hex: %w", jobID, err)
+	}
+	return anonymize.DecryptShard(master, "jobkey/"+jobID, sealed)
+}
+
+// replayState is a job reconstructed from the log.
+type replayState struct {
+	rec     logRecord // the terminal (or submitted) record
+	sub     logRecord // the submitted record
+	hasSub  bool
+	hasTerm bool
+}
+
+// replayJobs folds the log into the surviving job set, in submission
+// order, and returns the highest job sequence number seen.
+func replayJobs(recs []logRecord) (jobs []*replayState, maxSeq int) {
+	byID := map[string]*replayState{}
+	var order []string
+	for _, rec := range recs {
+		if n, ok := jobSeq(rec.ID); ok && n > maxSeq {
+			maxSeq = n
+		}
+		st := byID[rec.ID]
+		if st == nil {
+			st = &replayState{}
+			byID[rec.ID] = st
+			order = append(order, rec.ID)
+		}
+		switch rec.Type {
+		case recSubmitted:
+			st.sub, st.hasSub = rec, true
+		case recDone, recFailed:
+			st.rec, st.hasTerm = rec, true
+		case recEvicted:
+			delete(byID, rec.ID)
+		}
+	}
+	for _, id := range order {
+		if st, ok := byID[id]; ok && st.hasSub {
+			jobs = append(jobs, st)
+		}
+	}
+	return jobs, maxSeq
+}
+
+// jobSeq extracts the numeric suffix of "job-%06d" IDs so a restarted
+// server keeps allocating fresh IDs.
+func jobSeq(id string) (int, bool) {
+	const prefix = "job-"
+	if !strings.HasPrefix(id, prefix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(id, prefix))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}

@@ -138,9 +138,22 @@ type Job struct {
 
 	// Populated on success.
 	manifest *shard.Manifest
-	open     shard.Opener
-	servable bool // shards hold loader.Sample records
+	store    shard.Store  // raw shard storage (owned; destroyed on eviction)
+	open     shard.Opener // read path (decrypting wrapper for bio jobs)
+	servable bool         // shards hold loader.Sample records
 	tracker  *provenance.Tracker
+	bioKey   []byte // per-job shard key (bio only; sealed into the job log)
+
+	// lastAccess drives TTL/LRU eviction: completion and every batch
+	// stream refresh it.
+	lastAccess time.Time
+}
+
+// touch refreshes the eviction clock.
+func (j *Job) touch() {
+	j.mu.Lock()
+	j.lastAccess = time.Now()
+	j.mu.Unlock()
 }
 
 // Status snapshots the job for JSON rendering.
@@ -186,7 +199,7 @@ func (j *Job) serveHandle() (*shard.Manifest, shard.Opener, error) {
 // sink stores "<name>.enc" AES-GCM blobs; readers see the manifest's
 // plaintext names and checksums.
 type decryptOpener struct {
-	sink *shard.MemSink
+	sink shard.Opener
 	key  []byte
 }
 
@@ -219,13 +232,14 @@ type jobResult struct {
 	servable   bool
 	tracker    *provenance.Tracker
 	pipe       *pipeline.Pipeline
+	bioKey     []byte
 }
 
 // runSpec synthesizes the domain input, instantiates the registry
-// template over a fresh in-memory sink, and runs it — the body of one
+// template over the job's shard store (in-memory, durable FSSink, or
+// parfs, chosen by the server), and runs it — the body of one
 // worker-pool slot.
-func runSpec(spec JobSpec) (*jobResult, error) {
-	sink := shard.NewMemSink()
+func runSpec(spec JobSpec, sink shard.Store) (*jobResult, error) {
 	res := &jobResult{open: sink}
 
 	var (
@@ -301,6 +315,7 @@ func runSpec(spec JobSpec) (*jobResult, error) {
 		}
 		ds = bio.NewDataset(spec.Name, cohort.ToFASTA(), cohort.Clinical)
 		res.open = decryptOpener{sink: sink, key: key}
+		res.bioKey = key
 		res.servable = true
 
 	case core.Materials:

@@ -1,0 +1,383 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// streamAll fetches the full batch stream body, byte for byte.
+func streamAll(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestCrashRecovery is the acceptance path for durability: run jobs to
+// completion against a data dir, kill the server, recreate it from the
+// same dir, and require the job list, manifests, and streamed batches
+// to be byte-identical — including a bio job whose shards rest sealed
+// and whose key round-trips through the sealed job log.
+func TestCrashRecovery(t *testing.T) {
+	dataDir := t.TempDir()
+	s1, err := New(Options{Workers: 2, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+
+	climateID, err := SubmitAndWait(ts1.URL, JobSpec{Domain: core.Climate, Name: "c", Seed: 3, Months: 24, Lat: 16, Lon: 32}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bioID, err := SubmitAndWait(ts1.URL, JobSpec{Domain: core.BioHealth, Name: "b", Seed: 3, Subjects: 12}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var listBefore []JobStatus
+	if code := getJSON(t, ts1.URL+"/v1/jobs", &listBefore); code != http.StatusOK {
+		t.Fatalf("list status %d", code)
+	}
+	climateStream := streamAll(t, ts1.URL+"/v1/jobs/"+climateID+"/batches?batch_size=4")
+	bioStream := streamAll(t, ts1.URL+"/v1/jobs/"+bioID+"/batches?batch_size=4")
+
+	// Kill: no graceful manifest handoff beyond what is already on disk.
+	ts1.Close()
+	s1.Close()
+
+	s2, err := New(Options{Workers: 2, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	t.Cleanup(s2.Close)
+
+	var listAfter []JobStatus
+	if code := getJSON(t, ts2.URL+"/v1/jobs", &listAfter); code != http.StatusOK {
+		t.Fatalf("restart list status %d", code)
+	}
+	if len(listAfter) != len(listBefore) {
+		t.Fatalf("restart lists %d jobs, want %d", len(listAfter), len(listBefore))
+	}
+	for i := range listBefore {
+		b, a := listBefore[i], listAfter[i]
+		if a.ID != b.ID || a.State != b.State || a.Records != b.Records ||
+			a.Shards != b.Shards || a.Servable != b.Servable || a.Spec != b.Spec {
+			t.Fatalf("job %d changed across restart:\nbefore %+v\nafter  %+v", i, b, a)
+		}
+		if len(a.Trajectory) != len(b.Trajectory) {
+			t.Fatalf("job %s trajectory %d points after restart, want %d", a.ID, len(a.Trajectory), len(b.Trajectory))
+		}
+	}
+
+	for _, tc := range []struct {
+		id   string
+		want []byte
+	}{{climateID, climateStream}, {bioID, bioStream}} {
+		got := streamAll(t, ts2.URL+"/v1/jobs/"+tc.id+"/batches?batch_size=4")
+		if string(got) != string(tc.want) {
+			t.Fatalf("job %s stream differs across restart (%d vs %d bytes)", tc.id, len(got), len(tc.want))
+		}
+	}
+
+	// Resume an interrupted stream across the restart: take the cursor
+	// after the first batch served by s1 and continue on s2.
+	var first BatchWire
+	firstLine := climateStream[:indexByte(climateStream, '\n')]
+	if err := json.Unmarshal(firstLine, &first); err != nil {
+		t.Fatal(err)
+	}
+	rest := streamAll(t, ts2.URL+"/v1/jobs/"+climateID+"/batches?batch_size=4&cursor="+first.Cursor)
+	if string(firstLine)+"\n"+restAdjusted(rest) != string(climateStream) {
+		t.Fatalf("resumed stream does not complete the original")
+	}
+
+	// New submissions on the restarted server must not collide with
+	// replayed job IDs.
+	newID, err := SubmitAndWait(ts2.URL, JobSpec{Domain: core.Materials, Structures: 6}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID == climateID || newID == bioID {
+		t.Fatalf("restarted server reused job ID %s", newID)
+	}
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return len(b)
+}
+
+// restAdjusted renumbers a resumed stream's batch indices to continue
+// the original count, so concatenation can be compared byte-for-byte.
+func restAdjusted(rest []byte) string {
+	out := ""
+	idx := 1
+	for len(rest) > 0 {
+		i := indexByte(rest, '\n')
+		var wire BatchWire
+		if err := json.Unmarshal(rest[:i], &wire); err != nil {
+			return "unparsable: " + err.Error()
+		}
+		wire.Batch = idx
+		idx++
+		b, _ := json.Marshal(&wire)
+		out += string(b) + "\n"
+		rest = rest[i+1:]
+	}
+	return out
+}
+
+// TestRestartMarksInterruptedJobs: a job still queued when the process
+// dies cannot be resurrected (its output was never committed), so the
+// restarted server must report it failed rather than lose it.
+func TestRestartMarksInterruptedJobs(t *testing.T) {
+	dataDir := t.TempDir()
+	s1, err := New(Options{Workers: 1, DataDir: dataDir, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	// A heavy job pins the single worker; the next submission stays queued.
+	if _, code := postJob(t, ts1.URL, JobSpec{Domain: core.Climate, Months: 120, Lat: 48, Lon: 96}); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	queued, code := postJob(t, ts1.URL, JobSpec{Domain: core.Materials, Structures: 6})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	ts1.Close()
+	s1.Close()
+
+	s2, err := New(Options{Workers: 1, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	t.Cleanup(s2.Close)
+	var st JobStatus
+	if code := getJSON(t, ts2.URL+"/v1/jobs/"+queued.ID, &st); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if st.State != JobFailed {
+		t.Fatalf("interrupted job state %q, want failed", st.State)
+	}
+}
+
+// TestJobEviction: completed jobs past the TTL are dropped, their
+// shard directories deleted, and a restart does not resurrect them.
+func TestJobEviction(t *testing.T) {
+	dataDir := t.TempDir()
+	s, err := New(Options{Workers: 1, DataDir: dataDir, JobTTL: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	id, err := SubmitAndWait(ts.URL, JobSpec{Domain: core.Climate, Months: 12, Lat: 8, Lon: 16}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardDir := filepath.Join(dataDir, "jobs", id)
+	if _, err := os.Stat(shardDir); err != nil {
+		t.Fatalf("shard dir missing while job live: %v", err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id, nil); code == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job not evicted after TTL")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, err := os.Stat(shardDir); !os.IsNotExist(err) {
+		t.Fatalf("evicted job's shard dir still present: %v", err)
+	}
+	ts.Close()
+	s.Close()
+
+	// Replay must honor the eviction record.
+	s2, err := New(Options{Workers: 1, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	t.Cleanup(s2.Close)
+	if code := getJSON(t, ts2.URL+"/v1/jobs/"+id, nil); code != http.StatusNotFound {
+		t.Fatalf("evicted job resurrected with status %d", code)
+	}
+}
+
+// TestEvictionReclaimsRestoredJobDirs: a job restored without an
+// attached store (non-servable domains keep no read handle) still owns
+// a shard directory on disk; evicting it must reclaim that space.
+func TestEvictionReclaimsRestoredJobDirs(t *testing.T) {
+	dataDir := t.TempDir()
+	s1, err := New(Options{Workers: 1, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	id, err := SubmitAndWait(ts1.URL, JobSpec{Domain: core.Fusion, Shots: 4}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	s1.Close()
+	shardDir := filepath.Join(dataDir, "jobs", id)
+	if _, err := os.Stat(shardDir); err != nil {
+		t.Fatalf("fusion job left no shard dir: %v", err)
+	}
+
+	s2, err := New(Options{Workers: 1, DataDir: dataDir, JobTTL: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	t.Cleanup(s2.Close)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if code := getJSON(t, ts2.URL+"/v1/jobs/"+id, nil); code == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restored job never evicted")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, err := os.Stat(shardDir); !os.IsNotExist(err) {
+		t.Fatalf("evicted restored job's shard dir still on disk: %v", err)
+	}
+}
+
+// TestJobEvictionLRUBound: MaxJobs retains only the most recently
+// served completed jobs.
+func TestJobEvictionLRUBound(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, MaxJobs: 1})
+	first, err := SubmitAndWait(ts.URL, JobSpec{Domain: core.Materials, Structures: 6}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := SubmitAndWait(ts.URL, JobSpec{Domain: core.Materials, Structures: 6}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second completion triggers eviction of the least recently
+	// accessed completed job (the first).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+first, nil); code == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("LRU eviction never happened")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+second, nil); code != http.StatusOK {
+		t.Fatalf("most recent job evicted (status %d)", code)
+	}
+}
+
+// TestJobLogTornTail: a crash mid-append leaves a partial final line;
+// replay must drop it and keep every complete record.
+func TestJobLogTornTail(t *testing.T) {
+	dataDir := t.TempDir()
+	s, err := New(Options{Workers: 1, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	id, err := SubmitAndWait(ts.URL, JobSpec{Domain: core.Climate, Months: 12, Lat: 8, Lon: 16}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	s.Close()
+
+	logPath := filepath.Join(dataDir, "jobs.log")
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"submitted","id":"job-9`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := New(Options{Workers: 1, DataDir: dataDir})
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	t.Cleanup(s2.Close)
+	var st JobStatus
+	if code := getJSON(t, ts2.URL+"/v1/jobs/"+id, &st); code != http.StatusOK || st.State != JobDone {
+		t.Fatalf("job lost behind torn tail: code=%d state=%s", code, st.State)
+	}
+}
+
+// TestMasterKeyRoundTrip pins the sealed-key envelope: a key sealed
+// for one job must not open for another.
+func TestMasterKeyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	master, err := loadOrCreateMasterKey(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := loadOrCreateMasterKey(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(master) != string(again) {
+		t.Fatal("master key not stable across loads")
+	}
+	jobKey := make([]byte, 32)
+	for i := range jobKey {
+		jobKey[i] = byte(i)
+	}
+	sealed, err := sealJobKey(master, jobKey, "job-000007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := unsealJobKey(master, sealed, "job-000007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(jobKey) {
+		t.Fatal("job key corrupted by seal round trip")
+	}
+	if _, err := unsealJobKey(master, sealed, "job-000008"); err == nil {
+		t.Fatal("sealed key opened under the wrong job ID")
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -34,6 +36,24 @@ type Options struct {
 	QueueDepth int
 	// CacheBytes budgets the decoded-shard LRU cache. <=0 disables it.
 	CacheBytes int64
+
+	// DataDir makes the server durable: job shard sets are written to
+	// DataDir/jobs/<id> (FSSink) and every job transition is appended to
+	// DataDir/jobs.log, which New replays so a restarted server re-serves
+	// completed jobs from disk. Empty keeps everything in memory.
+	DataDir string
+	// JobTTL evicts completed (done or failed) jobs idle longer than
+	// this — their shard directories are deleted and the eviction is
+	// logged. <=0 disables TTL eviction.
+	JobTTL time.Duration
+	// MaxJobs bounds retained completed jobs; beyond it the least
+	// recently served are evicted. <=0 means unbounded.
+	MaxJobs int
+
+	// NewStore overrides per-job shard storage (benchmarks route jobs
+	// through a parfs-backed store with it). Nil picks FSSink under
+	// DataDir, or MemSink when DataDir is empty.
+	NewStore func(jobID string) (shard.Store, error)
 }
 
 // Server is the draid HTTP service. Create with New, serve via Handler,
@@ -41,6 +61,7 @@ type Options struct {
 type Server struct {
 	mux   *http.ServeMux
 	cache *ShardCache
+	opts  Options
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -52,17 +73,24 @@ type Server struct {
 	stop  chan struct{}
 	wg    sync.WaitGroup
 
+	// Durability (nil/empty when DataDir is unset).
+	log    *jobLog
+	master []byte
+
 	collector     *metrics.Collector
 	jobsRunning   atomic.Int64
 	jobsDone      atomic.Int64
 	jobsFailed    atomic.Int64
+	jobsEvicted   atomic.Int64
 	bytesServed   atomic.Int64
 	batchesServed atomic.Int64
 	samplesServed atomic.Int64
 }
 
-// New starts a server's worker pool and registers its routes.
-func New(opts Options) *Server {
+// New starts a server's worker pool and registers its routes. With
+// Options.DataDir set it also replays the persisted job log, so
+// completed jobs from previous runs are immediately servable.
+func New(opts Options) (*Server, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = 2
 	}
@@ -72,17 +100,145 @@ func New(opts Options) *Server {
 	s := &Server{
 		mux:       http.NewServeMux(),
 		cache:     NewShardCache(opts.CacheBytes),
+		opts:      opts,
 		jobs:      make(map[string]*Job),
 		queue:     make(chan *Job, opts.QueueDepth),
 		stop:      make(chan struct{}),
 		collector: metrics.NewCollector(),
+	}
+	if opts.DataDir != "" {
+		if err := s.openDurable(); err != nil {
+			return nil, err
+		}
 	}
 	s.routes()
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	if opts.JobTTL > 0 || opts.MaxJobs > 0 {
+		s.wg.Add(1)
+		go s.evictLoop()
+	}
+	return s, nil
+}
+
+// newStore allocates the shard storage backing one job.
+func (s *Server) newStore(jobID string) (shard.Store, error) {
+	if s.opts.NewStore != nil {
+		return s.opts.NewStore(jobID)
+	}
+	if s.opts.DataDir != "" {
+		return shard.NewFSSink(filepath.Join(s.opts.DataDir, "jobs", jobID))
+	}
+	return shard.NewMemSink(), nil
+}
+
+// openDurable prepares the data directory and rebuilds the job table
+// from the persisted log.
+func (s *Server) openDurable() error {
+	if err := os.MkdirAll(filepath.Join(s.opts.DataDir, "jobs"), 0o755); err != nil {
+		return fmt.Errorf("server: create data dir: %w", err)
+	}
+	master, err := loadOrCreateMasterKey(s.opts.DataDir)
+	if err != nil {
+		return err
+	}
+	s.master = master
+	logPath := filepath.Join(s.opts.DataDir, "jobs.log")
+	recs, err := readJobLog(logPath)
+	if err != nil {
+		return err
+	}
+	log, err := openJobLog(logPath)
+	if err != nil {
+		return err
+	}
+	s.log = log
+	states, maxSeq := replayJobs(recs)
+	s.seq = maxSeq
+	for _, st := range states {
+		job, err := s.restoreJob(st)
+		if err != nil {
+			return err
+		}
+		s.jobs[job.id] = job
+		s.order = append(s.order, job.id)
+	}
+	return nil
+}
+
+// restoreJob rebuilds one job from its log records. Jobs the crash
+// caught queued or running come back as failed (their partial output
+// is gone); done jobs reattach to their on-disk shard set.
+func (s *Server) restoreJob(st *replayState) (*Job, error) {
+	job := &Job{
+		id:         st.sub.ID,
+		spec:       *st.sub.Spec,
+		submitted:  st.sub.Time,
+		lastAccess: st.sub.Time,
+	}
+	if !st.hasTerm {
+		job.state = JobFailed
+		job.err = "interrupted by server restart"
+		// Record the loss so the next replay converges without this branch.
+		_ = s.log.append(logRecord{Type: recFailed, ID: job.id, Time: time.Now(), Error: job.err})
+		return job, nil
+	}
+	rec := st.rec
+	job.started = rec.Started
+	job.finished = rec.Time
+	job.lastAccess = rec.Time
+	if rec.Type == recFailed {
+		job.state = JobFailed
+		job.err = rec.Error
+		return job, nil
+	}
+	job.state = JobDone
+	job.records = rec.Records
+	job.trajectory = rec.Traject
+	job.servable = rec.Servable && rec.Manifest != nil
+	job.manifest = rec.Manifest
+	if !job.servable {
+		return job, nil
+	}
+	store, err := shard.NewFSSink(filepath.Join(s.opts.DataDir, "jobs", job.id))
+	if err != nil {
+		return nil, err
+	}
+	// Trust the on-disk manifest over the log copy when present: it is
+	// committed atomically alongside the shards it describes.
+	if m, merr := store.LoadManifest(); merr == nil {
+		job.manifest = m
+	}
+	job.store = store
+	job.open = store
+	if rec.SealedKey != "" {
+		key, err := unsealJobKey(s.master, rec.SealedKey, job.id)
+		if err != nil {
+			job.state = JobFailed
+			job.err = fmt.Sprintf("restore: %v", err)
+			job.servable = false
+			return job, nil
+		}
+		job.bioKey = key
+		job.open = decryptOpener{sink: store, key: key}
+	}
+	if len(job.manifest.Shards) > 0 && store.Size(storedName(job, job.manifest.Shards[0].Name)) == 0 {
+		job.state = JobFailed
+		job.err = "restore: shard files missing from data dir"
+		job.servable = false
+	}
+	return job, nil
+}
+
+// storedName maps a manifest shard name to its on-store object name
+// (bio shards rest sealed as "<name>.enc").
+func storedName(job *Job, name string) string {
+	if job.bioKey != nil {
+		return name + ".enc"
+	}
+	return name
 }
 
 // Handler returns the HTTP handler (also usable under httptest).
@@ -101,6 +257,9 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	close(s.stop)
 	s.wg.Wait()
+	if s.log != nil {
+		_ = s.log.close()
+	}
 }
 
 func (s *Server) worker() {
@@ -133,14 +292,31 @@ func (s *Server) runJob(job *Job) {
 	defer s.jobsRunning.Add(-1)
 
 	var res *jobResult
-	err := s.collector.Time("job:"+string(spec.Domain), "pipeline", 0, 0, func() error {
-		var rerr error
-		res, rerr = runSpec(spec)
-		return rerr
-	})
+	store, err := s.newStore(job.id)
+	if err == nil {
+		err = s.collector.Time("job:"+string(spec.Domain), "pipeline", 0, 0, func() error {
+			var rerr error
+			res, rerr = runSpec(spec, store)
+			return rerr
+		})
+	}
+	// Commit durable state before announcing success: a job is only
+	// "done" once its manifest is on disk and its key is sealable, so
+	// clients never observe a done job that later un-happens.
+	var sealedKey string
+	if err == nil && s.log != nil {
+		if fsink, ok := store.(*shard.FSSink); ok && res.manifest != nil {
+			err = fsink.WriteManifest(res.manifest)
+		}
+		if err == nil && res.bioKey != nil {
+			sealedKey, err = sealJobKey(s.master, res.bioKey, job.id)
+		}
+	}
 
 	job.mu.Lock()
 	job.finished = time.Now()
+	job.lastAccess = job.finished
+	job.store = store
 	if res != nil {
 		job.trajectory = res.trajectory
 		job.tracker = res.tracker
@@ -150,15 +326,20 @@ func (s *Server) runJob(job *Job) {
 		job.err = err.Error()
 		job.mu.Unlock()
 		s.jobsFailed.Add(1)
+		s.persistTerminal(job, "")
+		s.maybeEvict()
 		return
 	}
 	job.records = res.records
 	job.manifest = res.manifest
 	job.open = res.open
+	job.bioKey = res.bioKey
 	job.servable = res.servable && res.manifest != nil
 	job.state = JobDone
 	job.mu.Unlock()
 	s.jobsDone.Add(1)
+	s.persistTerminal(job, sealedKey)
+	s.maybeEvict()
 
 	// Fold the pipeline's per-stage timings into the server collector so
 	// /metrics aggregates stage cost across all jobs.
@@ -167,6 +348,135 @@ func (s *Server) runJob(job *Job) {
 			Stage: st.Stage, Category: "curation",
 			Duration: st.Total, Bytes: st.Bytes, Records: st.Records,
 		})
+	}
+}
+
+// persistTerminal appends a finished job's terminal log record (the
+// manifest was already committed to disk by runJob before the job was
+// declared done). Without a data dir it is a no-op.
+func (s *Server) persistTerminal(job *Job, sealedKey string) {
+	if s.log == nil {
+		return
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	rec := logRecord{
+		ID:      job.id,
+		Time:    job.finished,
+		Started: job.started,
+	}
+	if job.state == JobFailed {
+		rec.Type = recFailed
+		rec.Error = job.err
+	} else {
+		rec.Type = recDone
+		rec.Records = job.records
+		rec.Servable = job.servable
+		rec.Manifest = job.manifest
+		rec.Traject = job.trajectory
+		rec.SealedKey = sealedKey
+	}
+	_ = s.log.append(rec)
+}
+
+// evictLoop applies TTL eviction on a timer (LRU pressure is also
+// checked at every job completion).
+func (s *Server) evictLoop() {
+	defer s.wg.Done()
+	interval := time.Second
+	if ttl := s.opts.JobTTL; ttl > 0 {
+		interval = ttl / 4
+		if interval < 50*time.Millisecond {
+			interval = 50 * time.Millisecond
+		}
+		if interval > 30*time.Second {
+			interval = 30 * time.Second
+		}
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.maybeEvict()
+		}
+	}
+}
+
+// maybeEvict removes completed jobs past the TTL or beyond the
+// retained-job bound (least recently served first), deleting their
+// shard storage and logging the eviction so a restart does not
+// resurrect them. In-flight streams of a victim fail on their next
+// uncached shard read — the same contract as any storage eviction.
+func (s *Server) maybeEvict() {
+	ttl, maxJobs := s.opts.JobTTL, s.opts.MaxJobs
+	if ttl <= 0 && maxJobs <= 0 {
+		return
+	}
+	now := time.Now()
+	var victims []*Job
+
+	s.mu.Lock()
+	type candidate struct {
+		job  *Job
+		last time.Time
+	}
+	var completed []candidate
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		terminal := j.state == JobDone || j.state == JobFailed
+		last := j.lastAccess
+		j.mu.Unlock()
+		if !terminal {
+			continue
+		}
+		if ttl > 0 && now.Sub(last) > ttl {
+			victims = append(victims, j)
+			continue
+		}
+		completed = append(completed, candidate{job: j, last: last})
+	}
+	if maxJobs > 0 && len(completed) > maxJobs {
+		sort.Slice(completed, func(i, k int) bool {
+			return completed[i].last.Before(completed[k].last)
+		})
+		for _, c := range completed[:len(completed)-maxJobs] {
+			victims = append(victims, c.job)
+		}
+	}
+	if len(victims) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	gone := make(map[string]bool, len(victims))
+	for _, j := range victims {
+		gone[j.id] = true
+		delete(s.jobs, j.id)
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if !gone[id] {
+			kept = append(kept, id)
+		}
+	}
+	s.order = kept
+	s.mu.Unlock()
+
+	for _, j := range victims {
+		s.cache.DropPrefix(j.id + "/")
+		if d, ok := j.store.(interface{ Destroy() error }); ok {
+			_ = d.Destroy()
+		} else if s.opts.DataDir != "" {
+			// Restored jobs without an attached store (failed,
+			// interrupted, non-servable) may still own a shard directory.
+			_ = os.RemoveAll(filepath.Join(s.opts.DataDir, "jobs", j.id))
+		}
+		if s.log != nil {
+			_ = s.log.append(logRecord{Type: recEvicted, ID: j.id, Time: now})
+		}
+		s.jobsEvicted.Add(1)
 	}
 }
 
@@ -235,6 +545,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.jobs[job.id] = job
 		s.order = append(s.order, job.id)
 		s.mu.Unlock()
+		if s.log != nil {
+			spec := job.spec
+			_ = s.log.append(logRecord{
+				Type: recSubmitted, ID: job.id, Time: job.submitted, Spec: &spec,
+			})
+		}
 		writeJSON(w, http.StatusAccepted, job.Status())
 	default:
 		s.mu.Unlock()
@@ -295,9 +611,12 @@ func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
 	w.Write(b)
 }
 
-// BatchWire is one streamed NDJSON line of /v1/jobs/{id}/batches.
+// BatchWire is one streamed NDJSON line of /v1/jobs/{id}/batches. The
+// cursor names the position after this batch: pass it back as
+// ?cursor=… to resume the stream exactly there after a disconnect.
 type BatchWire struct {
 	Batch    int         `json:"batch"`
+	Cursor   string      `json:"cursor"`
 	Features [][]float32 `json:"features"`
 	Labels   []int32     `json:"labels"`
 }
@@ -326,20 +645,35 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("batch_size must be positive"))
 		return
 	}
+	start := Cursor{}
+	if cs := r.URL.Query().Get("cursor"); cs != "" {
+		start, err = ParseCursor(cs)
+		if err == nil {
+			err = start.validate(manifest)
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	job.touch()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Draid-Cursor", start.String())
 	cw := &countingResponseWriter{w: w}
 	enc := json.NewEncoder(cw)
 	flusher, _ := w.(http.Flusher)
 
 	served := 0
 	failed := false
+	pos := start // position after the last sample buffered for emission
 	var pending []*loader.Sample
 	emit := func(samples []*loader.Sample) error {
 		// Reference the cached feature slices directly — encoding only
 		// reads them, and copying every batch would double memory
 		// traffic on the serving hot path.
-		wire := BatchWire{Batch: served, Features: make([][]float32, len(samples)), Labels: make([]int32, len(samples))}
+		wire := BatchWire{Batch: served, Cursor: pos.String(),
+			Features: make([][]float32, len(samples)), Labels: make([]int32, len(samples))}
 		for i, sm := range samples {
 			wire.Features[i] = sm.Features
 			wire.Labels[i] = sm.Label
@@ -357,7 +691,8 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 	}
 
 shards:
-	for _, info := range manifest.Shards {
+	for si := start.Shard; si < len(manifest.Shards); si++ {
+		info := manifest.Shards[si]
 		samples, err := s.shardSamples(job.id, manifest, info, open)
 		if err != nil {
 			// Headers are gone; the NDJSON error line is the only channel left.
@@ -366,8 +701,16 @@ shards:
 			failed = true
 			break
 		}
-		for _, sm := range samples {
-			pending = append(pending, sm)
+		first := 0
+		if si == start.Shard {
+			first = start.Record
+			if first > len(samples) {
+				first = len(samples)
+			}
+		}
+		for j := first; j < len(samples); j++ {
+			pending = append(pending, samples[j])
+			pos = advanceCursor(manifest, si, j)
 			if len(pending) == batchSize {
 				if err := emit(pending); err != nil {
 					break shards
@@ -430,6 +773,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "draid_jobs_in_flight %d\n", s.jobsRunning.Load())
 	fmt.Fprintf(w, "draid_jobs_done_total %d\n", s.jobsDone.Load())
 	fmt.Fprintf(w, "draid_jobs_failed_total %d\n", s.jobsFailed.Load())
+	fmt.Fprintf(w, "draid_jobs_evicted_total %d\n", s.jobsEvicted.Load())
 	fmt.Fprintf(w, "draid_bytes_served_total %d\n", s.bytesServed.Load())
 	fmt.Fprintf(w, "draid_batches_served_total %d\n", s.batchesServed.Load())
 	fmt.Fprintf(w, "draid_samples_served_total %d\n", s.samplesServed.Load())

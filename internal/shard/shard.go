@@ -35,6 +35,18 @@ type Opener interface {
 	Open(name string) (io.ReadCloser, error)
 }
 
+// Store is full shard storage: creation, read-back, and enumeration.
+// Implementations: MemSink (in-memory), FSSink (durable files under a
+// root directory), ParfsSink (simulated striped parallel filesystem).
+type Store interface {
+	Sink
+	Opener
+	// Names lists finished shard names, sorted.
+	Names() []string
+	// Size returns the stored byte size of a shard (0 if absent).
+	Size(name string) int64
+}
+
 // MemSink stores shards in memory and satisfies both Sink and Opener.
 type MemSink struct {
 	mu     sync.Mutex
@@ -98,11 +110,11 @@ func (s *MemSink) Names() []string {
 }
 
 // Size returns the stored byte size of a shard (0 if absent).
-func (s *MemSink) Size(name string) int {
+func (s *MemSink) Size(name string) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if b, ok := s.shards[name]; ok {
-		return b.Len()
+		return int64(b.Len())
 	}
 	return 0
 }

@@ -1,0 +1,262 @@
+// Durable shard stores. The paper's scale argument (>10 TB training
+// sets, §1) rules out holding shard sets in process memory: FSSink
+// persists shards as plain files under a root directory with an
+// atomically replaced MANIFEST.json (temp file + rename, so readers
+// never observe a torn manifest — the same commit discipline as HDF5's
+// chunk b-tree flush), and ParfsSink routes the same traffic through
+// the simulated striped parallel filesystem so stripe contention stays
+// observable in benchmarks.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ManifestFile is the reserved name of the shard-set index inside an
+// FSSink root. It is not a shard and never appears in Names().
+const ManifestFile = "MANIFEST.json"
+
+// tmpPrefix marks in-flight files (uncommitted shards, manifest
+// staging); they are invisible to Names/Open and swept on reopen.
+const tmpPrefix = ".tmp-"
+
+// validName rejects names that could escape the root or collide with
+// the store's own bookkeeping files.
+func validName(name string) error {
+	switch {
+	case name == "":
+		return errors.New("shard: empty shard name")
+	case name == ManifestFile:
+		return fmt.Errorf("shard: %q is reserved", name)
+	case strings.HasPrefix(name, tmpPrefix):
+		return fmt.Errorf("shard: %q collides with temp-file prefix", name)
+	case strings.ContainsAny(name, "/\\") || name == "." || name == "..":
+		return fmt.Errorf("shard: name %q must not contain path separators", name)
+	}
+	return nil
+}
+
+// FSSink stores shards as files under a root directory and satisfies
+// Store. Writes are atomic: shards stream into a temp file and are
+// renamed into place on Close, so a crash never leaves a partial shard
+// visible.
+type FSSink struct {
+	root string
+}
+
+// NewFSSink creates root (and parents) if needed and returns a durable
+// store over it.
+func NewFSSink(root string) (*FSSink, error) {
+	if root == "" {
+		return nil, errors.New("shard: empty store root")
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: create store root: %w", err)
+	}
+	s := &FSSink{root: root}
+	s.sweepTemp()
+	return s, nil
+}
+
+// Root returns the backing directory.
+func (s *FSSink) Root() string { return s.root }
+
+// sweepTemp removes uncommitted temp files left by a crash.
+func (s *FSSink) sweepTemp() {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			_ = os.Remove(filepath.Join(s.root, e.Name()))
+		}
+	}
+}
+
+type fsShard struct {
+	f     *os.File
+	final string
+	done  bool
+}
+
+func (w *fsShard) Write(p []byte) (int, error) {
+	if w.done {
+		return 0, errors.New("shard: write after close")
+	}
+	return w.f.Write(p)
+}
+
+func (w *fsShard) Close() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	tmp := w.f.Name()
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("shard: sync %q: %w", w.final, err)
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("shard: close %q: %w", w.final, err)
+	}
+	if err := os.Rename(tmp, w.final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("shard: commit %q: %w", w.final, err)
+	}
+	return nil
+}
+
+// Create implements Sink: the shard becomes visible only on Close.
+func (s *FSSink) Create(name string) (io.WriteCloser, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	final := filepath.Join(s.root, name)
+	if _, err := os.Stat(final); err == nil {
+		return nil, fmt.Errorf("shard: %q already exists", name)
+	}
+	f, err := os.CreateTemp(s.root, tmpPrefix+name+"-*")
+	if err != nil {
+		return nil, fmt.Errorf("shard: create %q: %w", name, err)
+	}
+	return &fsShard{f: f, final: final}, nil
+}
+
+// Open implements Opener.
+func (s *FSSink) Open(name string) (io.ReadCloser, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(s.root, name))
+	if err != nil {
+		return nil, fmt.Errorf("shard: %q not found: %w", name, err)
+	}
+	return f, nil
+}
+
+// Names lists committed shard files, sorted. The manifest and temp
+// files are excluded.
+func (s *FSSink) Names() []string {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || n == ManifestFile || strings.HasPrefix(n, tmpPrefix) {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size returns a shard's stored byte size (0 if absent).
+func (s *FSSink) Size(name string) int64 {
+	if validName(name) != nil {
+		return 0
+	}
+	fi, err := os.Stat(filepath.Join(s.root, name))
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// WriteManifest atomically replaces the store's MANIFEST.json: the
+// encoded manifest is staged in a temp file, synced, and renamed over
+// the old one, so a concurrent or post-crash reader sees either the
+// previous complete manifest or the new one — never a prefix.
+func (s *FSSink) WriteManifest(m *Manifest) error {
+	b, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(s.root, tmpPrefix+"manifest-*")
+	if err != nil {
+		return fmt.Errorf("shard: stage manifest: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(append(b, '\n')); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("shard: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.root, ManifestFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("shard: commit manifest: %w", err)
+	}
+	return nil
+}
+
+// LoadManifest reads the committed MANIFEST.json.
+func (s *FSSink) LoadManifest() (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(s.root, ManifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("shard: load manifest: %w", err)
+	}
+	return DecodeManifest(b)
+}
+
+// Destroy deletes the store root and everything under it — the
+// eviction path for expired job shard sets.
+func (s *FSSink) Destroy() error {
+	return os.RemoveAll(s.root)
+}
+
+// StripedFS is the surface ParfsSink needs from a parallel-filesystem
+// simulation. *parfs.FS satisfies it; the indirection exists because
+// parfs's own tests exercise shard writers, so shard cannot import
+// parfs without a test-build cycle.
+type StripedFS interface {
+	Create(name string) (io.WriteCloser, error)
+	Open(name string) (io.ReadCloser, error)
+	List() []string
+	Size(name string) int64
+}
+
+// ParfsSink adapts a simulated striped parallel filesystem to Store:
+// every shard write and read is striped across OSTs and charged
+// bandwidth + latency, so benchmarks over this sink expose the stripe
+// contention the paper's C1 scaling claim is about.
+type ParfsSink struct {
+	FS StripedFS
+}
+
+// NewParfsSink wraps a striped filesystem as a shard store.
+func NewParfsSink(fs StripedFS) ParfsSink { return ParfsSink{FS: fs} }
+
+// Create implements Sink.
+func (p ParfsSink) Create(name string) (io.WriteCloser, error) { return p.FS.Create(name) }
+
+// Open implements Opener.
+func (p ParfsSink) Open(name string) (io.ReadCloser, error) { return p.FS.Open(name) }
+
+// Names lists stored shard names, sorted.
+func (p ParfsSink) Names() []string { return p.FS.List() }
+
+// Size returns a shard's stored byte size (0 if absent).
+func (p ParfsSink) Size(name string) int64 { return p.FS.Size(name) }
+
+// Interface conformance.
+var (
+	_ Store = (*MemSink)(nil)
+	_ Store = (*FSSink)(nil)
+	_ Store = ParfsSink{}
+)
