@@ -1,0 +1,275 @@
+// Command clustersmoke is the fleet end-to-end check CI runs on every
+// push: it launches three real draid processes sharing one data dir,
+// submits a job through every node, verifies the fleet agrees on
+// consistent-hash ownership and that proxied streams match owner-direct
+// streams byte for byte, then SIGKILLs one job's owner mid-stream and
+// requires the same cursor to resume against a survivor until every
+// job's stream completes.
+//
+// Usage:
+//
+//	go build -o /tmp/draid ./cmd/draid
+//	go run ./cmd/clustersmoke -draid /tmp/draid
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+type node struct {
+	id   string
+	url  string
+	cmd  *exec.Cmd
+	dead bool
+}
+
+func main() {
+	draid := flag.String("draid", "", "path to a built draid binary (required)")
+	basePort := flag.Int("base-port", 18081, "first of three consecutive listen ports")
+	keep := flag.Bool("keep", false, "keep the data dir for inspection")
+	flag.Parse()
+	log.SetFlags(0)
+	if *draid == "" {
+		log.Fatal("clustersmoke: -draid is required")
+	}
+
+	dataDir, err := os.MkdirTemp("", "clustersmoke-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*keep {
+		defer os.RemoveAll(dataDir)
+	}
+	log.Printf("clustersmoke: shared data dir %s", dataDir)
+
+	nodes := make([]*node, 3)
+	var peers []string
+	for i := range nodes {
+		id := fmt.Sprintf("n%d", i+1)
+		url := fmt.Sprintf("http://127.0.0.1:%d", *basePort+i)
+		nodes[i] = &node{id: id, url: url}
+		peers = append(peers, id+"="+url)
+	}
+	peerFlag := strings.Join(peers, ",")
+	for i, n := range nodes {
+		n.cmd = exec.Command(*draid,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", *basePort+i),
+			"-data-dir", dataDir,
+			"-node-id", n.id,
+			"-peers", peerFlag,
+			"-probe-interval", "200ms",
+			"-workers", "2",
+		)
+		n.cmd.Stdout = os.Stderr
+		n.cmd.Stderr = os.Stderr
+		if err := n.cmd.Start(); err != nil {
+			log.Fatalf("clustersmoke: start %s: %v", n.id, err)
+		}
+	}
+	defer func() {
+		for _, n := range nodes {
+			if !n.dead && n.cmd.Process != nil {
+				_ = n.cmd.Process.Kill()
+				_, _ = n.cmd.Process.Wait()
+			}
+		}
+	}()
+
+	for _, n := range nodes {
+		waitHealthy(n)
+	}
+	log.Printf("clustersmoke: fleet of %d healthy", len(nodes))
+
+	// One job submitted through each member; completion polled through
+	// the same member (routing hides where it actually runs).
+	ids := make([]string, len(nodes))
+	for i, n := range nodes {
+		id, err := server.SubmitAndWait(n.url, server.JobSpec{
+			Domain: "climate", Name: fmt.Sprintf("smoke-%d", i), Seed: int64(i + 1),
+		}, 120*time.Second)
+		if err != nil {
+			log.Fatalf("clustersmoke: job via %s: %v", n.id, err)
+		}
+		ids[i] = id
+		log.Printf("clustersmoke: %s done (submitted via %s)", id, n.id)
+	}
+
+	// Fleet-wide ownership agreement, and owner-direct == proxied bytes.
+	fullStreams := make(map[string][]byte, len(ids))
+	owners := make(map[string]*node, len(ids))
+	for _, id := range ids {
+		owner := ""
+		for _, n := range nodes {
+			got := ownerOf(n.url, id)
+			if owner == "" {
+				owner = got
+			} else if got != owner {
+				log.Fatalf("clustersmoke: fleet disagrees on owner of %s: %s vs %s", id, owner, got)
+			}
+		}
+		for _, n := range nodes {
+			if n.id == owner {
+				owners[id] = n
+			}
+		}
+		direct := streamBytes(owners[id].url, id, "")
+		for _, n := range nodes {
+			if n.id == owner {
+				continue
+			}
+			proxied := streamBytes(n.url, id, "")
+			if string(proxied) != string(direct) {
+				log.Fatalf("clustersmoke: stream of %s via %s differs from owner-direct", id, n.id)
+			}
+		}
+		fullStreams[id] = direct
+		log.Printf("clustersmoke: %s owned by %s; proxied streams byte-identical", id, owner)
+	}
+
+	// Kill the owner of the first job mid-stream, then resume the same
+	// cursor against a survivor.
+	victim := owners[ids[0]]
+	var survivor *node
+	for _, n := range nodes {
+		if n.id != victim.id {
+			survivor = n
+			break
+		}
+	}
+	_, _, _, cursor, err := server.StreamBatchesFrom(
+		survivor.url+"/v1/jobs/"+ids[0]+"/batches?batch_size=4&max_batches=2", "")
+	if err != nil {
+		log.Fatalf("clustersmoke: partial stream: %v", err)
+	}
+	if err := victim.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		log.Fatalf("clustersmoke: kill %s: %v", victim.id, err)
+	}
+	_, _ = victim.cmd.Process.Wait()
+	victim.dead = true
+	log.Printf("clustersmoke: SIGKILLed %s (owner of %s); resuming cursor %s via %s",
+		victim.id, ids[0], cursor, survivor.id)
+
+	resumed := streamBytes(survivor.url, ids[0], cursor)
+	checkResume(fullStreams[ids[0]], resumed, 2, ids[0])
+	log.Printf("clustersmoke: cursor resume after owner death is byte-exact")
+
+	// Every job — including any others the victim owned — must still
+	// stream completely via the survivors.
+	for _, id := range ids {
+		for _, n := range nodes {
+			if n.dead {
+				continue
+			}
+			got := streamBytes(n.url, id, "")
+			if string(got) != string(fullStreams[id]) {
+				log.Fatalf("clustersmoke: post-kill stream of %s via %s differs (%d vs %d bytes)",
+					id, n.id, len(got), len(fullStreams[id]))
+			}
+		}
+	}
+	log.Printf("clustersmoke: all %d jobs fully streamable via survivors — PASS", len(ids))
+}
+
+func waitHealthy(n *node) {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(n.url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("clustersmoke: %s not healthy after 15s", n.id)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func ownerOf(baseURL, jobID string) string {
+	resp, err := http.Get(baseURL + "/v1/cluster?job=" + jobID)
+	if err != nil {
+		log.Fatalf("clustersmoke: cluster info: %v", err)
+	}
+	defer resp.Body.Close()
+	var info struct {
+		Job struct {
+			Owner string `json:"owner"`
+		} `json:"job"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		log.Fatalf("clustersmoke: decode cluster info: %v", err)
+	}
+	if info.Job.Owner == "" {
+		log.Fatalf("clustersmoke: no owner reported for %s", jobID)
+	}
+	return info.Job.Owner
+}
+
+func streamBytes(baseURL, jobID, cursor string) []byte {
+	url := baseURL + "/v1/jobs/" + jobID + "/batches?batch_size=4"
+	if cursor != "" {
+		url += "&cursor=" + cursor
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("clustersmoke: stream %s: %v", jobID, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("clustersmoke: stream %s: %v", jobID, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("clustersmoke: stream %s: status %d: %s", jobID, resp.StatusCode, body)
+	}
+	if strings.Contains(string(body), `"error"`) {
+		log.Fatalf("clustersmoke: stream %s carried an error line: %s", jobID, body)
+	}
+	return body
+}
+
+// checkResume verifies prefix batches of the original stream plus the
+// renumbered resumed stream reproduce the original byte-for-byte.
+func checkResume(full, resumed []byte, prefixBatches int, jobID string) {
+	fullLines := strings.Split(strings.TrimSuffix(string(full), "\n"), "\n")
+	if len(fullLines) <= prefixBatches {
+		log.Fatalf("clustersmoke: %s too small to test resume (%d batches)", jobID, len(fullLines))
+	}
+	got := append([]string{}, fullLines[:prefixBatches]...)
+	idx := prefixBatches
+	for _, line := range strings.Split(strings.TrimSuffix(string(resumed), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		var wire server.BatchWire
+		if err := json.Unmarshal([]byte(line), &wire); err != nil {
+			log.Fatalf("clustersmoke: resumed line unparsable: %v", err)
+		}
+		wire.Batch = idx
+		idx++
+		b, _ := json.Marshal(&wire)
+		got = append(got, string(b))
+	}
+	if len(got) != len(fullLines) {
+		log.Fatalf("clustersmoke: resume of %s yields %d batches, want %d", jobID, len(got), len(fullLines))
+	}
+	for i := range got {
+		if got[i] != fullLines[i] {
+			log.Fatalf("clustersmoke: batch %d of %s differs after failover", i, jobID)
+		}
+	}
+}

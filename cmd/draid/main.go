@@ -8,38 +8,52 @@
 //	draid                          # listen on :8080 with 4 workers, in-memory
 //	draid -addr :9000 -workers 8 -cache-mb 256
 //	draid -data-dir /var/lib/draid -job-ttl 24h -max-jobs 100
+//	draid -data-dir /mnt/pfs/draid -node-id n1 -advertise http://host1:8080 \
+//	      -peers n1=http://host1:8080,n2=http://host2:8080,n3=http://host3:8080
 //
 // With -data-dir, completed jobs' shard sets are written to
 // <data-dir>/jobs/<id> with an atomic MANIFEST.json and every job
-// transition is appended to <data-dir>/jobs.log; a restarted draid
-// replays the log and re-serves completed jobs from disk. -job-ttl and
-// -max-jobs evict idle completed jobs (deleting their shard
-// directories) so retained state stays bounded.
+// transition is appended to a job log; a restarted draid replays the
+// log and re-serves completed jobs from disk. -job-ttl and -max-jobs
+// evict idle completed jobs (deleting their shard directories) so
+// retained state stays bounded. -requeue resubmits jobs interrupted by
+// a crash instead of marking them failed.
+//
+// With -peers, draid joins a static fleet: jobs are routed to their
+// consistent-hash owner (submissions and all /v1/jobs/{id}/* requests
+// are transparently proxied, or 307-redirected when the client sends
+// "X-Draid-Route: redirect"), every member must point -data-dir at the
+// same shared/parallel filesystem, and a dead member's jobs are adopted
+// by the survivors via job-log replay from that shared dir.
 //
 // API:
 //
 //	GET  /v1/templates               list registered domain templates
 //	POST /v1/jobs                    submit {"domain":"climate", ...}
-//	GET  /v1/jobs                    list jobs
+//	GET  /v1/jobs                    list jobs (fleet-merged; ?scope=local for this node)
 //	GET  /v1/jobs/{id}               job state + readiness trajectory
 //	GET  /v1/jobs/{id}/provenance    lineage report (JSON)
 //	GET  /v1/jobs/{id}/batches       stream NDJSON training batches
 //	     ?batch_size=&max_batches=&cursor=<shard>:<record>  (resume point)
-//	GET  /metrics                    serving + pipeline metrics
-//	GET  /healthz                    liveness
+//	GET  /v1/cluster                 fleet membership + ownership (?job=<id>)
+//	GET  /metrics                    serving + pipeline + cluster metrics
+//	GET  /healthz                    liveness (also the fleet probe target)
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -51,9 +65,29 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable root for shard sets + job log (empty keeps jobs in memory)")
 	jobTTL := flag.Duration("job-ttl", 0, "evict completed jobs idle this long, deleting their shards (0 disables)")
 	maxJobs := flag.Int("max-jobs", 0, "max retained completed jobs; least recently served evicted first (0 = unbounded)")
+	requeue := flag.Bool("requeue", false, "resubmit jobs interrupted by a crash instead of marking them failed")
+	nodeID := flag.String("node-id", "", "fleet member ID (requires -peers)")
+	advertise := flag.String("advertise", "", "base URL peers reach this node at, e.g. http://host1:8080")
+	peers := flag.String("peers", "", "static fleet membership as id=url,id=url,... (includes or implies self)")
+	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per fleet member on the hash ring")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "fleet liveness probe spacing")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	flag.Parse()
 	log.SetFlags(0)
+
+	var cl *cluster.Cluster
+	if *peers != "" {
+		var err error
+		cl, err = buildCluster(*peers, *nodeID, *advertise, *vnodes, *probeInterval)
+		if err != nil {
+			log.Fatalf("draid: %v", err)
+		}
+		if *dataDir == "" {
+			log.Fatalf("draid: -peers requires -data-dir on a filesystem shared by the fleet")
+		}
+	} else if *nodeID != "" {
+		log.Fatalf("draid: -node-id is meaningless without -peers")
+	}
 
 	s, err := server.New(server.Options{
 		Workers:    *workers,
@@ -62,6 +96,8 @@ func main() {
 		DataDir:    *dataDir,
 		JobTTL:     *jobTTL,
 		MaxJobs:    *maxJobs,
+		Requeue:    *requeue,
+		Cluster:    cl,
 	})
 	if err != nil {
 		log.Fatalf("draid: %v", err)
@@ -73,6 +109,9 @@ func main() {
 	durability := "in-memory jobs"
 	if *dataDir != "" {
 		durability = "data dir " + *dataDir
+	}
+	if cl != nil {
+		durability += fmt.Sprintf(", fleet member %s of %d", cl.Self().ID, len(cl.Nodes()))
 	}
 	log.Printf("draid: listening on %s (%d workers, %d MiB shard cache, %s)", *addr, *workers, *cacheMB, durability)
 
@@ -93,4 +132,41 @@ func main() {
 		s.Close()
 		log.Printf("draid: stopped")
 	}
+}
+
+// buildCluster parses "-peers id=url,..." into a fleet view. Self is
+// taken from -node-id and must either appear in the list or be added
+// implicitly from -advertise.
+func buildCluster(peers, nodeID, advertise string, vnodes int, probe time.Duration) (*cluster.Cluster, error) {
+	if nodeID == "" {
+		return nil, errors.New("-peers requires -node-id")
+	}
+	var nodes []cluster.Node
+	selfListed := false
+	for _, part := range strings.Split(peers, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-peers entry %q: want id=url", part)
+		}
+		nodes = append(nodes, cluster.Node{ID: strings.TrimSpace(id), URL: strings.TrimSpace(url)})
+		if strings.TrimSpace(id) == nodeID {
+			selfListed = true
+		}
+	}
+	if !selfListed {
+		if advertise == "" {
+			return nil, fmt.Errorf("-node-id %s is not in -peers; add it there or set -advertise", nodeID)
+		}
+		nodes = append(nodes, cluster.Node{ID: nodeID, URL: advertise})
+	}
+	return cluster.New(cluster.Config{
+		Self:          nodeID,
+		Nodes:         nodes,
+		VNodes:        vnodes,
+		ProbeInterval: probe,
+	})
 }

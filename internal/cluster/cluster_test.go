@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func healthz(ok *atomic.Bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if ok.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	return mux
+}
+
+func TestProbeDetectsDeathAndRecovery(t *testing.T) {
+	var peerOK atomic.Bool
+	peerOK.Store(true)
+	peer := httptest.NewServer(healthz(&peerOK))
+	defer peer.Close()
+
+	var changes atomic.Int64
+	c, err := New(Config{
+		Self: "a",
+		Nodes: []Node{
+			{ID: "a", URL: "http://self.invalid"},
+			{ID: "b", URL: peer.URL},
+		},
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeTimeout:  200 * time.Millisecond,
+		FailAfter:     2,
+		OnChange:      func() { changes.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Close()
+
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	waitFor(func() bool { return c.Alive("b") }, "peer alive")
+	peerOK.Store(false)
+	waitFor(func() bool { return !c.Alive("b") }, "peer declared dead")
+	// OnChange fires after the probe round completes, a beat after the
+	// liveness flip becomes visible — wait rather than assert.
+	waitFor(func() bool { return changes.Load() > 0 }, "OnChange after death")
+	// Dead peer's keys must all land on the survivor.
+	for _, key := range []string{"job-1", "job-2", "job-3"} {
+		if got := c.Owner(key).ID; got != "a" {
+			t.Fatalf("with b dead, %s owned by %s", key, got)
+		}
+	}
+	peerOK.Store(true)
+	waitFor(func() bool { return c.Alive("b") }, "peer recovered")
+}
+
+func TestMarkDownIsImmediate(t *testing.T) {
+	var changes atomic.Int64
+	c, err := New(Config{
+		Self: "a",
+		Nodes: []Node{
+			{ID: "a", URL: "http://a.invalid"},
+			{ID: "b", URL: "http://b.invalid"},
+		},
+		OnChange: func() { changes.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Alive("b") {
+		t.Fatal("peers start optimistically alive")
+	}
+	c.MarkDown("b")
+	if c.Alive("b") {
+		t.Fatal("MarkDown must take effect immediately")
+	}
+	if changes.Load() != 1 {
+		t.Fatalf("OnChange fired %d times, want 1", changes.Load())
+	}
+	c.MarkDown("b") // idempotent: no second transition
+	if changes.Load() != 1 {
+		t.Fatalf("repeat MarkDown fired OnChange again")
+	}
+	c.MarkDown("a") // self is never marked down
+	if !c.Alive("a") {
+		t.Fatal("self must stay alive")
+	}
+	if c.AliveCount() != 1 {
+		t.Fatalf("alive count %d, want 1", c.AliveCount())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Self: "", Nodes: []Node{{ID: "a", URL: "http://x"}}},
+		{Self: "a", Nodes: []Node{{ID: "b", URL: "http://x"}}},                             // self missing
+		{Self: "a", Nodes: []Node{{ID: "a", URL: "http://x"}, {ID: "a", URL: "http://y"}}}, // dup
+		{Self: "a", Nodes: []Node{{ID: "a", URL: ""}}},                                     // no URL
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d: config accepted, want error", i)
+		}
+	}
+}

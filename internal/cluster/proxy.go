@@ -1,0 +1,150 @@
+// Request forwarding between fleet members. A node that does not own a
+// job either proxies the request to the owner (default — the client
+// never learns the topology) or answers 307 with the owner's URL when
+// the client asked for redirects via the X-Draid-Route header. Proxied
+// NDJSON batch streams are flushed line-granular so a tail -f style
+// consumer sees batches as the owner emits them, not when the buffer
+// fills.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Routing headers.
+const (
+	// HeaderRoute lets the client choose forwarding: "redirect" gets a
+	// 307 to the owning node instead of a transparent proxy.
+	HeaderRoute = "X-Draid-Route"
+	// HeaderForwarded carries the proxying node's ID; its presence
+	// stops a second hop, so ring disagreement degrades to an error
+	// instead of a proxy loop.
+	HeaderForwarded = "X-Draid-Forwarded"
+	// HeaderJobID pre-assigns the job ID on a forwarded submission (the
+	// receiving node already hashed it to pick the owner).
+	HeaderJobID = "X-Draid-Job-Id"
+	// HeaderServedBy names the node that actually answered.
+	HeaderServedBy = "X-Draid-Served-By"
+)
+
+// RouteRedirect is the HeaderRoute value selecting 307 redirects.
+const RouteRedirect = "redirect"
+
+// WantsRedirect reports whether the client asked for a 307 instead of
+// a transparent proxy.
+func WantsRedirect(r *http.Request) bool {
+	return strings.EqualFold(r.Header.Get(HeaderRoute), RouteRedirect)
+}
+
+// Forwarded reports whether the request already took a proxy hop.
+func Forwarded(r *http.Request) bool { return r.Header.Get(HeaderForwarded) != "" }
+
+// Redirect answers 307 pointing the client at the owner. The method and
+// body are preserved by 307 semantics, so POST submissions survive.
+func Redirect(w http.ResponseWriter, r *http.Request, owner Node) {
+	target := owner.URL + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	w.Header().Set(HeaderServedBy, owner.ID)
+	http.Redirect(w, r, target, http.StatusTemporaryRedirect)
+}
+
+// Forward proxies the request to the owner and relays the response.
+// A transport error (the owner is unreachable) is returned *before*
+// anything is written to w, so the caller can mark the peer down and
+// retry against the recomputed owner. Errors after the response header
+// is relayed are terminal: the stream just ends, and the client resumes
+// by cursor against a survivor.
+func (c *Cluster) Forward(w http.ResponseWriter, r *http.Request, owner Node) error {
+	target := owner.URL + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target, r.Body)
+	if err != nil {
+		return fmt.Errorf("cluster: build forward to %s: %w", owner.ID, err)
+	}
+	req.Header = r.Header.Clone()
+	return c.Relay(w, req, owner)
+}
+
+// Relay sends an already-built request to a peer and streams the
+// response back — the forwarding primitive for callers (like job
+// submission) whose upstream body was already consumed and re-encoded.
+// Same error contract as Forward: a returned error means nothing was
+// written to w.
+func (c *Cluster) Relay(w http.ResponseWriter, req *http.Request, owner Node) error {
+	req.Header.Set(HeaderForwarded, c.self.ID)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: forward to %s: %w", owner.ID, err)
+	}
+	defer resp.Body.Close()
+
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	if h.Get(HeaderServedBy) == "" {
+		h.Set(HeaderServedBy, owner.ID)
+	}
+	w.WriteHeader(resp.StatusCode)
+	flushCopy(w, resp.Body)
+	return nil
+}
+
+// FetchPeer GETs a path on a peer with the forwarded-hop header set (so
+// the peer answers from local state instead of fanning out again) and a
+// hard timeout — the building block for merged fleet views like the
+// cluster-wide job list.
+func (c *Cluster) FetchPeer(n Node, path string, timeout time.Duration) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(HeaderForwarded, c.self.ID)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s%s: status %d", n.ID, path, resp.StatusCode)
+	}
+	return b, nil
+}
+
+// flushCopy relays a body, flushing after every read so streamed
+// batches cross the proxy with per-line latency.
+func flushCopy(w http.ResponseWriter, body io.Reader) {
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 64)
+	b := NewRing([]string{"n3", "n1", "n2"}, 64) // order must not matter
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("job-%06d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %s owned by %s vs %s depending on member order", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 128)
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("job-%06d", i))]++
+	}
+	for id, n := range counts {
+		frac := float64(n) / keys
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %s owns %.0f%% of keys — ring badly unbalanced: %v", id, frac*100, counts)
+		}
+	}
+	shares := r.Shares()
+	var total float64
+	for _, s := range shares {
+		total += s
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", total)
+	}
+}
+
+// TestRingMinimalMovement is the consistent-hashing property the
+// failover design rests on: removing one node must only move the keys
+// that node owned — every other key keeps its owner, so node loss
+// re-homes exactly the dead node's jobs.
+func TestRingMinimalMovement(t *testing.T) {
+	full := NewRing([]string{"n1", "n2", "n3"}, 64)
+	without2 := NewRing([]string{"n1", "n3"}, 64)
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("job-%06d", i)
+		before, after := full.Owner(key), without2.Owner(key)
+		if before == "n2" {
+			if after == "n2" {
+				t.Fatalf("key %s still owned by removed node", key)
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %s moved %s→%s though its owner survived", key, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if owner := NewRing(nil, 8).Owner("x"); owner != "" {
+		t.Fatalf("empty ring owner = %q, want empty", owner)
+	}
+	r := NewRing([]string{"solo"}, 8)
+	for i := 0; i < 50; i++ {
+		if r.Owner(fmt.Sprintf("k%d", i)) != "solo" {
+			t.Fatal("single-member ring must own every key")
+		}
+	}
+}

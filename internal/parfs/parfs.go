@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -286,3 +287,50 @@ func (fs *FS) Open(name string) (io.ReadCloser, error) {
 	}
 	return io.NopCloser(bytes.NewReader(data)), nil
 }
+
+// --- namespaced views -------------------------------------------------------
+
+// SubFS is a prefixed view of an FS: every name is transparently stored
+// as "<prefix>/<name>". A fleet of draid nodes sharing one simulated
+// parallel filesystem mounts each job's shard set under its own prefix,
+// so shard names from different jobs (or nodes) never collide while the
+// underlying OSTs — and therefore stripe contention — stay shared,
+// which is exactly the coordination a real parallel FS gives co-mounted
+// compute nodes.
+type SubFS struct {
+	fs     *FS
+	prefix string
+}
+
+// Sub returns a view of the filesystem rooted at prefix. Sub of the
+// same prefix on any node yields the same files, making the view the
+// failover handle: a surviving node re-mounts a dead node's job prefix
+// and serves its shards.
+func (fs *FS) Sub(prefix string) *SubFS {
+	return &SubFS{fs: fs, prefix: strings.TrimSuffix(prefix, "/") + "/"}
+}
+
+// Create implements shard.Sink under the prefix.
+func (s *SubFS) Create(name string) (io.WriteCloser, error) {
+	if name == "" {
+		return nil, errors.New("parfs: empty shard name")
+	}
+	return s.fs.Create(s.prefix + name)
+}
+
+// Open implements shard.Opener under the prefix.
+func (s *SubFS) Open(name string) (io.ReadCloser, error) { return s.fs.Open(s.prefix + name) }
+
+// List returns the names under the prefix, trimmed and sorted.
+func (s *SubFS) List() []string {
+	var names []string
+	for _, n := range s.fs.List() {
+		if strings.HasPrefix(n, s.prefix) {
+			names = append(names, strings.TrimPrefix(n, s.prefix))
+		}
+	}
+	return names
+}
+
+// Size returns a file's size under the prefix (0 if absent).
+func (s *SubFS) Size(name string) int64 { return s.fs.Size(s.prefix + name) }

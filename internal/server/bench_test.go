@@ -43,3 +43,55 @@ func BenchmarkServeThroughputBackends(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkClusterThroughput measures fleet serving: jobs spread across
+// a 3-node consistent-hash fleet over one shared dir, streams entering
+// through rotating members so most reads cross the proxy.
+func BenchmarkClusterThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunClusterBenchmark(ClusterBenchConfig{Nodes: 3, Jobs: 3, Clients: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BytesPerSec/(1024*1024), "MiB/s")
+		b.ReportMetric(float64(res.Proxied), "proxied")
+	}
+}
+
+// TestRunClusterBenchmark smoke-checks the fleet harness end to end:
+// every stream completes, ownership covers all jobs, and at least one
+// request crossed the proxy (rotating entry nodes guarantees it).
+func TestRunClusterBenchmark(t *testing.T) {
+	res, err := RunClusterBenchmark(ClusterBenchConfig{Nodes: 2, Jobs: 2, Clients: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches == 0 || res.Samples == 0 {
+		t.Fatalf("no data streamed: %+v", res)
+	}
+	owned := 0
+	for _, n := range res.JobsPerNode {
+		owned += n
+	}
+	if owned != res.Jobs {
+		t.Fatalf("ownership map covers %d of %d jobs: %v", owned, res.Jobs, res.JobsPerNode)
+	}
+	if res.Proxied == 0 {
+		t.Fatal("no requests crossed the proxy")
+	}
+}
+
+// TestRunServeComparison checks the same-run relative gate metric: both
+// backends stream real data and the ratio is positive and finite.
+func TestRunServeComparison(t *testing.T) {
+	rep, err := RunServeComparison(ServeBenchConfig{Clients: 2, BatchSize: 16, Passes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mem == nil || rep.FS == nil || rep.Mem.Samples == 0 || rep.FS.Samples == 0 {
+		t.Fatalf("comparison missing a side: %+v", rep)
+	}
+	if rep.FSOverMem <= 0 {
+		t.Fatalf("fs/mem ratio %v, want positive", rep.FSOverMem)
+	}
+}

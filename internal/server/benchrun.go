@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -66,6 +67,11 @@ type ServeBenchConfig struct {
 	// DataDir roots the "fs" backend; empty uses a temp dir that is
 	// removed afterwards.
 	DataDir string
+	// ColdCache disables the decoded-shard cache so every read hits the
+	// store — required when the measurement is about the store (the
+	// fs/mem gate): with the cache on, both backends serve ~all batches
+	// from RAM and the ratio measures scheduler noise.
+	ColdCache bool
 }
 
 // RunServeBenchmark measures concurrent streaming throughput: it
@@ -83,6 +89,9 @@ func RunServeBenchmark(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 		cfg.Backend = "mem"
 	}
 	opts := Options{Workers: 2, CacheBytes: 64 << 20}
+	if cfg.ColdCache {
+		opts.CacheBytes = 0
+	}
 	switch cfg.Backend {
 	case "mem":
 	case "fs":
@@ -158,6 +167,79 @@ func RunServeBenchmark(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 	cs := s.cache.Stats()
 	res.CacheHits, res.CacheMisses = cs.Hits, cs.Misses
 	return res, nil
+}
+
+// ServeBenchReport pairs a same-process mem-backend and fs-backend run;
+// it is the BENCH_serve.json schema. The CI gate compares FSOverMem —
+// how much of the in-memory serving rate survives the durable store —
+// because that ratio is a property of the code path, not of how fast
+// the machine running the benchmark happens to be.
+type ServeBenchReport struct {
+	Mem *ServeBenchResult `json:"mem"`
+	FS  *ServeBenchResult `json:"fs"`
+	// FSOverMem is samples/sec with the fs backend divided by
+	// samples/sec with the mem backend, measured in the same run.
+	FSOverMem float64 `json:"fs_over_mem"`
+}
+
+// Render formats both runs and the gate ratio.
+func (r *ServeBenchReport) Render() string {
+	return r.Mem.Render() + r.FS.Render() +
+		fmt.Sprintf("fs/mem serve-throughput ratio: %.3f\n", r.FSOverMem)
+}
+
+// RunServeComparison runs the serve benchmark against the mem and fs
+// backends with identical load, yielding the same-run relative metric
+// the regression gate consumes. Each backend runs serveCompareRounds
+// times interleaved and the gate ratio uses the median samples/sec of
+// each side — a single short run's ratio swings ±15% with scheduler
+// noise, which would eat the whole regression budget.
+func RunServeComparison(cfg ServeBenchConfig) (*ServeBenchReport, error) {
+	// Cold cache on both sides: the gate is about the store code path,
+	// and a warm cache hides it behind RAM reads.
+	cfg.ColdCache = true
+	var memRates, fsRates []float64
+	rep := &ServeBenchReport{}
+	for round := 0; round < serveCompareRounds; round++ {
+		memCfg := cfg
+		memCfg.Backend = "mem"
+		mem, err := RunServeBenchmark(memCfg)
+		if err != nil {
+			return nil, err
+		}
+		fsCfg := cfg
+		fsCfg.Backend = "fs"
+		fs, err := RunServeBenchmark(fsCfg)
+		if err != nil {
+			return nil, err
+		}
+		if mem.Seconds > 0 {
+			memRates = append(memRates, float64(mem.Samples)/mem.Seconds)
+		}
+		if fs.Seconds > 0 {
+			fsRates = append(fsRates, float64(fs.Samples)/fs.Seconds)
+		}
+		rep.Mem, rep.FS = mem, fs // keep the last rounds' detail for the report
+	}
+	memRate, fsRate := median(memRates), median(fsRates)
+	if memRate > 0 {
+		rep.FSOverMem = fsRate / memRate
+	}
+	return rep, nil
+}
+
+// serveCompareRounds is how many interleaved mem/fs rounds feed the
+// gate's median. Five rounds put the median's spread well inside the
+// 20% regression budget (single runs swing ±15%).
+const serveCompareRounds = 5
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s[len(s)/2]
 }
 
 // SubmitAndWait posts a job spec to a running draid server and polls it

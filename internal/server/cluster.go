@@ -1,0 +1,362 @@
+// Cluster-aware request handling: when the server runs as a fleet
+// member every job-addressed request is checked against the consistent-
+// hash ring and transparently proxied (or 307-redirected on request) to
+// the owning node; /v1/cluster reports membership and ownership; and
+// jobs stranded by a dead member are adopted — replayed from the shared
+// data dir's job logs — the moment the ring reassigns their hash range.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/shard"
+)
+
+// clusterMode reports whether this server is a fleet member.
+func (s *Server) clusterMode() bool { return s.opts.Cluster != nil }
+
+// jobID renders a sequence number as this node's job ID: cluster IDs
+// embed the allocating node so fleet members never collide, and the
+// ring hashes the full ID so placement is uniform regardless of which
+// node allocated it.
+func (s *Server) jobID(seq int) string {
+	if c := s.opts.Cluster; c != nil {
+		return fmt.Sprintf("job-%s-%06d", c.Self().ID, seq)
+	}
+	return fmt.Sprintf("job-%06d", seq)
+}
+
+// routedElsewhere forwards or redirects a /v1/jobs/{id}/* request to
+// the ring owner, returning true when the response was written. False
+// means the request is ours: we own the ID, the request already took
+// its one proxy hop (ring disagreement degrades to local best-effort,
+// never a loop), or every peer is unreachable and we are the fleet of
+// last resort. An unreachable owner is marked down on the spot — the
+// passive detection path — so the ring reassigns its ranges at request
+// speed and the retry lands on the new owner.
+func (s *Server) routedElsewhere(w http.ResponseWriter, r *http.Request) bool {
+	c := s.opts.Cluster
+	if c == nil || cluster.Forwarded(r) {
+		return false
+	}
+	id := r.PathValue("id")
+	for range c.Nodes() {
+		owner := c.Owner(id)
+		if owner.ID == c.Self().ID {
+			return false
+		}
+		if cluster.WantsRedirect(r) {
+			s.clusterRedirected.Add(1)
+			cluster.Redirect(w, r, owner)
+			return true
+		}
+		if err := c.Forward(w, r, owner); err == nil {
+			s.clusterProxied.Add(1)
+			return true
+		}
+		s.clusterRetries.Add(1)
+		c.MarkDown(owner.ID) // fires adoption via OnChange before the retry
+	}
+	return false
+}
+
+// clusterSubmit routes a job submission. The receiving node allocates
+// the job ID (hashing it picks the owner), then hands the spec to the
+// owner with the ID pre-assigned — via transparent proxy, or via a 307
+// carrying ?job_id= when the client asked for redirects.
+func (s *Server) clusterSubmit(w http.ResponseWriter, r *http.Request, spec JobSpec) {
+	c := s.opts.Cluster
+	id := r.Header.Get(cluster.HeaderJobID)
+	if id == "" {
+		id = r.URL.Query().Get("job_id")
+	}
+	if id != "" {
+		// Pre-assigned: reject anything that does not parse as a fleet
+		// job ID — the ID names a shard directory on the shared dir.
+		if node, _, ok := parseJobID(id); !ok || node == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid pre-assigned job id %q", id))
+			return
+		}
+	} else {
+		s.mu.Lock()
+		s.seq++
+		id = s.jobID(s.seq)
+		s.mu.Unlock()
+	}
+	if cluster.Forwarded(r) {
+		// Terminal hop: enqueue here even if our ring view disagrees —
+		// any member can run any job, and the ID decides routing later.
+		s.submitLocal(w, spec, id)
+		return
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	for range c.Nodes() {
+		owner := c.Owner(id)
+		if owner.ID == c.Self().ID {
+			s.submitLocal(w, spec, id)
+			return
+		}
+		if cluster.WantsRedirect(r) {
+			s.clusterRedirected.Add(1)
+			w.Header().Set(cluster.HeaderServedBy, owner.ID)
+			http.Redirect(w, r, owner.URL+"/v1/jobs?job_id="+url.QueryEscape(id), http.StatusTemporaryRedirect)
+			return
+		}
+		req, rerr := http.NewRequestWithContext(r.Context(), http.MethodPost, owner.URL+"/v1/jobs", bytes.NewReader(body))
+		if rerr != nil {
+			writeError(w, http.StatusInternalServerError, rerr)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(cluster.HeaderJobID, id)
+		if err := c.Relay(w, req, owner); err == nil {
+			s.clusterProxied.Add(1)
+			return
+		}
+		s.clusterRetries.Add(1)
+		c.MarkDown(owner.ID)
+	}
+	s.submitLocal(w, spec, id) // every peer down: degrade to local service
+}
+
+// clusterInfo is the /v1/cluster document.
+type clusterInfo struct {
+	Clustered bool                   `json:"clustered"`
+	Self      string                 `json:"self,omitempty"`
+	VNodes    int                    `json:"vnodes,omitempty"`
+	Members   []cluster.MemberStatus `json:"members,omitempty"`
+	JobsLocal int                    `json:"jobs_local"`
+	// Registered lists node lock files seen on the shared data dir —
+	// the fleet roster as the filesystem tells it, which may lag or
+	// lead the probe view.
+	Registered []string      `json:"registered_nodes,omitempty"`
+	Job        *jobOwnership `json:"job,omitempty"`
+}
+
+// jobOwnership answers /v1/cluster?job=<id>: which member owns the ID.
+type jobOwnership struct {
+	ID    string `json:"id"`
+	Owner string `json:"owner"`
+	URL   string `json:"url"`
+	Local bool   `json:"local"`
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	local := len(s.jobs)
+	s.mu.Unlock()
+	info := clusterInfo{JobsLocal: local}
+	c := s.opts.Cluster
+	if c == nil {
+		writeJSON(w, http.StatusOK, info)
+		return
+	}
+	info.Clustered = true
+	info.Self = c.Self().ID
+	info.VNodes = c.VNodes()
+	info.Members = c.Status()
+	if s.opts.DataDir != "" {
+		info.Registered = shard.ListNodeLocks(filepath.Join(s.opts.DataDir, "nodes"))
+	}
+	if id := r.URL.Query().Get("job"); id != "" {
+		owner := c.Owner(id)
+		info.Job = &jobOwnership{ID: id, Owner: owner.ID, URL: owner.URL, Local: owner.ID == c.Self().ID}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// adoptOrphans scans the shared data dir's merged job logs and takes
+// ownership of every job the current ring assigns to this node but
+// which is missing from the local table — the re-ownership half of
+// failover. Dead members' completed jobs come back servable from their
+// on-disk shard sets; jobs they were still running come back failed (or
+// requeued under Options.Requeue, rerunning the deterministic spec).
+// filterID restricts the scan to one job ("" adopts everything owed).
+func (s *Server) adoptOrphans(filterID string) {
+	if s.opts.Cluster == nil || s.opts.DataDir == "" {
+		return
+	}
+	s.adoptMu.Lock()
+	defer s.adoptMu.Unlock()
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return
+	}
+	// Cheap pre-check before the full log read: if no member's log grew
+	// since the last scan and the asked-for ID was not in them, there is
+	// nothing to adopt — without this, every request for a bogus or
+	// evicted ID would re-read the whole shared log set under adoptMu.
+	sig := jobLogSig(s.opts.DataDir)
+	if filterID != "" && sig == s.scanSig && s.scanIDs != nil && !s.scanIDs[filterID] {
+		return
+	}
+	recs, err := readAllJobLogs(s.opts.DataDir)
+	if err != nil {
+		return
+	}
+	states, _ := replayJobs(recs, s.opts.Cluster.Self().ID)
+	// Memo only the IDs that survived replay: an evicted job's records
+	// are still in the logs, but it can never be adopted, so repeated
+	// requests for it must hit the early return, not a fresh scan.
+	s.scanSig = sig
+	s.scanIDs = make(map[string]bool, len(states))
+	for _, st := range states {
+		s.scanIDs[st.sub.ID] = true
+	}
+	for _, st := range states {
+		id := st.sub.ID
+		if filterID != "" && id != filterID {
+			continue
+		}
+		// Full scans only take what the ring says is ours. A targeted
+		// adoption skips that check: the request reached us because
+		// *some* member's ring routed it here, and that member may have
+		// observed the owner's death before we probed it — refusing
+		// until our own ring catches up would 404 a servable job.
+		if filterID == "" && !s.opts.Cluster.IsLocal(id) {
+			continue
+		}
+		// Never seize a job another member may still be running: a
+		// non-terminal record plus a fresh lock-file heartbeat from the
+		// member that accepted it means "slow, not dead" — marking it
+		// failed (or wiping its half-written shards under -requeue)
+		// would turn a transient ring disagreement into data loss.
+		// Terminal jobs are immutable on disk and always safe to adopt.
+		if !st.hasTerm && st.sub.Node != "" && st.sub.Node != s.nodeID() && s.nodeLockFresh(st.sub.Node) {
+			continue
+		}
+		s.mu.Lock()
+		_, exists := s.jobs[id]
+		s.mu.Unlock()
+		if exists {
+			continue
+		}
+		job, requeue, err := s.restoreJob(st)
+		if err != nil {
+			continue
+		}
+		s.mu.Lock()
+		if _, raced := s.jobs[id]; raced {
+			s.mu.Unlock()
+			continue
+		}
+		s.jobs[id] = job
+		s.order = append(s.order, id)
+		s.mu.Unlock()
+		s.clusterAdopted.Add(1)
+		if requeue {
+			s.enqueueRestored(job)
+		}
+	}
+}
+
+// adoptJob is the lazy single-job adoption used on a table miss: a
+// request for a job we own but never saw (its owner died and we have
+// not probed that yet) replays it from the shared logs on the spot.
+func (s *Server) adoptJob(id string) *Job {
+	s.adoptOrphans(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// nodeLockStale mirrors the staleness window passed to AcquireNodeLock:
+// a lock heartbeat older than this means its holder is presumed dead.
+const nodeLockStale = 10 * time.Second
+
+// nodeLockFresh reports whether a member's shared-dir lock file has a
+// recent heartbeat — liveness as the filesystem tells it, which cuts
+// through transient probe/ring disagreement.
+func (s *Server) nodeLockFresh(nodeID string) bool {
+	fi, err := os.Stat(filepath.Join(s.opts.DataDir, "nodes", nodeID+".lock"))
+	return err == nil && time.Since(fi.ModTime()) <= nodeLockStale
+}
+
+// jobLogSig fingerprints the shared dir's job logs (name, size, mtime)
+// so repeated adoption scans can skip re-reading unchanged logs.
+func jobLogSig(dataDir string) string {
+	paths, err := filepath.Glob(filepath.Join(dataDir, "jobs*.log"))
+	if err != nil {
+		return ""
+	}
+	sort.Strings(paths)
+	var b strings.Builder
+	for _, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:%d:%d;", p, fi.Size(), fi.ModTime().UnixNano())
+	}
+	return b.String()
+}
+
+// mergeClusterList fans the job list out to alive peers and merges
+// their local views with ours, deduplicated by job ID (after a
+// failover-and-return, two members can briefly hold the same job — the
+// current ring owner's copy wins) and ordered by submission time.
+func (s *Server) mergeClusterList(out []JobStatus) []JobStatus {
+	c := s.opts.Cluster
+	nodes := c.Nodes()
+	perPeer := make([][]JobStatus, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		if n.ID == c.Self().ID || !c.Alive(n.ID) {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n cluster.Node) {
+			defer wg.Done()
+			b, err := c.FetchPeer(n, "/v1/jobs?scope=local", 5*time.Second)
+			if err != nil {
+				return // a dying peer hides its jobs until adoption catches up
+			}
+			var peer []JobStatus
+			if json.Unmarshal(b, &peer) == nil {
+				perPeer[i] = peer
+			}
+		}(i, n)
+	}
+	wg.Wait() // concurrent fetches: one slow peer costs one timeout, not N
+	for _, peer := range perPeer {
+		out = append(out, peer...)
+	}
+	best := make(map[string]int, len(out)) // job ID -> index of kept copy
+	deduped := out[:0]
+	for _, st := range out {
+		i, dup := best[st.ID]
+		if !dup {
+			best[st.ID] = len(deduped)
+			deduped = append(deduped, st)
+			continue
+		}
+		if st.Node == c.Owner(st.ID).ID {
+			deduped[i] = st
+		}
+	}
+	out = deduped
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Submitted.Equal(out[j].Submitted) {
+			return out[i].Submitted.Before(out[j].Submitted)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

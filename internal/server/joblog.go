@@ -15,12 +15,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/anonymize"
+	"repro/internal/cluster"
 	"repro/internal/shard"
 )
 
@@ -46,6 +48,14 @@ type logRecord struct {
 	Manifest  *shard.Manifest   `json:"manifest,omitempty"`
 	Traject   []TrajectoryPoint `json:"trajectory,omitempty"`
 	SealedKey string            `json:"sealed_key,omitempty"` // hex(AES-GCM(master, jobKey))
+	// Provenance is the job's exported lineage DAG (provenance.Report
+	// JSON), persisted with the terminal record so replayed jobs keep
+	// answering /v1/jobs/{id}/provenance instead of 409ing.
+	Provenance json.RawMessage `json:"provenance,omitempty"`
+	// Node names the fleet member that wrote the record (empty on
+	// single-node logs) — observability only; ownership is always
+	// recomputed from the job ID hash.
+	Node string `json:"node,omitempty"`
 }
 
 // jobLog appends NDJSON records to jobs.log, syncing each append so a
@@ -128,33 +138,84 @@ func readJobLog(path string) ([]logRecord, error) {
 	return recs, nil
 }
 
+// readAllJobLogs merges every job log under the data dir: "jobs.log"
+// (single-node) plus each fleet member's "jobs-<node>.log" on a shared
+// parallel filesystem. Records are ordered by timestamp (stable, so
+// same-instant records keep their per-file append order) — the merged
+// view is what lets any node replay any job, which is the whole point
+// of pointing a fleet at one data dir.
+func readAllJobLogs(dataDir string) ([]logRecord, error) {
+	paths, err := filepath.Glob(filepath.Join(dataDir, "jobs*.log"))
+	if err != nil {
+		return nil, fmt.Errorf("server: glob job logs: %w", err)
+	}
+	sort.Strings(paths)
+	var all []logRecord
+	for _, p := range paths {
+		recs, err := readJobLog(p)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, recs...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Time.Before(all[j].Time) })
+	return all, nil
+}
+
 // masterKeyFile holds the 32-byte key that seals per-job bio shard
 // keys inside log records, so plaintext shard keys never rest on disk.
 const masterKeyFile = "master.key"
 
 // loadOrCreateMasterKey returns the data directory's sealing key,
-// creating it (0600) on first start.
+// creating it (0600) on first start. Creation is race-safe for a fleet
+// cold-starting on one shared dir: the key is fully written to a temp
+// file first and published with an atomic link that fails if the file
+// exists, so a member can never read a half-written key — the loser of
+// the race just reads the winner's.
 func loadOrCreateMasterKey(dataDir string) ([]byte, error) {
 	path := filepath.Join(dataDir, masterKeyFile)
-	b, err := os.ReadFile(path)
-	if err == nil {
-		key, derr := hex.DecodeString(strings.TrimSpace(string(b)))
-		if derr != nil || len(key) != 32 {
-			return nil, fmt.Errorf("server: %s is not a hex-encoded 32-byte key", path)
+	for attempt := 0; attempt < 2; attempt++ {
+		b, err := os.ReadFile(path)
+		if err == nil {
+			key, derr := hex.DecodeString(strings.TrimSpace(string(b)))
+			if derr != nil || len(key) != 32 {
+				return nil, fmt.Errorf("server: %s is not a hex-encoded 32-byte key", path)
+			}
+			return key, nil
 		}
-		return key, nil
+		if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("server: read master key: %w", err)
+		}
+		key := make([]byte, 32)
+		if _, err := rand.Read(key); err != nil {
+			return nil, fmt.Errorf("server: generate master key: %w", err)
+		}
+		f, err := os.CreateTemp(dataDir, ".tmp-master-*")
+		if err != nil {
+			return nil, fmt.Errorf("server: stage master key: %w", err)
+		}
+		tmp := f.Name()
+		if _, err := f.WriteString(hex.EncodeToString(key) + "\n"); err == nil {
+			err = f.Sync()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(tmp)
+			return nil, fmt.Errorf("server: write master key: %w", err)
+		}
+		err = os.Link(tmp, path)
+		os.Remove(tmp)
+		if err == nil {
+			return key, nil
+		}
+		if !os.IsExist(err) {
+			return nil, fmt.Errorf("server: commit master key: %w", err)
+		}
+		// Another member linked first; loop back and read its key.
 	}
-	if !os.IsNotExist(err) {
-		return nil, fmt.Errorf("server: read master key: %w", err)
-	}
-	key := make([]byte, 32)
-	if _, err := rand.Read(key); err != nil {
-		return nil, fmt.Errorf("server: generate master key: %w", err)
-	}
-	if err := os.WriteFile(path, []byte(hex.EncodeToString(key)+"\n"), 0o600); err != nil {
-		return nil, fmt.Errorf("server: write master key: %w", err)
-	}
-	return key, nil
+	return nil, fmt.Errorf("server: master key at %s raced and could not be read back", path)
 }
 
 // sealJobKey protects a per-job shard key for the log, binding it to
@@ -185,13 +246,29 @@ type replayState struct {
 }
 
 // replayJobs folds the log into the surviving job set, in submission
-// order, and returns the highest job sequence number seen.
-func replayJobs(recs []logRecord) (jobs []*replayState, maxSeq int) {
+// order, and returns the highest job sequence number allocated by
+// selfNode ("" for single-node logs) — other members' sequences live in
+// their own ID namespace and must not advance ours.
+func replayJobs(recs []logRecord, selfNode string) (jobs []*replayState, maxSeq int) {
 	byID := map[string]*replayState{}
+	evicted := map[string]bool{}
 	var order []string
 	for _, rec := range recs {
-		if n, ok := jobSeq(rec.ID); ok && n > maxSeq {
+		if node, n, ok := parseJobID(rec.ID); ok && node == selfNode && n > maxSeq {
 			maxSeq = n
+		}
+		// Eviction is forever: job IDs are never reused, so once any
+		// member logged an eviction every other record for that ID is
+		// dead — regardless of merge order, which cross-node clock skew
+		// can perturb. Without this, a submission record sorting after
+		// the eviction would resurrect a job whose shards are deleted.
+		if evicted[rec.ID] {
+			continue
+		}
+		if rec.Type == recEvicted {
+			evicted[rec.ID] = true
+			delete(byID, rec.ID)
+			continue
 		}
 		st := byID[rec.ID]
 		if st == nil {
@@ -204,8 +281,6 @@ func replayJobs(recs []logRecord) (jobs []*replayState, maxSeq int) {
 			st.sub, st.hasSub = rec, true
 		case recDone, recFailed:
 			st.rec, st.hasTerm = rec, true
-		case recEvicted:
-			delete(byID, rec.ID)
 		}
 	}
 	for _, id := range order {
@@ -216,16 +291,33 @@ func replayJobs(recs []logRecord) (jobs []*replayState, maxSeq int) {
 	return jobs, maxSeq
 }
 
-// jobSeq extracts the numeric suffix of "job-%06d" IDs so a restarted
-// server keeps allocating fresh IDs.
-func jobSeq(id string) (int, bool) {
-	const prefix = "job-"
-	if !strings.HasPrefix(id, prefix) {
-		return 0, false
+// parseJobID splits a job ID into its allocating node and sequence:
+// "job-%06d" (single-node; node is empty) or "job-<node>-%06d" (fleet;
+// the node may itself contain hyphens, so the sequence is the segment
+// after the last one). IDs also name shard directories, so the node
+// part is held to the same safe charset cluster membership enforces.
+func parseJobID(id string) (node string, seq int, ok bool) {
+	rest, found := strings.CutPrefix(id, "job-")
+	if !found || rest == "" {
+		return "", 0, false
 	}
-	n, err := strconv.Atoi(strings.TrimPrefix(id, prefix))
+	if i := strings.LastIndexByte(rest, '-'); i >= 0 {
+		node, rest = rest[:i], rest[i+1:]
+	}
+	if node != "" && !cluster.ValidNodeID(node) {
+		return "", 0, false
+	}
+	if rest == "" {
+		return "", 0, false
+	}
+	for i := 0; i < len(rest); i++ {
+		if rest[i] < '0' || rest[i] > '9' {
+			return "", 0, false
+		}
+	}
+	n, err := strconv.Atoi(rest)
 	if err != nil || n < 0 {
-		return 0, false
+		return "", 0, false
 	}
-	return n, true
+	return node, n, true
 }

@@ -121,6 +121,8 @@ type JobStatus struct {
 	Shards     int               `json:"shards"`
 	Servable   bool              `json:"servable"`
 	Trajectory []TrajectoryPoint `json:"trajectory,omitempty"`
+	// Node is the fleet member holding the job (empty single-node).
+	Node string `json:"node,omitempty"`
 }
 
 // Job is one pipeline run owned by the server.

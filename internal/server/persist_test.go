@@ -274,8 +274,17 @@ func TestEvictionReclaimsRestoredJobDirs(t *testing.T) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if _, err := os.Stat(shardDir); !os.IsNotExist(err) {
-		t.Fatalf("evicted restored job's shard dir still on disk: %v", err)
+	// The 404 becomes visible when the job leaves the table; the shard
+	// directory is deleted just after, outside the server lock — poll
+	// briefly instead of racing that window.
+	for {
+		if _, err := os.Stat(shardDir); os.IsNotExist(err) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("evicted restored job's shard dir still on disk")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

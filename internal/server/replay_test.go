@@ -1,0 +1,356 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// logLines joins NDJSON log records (and raw fragments, for torn
+// tails) into a jobs.log body.
+func logLines(t *testing.T, recs ...any) []byte {
+	t.Helper()
+	var out []byte
+	for _, r := range recs {
+		switch v := r.(type) {
+		case string:
+			out = append(out, v...)
+		case logRecord:
+			b, err := json.Marshal(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, b...)
+			out = append(out, '\n')
+		default:
+			t.Fatalf("bad log line %T", r)
+		}
+	}
+	return out
+}
+
+// TestReplayOrderingInterleaved drives replay through a log where
+// evicted, provenance-bearing, and torn-tail records interleave: the
+// evicted job must stay gone even though its done record carries
+// provenance, the torn fragment must be skipped without desyncing later
+// records, a terminal record arriving after eviction must not resurrect
+// the job (its submitted record was consumed by the eviction), and the
+// last terminal record must win when duplicates appear.
+func TestReplayOrderingInterleaved(t *testing.T) {
+	t0 := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	at := func(s int) time.Time { return t0.Add(time.Duration(s) * time.Second) }
+	spec := &JobSpec{Domain: core.Climate}
+	prov := json.RawMessage(`{"artifacts":{},"activities":[]}`)
+
+	body := logLines(t,
+		logRecord{Type: recSubmitted, ID: "job-000001", Time: at(0), Spec: spec},
+		logRecord{Type: recSubmitted, ID: "job-000002", Time: at(1), Spec: spec},
+		// Torn append in the middle of the file: must be skipped, not
+		// merged into a neighbour.
+		`{"type":"done","id":"job-0000`+"\n",
+		logRecord{Type: recDone, ID: "job-000001", Time: at(2), Provenance: prov},
+		logRecord{Type: recEvicted, ID: "job-000001", Time: at(3)},
+		// Terminal for an evicted job (out-of-order writer): no
+		// submitted record survives, so it must not resurrect.
+		logRecord{Type: recDone, ID: "job-000001", Time: at(4), Provenance: prov},
+		// Duplicate terminals: the later record wins.
+		logRecord{Type: recFailed, ID: "job-000002", Time: at(5), Error: "first"},
+		logRecord{Type: recDone, ID: "job-000002", Time: at(6), Provenance: prov, Servable: false},
+		logRecord{Type: recSubmitted, ID: "job-000007", Time: at(7), Spec: spec},
+		// Trailing torn fragment (crash mid-append at EOF).
+		`{"type":"submitted","id":"job-000008","tim`,
+	)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.log")
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := readJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 8 {
+		t.Fatalf("readJobLog parsed %d records, want 8 (torn lines skipped)", len(recs))
+	}
+	states, maxSeq := replayJobs(recs, "")
+	if maxSeq != 7 {
+		t.Fatalf("maxSeq = %d, want 7", maxSeq)
+	}
+	if len(states) != 2 {
+		ids := make([]string, len(states))
+		for i, st := range states {
+			ids[i] = st.sub.ID
+		}
+		t.Fatalf("replay kept %v, want [job-000002 job-000007]", ids)
+	}
+	if states[0].sub.ID != "job-000002" || states[1].sub.ID != "job-000007" {
+		t.Fatalf("replay order %s, %s", states[0].sub.ID, states[1].sub.ID)
+	}
+	if !states[0].hasTerm || states[0].rec.Type != recDone {
+		t.Fatalf("job-000002 terminal = %+v, want the later done record", states[0].rec)
+	}
+	if len(states[0].rec.Provenance) == 0 {
+		t.Fatal("provenance lost through replay")
+	}
+	if states[1].hasTerm {
+		t.Fatal("job-000007 has no terminal record yet")
+	}
+}
+
+// TestReplayMergesPerNodeLogs: records for one job spread across two
+// members' logs on the shared dir (submitted by the owner, failed later
+// by an adopter) must merge time-ordered into one coherent history.
+func TestReplayMergesPerNodeLogs(t *testing.T) {
+	t0 := time.Now().UTC().Truncate(time.Second)
+	spec := &JobSpec{Domain: core.Climate}
+	dir := t.TempDir()
+	writeLog := func(name string, recs ...any) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), logLines(t, recs...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeLog("jobs-n2.log",
+		logRecord{Type: recSubmitted, ID: "job-n2-000001", Time: t0, Spec: spec, Node: "n2"},
+		logRecord{Type: recSubmitted, ID: "job-n2-000002", Time: t0.Add(time.Second), Spec: spec, Node: "n2"},
+	)
+	writeLog("jobs-n1.log",
+		logRecord{Type: recFailed, ID: "job-n2-000001", Time: t0.Add(2 * time.Second), Error: "adopted after n2 died", Node: "n1"},
+	)
+	recs, err := readAllJobLogs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, maxSeq := replayJobs(recs, "n2")
+	if maxSeq != 2 {
+		t.Fatalf("n2 maxSeq = %d, want 2", maxSeq)
+	}
+	if _, n1Seq := replayJobs(recs, "n1"); n1Seq != 0 {
+		t.Fatalf("n1 maxSeq = %d; other members' sequences must not leak", n1Seq)
+	}
+	if len(states) != 2 {
+		t.Fatalf("replay kept %d jobs, want 2", len(states))
+	}
+	if !states[0].hasTerm || states[0].rec.Error != "adopted after n2 died" {
+		t.Fatalf("cross-log terminal not merged: %+v", states[0].rec)
+	}
+}
+
+// TestProvenanceSurvivesRestart is the satellite acceptance: before
+// this PR a replayed job had no tracker and /provenance answered 409;
+// now the DAG rides the terminal log record and reimports byte-stable.
+func TestProvenanceSurvivesRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	s1, err := New(Options{Workers: 1, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	id, err := SubmitAndWait(ts1.URL, JobSpec{Domain: core.Climate, Name: "p", Seed: 5}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fetchProvenance(t, ts1.URL, id)
+	ts1.Close()
+	s1.Close()
+
+	s2, err := New(Options{Workers: 1, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	t.Cleanup(s2.Close)
+	after := fetchProvenance(t, ts2.URL, id)
+	if string(before) != string(after) {
+		t.Fatalf("provenance changed across restart (%d vs %d bytes)", len(before), len(after))
+	}
+}
+
+func fetchProvenance(t *testing.T, baseURL, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/jobs/" + id + "/provenance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("provenance status %d: %s", resp.StatusCode, b)
+	}
+	return b
+}
+
+// TestRequeueInterruptedJobs: with Options.Requeue a job caught
+// queued/running by the crash is resubmitted with its deterministic
+// seed instead of being marked failed, and completes on the restarted
+// server.
+func TestRequeueInterruptedJobs(t *testing.T) {
+	dataDir := t.TempDir()
+	s1, err := New(Options{Workers: 1, DataDir: dataDir, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	// A heavy job pins the single worker; the next submission stays queued.
+	if _, code := postJob(t, ts1.URL, JobSpec{Domain: core.Climate, Months: 120, Lat: 48, Lon: 96, Seed: 2}); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	queued, code := postJob(t, ts1.URL, JobSpec{Domain: core.Climate, Name: "rq", Seed: 9})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	ts1.Close()
+	s1.Close()
+
+	s2, err := New(Options{Workers: 2, DataDir: dataDir, Requeue: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	t.Cleanup(s2.Close)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st JobStatus
+		if code := getJSON(t, ts2.URL+"/v1/jobs/"+queued.ID, &st); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if st.State == JobDone {
+			if !st.Servable {
+				t.Fatal("requeued job completed but is not servable")
+			}
+			break
+		}
+		if st.State == JobFailed {
+			t.Fatalf("requeued job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("requeued job still %s", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The rerun is the same deterministic pipeline: its stream matches a
+	// fresh run of the same spec on the same server.
+	reference, err := SubmitAndWait(ts2.URL, JobSpec{Domain: core.Climate, Name: "rq-ref", Seed: 9}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := streamAll(t, ts2.URL+"/v1/jobs/"+queued.ID+"/batches?batch_size=4")
+	want := streamAll(t, ts2.URL+"/v1/jobs/"+reference+"/batches?batch_size=4")
+	if string(got) != string(want) {
+		t.Fatalf("requeued job stream differs from deterministic rerun (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestRequeueOverflowFails: more interrupted jobs than queue capacity
+// cannot all requeue; the overflow must come back failed, not lost.
+func TestRequeueOverflowFails(t *testing.T) {
+	dataDir := t.TempDir()
+	// Craft a log with three interrupted jobs, then restart with a
+	// 1-deep queue: one requeues, two must fail visibly.
+	var body []byte
+	t0 := time.Now().UTC()
+	for i := 1; i <= 3; i++ {
+		rec := logRecord{Type: recSubmitted, ID: fmt.Sprintf("job-%06d", i),
+			Time: t0.Add(time.Duration(i) * time.Millisecond), Spec: &JobSpec{Domain: core.Climate, Seed: 3}}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = append(append(body, b...), '\n')
+	}
+	if err := os.WriteFile(filepath.Join(dataDir, "jobs.log"), body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Workers: 1, QueueDepth: 1, DataDir: dataDir, Requeue: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var jobs []JobStatus
+		if code := getJSON(t, ts.URL+"/v1/jobs", &jobs); code != http.StatusOK {
+			t.Fatalf("list status %d", code)
+		}
+		if len(jobs) != 3 {
+			t.Fatalf("replayed %d jobs, want 3", len(jobs))
+		}
+		done, failed, pending := 0, 0, 0
+		for _, st := range jobs {
+			switch st.State {
+			case JobDone:
+				done++
+			case JobFailed:
+				failed++
+			default:
+				pending++
+			}
+		}
+		if pending == 0 {
+			if done != 1 || failed != 2 {
+				t.Fatalf("done=%d failed=%d, want 1 requeued success and 2 overflow failures", done, failed)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs still pending: done=%d failed=%d pending=%d", done, failed, pending)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMasterKeyCreationRace: a fleet cold-starting on one shared dir
+// creates the sealing key concurrently; every member must end up with
+// the same complete key, never a torn read (this was a real startup
+// crash: "master.key is not a hex-encoded 32-byte key").
+func TestMasterKeyCreationRace(t *testing.T) {
+	dir := t.TempDir()
+	const racers = 8
+	keys := make([][]byte, racers)
+	errs := make([]error, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			keys[i], errs[i] = loadOrCreateMasterKey(dir)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < racers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("racer %d: %v", i, errs[i])
+		}
+		if len(keys[i]) != 32 {
+			t.Fatalf("racer %d got %d-byte key", i, len(keys[i]))
+		}
+		if string(keys[i]) != string(keys[0]) {
+			t.Fatalf("racer %d got a different key than racer 0", i)
+		}
+	}
+	// No staged temp files left behind.
+	matches, _ := filepath.Glob(filepath.Join(dir, ".tmp-master-*"))
+	if len(matches) != 0 {
+		t.Fatalf("leftover temp key files: %v", matches)
+	}
+}

@@ -20,8 +20,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/loader"
 	"repro/internal/metrics"
+	"repro/internal/provenance"
 	"repro/internal/registry"
 	"repro/internal/shard"
 )
@@ -54,6 +56,19 @@ type Options struct {
 	// through a parfs-backed store with it). Nil picks FSSink under
 	// DataDir, or MemSink when DataDir is empty.
 	NewStore func(jobID string) (shard.Store, error)
+
+	// Cluster makes this server a fleet member: job-addressed requests
+	// are routed to their consistent-hash owner, /v1/cluster reports
+	// membership, and jobs stranded by dead members are adopted from
+	// the shared DataDir (which every member must point at the same
+	// parallel filesystem). The server takes over the cluster's
+	// lifecycle: New starts its probing, Close stops it. Requires
+	// DataDir (or a shared NewStore) for failover to mean anything.
+	Cluster *cluster.Cluster
+	// Requeue resubmits jobs replayed in queued/running state instead
+	// of marking them failed: their partial output is wiped and the
+	// deterministic spec (seeds included) reruns on this node's pool.
+	Requeue bool
 }
 
 // Server is the draid HTTP service. Create with New, serve via Handler,
@@ -74,17 +89,29 @@ type Server struct {
 	wg    sync.WaitGroup
 
 	// Durability (nil/empty when DataDir is unset).
-	log    *jobLog
-	master []byte
+	log      *jobLog
+	master   []byte
+	nodeLock *shard.NodeLock
 
-	collector     *metrics.Collector
-	jobsRunning   atomic.Int64
-	jobsDone      atomic.Int64
-	jobsFailed    atomic.Int64
-	jobsEvicted   atomic.Int64
-	bytesServed   atomic.Int64
-	batchesServed atomic.Int64
-	samplesServed atomic.Int64
+	// adoptMu serializes shared-log adoption scans (probe callbacks and
+	// request-path misses can race into adoptOrphans) and guards the
+	// scan memo below, which lets repeated misses skip unchanged logs.
+	adoptMu sync.Mutex
+	scanSig string
+	scanIDs map[string]bool
+
+	collector         *metrics.Collector
+	jobsRunning       atomic.Int64
+	jobsDone          atomic.Int64
+	jobsFailed        atomic.Int64
+	jobsEvicted       atomic.Int64
+	bytesServed       atomic.Int64
+	batchesServed     atomic.Int64
+	samplesServed     atomic.Int64
+	clusterProxied    atomic.Int64
+	clusterRedirected atomic.Int64
+	clusterRetries    atomic.Int64
+	clusterAdopted    atomic.Int64
 }
 
 // New starts a server's worker pool and registers its routes. With
@@ -120,6 +147,13 @@ func New(opts Options) (*Server, error) {
 		s.wg.Add(1)
 		go s.evictLoop()
 	}
+	if opts.Cluster != nil {
+		// Membership transitions trigger adoption of whatever the new
+		// ring says is ours; probing starts only once the job table is
+		// replayed so adoption never races the initial restore.
+		opts.Cluster.SetOnChange(func() { s.adoptOrphans("") })
+		opts.Cluster.Start()
+	}
 	return s, nil
 }
 
@@ -135,7 +169,11 @@ func (s *Server) newStore(jobID string) (shard.Store, error) {
 }
 
 // openDurable prepares the data directory and rebuilds the job table
-// from the persisted log.
+// from the persisted log. In cluster mode the data dir is shared by the
+// fleet: this node registers a heartbeating lock file, appends to its
+// own per-node log (so members never interleave writes into one file),
+// replays the merged logs of every member, and keeps only the jobs the
+// ring assigns to it.
 func (s *Server) openDurable() error {
 	if err := os.MkdirAll(filepath.Join(s.opts.DataDir, "jobs"), 0o755); err != nil {
 		return fmt.Errorf("server: create data dir: %w", err)
@@ -145,54 +183,113 @@ func (s *Server) openDurable() error {
 		return err
 	}
 	s.master = master
-	logPath := filepath.Join(s.opts.DataDir, "jobs.log")
-	recs, err := readJobLog(logPath)
+	selfID, logName := "", "jobs.log"
+	if c := s.opts.Cluster; c != nil {
+		selfID = c.Self().ID
+		logName = "jobs-" + selfID + ".log"
+		lock, err := shard.AcquireNodeLock(filepath.Join(s.opts.DataDir, "nodes"), selfID, c.Self().URL, nodeLockStale)
+		if err != nil {
+			return err
+		}
+		s.nodeLock = lock
+	}
+	recs, err := readAllJobLogs(s.opts.DataDir)
 	if err != nil {
 		return err
 	}
-	log, err := openJobLog(logPath)
+	log, err := openJobLog(filepath.Join(s.opts.DataDir, logName))
 	if err != nil {
 		return err
 	}
 	s.log = log
-	states, maxSeq := replayJobs(recs)
+	states, maxSeq := replayJobs(recs, selfID)
 	s.seq = maxSeq
+	var requeued []*Job
 	for _, st := range states {
-		job, err := s.restoreJob(st)
+		if s.opts.Cluster != nil && !s.opts.Cluster.IsLocal(st.sub.ID) {
+			continue // another live member's job; adoption picks it up if that member dies
+		}
+		// Same guard as adoption: a non-terminal job whose accepting
+		// member still heartbeats its lock file is running, not lost.
+		if s.opts.Cluster != nil && !st.hasTerm &&
+			st.sub.Node != "" && st.sub.Node != selfID && s.nodeLockFresh(st.sub.Node) {
+			continue
+		}
+		job, requeue, err := s.restoreJob(st)
 		if err != nil {
 			return err
 		}
 		s.jobs[job.id] = job
 		s.order = append(s.order, job.id)
+		if requeue {
+			requeued = append(requeued, job)
+		}
+	}
+	for _, job := range requeued {
+		s.enqueueRestored(job)
 	}
 	return nil
 }
 
+// enqueueRestored resubmits a job replayed in queued/running state: its
+// partial shard output is wiped so the deterministic rerun starts
+// clean. Queue overflow (more interrupted jobs than QueueDepth) falls
+// back to the non-requeue behaviour — the job is marked failed.
+func (s *Server) enqueueRestored(job *Job) {
+	if st, err := s.newStore(job.id); err == nil {
+		if d, ok := st.(interface{ Destroy() error }); ok {
+			_ = d.Destroy()
+		}
+	}
+	select {
+	case s.queue <- job:
+	default:
+		job.mu.Lock()
+		job.state = JobFailed
+		job.err = "requeue: job queue full"
+		job.finished = time.Now()
+		job.mu.Unlock()
+		s.jobsFailed.Add(1)
+		s.persistTerminal(job, "")
+	}
+}
+
 // restoreJob rebuilds one job from its log records. Jobs the crash
 // caught queued or running come back as failed (their partial output
-// is gone); done jobs reattach to their on-disk shard set.
-func (s *Server) restoreJob(st *replayState) (*Job, error) {
-	job := &Job{
+// is gone) — or, with Options.Requeue, as queued again (the caller
+// enqueues them). Done jobs reattach to their on-disk shard set and
+// reimport their persisted provenance DAG.
+func (s *Server) restoreJob(st *replayState) (job *Job, requeue bool, err error) {
+	job = &Job{
 		id:         st.sub.ID,
 		spec:       *st.sub.Spec,
 		submitted:  st.sub.Time,
 		lastAccess: st.sub.Time,
 	}
 	if !st.hasTerm {
+		if s.opts.Requeue {
+			job.state = JobQueued
+			return job, true, nil
+		}
 		job.state = JobFailed
 		job.err = "interrupted by server restart"
 		// Record the loss so the next replay converges without this branch.
-		_ = s.log.append(logRecord{Type: recFailed, ID: job.id, Time: time.Now(), Error: job.err})
-		return job, nil
+		_ = s.log.append(logRecord{Type: recFailed, ID: job.id, Time: time.Now(), Error: job.err, Node: s.nodeID()})
+		return job, false, nil
 	}
 	rec := st.rec
 	job.started = rec.Started
 	job.finished = rec.Time
 	job.lastAccess = rec.Time
+	if len(rec.Provenance) > 0 {
+		if tr, perr := provenance.Import(rec.Provenance); perr == nil {
+			job.tracker = tr
+		}
+	}
 	if rec.Type == recFailed {
 		job.state = JobFailed
 		job.err = rec.Error
-		return job, nil
+		return job, false, nil
 	}
 	job.state = JobDone
 	job.records = rec.Records
@@ -200,16 +297,19 @@ func (s *Server) restoreJob(st *replayState) (*Job, error) {
 	job.servable = rec.Servable && rec.Manifest != nil
 	job.manifest = rec.Manifest
 	if !job.servable {
-		return job, nil
+		return job, false, nil
 	}
-	store, err := shard.NewFSSink(filepath.Join(s.opts.DataDir, "jobs", job.id))
+	store, err := s.newStore(job.id)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	// Trust the on-disk manifest over the log copy when present: it is
-	// committed atomically alongside the shards it describes.
-	if m, merr := store.LoadManifest(); merr == nil {
-		job.manifest = m
+	// Trust the on-store manifest over the log copy when present: it is
+	// committed atomically alongside the shards it describes. Stores
+	// without manifest persistence (parfs) serve from the log copy.
+	if lm, ok := store.(interface{ LoadManifest() (*shard.Manifest, error) }); ok {
+		if m, merr := lm.LoadManifest(); merr == nil {
+			job.manifest = m
+		}
 	}
 	job.store = store
 	job.open = store
@@ -219,7 +319,7 @@ func (s *Server) restoreJob(st *replayState) (*Job, error) {
 			job.state = JobFailed
 			job.err = fmt.Sprintf("restore: %v", err)
 			job.servable = false
-			return job, nil
+			return job, false, nil
 		}
 		job.bioKey = key
 		job.open = decryptOpener{sink: store, key: key}
@@ -229,7 +329,15 @@ func (s *Server) restoreJob(st *replayState) (*Job, error) {
 		job.err = "restore: shard files missing from data dir"
 		job.servable = false
 	}
-	return job, nil
+	return job, false, nil
+}
+
+// nodeID is this server's fleet member ID ("" single-node).
+func (s *Server) nodeID() string {
+	if c := s.opts.Cluster; c != nil {
+		return c.Self().ID
+	}
+	return ""
 }
 
 // storedName maps a manifest shard name to its on-store object name
@@ -255,10 +363,17 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	if s.opts.Cluster != nil {
+		// Stop probing first so no adoption scan starts mid-shutdown.
+		s.opts.Cluster.Close()
+	}
 	close(s.stop)
 	s.wg.Wait()
 	if s.log != nil {
 		_ = s.log.close()
+	}
+	if s.nodeLock != nil {
+		_ = s.nodeLock.Release()
 	}
 }
 
@@ -305,8 +420,8 @@ func (s *Server) runJob(job *Job) {
 	// clients never observe a done job that later un-happens.
 	var sealedKey string
 	if err == nil && s.log != nil {
-		if fsink, ok := store.(*shard.FSSink); ok && res.manifest != nil {
-			err = fsink.WriteManifest(res.manifest)
+		if ms, ok := store.(interface{ WriteManifest(*shard.Manifest) error }); ok && res.manifest != nil {
+			err = ms.WriteManifest(res.manifest)
 		}
 		if err == nil && res.bioKey != nil {
 			sealedKey, err = sealJobKey(s.master, res.bioKey, job.id)
@@ -364,6 +479,7 @@ func (s *Server) persistTerminal(job *Job, sealedKey string) {
 		ID:      job.id,
 		Time:    job.finished,
 		Started: job.started,
+		Node:    s.nodeID(),
 	}
 	if job.state == JobFailed {
 		rec.Type = recFailed
@@ -375,6 +491,14 @@ func (s *Server) persistTerminal(job *Job, sealedKey string) {
 		rec.Manifest = job.manifest
 		rec.Traject = job.trajectory
 		rec.SealedKey = sealedKey
+	}
+	// The lineage DAG rides along on every terminal record so replayed
+	// jobs keep serving /provenance (a failed run's partial lineage is
+	// worth as much as a successful one's for debugging).
+	if job.tracker != nil {
+		if b, perr := job.tracker.Export(); perr == nil {
+			rec.Provenance = b
+		}
 	}
 	_ = s.log.append(rec)
 }
@@ -416,7 +540,7 @@ func (s *Server) maybeEvict() {
 		return
 	}
 	now := time.Now()
-	var victims []*Job
+	var victims, released []*Job
 
 	s.mu.Lock()
 	type candidate struct {
@@ -425,6 +549,22 @@ func (s *Server) maybeEvict() {
 	}
 	var completed []candidate
 	for _, j := range s.jobs {
+		// In a fleet only the current ring owner may evict: destroying
+		// a shard set out from under the member actually serving it
+		// (after ownership moved back) would be a cross-node eviction
+		// race on the shared dir. A copy we no longer own (adopted
+		// during an outage, owner since returned) is instead released —
+		// dropped from the table and cache, storage untouched — so it
+		// neither lingers forever nor serves a dir the owner may evict.
+		if c := s.opts.Cluster; c != nil && !c.IsLocal(j.id) {
+			j.mu.Lock()
+			terminal := j.state == JobDone || j.state == JobFailed
+			j.mu.Unlock()
+			if terminal {
+				released = append(released, j)
+			}
+			continue
+		}
 		j.mu.Lock()
 		terminal := j.state == JobDone || j.state == JobFailed
 		last := j.lastAccess
@@ -446,12 +586,16 @@ func (s *Server) maybeEvict() {
 			victims = append(victims, c.job)
 		}
 	}
-	if len(victims) == 0 {
+	if len(victims) == 0 && len(released) == 0 {
 		s.mu.Unlock()
 		return
 	}
-	gone := make(map[string]bool, len(victims))
+	gone := make(map[string]bool, len(victims)+len(released))
 	for _, j := range victims {
+		gone[j.id] = true
+		delete(s.jobs, j.id)
+	}
+	for _, j := range released {
 		gone[j.id] = true
 		delete(s.jobs, j.id)
 	}
@@ -464,6 +608,9 @@ func (s *Server) maybeEvict() {
 	s.order = kept
 	s.mu.Unlock()
 
+	for _, j := range released {
+		s.cache.DropPrefix(j.id + "/")
+	}
 	for _, j := range victims {
 		s.cache.DropPrefix(j.id + "/")
 		if d, ok := j.store.(interface{ Destroy() error }); ok {
@@ -474,7 +621,7 @@ func (s *Server) maybeEvict() {
 			_ = os.RemoveAll(filepath.Join(s.opts.DataDir, "jobs", j.id))
 		}
 		if s.log != nil {
-			_ = s.log.append(logRecord{Type: recEvicted, ID: j.id, Time: now})
+			_ = s.log.append(logRecord{Type: recEvicted, ID: j.id, Time: now, Node: s.nodeID()})
 		}
 		s.jobsEvicted.Add(1)
 	}
@@ -491,6 +638,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/provenance", s.handleProvenance)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/batches", s.handleBatches)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
 
@@ -523,16 +671,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if s.clusterMode() {
+		s.clusterSubmit(w, r, spec)
+		return
+	}
+	s.submitLocal(w, spec, "")
+}
 
+// submitLocal enqueues a job on this node. An empty id allocates the
+// next sequence number; a pre-assigned id (cluster routing) is used
+// verbatim after a collision check.
+func (s *Server) submitLocal(w http.ResponseWriter, spec JobSpec, id string) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down"))
 		return
 	}
-	s.seq++
+	if id == "" {
+		s.seq++
+		id = s.jobID(s.seq)
+	} else if _, exists := s.jobs[id]; exists {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, fmt.Errorf("job %q already exists", id))
+		return
+	}
 	job := &Job{
-		id:        fmt.Sprintf("job-%06d", s.seq),
+		id:        id,
 		spec:      spec,
 		state:     JobQueued,
 		submitted: time.Now(),
@@ -548,17 +713,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if s.log != nil {
 			spec := job.spec
 			_ = s.log.append(logRecord{
-				Type: recSubmitted, ID: job.id, Time: job.submitted, Spec: &spec,
+				Type: recSubmitted, ID: job.id, Time: job.submitted, Spec: &spec, Node: s.nodeID(),
 			})
 		}
-		writeJSON(w, http.StatusAccepted, job.Status())
+		writeJSON(w, http.StatusAccepted, s.decorate(job.Status()))
 	default:
 		s.mu.Unlock()
 		writeError(w, http.StatusTooManyRequests, fmt.Errorf("job queue full (%d waiting)", cap(s.queue)))
 	}
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+// decorate stamps a status with this node's fleet identity.
+func (s *Server) decorate(st JobStatus) JobStatus {
+	st.Node = s.nodeID()
+	return st
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.order))
 	for _, id := range s.order {
@@ -567,7 +738,10 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	out := make([]JobStatus, len(jobs))
 	for i, j := range jobs {
-		out[i] = j.Status()
+		out[i] = s.decorate(j.Status())
+	}
+	if s.clusterMode() && r.URL.Query().Get("scope") != "local" && !cluster.Forwarded(r) {
+		out = s.mergeClusterList(out)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -577,6 +751,15 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) *Job {
 	s.mu.Lock()
 	job, ok := s.jobs[id]
 	s.mu.Unlock()
+	if !ok && s.clusterMode() && s.opts.DataDir != "" {
+		// The job may be stranded on the shared dir by a dead member
+		// whose hash range just became ours: adopt it on the spot.
+		// Malformed IDs can't name a logged job — don't scan for them.
+		if _, _, valid := parseJobID(id); valid {
+			job = s.adoptJob(id)
+			ok = job != nil
+		}
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
 		return nil
@@ -585,12 +768,18 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) *Job {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if s.routedElsewhere(w, r) {
+		return
+	}
 	if job := s.job(w, r); job != nil {
-		writeJSON(w, http.StatusOK, job.Status())
+		writeJSON(w, http.StatusOK, s.decorate(job.Status()))
 	}
 }
 
 func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	if s.routedElsewhere(w, r) {
+		return
+	}
 	job := s.job(w, r)
 	if job == nil {
 		return
@@ -622,6 +811,9 @@ type BatchWire struct {
 }
 
 func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
+	if s.routedElsewhere(w, r) {
+		return
+	}
 	job := s.job(w, r)
 	if job == nil {
 		return
@@ -777,6 +969,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "draid_bytes_served_total %d\n", s.bytesServed.Load())
 	fmt.Fprintf(w, "draid_batches_served_total %d\n", s.batchesServed.Load())
 	fmt.Fprintf(w, "draid_samples_served_total %d\n", s.samplesServed.Load())
+
+	if c := s.opts.Cluster; c != nil {
+		fmt.Fprintf(w, "draid_cluster_members %d\n", len(c.Nodes()))
+		fmt.Fprintf(w, "draid_cluster_peers_alive %d\n", c.AliveCount())
+		fmt.Fprintf(w, "draid_cluster_proxied_total %d\n", s.clusterProxied.Load())
+		fmt.Fprintf(w, "draid_cluster_redirected_total %d\n", s.clusterRedirected.Load())
+		fmt.Fprintf(w, "draid_cluster_forward_retries_total %d\n", s.clusterRetries.Load())
+		fmt.Fprintf(w, "draid_cluster_jobs_adopted_total %d\n", s.clusterAdopted.Load())
+	}
 
 	cs := s.cache.Stats()
 	fmt.Fprintf(w, "draid_shard_cache_entries %d\n", cs.Entries)

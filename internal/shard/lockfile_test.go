@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestNodeLockExcludesSecondHolder(t *testing.T) {
+	dir := t.TempDir()
+	l1, err := AcquireNodeLock(dir, "n1", "http://a:8080", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AcquireNodeLock(dir, "n1", "http://b:8080", time.Minute); !errors.Is(err, ErrNodeLocked) {
+		t.Fatalf("second acquire err = %v, want ErrNodeLocked", err)
+	}
+	// A different node ID coexists.
+	l2, err := AcquireNodeLock(dir, "n2", "http://b:8080", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ListNodeLocks(dir)
+	if len(got) != 2 {
+		t.Fatalf("ListNodeLocks = %v, want two entries", got)
+	}
+	if err := l1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l1.Release(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(l1.Path()); !os.IsNotExist(err) {
+		t.Fatal("lock file survives Release")
+	}
+	// Released ID is reusable.
+	l3, err := AcquireNodeLock(dir, "n1", "http://c:8080", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l3.Release()
+	l2.Release()
+}
+
+func TestNodeLockReclaimsStale(t *testing.T) {
+	dir := t.TempDir()
+	l1, err := AcquireNodeLock(dir, "n1", "dead", 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a SIGKILLed holder: stop the heartbeat without removing
+	// the file, then age it past staleness.
+	close(l1.stop)
+	l1.wg.Wait()
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(l1.path, old, old); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := AcquireNodeLock(dir, "n1", "successor", 200*time.Millisecond)
+	if err != nil {
+		t.Fatalf("stale lock not reclaimed: %v", err)
+	}
+	defer l2.Release()
+}
+
+func TestNodeLockHeartbeatKeepsFresh(t *testing.T) {
+	dir := t.TempDir()
+	l, err := AcquireNodeLock(dir, "n1", "x", 80*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	time.Sleep(200 * time.Millisecond) // several heartbeat intervals
+	fi, err := os.Stat(l.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(fi.ModTime()) > 80*time.Millisecond {
+		t.Fatalf("heartbeat stale: mtime %s old", time.Since(fi.ModTime()))
+	}
+	// And a live lock with a short staleAfter is still not reclaimable.
+	if _, err := AcquireNodeLock(dir, "n1", "thief", 80*time.Millisecond); !errors.Is(err, ErrNodeLocked) {
+		t.Fatalf("live heartbeating lock was stolen: %v", err)
+	}
+}
