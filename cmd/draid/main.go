@@ -26,15 +26,22 @@
 // same shared/parallel filesystem, and a dead member's jobs are adopted
 // by the survivors via job-log replay from that shared dir.
 //
+// Every domain streams: each template registers a wire codec
+// (internal/domain), so climate/bio loader samples, fusion windowed
+// TFRecord Examples, and materials BP graph records all serve as NDJSON
+// batches tagged with their payload "kind". /v1/templates reports each
+// domain's kind so clients pick a decoder up front.
+//
 // API:
 //
-//	GET  /v1/templates               list registered domain templates
+//	GET  /v1/templates               list domain templates (+ wire kind, servable)
 //	POST /v1/jobs                    submit {"domain":"climate", ...}
 //	GET  /v1/jobs                    list jobs (fleet-merged; ?scope=local for this node)
-//	GET  /v1/jobs/{id}               job state + readiness trajectory
+//	GET  /v1/jobs/{id}               job state + readiness trajectory + wire kind
 //	GET  /v1/jobs/{id}/provenance    lineage report (JSON)
 //	GET  /v1/jobs/{id}/batches       stream NDJSON training batches
 //	     ?batch_size=&max_batches=&cursor=<shard>:<record>  (resume point)
+//	     &max_kbps=<KiB/s>           (token-bucket pacing, capped by -serve-max-kbps)
 //	GET  /v1/cluster                 fleet membership + ownership (?job=<id>)
 //	GET  /metrics                    serving + pipeline + cluster metrics
 //	GET  /healthz                    liveness (also the fleet probe target)
@@ -62,6 +69,7 @@ func main() {
 	workers := flag.Int("workers", 4, "concurrent pipeline executions")
 	queueDepth := flag.Int("queue", 64, "max queued jobs before submissions get 429")
 	cacheMB := flag.Int64("cache-mb", 128, "decoded-shard LRU cache budget in MiB (0 disables)")
+	serveMaxKBps := flag.Int("serve-max-kbps", 0, "per-stream batch throughput ceiling in KiB/s (0 = unpaced; clients can lower theirs with ?max_kbps=)")
 	dataDir := flag.String("data-dir", "", "durable root for shard sets + job log (empty keeps jobs in memory)")
 	jobTTL := flag.Duration("job-ttl", 0, "evict completed jobs idle this long, deleting their shards (0 disables)")
 	maxJobs := flag.Int("max-jobs", 0, "max retained completed jobs; least recently served evicted first (0 = unbounded)")
@@ -90,14 +98,15 @@ func main() {
 	}
 
 	s, err := server.New(server.Options{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		CacheBytes: *cacheMB << 20,
-		DataDir:    *dataDir,
-		JobTTL:     *jobTTL,
-		MaxJobs:    *maxJobs,
-		Requeue:    *requeue,
-		Cluster:    cl,
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheBytes:   *cacheMB << 20,
+		ServeMaxKBps: *serveMaxKBps,
+		DataDir:      *dataDir,
+		JobTTL:       *jobTTL,
+		MaxJobs:      *maxJobs,
+		Requeue:      *requeue,
+		Cluster:      cl,
 	})
 	if err != nil {
 		log.Fatalf("draid: %v", err)

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/formats/bp"
 	"repro/internal/materials"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -27,7 +28,8 @@ func main() {
 	for i, s := range structs {
 		poscars[i] = s.ToPOSCAR()
 	}
-	p, err := materials.NewPipeline(materials.Config{Cutoff: 4, Workers: 8, Ranks: 4, Seed: 17})
+	sink := shard.NewMemSink()
+	p, err := materials.NewPipeline(materials.Config{Cutoff: 4, Workers: 8, Ranks: 4, Seed: 17}, sink)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,5 +72,7 @@ func main() {
 	}
 	fmt.Printf("train energies: %d graphs, mean per-atom energy %.3f eV\n",
 		len(energies), sumE/float64(sumAtoms))
+	fmt.Printf("durable shard set: %d shards, %d PG records (serving/replay artifact)\n",
+		len(prod.Manifest.Shards), prod.Manifest.TotalRecords())
 	fmt.Println("\n" + p.Collector.Report())
 }

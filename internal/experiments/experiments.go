@@ -339,7 +339,9 @@ func RunTable1(seed int64) ([]Table1Row, error) {
 		for i, s := range structs {
 			poscars[i] = s.ToPOSCAR()
 		}
-		p, err := materials.NewPipeline(materials.DefaultConfig())
+		// nil sink: Table 1 only measures the pipeline; the durable
+		// per-graph shard set would be built and thrown away.
+		p, err := materials.NewPipeline(materials.DefaultConfig(), nil)
 		if err != nil {
 			return nil, err
 		}

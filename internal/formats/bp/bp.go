@@ -220,10 +220,30 @@ func (f *File) ReadPG(i int) (rank, step int, vars []Variable, err error) {
 	if i < 0 || i >= len(f.foot.PGs) {
 		return 0, 0, nil, fmt.Errorf("bp: PG index %d out of range [0,%d)", i, len(f.foot.PGs))
 	}
-	pos := int(f.foot.PGs[i].Offset)
-	b := f.b
-	if pos+12 > len(b) {
-		return 0, 0, nil, errors.New("bp: PG header out of bounds")
+	rank, step, vars, _, err = parsePG(f.b, int(f.foot.PGs[i].Offset))
+	return rank, step, vars, err
+}
+
+// UnmarshalPG decodes one standalone process-group payload (as produced
+// by MarshalPG), verifying per-variable checksums. It is the record-level
+// counterpart to ReadPG: a PG block is fully self-describing, so one
+// block can travel outside its container — e.g. as a shard record.
+func UnmarshalPG(b []byte) (rank, step int, vars []Variable, err error) {
+	rank, step, vars, end, err := parsePG(b, 0)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if end != len(b) {
+		return 0, 0, nil, fmt.Errorf("bp: %d trailing bytes after PG", len(b)-end)
+	}
+	return rank, step, vars, nil
+}
+
+// parsePG decodes one PG block starting at pos, returning the offset
+// just past it.
+func parsePG(b []byte, pos int) (rank, step int, vars []Variable, end int, err error) {
+	if pos < 0 || pos+12 > len(b) {
+		return 0, 0, nil, 0, errors.New("bp: PG header out of bounds")
 	}
 	rank = int(binary.LittleEndian.Uint32(b[pos:]))
 	step = int(binary.LittleEndian.Uint32(b[pos+4:]))
@@ -231,19 +251,19 @@ func (f *File) ReadPG(i int) (rank, step int, vars []Variable, err error) {
 	pos += 12
 	for v := 0; v < nvars; v++ {
 		if pos+2 > len(b) {
-			return 0, 0, nil, errors.New("bp: truncated variable name length")
+			return 0, 0, nil, 0, errors.New("bp: truncated variable name length")
 		}
 		nameLen := int(binary.LittleEndian.Uint16(b[pos:]))
 		pos += 2
 		if pos+nameLen+1 > len(b) {
-			return 0, 0, nil, errors.New("bp: truncated variable name")
+			return 0, 0, nil, 0, errors.New("bp: truncated variable name")
 		}
 		name := string(b[pos : pos+nameLen])
 		pos += nameLen
 		ndims := int(b[pos])
 		pos++
 		if pos+ndims*8 > len(b) {
-			return 0, 0, nil, errors.New("bp: truncated dims")
+			return 0, 0, nil, 0, errors.New("bp: truncated dims")
 		}
 		shape := make([]int, ndims)
 		for d := range shape {
@@ -251,19 +271,19 @@ func (f *File) ReadPG(i int) (rank, step int, vars []Variable, err error) {
 			pos += 8
 		}
 		if pos+8 > len(b) {
-			return 0, 0, nil, errors.New("bp: truncated data length")
+			return 0, 0, nil, 0, errors.New("bp: truncated data length")
 		}
 		nbytes := int(binary.LittleEndian.Uint64(b[pos:]))
 		pos += 8
-		if nbytes%8 != 0 || pos+nbytes+4 > len(b) {
-			return 0, 0, nil, errors.New("bp: truncated data")
+		if nbytes < 0 || nbytes%8 != 0 || nbytes > len(b)-pos || pos+nbytes+4 > len(b) {
+			return 0, 0, nil, 0, errors.New("bp: truncated data")
 		}
 		payload := b[pos : pos+nbytes]
 		pos += nbytes
 		crc := binary.LittleEndian.Uint32(b[pos:])
 		pos += 4
 		if crc32.ChecksumIEEE(payload) != crc {
-			return 0, 0, nil, fmt.Errorf("%w: variable %q in PG %d", ErrCorrupt, name, i)
+			return 0, 0, nil, 0, fmt.Errorf("%w: variable %q", ErrCorrupt, name)
 		}
 		data := make([]float64, nbytes/8)
 		for j := range data {
@@ -271,7 +291,7 @@ func (f *File) ReadPG(i int) (rank, step int, vars []Variable, err error) {
 		}
 		vars = append(vars, Variable{Name: name, Shape: shape, Data: data})
 	}
-	return rank, step, vars, nil
+	return rank, step, vars, pos, nil
 }
 
 // ReadVar gathers a named variable across all process groups, returned in

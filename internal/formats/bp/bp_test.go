@@ -309,3 +309,51 @@ func BenchmarkAppendPG(b *testing.B) {
 		}
 	}
 }
+
+// TestUnmarshalPGRoundTrip: a standalone PG payload decodes back to its
+// variables without the container, and corruption/truncation is caught.
+func TestUnmarshalPGRoundTrip(t *testing.T) {
+	vars := []Variable{
+		{Name: "node_features", Shape: []int{2, 3}, Data: []float64{1, 2, 3, 4, 5, 6}},
+		{Name: "energy", Shape: []int{1}, Data: []float64{-7.5}},
+	}
+	payload, _, err := MarshalPG(3, 9, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, step, got, err := UnmarshalPG(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 3 || step != 9 {
+		t.Fatalf("rank=%d step=%d", rank, step)
+	}
+	if len(got) != len(vars) {
+		t.Fatalf("vars=%d", len(got))
+	}
+	for i := range vars {
+		if got[i].Name != vars[i].Name {
+			t.Fatalf("var %d name %q", i, got[i].Name)
+		}
+		for j := range vars[i].Data {
+			if got[i].Data[j] != vars[i].Data[j] {
+				t.Fatalf("var %d data differs", i)
+			}
+		}
+	}
+
+	// Trailing garbage, truncation, and a flipped data byte must all fail.
+	if _, _, _, err := UnmarshalPG(append(append([]byte(nil), payload...), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, _, _, err := UnmarshalPG(payload[:len(payload)-3]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// Flip a byte inside the first variable's float payload (header 12 +
+	// name len 2 + "node_features" 13 + ndims 1 + dims 16 + nbytes 8 = 52).
+	bad := append([]byte(nil), payload...)
+	bad[56] ^= 0xff
+	if _, _, _, err := UnmarshalPG(bad); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+}

@@ -214,6 +214,11 @@ func NewPipeline(cfg Config, sink shard.Sink) (*pipeline.Pipeline, error) {
 			ex.Features["signal"] = tfrecord.Feature{Floats: feats}
 			ex.Features["shot"] = tfrecord.Feature{Ints: []int64{int64(win.Shot)}}
 			ex.Features["label"] = tfrecord.Feature{Ints: []int64{int64(win.Label)}}
+			// Serving-side consumers need the label's provenance: where the
+			// window sits in the shot and how far ahead the disruption
+			// label looks (Config.Horizon).
+			ex.Features["start"] = tfrecord.Feature{Ints: []int64{int64(win.Start)}}
+			ex.Features["horizon"] = tfrecord.Feature{Floats: []float32{float32(cfg.Horizon)}}
 			if err := w.Write(ex.Marshal()); err != nil {
 				return err
 			}

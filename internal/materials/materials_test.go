@@ -1,6 +1,7 @@
 package materials
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/formats/bp"
 	"repro/internal/pipeline"
+	"repro/internal/shard"
 )
 
 func TestSynthesize(t *testing.T) {
@@ -269,7 +271,8 @@ func TestPipelineEndToEnd(t *testing.T) {
 	for i, s := range structs {
 		poscars[i] = s.ToPOSCAR()
 	}
-	p, err := NewPipeline(DefaultConfig())
+	sink := shard.NewMemSink()
+	p, err := NewPipeline(DefaultConfig(), sink)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,19 +317,48 @@ func TestPipelineEndToEnd(t *testing.T) {
 			t.Fatalf("missing variable %q in PG", want)
 		}
 	}
+
+	// The durable shard set mirrors the container: one self-describing
+	// PG record per train graph, replayable through the verifying reader.
+	if prod.Manifest == nil {
+		t.Fatal("no shard manifest on product")
+	}
+	if got := prod.Manifest.TotalRecords(); got != len(prod.Split.Train) {
+		t.Fatalf("shard records=%d train=%d", got, len(prod.Split.Train))
+	}
+	if len(prod.Manifest.Shards) < 2 {
+		t.Fatalf("train split packed into %d shard(s); want rotation", len(prod.Manifest.Shards))
+	}
+	records := 0
+	if err := shard.ReadAll(sink, prod.Manifest, func(_ string, rec []byte) error {
+		_, _, vars, err := bp.UnmarshalPG(rec)
+		if err != nil {
+			return err
+		}
+		if len(vars) != 5 {
+			return fmt.Errorf("record %d: %d vars", records, len(vars))
+		}
+		records++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if records != len(prod.Split.Train) {
+		t.Fatalf("streamed %d shard records, want %d", records, len(prod.Split.Train))
+	}
 }
 
 func TestPipelineConfigErrors(t *testing.T) {
-	if _, err := NewPipeline(Config{Cutoff: 0, Ranks: 1}); err == nil {
+	if _, err := NewPipeline(Config{Cutoff: 0, Ranks: 1}, shard.NewMemSink()); err == nil {
 		t.Fatal("want cutoff error")
 	}
-	if _, err := NewPipeline(Config{Cutoff: 1, Ranks: 0}); err == nil {
+	if _, err := NewPipeline(Config{Cutoff: 1, Ranks: 0}, shard.NewMemSink()); err == nil {
 		t.Fatal("want ranks error")
 	}
 }
 
 func TestPipelineNoInputs(t *testing.T) {
-	p, err := NewPipeline(DefaultConfig())
+	p, err := NewPipeline(DefaultConfig(), shard.NewMemSink())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +368,7 @@ func TestPipelineNoInputs(t *testing.T) {
 }
 
 func TestPipelineBadPOSCAR(t *testing.T) {
-	p, err := NewPipeline(DefaultConfig())
+	p, err := NewPipeline(DefaultConfig(), shard.NewMemSink())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/formats/bp"
 	"repro/internal/pipeline"
+	"repro/internal/shard"
 	"repro/internal/split"
 	"repro/internal/stats"
 )
@@ -18,7 +19,10 @@ type Config struct {
 	// Ranks is the number of simulated parallel writers producing BP
 	// process groups (the ADIOS aggregation pattern).
 	Ranks int
-	Seed  int64
+	// ShardTarget rotates the persisted per-graph shard series at this
+	// raw size. <=0 means 8 KiB.
+	ShardTarget int64
+	Seed        int64
 }
 
 // DefaultConfig matches the reproduction experiments.
@@ -34,6 +38,10 @@ type Product struct {
 	// BP is the finalized ADIOS-style container holding the train split.
 	BP       []byte
 	ClassIDs map[string]int
+	// Manifest indexes the durable per-graph shard set (one
+	// self-describing BP process group per record) written to the
+	// pipeline's sink — the replayable serving artifact.
+	Manifest *shard.Manifest
 	// Imbalance is the train-split class imbalance ratio (Table 1
 	// challenge diagnostics).
 	Imbalance float64
@@ -60,13 +68,20 @@ func product(ds *pipeline.Dataset) (*Product, error) {
 }
 
 // NewPipeline assembles the Table 1 materials workflow: parse simulations
-// → normalize descriptors → graph encoding → shard (ADIOS/BP).
-func NewPipeline(cfg Config) (*pipeline.Pipeline, error) {
+// → normalize descriptors → graph encoding → shard (ADIOS/BP). The shard
+// stage both finalizes the in-memory BP container (Product.BP) and, when
+// sink is non-nil, persists the train split as a durable shard set — one
+// self-describing BP process group per record — so materials jobs are
+// replayable and streamable like every other domain's.
+func NewPipeline(cfg Config, sink shard.Sink) (*pipeline.Pipeline, error) {
 	if cfg.Cutoff <= 0 {
 		return nil, fmt.Errorf("materials: cutoff %v must be positive", cfg.Cutoff)
 	}
 	if cfg.Ranks <= 0 {
 		return nil, fmt.Errorf("materials: ranks=%d must be positive", cfg.Ranks)
+	}
+	if cfg.ShardTarget <= 0 {
+		cfg.ShardTarget = 8 << 10
 	}
 
 	parse := pipeline.StageFunc{StageName: "parse-poscar", StageKind: core.Ingest, Fn: func(ds *pipeline.Dataset) error {
@@ -212,6 +227,27 @@ func NewPipeline(cfg Config) (*pipeline.Pipeline, error) {
 		p.BP, err = w.Finalize()
 		if err != nil {
 			return err
+		}
+		// Persist the same PG payloads as a durable shard set: each block
+		// is self-describing, so one block per record streams back out
+		// without the container's footer index.
+		if sink != nil {
+			sw, err := shard.NewWriter(sink, shard.Options{
+				Prefix: "materials-train", TargetBytes: cfg.ShardTarget})
+			if err != nil {
+				return err
+			}
+			for rank := range perRank {
+				for _, pg := range perRank[rank] {
+					if err := sw.Write(pg.payload); err != nil {
+						return err
+					}
+				}
+			}
+			p.Manifest, err = sw.Close()
+			if err != nil {
+				return err
+			}
 		}
 		ds.Facts.SplitDone = true
 		ds.Facts.Sharded = true

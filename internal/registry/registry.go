@@ -140,12 +140,12 @@ func init() {
 	must(Register(Template{
 		Domain:      core.Materials,
 		Description: "POSCAR structures → normalized periodic graphs in a BP container",
-		Build: func(_ shard.Sink, opts any) (*pipeline.Pipeline, error) {
+		Build: func(sink shard.Sink, opts any) (*pipeline.Pipeline, error) {
 			cfg, ok := opts.(materials.Config)
 			if !ok {
 				cfg = materials.DefaultConfig()
 			}
-			return materials.NewPipeline(cfg)
+			return materials.NewPipeline(cfg, sink)
 		},
 	}))
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/domain"
 	"repro/internal/parfs"
 	"repro/internal/shard"
 )
@@ -29,6 +30,8 @@ type ServeBenchResult struct {
 	Clients       int     `json:"clients"`
 	BatchSize     int     `json:"batch_size"`
 	Backend       string  `json:"backend"`
+	Domain        string  `json:"domain,omitempty"`
+	Kind          string  `json:"kind,omitempty"`
 	Batches       int64   `json:"batches"`
 	Samples       int64   `json:"samples"`
 	Bytes         int64   `json:"bytes"`
@@ -41,11 +44,15 @@ type ServeBenchResult struct {
 
 // Render formats the result for benchreport's console output.
 func (r *ServeBenchResult) Render() string {
+	workload := r.Backend + " store"
+	if r.Domain != "" {
+		workload += fmt.Sprintf(", %s (%s)", r.Domain, r.Kind)
+	}
 	return fmt.Sprintf(
-		"Serving throughput — %d concurrent clients, batch size %d, %s store:\n"+
+		"Serving throughput — %d concurrent clients, batch size %d, %s:\n"+
 			"  %d batches (%d samples, %d bytes) in %.3fs\n"+
 			"  %.2f MiB/s, %.0f batches/s; shard cache %d hits / %d misses\n",
-		r.Clients, r.BatchSize, r.Backend, r.Batches, r.Samples, r.Bytes, r.Seconds,
+		r.Clients, r.BatchSize, workload, r.Batches, r.Samples, r.Bytes, r.Seconds,
 		r.BytesPerSec/(1024*1024), r.BatchesPerSec, r.CacheHits, r.CacheMisses)
 }
 
@@ -72,12 +79,16 @@ type ServeBenchConfig struct {
 	// fs/mem gate): with the cache on, both backends serve ~all batches
 	// from RAM and the ratio measures scheduler noise.
 	ColdCache bool
+	// Domain picks the streamed workload (and therefore the wire codec).
+	// Empty means climate.
+	Domain core.Domain
 }
 
 // RunServeBenchmark measures concurrent streaming throughput: it
-// submits one climate job, waits for readiness, then runs Clients
-// parallel readers each streaming up to MaxBatches batches of
-// BatchSize samples against the configured store backend.
+// submits one job for the configured domain (climate by default), waits
+// for readiness, then runs Clients parallel readers each streaming up
+// to MaxBatches batches of BatchSize records against the configured
+// store backend.
 func RunServeBenchmark(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 	if cfg.Clients <= 0 {
 		return nil, fmt.Errorf("server: clients=%d must be positive", cfg.Clients)
@@ -87,6 +98,13 @@ func RunServeBenchmark(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 	}
 	if cfg.Backend == "" {
 		cfg.Backend = "mem"
+	}
+	if cfg.Domain == "" {
+		cfg.Domain = core.Climate
+	}
+	plug, err := domain.Lookup(cfg.Domain)
+	if err != nil {
+		return nil, err
 	}
 	opts := Options{Workers: 2, CacheBytes: 64 << 20}
 	if cfg.ColdCache {
@@ -124,13 +142,14 @@ func RunServeBenchmark(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	id, err := SubmitAndWait(ts.URL, JobSpec{Domain: core.Climate, Name: "serve-bench", Seed: 1}, 60*time.Second)
+	id, err := SubmitAndWait(ts.URL, JobSpec{Domain: cfg.Domain, Name: "serve-bench", Seed: 1}, 60*time.Second)
 	if err != nil {
 		return nil, err
 	}
 
 	url := fmt.Sprintf("%s/v1/jobs/%s/batches?batch_size=%d&max_batches=%d", ts.URL, id, cfg.BatchSize, cfg.MaxBatches)
-	res := &ServeBenchResult{Clients: cfg.Clients, BatchSize: cfg.BatchSize, Backend: cfg.Backend}
+	res := &ServeBenchResult{Clients: cfg.Clients, BatchSize: cfg.BatchSize, Backend: cfg.Backend,
+		Domain: string(cfg.Domain), Kind: plug.Codec.Kind()}
 	clients, passes := cfg.Clients, cfg.Passes
 	var (
 		wg       sync.WaitGroup
@@ -180,12 +199,30 @@ type ServeBenchReport struct {
 	// FSOverMem is samples/sec with the fs backend divided by
 	// samples/sec with the mem backend, measured in the same run.
 	FSOverMem float64 `json:"fs_over_mem"`
+	// Codecs is the per-codec throughput dimension: one mem-backend run
+	// per registered domain, keyed by domain name, each tagged with its
+	// wire kind. Informational — the regression gate stays on FSOverMem.
+	Codecs map[string]*ServeBenchResult `json:"codecs,omitempty"`
 }
 
-// Render formats both runs and the gate ratio.
+// Render formats both runs, the gate ratio, and the per-codec sweep.
 func (r *ServeBenchReport) Render() string {
-	return r.Mem.Render() + r.FS.Render() +
+	out := r.Mem.Render() + r.FS.Render() +
 		fmt.Sprintf("fs/mem serve-throughput ratio: %.3f\n", r.FSOverMem)
+	if len(r.Codecs) > 0 {
+		out += "per-codec throughput (mem backend):\n"
+		names := make([]string, 0, len(r.Codecs))
+		for name := range r.Codecs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			c := r.Codecs[name]
+			out += fmt.Sprintf("  %-12s %-18s %8.0f records/s, %7.2f MiB/s\n",
+				name, "("+c.Kind+")", float64(c.Samples)/c.Seconds, c.BytesPerSec/(1024*1024))
+		}
+	}
+	return out
 }
 
 // RunServeComparison runs the serve benchmark against the mem and fs
@@ -224,6 +261,26 @@ func RunServeComparison(cfg ServeBenchConfig) (*ServeBenchReport, error) {
 	memRate, fsRate := median(memRates), median(fsRates)
 	if memRate > 0 {
 		rep.FSOverMem = fsRate / memRate
+	}
+	// Per-codec dimension: every registered domain streams once against
+	// the mem backend, so codec-encode regressions are visible per wire
+	// kind rather than folded into the climate-only gate number. Climate
+	// deliberately runs again here even though rep.Mem measured it: the
+	// gate rounds are cold-cache (store-bound) while this sweep is
+	// warm-cache (codec-bound), and the sweep's four numbers must be
+	// mutually comparable.
+	rep.Codecs = make(map[string]*ServeBenchResult, len(domain.Plugins()))
+	for _, plug := range domain.Plugins() {
+		codecCfg := cfg
+		codecCfg.Backend = "mem"
+		codecCfg.Passes = 1
+		codecCfg.ColdCache = false
+		codecCfg.Domain = plug.Domain
+		res, err := RunServeBenchmark(codecCfg)
+		if err != nil {
+			return nil, fmt.Errorf("codec sweep %s: %w", plug.Domain, err)
+		}
+		rep.Codecs[string(plug.Domain)] = res
 	}
 	return rep, nil
 }
@@ -288,6 +345,68 @@ func SubmitAndWait(baseURL string, spec JobSpec, timeout time.Duration) (string,
 	}
 }
 
+// BatchWire is the client-side view of one streamed NDJSON line of
+// /v1/jobs/{id}/batches — the union of every kind's payload schema, so
+// generic tooling can decode any domain's stream. The field order
+// matches the per-codec server emission exactly, so unmarshal →
+// re-marshal reproduces a line byte-for-byte (the resume tests and
+// clustersmoke rely on this). Exactly one payload group is populated:
+//
+//	kind "samples":          features, labels
+//	kind "fusion_windows":   labels, signals, shots, starts, horizons
+//	kind "materials_graphs": graphs
+//
+// The cursor names the position after this batch: pass it back as
+// ?cursor=… to resume the stream exactly there after a disconnect.
+type BatchWire struct {
+	Batch    int               `json:"batch"`
+	Cursor   string            `json:"cursor"`
+	Kind     string            `json:"kind,omitempty"`
+	Features [][]float32       `json:"features,omitempty"`
+	Labels   []int64           `json:"labels,omitempty"`
+	Signals  [][]float32       `json:"signals,omitempty"`
+	Shots    []int64           `json:"shots,omitempty"`
+	Starts   []int64           `json:"starts,omitempty"`
+	Horizons []float32         `json:"horizons,omitempty"`
+	Graphs   []json.RawMessage `json:"graphs,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+// Count returns the number of records in the batch, whatever its kind.
+func (w *BatchWire) Count() int {
+	if len(w.Graphs) > 0 {
+		return len(w.Graphs)
+	}
+	return len(w.Labels)
+}
+
+// check validates the batch's per-kind shape invariants.
+func (w *BatchWire) check() error {
+	if w.Error != "" {
+		return fmt.Errorf("server error: %s", w.Error)
+	}
+	switch w.Kind {
+	case "samples":
+		if len(w.Features) == 0 || len(w.Features) != len(w.Labels) {
+			return fmt.Errorf("%d feature rows vs %d labels", len(w.Features), len(w.Labels))
+		}
+	case "fusion_windows":
+		if len(w.Signals) == 0 || len(w.Signals) != len(w.Labels) ||
+			len(w.Shots) != len(w.Labels) || len(w.Starts) != len(w.Labels) ||
+			len(w.Horizons) != len(w.Labels) {
+			return fmt.Errorf("ragged fusion batch: %d signals / %d labels / %d shots / %d starts / %d horizons",
+				len(w.Signals), len(w.Labels), len(w.Shots), len(w.Starts), len(w.Horizons))
+		}
+	case "materials_graphs":
+		if len(w.Graphs) == 0 {
+			return fmt.Errorf("empty graph batch")
+		}
+	default:
+		return fmt.Errorf("unknown wire kind %q", w.Kind)
+	}
+	return nil
+}
+
 // StreamBatches consumes one NDJSON batch stream, validating every
 // line, and returns (batches, samples, bytes).
 func StreamBatches(url string) (batches, samples, n int64, err error) {
@@ -318,23 +437,15 @@ func StreamBatchesFrom(url, cursor string) (batches, samples, n int64, last stri
 	for sc.Scan() {
 		line := sc.Bytes()
 		n += int64(len(line)) + 1
-		var wire struct {
-			Error    string      `json:"error"`
-			Cursor   string      `json:"cursor"`
-			Features [][]float32 `json:"features"`
-			Labels   []int32     `json:"labels"`
-		}
+		var wire BatchWire
 		if err := json.Unmarshal(line, &wire); err != nil {
 			return batches, samples, n, last, fmt.Errorf("stream: bad line: %w", err)
 		}
-		if wire.Error != "" {
-			return batches, samples, n, last, fmt.Errorf("stream: server error: %s", wire.Error)
-		}
-		if len(wire.Features) != len(wire.Labels) {
-			return batches, samples, n, last, fmt.Errorf("stream: %d feature rows vs %d labels", len(wire.Features), len(wire.Labels))
+		if err := wire.check(); err != nil {
+			return batches, samples, n, last, fmt.Errorf("stream: %w", err)
 		}
 		batches++
-		samples += int64(len(wire.Labels))
+		samples += int64(wire.Count())
 		last = wire.Cursor
 	}
 	return batches, samples, n, last, sc.Err()

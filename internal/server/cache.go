@@ -1,23 +1,24 @@
 // LRU shard-index cache for the serving tier. Opening a shard means
 // verifying its SHA-256, inflating gzip, walking TFRecord frames, and
-// decoding every sample — work worth doing once per shard, not once per
-// reader. The cache keys decoded shard contents by (job, shard) and
-// evicts least-recently-served entries when the configured byte budget
-// is exceeded, so many concurrent streaming clients share one decode.
+// decoding every record through the domain codec — work worth doing
+// once per shard, not once per reader. The cache keys decoded shard
+// contents by (job, shard) and evicts least-recently-served entries
+// when the configured byte budget is exceeded, so many concurrent
+// streaming clients share one decode. Records are opaque to the cache:
+// the codec that decoded them also reports their in-memory size, which
+// is what the byte budget accounts.
 package server
 
 import (
 	"container/list"
 	"strings"
 	"sync"
-
-	"repro/internal/loader"
 )
 
 // shardEntry is one cached, fully decoded shard.
 type shardEntry struct {
 	key     string
-	samples []*loader.Sample
+	records []any
 	bytes   int64
 	elem    *list.Element
 }
@@ -26,7 +27,7 @@ type shardEntry struct {
 // the first reader decodes, the rest wait on done.
 type inflight struct {
 	done    chan struct{}
-	samples []*loader.Sample
+	records []any
 	bytes   int64
 	err     error
 }
@@ -45,7 +46,7 @@ type ShardCache struct {
 }
 
 // NewShardCache returns a cache that holds at most maxBytes of decoded
-// sample data. maxBytes <= 0 disables caching (every read decodes).
+// record data. maxBytes <= 0 disables caching (every read decodes).
 func NewShardCache(maxBytes int64) *ShardCache {
 	return &ShardCache{
 		max:     maxBytes,
@@ -55,48 +56,48 @@ func NewShardCache(maxBytes int64) *ShardCache {
 	}
 }
 
-// Samples returns the decoded samples for key, loading them via load on
+// Records returns the decoded records for key, loading them via load on
 // a miss. Concurrent misses on one key run load once and share the
 // result. The returned slice is shared — callers must not mutate it.
-func (c *ShardCache) Samples(key string, load func() ([]*loader.Sample, int64, error)) ([]*loader.Sample, error) {
+func (c *ShardCache) Records(key string, load func() ([]any, int64, error)) ([]any, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(e.elem)
 		c.hits++
-		samples := e.samples
+		records := e.records
 		c.mu.Unlock()
-		return samples, nil
+		return records, nil
 	}
 	if fl, ok := c.loads[key]; ok {
 		// Another reader is decoding this shard; wait for it.
 		c.mu.Unlock()
 		<-fl.done
-		return fl.samples, fl.err
+		return fl.records, fl.err
 	}
 	fl := &inflight{done: make(chan struct{})}
 	c.loads[key] = fl
 	c.misses++
 	c.mu.Unlock()
 
-	fl.samples, fl.bytes, fl.err = load()
+	fl.records, fl.bytes, fl.err = load()
 	close(fl.done)
 
 	c.mu.Lock()
 	delete(c.loads, key)
 	if fl.err == nil && c.max > 0 {
-		c.insert(key, fl.samples, fl.bytes)
+		c.insert(key, fl.records, fl.bytes)
 	}
 	c.mu.Unlock()
-	return fl.samples, fl.err
+	return fl.records, fl.err
 }
 
 // insert adds an entry and evicts from the LRU tail until within budget.
 // Caller holds c.mu.
-func (c *ShardCache) insert(key string, samples []*loader.Sample, bytes int64) {
+func (c *ShardCache) insert(key string, records []any, bytes int64) {
 	if _, ok := c.entries[key]; ok {
 		return
 	}
-	e := &shardEntry{key: key, samples: samples, bytes: bytes}
+	e := &shardEntry{key: key, records: records, bytes: bytes}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
 	c.size += bytes
@@ -114,7 +115,7 @@ func (c *ShardCache) insert(key string, samples []*loader.Sample, bytes int64) {
 }
 
 // DropPrefix removes every cached shard whose key starts with prefix —
-// the eviction hook that frees a deleted job's decoded samples without
+// the eviction hook that frees a deleted job's decoded records without
 // waiting for LRU pressure.
 func (c *ShardCache) DropPrefix(prefix string) {
 	c.mu.Lock()

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"reflect"
 	"strings"
 	"testing"
@@ -80,16 +81,18 @@ func FuzzParseCursor(f *testing.F) {
 	})
 }
 
-// sampleLine is one decoded batch with its payload isolated from the
+// streamLine is one decoded batch with its payload isolated from the
 // batch counter, so suffixes can be compared across resumed streams.
-type sampleLine struct {
-	cursor   string
-	features [][]float32
-	labels   []int32
+// The payload is the raw decoded JSON object minus "batch", making the
+// comparison kind-agnostic — it covers every domain codec's fields.
+type streamLine struct {
+	cursor  string
+	kind    string
+	payload map[string]any
 }
 
 // streamFrom decodes a batch stream into lines.
-func streamFrom(t *testing.T, url, cursor string) []sampleLine {
+func streamFrom(t *testing.T, url, cursor string) []streamLine {
 	t.Helper()
 	if cursor != "" {
 		url += "&cursor=" + cursor
@@ -102,15 +105,25 @@ func streamFrom(t *testing.T, url, cursor string) []sampleLine {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("stream %s: status %d", url, resp.StatusCode)
 	}
-	var out []sampleLine
+	var out []streamLine
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	for sc.Scan() {
-		var wire BatchWire
-		if err := json.Unmarshal(sc.Bytes(), &wire); err != nil {
+		var payload map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &payload); err != nil {
 			t.Fatalf("bad line: %v", err)
 		}
-		out = append(out, sampleLine{cursor: wire.Cursor, features: wire.Features, labels: wire.Labels})
+		if errMsg, ok := payload["error"]; ok {
+			t.Fatalf("stream error line: %v", errMsg)
+		}
+		line := streamLine{payload: payload}
+		line.cursor, _ = payload["cursor"].(string)
+		line.kind, _ = payload["kind"].(string)
+		if line.cursor == "" || line.kind == "" {
+			t.Fatalf("line without cursor/kind: %s", sc.Text())
+		}
+		delete(payload, "batch")
+		out = append(out, line)
 	}
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
@@ -119,28 +132,27 @@ func streamFrom(t *testing.T, url, cursor string) []sampleLine {
 }
 
 // assertSuffix requires got to equal want's payloads exactly.
-func assertSuffix(t *testing.T, ctx string, got, want []sampleLine) {
+func assertSuffix(t *testing.T, ctx string, got, want []streamLine) {
 	t.Helper()
 	if len(got) != len(want) {
 		t.Fatalf("%s: %d lines, want %d", ctx, len(got), len(want))
 	}
 	for i := range got {
 		if got[i].cursor != want[i].cursor ||
-			!reflect.DeepEqual(got[i].features, want[i].features) ||
-			!reflect.DeepEqual(got[i].labels, want[i].labels) {
+			!reflect.DeepEqual(got[i].payload, want[i].payload) {
 			t.Fatalf("%s: line %d differs (cursor %s vs %s)", ctx, i, got[i].cursor, want[i].cursor)
 		}
 	}
 }
 
-// TestCursorResumeExhaustive streams a climate job once per record
-// (batch_size=1), then resumes at every shard boundary and at
-// mid-shard offsets, requiring each resumed stream to reproduce the
-// reference suffix exactly. It also chains single-batch connections —
-// a client disconnecting after every batch — end to end.
-func TestCursorResumeExhaustive(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 1, CacheBytes: 32 << 20})
-	id, err := SubmitAndWait(ts.URL, JobSpec{Domain: core.Climate, Seed: 5, Months: 48, Lat: 16, Lon: 32}, 60*time.Second)
+// resumeExhaustive streams a job once per record (batch_size=1), then
+// resumes at every shard boundary and at mid-shard offsets, requiring
+// each resumed stream to reproduce the reference suffix exactly. It
+// also chains single-batch connections — a client disconnecting after
+// every batch — end to end.
+func resumeExhaustive(t *testing.T, ts *httptest.Server, spec JobSpec, wantKind string) {
+	t.Helper()
+	id, err := SubmitAndWait(ts.URL, spec, 60*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,6 +160,11 @@ func TestCursorResumeExhaustive(t *testing.T) {
 	ref := streamFrom(t, base, "")
 	if len(ref) < 4 {
 		t.Fatalf("reference stream too small (%d records) to exercise boundaries", len(ref))
+	}
+	for i, line := range ref {
+		if line.kind != wantKind {
+			t.Fatalf("line %d kind %q, want %q", i, line.kind, wantKind)
+		}
 	}
 
 	// Pick resume points: after every record that ends a shard (cursor
@@ -175,7 +192,7 @@ func TestCursorResumeExhaustive(t *testing.T) {
 	}
 
 	// Chained single-batch clients: disconnect after every batch.
-	var chained []sampleLine
+	var chained []streamLine
 	cursor := ""
 	for {
 		got := streamFrom(t, base+"&max_batches=1", cursor)
@@ -190,6 +207,27 @@ func TestCursorResumeExhaustive(t *testing.T) {
 	// The terminal cursor resumes to an empty, well-formed stream.
 	if got := streamFrom(t, base, ref[len(ref)-1].cursor); len(got) != 0 {
 		t.Fatalf("end-of-stream cursor yielded %d lines", len(got))
+	}
+}
+
+// TestCursorResumeExhaustive runs the boundary/mid-shard/chained resume
+// protocol against every wire codec: climate (samples), fusion
+// (windowed Examples), and materials (ragged graphs) — multi-shard
+// specs so real shard boundaries are crossed.
+func TestCursorResumeExhaustive(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, CacheBytes: 32 << 20})
+	for _, tc := range []struct {
+		name string
+		spec JobSpec
+		kind string
+	}{
+		{"climate", JobSpec{Domain: core.Climate, Seed: 5, Months: 48, Lat: 16, Lon: 32}, "samples"},
+		{"fusion", JobSpec{Domain: core.Fusion, Seed: 5, Shots: 12}, "fusion_windows"},
+		{"materials", JobSpec{Domain: core.Materials, Seed: 5, Structures: 30}, "materials_graphs"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resumeExhaustive(t, ts, tc.spec, tc.kind)
+		})
 	}
 }
 

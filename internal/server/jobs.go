@@ -1,27 +1,21 @@
-// Job model for the draid service: a submission names a registry
-// template and synthetic-input scale; the server runs the archetype
-// pipeline asynchronously on a bounded worker pool and retains the
-// outputs (shard sink, manifest, readiness trajectory, provenance) for
-// the serving endpoints.
+// Job model for the draid service: a submission names a domain plugin
+// and synthetic-input scale; the server runs the archetype pipeline
+// asynchronously on a bounded worker pool and retains the outputs
+// (shard sink, manifest, readiness trajectory, provenance) for the
+// serving endpoints. All per-domain behaviour — input synthesis,
+// pipeline options, manifest extraction, sealed-shard opening, wire
+// encoding — lives behind internal/domain plugins; this package never
+// switches on core.Domain.
 package server
 
 import (
-	"bytes"
-	"crypto/rand"
 	"fmt"
-	"io"
 	"sync"
 	"time"
 
-	"repro/internal/anonymize"
-	"repro/internal/bio"
-	"repro/internal/climate"
-	"repro/internal/core"
-	"repro/internal/fusion"
-	"repro/internal/materials"
+	"repro/internal/domain"
 	"repro/internal/pipeline"
 	"repro/internal/provenance"
-	"repro/internal/registry"
 	"repro/internal/shard"
 )
 
@@ -36,67 +30,10 @@ const (
 	JobFailed  JobState = "failed"
 )
 
-// JobSpec is the submission body: which registry template to run and
-// how large a synthetic input to prepare. Zero-valued knobs pick
-// per-domain defaults sized for interactive turnaround.
-type JobSpec struct {
-	Domain core.Domain `json:"domain"`
-	Name   string      `json:"name,omitempty"`
-	Seed   int64       `json:"seed,omitempty"`
-	// Climate: source grid before regridding.
-	Months int `json:"months,omitempty"`
-	Lat    int `json:"lat,omitempty"`
-	Lon    int `json:"lon,omitempty"`
-	// Fusion.
-	Shots int `json:"shots,omitempty"`
-	// Bio/health.
-	Subjects int `json:"subjects,omitempty"`
-	SeqLen   int `json:"seq_len,omitempty"`
-	// Materials.
-	Structures int `json:"structures,omitempty"`
-}
-
-// Scale-knob ceilings: submissions are unauthenticated, so a single
-// oversized spec must not be able to allocate the server to death.
-const (
-	maxMonths     = 1200
-	maxGridDim    = 512
-	maxShots      = 256
-	maxSubjects   = 5000
-	maxSeqLen     = 100000
-	maxStructures = 5000
-)
-
-// Validate rejects specs whose synthetic input would exceed the
-// per-job resource ceilings.
-func (s JobSpec) Validate() error {
-	check := func(name string, v, max int) error {
-		if v > max {
-			return fmt.Errorf("server: %s=%d exceeds limit %d", name, v, max)
-		}
-		if v < 0 {
-			return fmt.Errorf("server: %s=%d must not be negative", name, v)
-		}
-		return nil
-	}
-	for _, c := range []struct {
-		name   string
-		v, max int
-	}{
-		{"months", s.Months, maxMonths},
-		{"lat", s.Lat, maxGridDim},
-		{"lon", s.Lon, maxGridDim},
-		{"shots", s.Shots, maxShots},
-		{"subjects", s.Subjects, maxSubjects},
-		{"seq_len", s.SeqLen, maxSeqLen},
-		{"structures", s.Structures, maxStructures},
-	} {
-		if err := check(c.name, c.v, c.max); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// JobSpec is the submission body: which domain template to run and how
+// large a synthetic input to prepare (see domain.Spec for the knobs and
+// their ceilings).
+type JobSpec = domain.Spec
 
 // TrajectoryPoint is one stage of the job's readiness trajectory — the
 // Table 2 walk exposed over the API.
@@ -110,15 +47,18 @@ type TrajectoryPoint struct {
 
 // JobStatus is the JSON view of a job.
 type JobStatus struct {
-	ID         string            `json:"id"`
-	Spec       JobSpec           `json:"spec"`
-	State      JobState          `json:"state"`
-	Error      string            `json:"error,omitempty"`
-	Submitted  time.Time         `json:"submitted"`
-	Started    *time.Time        `json:"started,omitempty"`
-	Finished   *time.Time        `json:"finished,omitempty"`
-	Records    int64             `json:"records"`
-	Shards     int               `json:"shards"`
+	ID        string     `json:"id"`
+	Spec      JobSpec    `json:"spec"`
+	State     JobState   `json:"state"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Records   int64      `json:"records"`
+	Shards    int        `json:"shards"`
+	// Kind names the wire payload schema /batches streams for this
+	// job's domain (see /v1/templates for the catalog).
+	Kind       string            `json:"kind,omitempty"`
 	Servable   bool              `json:"servable"`
 	Trajectory []TrajectoryPoint `json:"trajectory,omitempty"`
 	// Node is the fleet member holding the job (empty single-node).
@@ -141,10 +81,10 @@ type Job struct {
 	// Populated on success.
 	manifest *shard.Manifest
 	store    shard.Store  // raw shard storage (owned; destroyed on eviction)
-	open     shard.Opener // read path (decrypting wrapper for bio jobs)
-	servable bool         // shards hold loader.Sample records
+	open     shard.Opener // read path (plugin-wrapped for sealed domains)
+	servable bool         // a manifest-indexed shard set is attached
 	tracker  *provenance.Tracker
-	bioKey   []byte // per-job shard key (bio only; sealed into the job log)
+	key      []byte // per-job shard secret (sealed into the job log)
 
 	// lastAccess drives TTL/LRU eviction: completion and every batch
 	// stream refresh it.
@@ -167,6 +107,9 @@ func (j *Job) Status() JobStatus {
 		Submitted: j.submitted, Records: j.records, Servable: j.servable,
 		Trajectory: append([]TrajectoryPoint(nil), j.trajectory...),
 	}
+	if plug, err := domain.Lookup(j.spec.Domain); err == nil {
+		st.Kind = plug.Codec.Kind()
+	}
 	if !j.started.IsZero() {
 		t := j.started
 		st.Started = &t
@@ -181,48 +124,25 @@ func (j *Job) Status() JobStatus {
 	return st
 }
 
-// serveHandle returns what the batch endpoint needs, or an error string
-// describing why the job cannot serve samples yet.
-func (j *Job) serveHandle() (*shard.Manifest, shard.Opener, error) {
+// serveHandle returns what the batch endpoint needs — the manifest, the
+// (possibly decrypting) shard opener, and the domain's wire codec — or
+// an error describing why the job cannot stream yet.
+func (j *Job) serveHandle() (*shard.Manifest, shard.Opener, domain.Codec, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch {
 	case j.state == JobQueued || j.state == JobRunning:
-		return nil, nil, fmt.Errorf("job %s is %s; samples are served once it is done", j.id, j.state)
+		return nil, nil, nil, fmt.Errorf("job %s is %s; batches are served once it is done", j.id, j.state)
 	case j.state == JobFailed:
-		return nil, nil, fmt.Errorf("job %s failed: %s", j.id, j.err)
+		return nil, nil, nil, fmt.Errorf("job %s failed: %s", j.id, j.err)
 	case !j.servable || j.manifest == nil:
-		return nil, nil, fmt.Errorf("job %s (%s) does not produce loader-sample shards", j.id, j.spec.Domain)
+		return nil, nil, nil, fmt.Errorf("job %s (%s) has no servable shard set", j.id, j.spec.Domain)
 	}
-	return j.manifest, j.open, nil
-}
-
-// decryptOpener presents a bio job's sealed shard set as plaintext: the
-// sink stores "<name>.enc" AES-GCM blobs; readers see the manifest's
-// plaintext names and checksums.
-type decryptOpener struct {
-	sink shard.Opener
-	key  []byte
-}
-
-// Open implements shard.Opener over sealed shards.
-func (o decryptOpener) Open(name string) (io.ReadCloser, error) {
-	rc, err := o.sink.Open(name + ".enc")
+	plug, err := domain.Lookup(j.spec.Domain)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	sealed, err := io.ReadAll(rc)
-	if cerr := rc.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return nil, err
-	}
-	plain, err := anonymize.DecryptShard(o.key, name, sealed)
-	if err != nil {
-		return nil, err
-	}
-	return io.NopCloser(bytes.NewReader(plain)), nil
+	return j.manifest, j.open, plug.Codec, nil
 }
 
 // jobResult carries a finished pipeline run back onto the Job.
@@ -234,130 +154,38 @@ type jobResult struct {
 	servable   bool
 	tracker    *provenance.Tracker
 	pipe       *pipeline.Pipeline
-	bioKey     []byte
+	key        []byte
 }
 
-// runSpec synthesizes the domain input, instantiates the registry
-// template over the job's shard store (in-memory, durable FSSink, or
-// parfs, chosen by the server), and runs it — the body of one
-// worker-pool slot.
+// runSpec resolves the domain plugin, synthesizes the input, and runs
+// the archetype pipeline over the job's shard store (in-memory, durable
+// FSSink, or parfs, chosen by the server) — the body of one worker-pool
+// slot.
 func runSpec(spec JobSpec, sink shard.Store) (*jobResult, error) {
-	res := &jobResult{open: sink}
-
-	var (
-		p   *pipeline.Pipeline
-		ds  *pipeline.Dataset
-		err error
-	)
-	seed := spec.Seed
-	if seed == 0 {
-		seed = 1
+	plug, err := domain.Lookup(spec.Domain)
+	if err != nil {
+		return nil, err
 	}
-
-	switch spec.Domain {
-	case core.Climate:
-		months, lat, lon := orDefault(spec.Months, 24), orDefault(spec.Lat, 16), orDefault(spec.Lon, 32)
-		field, serr := climate.Synthesize(climate.SynthConfig{
-			Months: months, Lat: lat, Lon: lon, MissingRate: 0.01, Seed: seed})
-		if serr != nil {
-			return nil, serr
-		}
-		raw, serr := field.ToNetCDF()
-		if serr != nil {
-			return nil, serr
-		}
-		p, err = registry.New(spec.Domain, sink, climate.Config{
-			TargetLat: lat / 2, TargetLon: lon / 2, Method: climate.Bilinear,
-			Workers: 2, ShardTargetBytes: 8 << 10, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		ds = climate.NewDataset(spec.Name, raw)
-		res.servable = true
-
-	case core.Fusion:
-		st, serr := fusion.SynthesizeCampaign(fusion.SynthConfig{
-			Shots: orDefault(spec.Shots, 8), DisruptionRate: 0.35,
-			FlattopSeconds: 1, DropoutRate: 0.01, Seed: seed})
-		if serr != nil {
-			return nil, serr
-		}
-		cfg := fusion.DefaultConfig()
-		cfg.Seed = seed
-		p, err = registry.New(spec.Domain, sink, cfg)
-		if err != nil {
-			return nil, err
-		}
-		ds = fusion.NewDataset(spec.Name, st)
-
-	case core.BioHealth:
-		// The bio template tiles at the default length; shorter synthetic
-		// sequences would fail every job, so floor SeqLen there.
-		seqLen := orDefault(spec.SeqLen, 256)
-		if min := bio.DefaultConfig(nil, nil).TileLen; seqLen < min {
-			seqLen = min
-		}
-		cohort, serr := bio.Synthesize(bio.SynthConfig{
-			Subjects: orDefault(spec.Subjects, 24), SeqLen: seqLen, Seed: seed})
-		if serr != nil {
-			return nil, serr
-		}
-		key := make([]byte, 32)
-		if _, kerr := rand.Read(key); kerr != nil {
-			return nil, kerr
-		}
-		secret := make([]byte, 32)
-		if _, kerr := rand.Read(secret); kerr != nil {
-			return nil, kerr
-		}
-		p, err = registry.New(spec.Domain, sink, registry.BioSecrets{
-			EncryptionKey: key, PseudonymSecret: secret})
-		if err != nil {
-			return nil, err
-		}
-		ds = bio.NewDataset(spec.Name, cohort.ToFASTA(), cohort.Clinical)
-		res.open = decryptOpener{sink: sink, key: key}
-		res.bioKey = key
-		res.servable = true
-
-	case core.Materials:
-		structs, serr := materials.Synthesize(materials.SynthConfig{
-			Structures: orDefault(spec.Structures, 24), MinAtoms: 4, MaxAtoms: 10,
-			ImbalanceRatio: 3, Seed: seed})
-		if serr != nil {
-			return nil, serr
-		}
-		poscars := make([]string, len(structs))
-		for i, s := range structs {
-			poscars[i] = s.ToPOSCAR()
-		}
-		p, err = registry.New(spec.Domain, sink, nil)
-		if err != nil {
-			return nil, err
-		}
-		ds = materials.NewDataset(spec.Name, poscars)
-
-	default:
-		return nil, fmt.Errorf("server: unknown domain %q", spec.Domain)
+	run, err := plug.Build(spec, sink)
+	if err != nil {
+		return nil, err
 	}
-
-	snaps, err := p.Run(ds)
+	res := &jobResult{open: sink, pipe: run.Pipeline}
+	snaps, err := run.Pipeline.Run(run.Dataset)
 	res.trajectory = toTrajectory(snaps)
-	res.tracker = p.Tracker
-	res.pipe = p
+	res.tracker = run.Pipeline.Tracker
 	if err != nil {
 		return res, err
 	}
-	res.records = ds.Records
-
-	switch prod := ds.Payload.(type) {
-	case *climate.Product:
-		res.manifest = prod.Manifest
-	case *fusion.Product:
-		res.manifest = prod.Manifest
-	case *bio.Product:
-		res.manifest = prod.Manifest
+	res.records = run.Dataset.Records
+	manifest, err := plug.Manifest(run.Dataset)
+	if err != nil {
+		return res, err
 	}
+	res.manifest = manifest
+	res.key = run.Key
+	res.open = plug.Opener(sink, run.Key)
+	res.servable = true
 	return res, nil
 }
 
@@ -373,11 +201,4 @@ func toTrajectory(snaps []pipeline.Snapshot) []TrajectoryPoint {
 		}
 	}
 	return out
-}
-
-func orDefault(v, def int) int {
-	if v <= 0 {
-		return def
-	}
-	return v
 }

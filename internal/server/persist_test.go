@@ -2,15 +2,18 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/shard"
 )
 
 // streamAll fetches the full batch stream body, byte for byte.
@@ -152,24 +155,49 @@ func restAdjusted(rest []byte) string {
 	return out
 }
 
+// pinnedStore returns a NewStore hook that deterministically pins the
+// single worker: the first store allocation blocks until release
+// closes, then fails, so the job occupying the worker can never finish
+// before shutdown and every later submission provably stays queued.
+// Subsequent allocations use the normal durable FSSink.
+func pinnedStore(dataDir string, release <-chan struct{}) func(string) (shard.Store, error) {
+	var mu sync.Mutex
+	pinned := false
+	return func(id string) (shard.Store, error) {
+		mu.Lock()
+		first := !pinned
+		pinned = true
+		mu.Unlock()
+		if first {
+			<-release
+			return nil, fmt.Errorf("store released after shutdown began")
+		}
+		return shard.NewFSSink(filepath.Join(dataDir, "jobs", id))
+	}
+}
+
 // TestRestartMarksInterruptedJobs: a job still queued when the process
 // dies cannot be resurrected (its output was never committed), so the
 // restarted server must report it failed rather than lose it.
 func TestRestartMarksInterruptedJobs(t *testing.T) {
 	dataDir := t.TempDir()
-	s1, err := New(Options{Workers: 1, DataDir: dataDir, QueueDepth: 8})
+	release := make(chan struct{})
+	s1, err := New(Options{Workers: 1, DataDir: dataDir, QueueDepth: 8,
+		NewStore: pinnedStore(dataDir, release)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts1 := httptest.NewServer(s1.Handler())
-	// A heavy job pins the single worker; the next submission stays queued.
-	if _, code := postJob(t, ts1.URL, JobSpec{Domain: core.Climate, Months: 120, Lat: 48, Lon: 96}); code != http.StatusAccepted {
+	// The first job pins the single worker (its store allocation blocks
+	// until shutdown); the next submission provably stays queued.
+	if _, code := postJob(t, ts1.URL, JobSpec{Domain: core.Climate, Months: 12, Lat: 8, Lon: 16}); code != http.StatusAccepted {
 		t.Fatalf("submit status %d", code)
 	}
 	queued, code := postJob(t, ts1.URL, JobSpec{Domain: core.Materials, Structures: 6})
 	if code != http.StatusAccepted {
 		t.Fatalf("submit status %d", code)
 	}
+	go func() { <-s1.stop; close(release) }()
 	ts1.Close()
 	s1.Close()
 

@@ -200,19 +200,23 @@ func fetchProvenance(t *testing.T, baseURL, id string) []byte {
 // server.
 func TestRequeueInterruptedJobs(t *testing.T) {
 	dataDir := t.TempDir()
-	s1, err := New(Options{Workers: 1, DataDir: dataDir, QueueDepth: 8})
+	release := make(chan struct{})
+	s1, err := New(Options{Workers: 1, DataDir: dataDir, QueueDepth: 8,
+		NewStore: pinnedStore(dataDir, release)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts1 := httptest.NewServer(s1.Handler())
-	// A heavy job pins the single worker; the next submission stays queued.
-	if _, code := postJob(t, ts1.URL, JobSpec{Domain: core.Climate, Months: 120, Lat: 48, Lon: 96, Seed: 2}); code != http.StatusAccepted {
+	// The first job pins the single worker (its store allocation blocks
+	// until shutdown); the next submission provably stays queued.
+	if _, code := postJob(t, ts1.URL, JobSpec{Domain: core.Climate, Months: 12, Lat: 8, Lon: 16, Seed: 2}); code != http.StatusAccepted {
 		t.Fatalf("submit status %d", code)
 	}
 	queued, code := postJob(t, ts1.URL, JobSpec{Domain: core.Climate, Name: "rq", Seed: 9})
 	if code != http.StatusAccepted {
 		t.Fatalf("submit status %d", code)
 	}
+	go func() { <-s1.stop; close(release) }()
 	ts1.Close()
 	s1.Close()
 

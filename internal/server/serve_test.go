@@ -1,0 +1,298 @@
+// Cross-domain serving tests: the plugin architecture's acceptance
+// criteria — every registered domain streams batches, resumes cursors
+// across a server restart, reports its wire kind, and the serving tier
+// accounts failures and pacing.
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/domain"
+)
+
+// metricValue scrapes one counter from /metrics.
+func metricValue(t *testing.T, baseURL, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		var v int64
+		if _, err := fmt.Sscanf(line, name+" %d", &v); err == nil {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+// TestAllDomainsStreamAndResumeAcrossRestart is the acceptance path of
+// the plugin refactor: POST /v1/jobs then GET /v1/jobs/{id}/batches
+// succeeds for all four domains, and a cursor taken mid-stream resumes
+// exactly — on a freshly restarted server over the same data dir.
+func TestAllDomainsStreamAndResumeAcrossRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	s1, err := New(Options{Workers: 4, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+
+	specs := map[core.Domain]JobSpec{
+		core.Climate:   {Domain: core.Climate, Seed: 3, Months: 24, Lat: 16, Lon: 32},
+		core.Fusion:    {Domain: core.Fusion, Seed: 3, Shots: 8},
+		core.BioHealth: {Domain: core.BioHealth, Seed: 3, Subjects: 16},
+		core.Materials: {Domain: core.Materials, Seed: 3, Structures: 16},
+	}
+	type jobRef struct {
+		id       string
+		kind     string
+		ref      []streamLine
+		cursorAt int
+	}
+	jobs := map[core.Domain]*jobRef{}
+	for d, spec := range specs {
+		id, err := SubmitAndWait(ts1.URL, spec, 120*time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		plug, err := domain.Lookup(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := streamFrom(t, ts1.URL+"/v1/jobs/"+id+"/batches?batch_size=2", "")
+		if len(ref) < 3 {
+			t.Fatalf("%s: only %d batches", d, len(ref))
+		}
+		for i, line := range ref {
+			if line.kind != plug.Codec.Kind() {
+				t.Fatalf("%s line %d kind %q, want %q", d, i, line.kind, plug.Codec.Kind())
+			}
+		}
+		jobs[d] = &jobRef{id: id, kind: plug.Codec.Kind(), ref: ref, cursorAt: len(ref) / 2}
+	}
+
+	// Kill the server; restart over the same data dir.
+	ts1.Close()
+	s1.Close()
+	s2, err := New(Options{Workers: 2, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	t.Cleanup(s2.Close)
+
+	for d, j := range jobs {
+		var st JobStatus
+		if code := getJSON(t, ts2.URL+"/v1/jobs/"+j.id, &st); code != http.StatusOK {
+			t.Fatalf("%s: restart status %d", d, code)
+		}
+		if st.State != JobDone || !st.Servable || st.Kind != j.kind {
+			t.Fatalf("%s: restart status %+v", d, st)
+		}
+		// Resume from a mid-stream cursor taken before the restart: the
+		// suffix must reproduce the original stream exactly.
+		got := streamFrom(t, ts2.URL+"/v1/jobs/"+j.id+"/batches?batch_size=2", j.ref[j.cursorAt].cursor)
+		assertSuffix(t, fmt.Sprintf("%s resume across restart", d), got, j.ref[j.cursorAt+1:])
+	}
+}
+
+// TestServeErrorMetric: a mid-stream shard-read failure emits the
+// best-effort NDJSON error line and increments draid_serve_errors_total.
+func TestServeErrorMetric(t *testing.T) {
+	dataDir := t.TempDir()
+	// Cold cache so the stream really reads the (sabotaged) store.
+	s, err := New(Options{Workers: 1, DataDir: dataDir, CacheBytes: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+
+	id, err := SubmitAndWait(ts.URL, JobSpec{Domain: core.Climate, Seed: 2, Months: 24, Lat: 16, Lon: 32}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+id, &st); code != http.StatusOK || st.Shards < 2 {
+		t.Fatalf("need >=2 shards to fail mid-stream, have %+v (code %d)", st, code)
+	}
+	// Delete the last shard file so the stream starts fine and dies
+	// partway through.
+	entries, err := os.ReadDir(filepath.Join(dataDir, "jobs", id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := ""
+	for _, e := range entries {
+		if !strings.Contains(e.Name(), "MANIFEST") && e.Name() > victim {
+			victim = e.Name()
+		}
+	}
+	if victim == "" {
+		t.Fatal("no shard file found")
+	}
+	if err := os.Remove(filepath.Join(dataDir, "jobs", id, victim)); err != nil {
+		t.Fatal(err)
+	}
+
+	before := metricValue(t, ts.URL, "draid_serve_errors_total")
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/batches?batch_size=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 1<<22)
+	n := 0
+	for {
+		m, rerr := resp.Body.Read(body[n:])
+		n += m
+		if rerr != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	if !strings.Contains(string(body[:n]), `"error"`) {
+		t.Fatalf("stream of sabotaged job carried no error line:\n%s", body[:n])
+	}
+	if after := metricValue(t, ts.URL, "draid_serve_errors_total"); after != before+1 {
+		t.Fatalf("draid_serve_errors_total %d -> %d, want +1", before, after)
+	}
+}
+
+// TestServeRateControl: ?max_kbps= paces the stream with a token bucket
+// and the throttled-streams counter ticks. The unpaced stream finishes
+// the same payload far faster than the paced one.
+func TestServeRateControl(t *testing.T) {
+	s, err := New(Options{Workers: 1, CacheBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+	id, err := SubmitAndWait(ts.URL, JobSpec{Domain: core.Climate, Seed: 2, Months: 36, Lat: 16, Lon: 32}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := ts.URL + "/v1/jobs/" + id + "/batches?batch_size=1"
+
+	// Unpaced reference: full stream, bytes counted.
+	_, _, bytes, err := StreamBatches(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.serveThrottled.Load() != 0 {
+		t.Fatal("unpaced stream counted as throttled")
+	}
+	// Pace at a rate making the nominal full-stream time ~1 second.
+	kbps := int(bytes / 1024)
+	if kbps < 1 {
+		kbps = 1
+	}
+	start := time.Now()
+	_, _, paced, err := StreamBatches(fmt.Sprintf("%s&max_kbps=%d", url, kbps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if paced != bytes {
+		t.Fatalf("paced stream served %d bytes, want %d", paced, bytes)
+	}
+	// Recompute the pacer's burst; bytes beyond it must take at least
+	// half their nominal time (half, to stay robust under scheduler
+	// slop in the other direction there is no upper bound to check).
+	rate := float64(int64(kbps) << 10)
+	burst := rate / 4
+	if burst < 4<<10 {
+		burst = 4 << 10
+	}
+	if burst > 256<<10 {
+		burst = 256 << 10
+	}
+	if rem := float64(bytes) - burst; rem > 0 {
+		minTime := time.Duration(rem / rate / 2 * float64(time.Second))
+		if elapsed < minTime {
+			t.Fatalf("paced stream of %d bytes at %d KiB/s finished in %s (< %s)", bytes, kbps, elapsed, minTime)
+		}
+	} else {
+		t.Fatalf("stream too small (%d bytes) to exercise pacing beyond the %d-byte burst", bytes, int64(burst))
+	}
+	if s.serveThrottled.Load() == 0 {
+		t.Fatal("paced stream not counted in draid_serve_throttled_total")
+	}
+
+	// The server-wide ceiling clamps client requests above it.
+	s2, err := New(Options{Workers: 1, ServeMaxKBps: kbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	t.Cleanup(s2.Close)
+	id2, err := SubmitAndWait(ts2.URL, JobSpec{Domain: core.Climate, Seed: 2, Months: 36, Lat: 16, Lon: 32}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ask for 100x the ceiling; the server must still pace.
+	if _, _, _, err := StreamBatches(fmt.Sprintf("%s/v1/jobs/%s/batches?batch_size=1&max_kbps=%d", ts2.URL, id2, kbps*100)); err != nil {
+		t.Fatal(err)
+	}
+	if s2.serveThrottled.Load() == 0 {
+		t.Fatal("server-wide ceiling did not pace a greedy client")
+	}
+
+	// Malformed pacing values are rejected.
+	resp, err := http.Get(url + "&max_kbps=-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative max_kbps accepted with %d", resp.StatusCode)
+	}
+
+	// An absurd rate must not overflow into a negative bucket: the
+	// stream runs unpaced and the throttled counter stays put.
+	throttledBefore := s.serveThrottled.Load()
+	if _, _, _, err := StreamBatches(url + "&max_kbps=9223372036854775807"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.serveThrottled.Load(); got != throttledBefore {
+		t.Fatalf("overflow max_kbps ticked draid_serve_throttled_total (%d -> %d)", throttledBefore, got)
+	}
+}
+
+// TestServeBenchAllCodecs is the bench smoke: every registered domain
+// streams through the benchmark harness under the mem backend.
+func TestServeBenchAllCodecs(t *testing.T) {
+	for _, plug := range domain.Plugins() {
+		res, err := RunServeBenchmark(ServeBenchConfig{
+			Clients: 2, BatchSize: 8, Passes: 1, Domain: plug.Domain})
+		if err != nil {
+			t.Fatalf("%s: %v", plug.Domain, err)
+		}
+		if res.Batches == 0 || res.Samples == 0 || res.Bytes == 0 {
+			t.Fatalf("%s: empty bench result %+v", plug.Domain, res)
+		}
+		if res.Kind != plug.Codec.Kind() || res.Domain != string(plug.Domain) {
+			t.Fatalf("%s: result not tagged: %+v", plug.Domain, res)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -21,7 +22,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
-	"repro/internal/loader"
+	"repro/internal/domain"
 	"repro/internal/metrics"
 	"repro/internal/provenance"
 	"repro/internal/registry"
@@ -38,6 +39,11 @@ type Options struct {
 	QueueDepth int
 	// CacheBytes budgets the decoded-shard LRU cache. <=0 disables it.
 	CacheBytes int64
+	// ServeMaxKBps caps every batch stream's throughput (KiB/second,
+	// token bucket per stream). <=0 leaves streams unpaced. Clients may
+	// lower their own stream's cap with ?max_kbps= but never raise it
+	// above this server-wide ceiling.
+	ServeMaxKBps int
 
 	// DataDir makes the server durable: job shard sets are written to
 	// DataDir/jobs/<id> (FSSink) and every job transition is appended to
@@ -108,6 +114,8 @@ type Server struct {
 	bytesServed       atomic.Int64
 	batchesServed     atomic.Int64
 	samplesServed     atomic.Int64
+	serveErrors       atomic.Int64
+	serveThrottled    atomic.Int64
 	clusterProxied    atomic.Int64
 	clusterRedirected atomic.Int64
 	clusterRetries    atomic.Int64
@@ -294,8 +302,14 @@ func (s *Server) restoreJob(st *replayState) (job *Job, requeue bool, err error)
 	job.state = JobDone
 	job.records = rec.Records
 	job.trajectory = rec.Traject
-	job.servable = rec.Servable && rec.Manifest != nil
+	// A job is servable whenever a manifest-indexed shard set exists and
+	// its domain has a plugin. (Logs predating the plugin architecture
+	// recorded servable=false for fusion/materials jobs even though
+	// their manifests were persisted — those become streamable on
+	// replay, which is exactly the upgrade this field order buys.)
 	job.manifest = rec.Manifest
+	plug, perr := domain.Lookup(job.spec.Domain)
+	job.servable = rec.Manifest != nil && perr == nil
 	if !job.servable {
 		return job, false, nil
 	}
@@ -306,7 +320,9 @@ func (s *Server) restoreJob(st *replayState) (job *Job, requeue bool, err error)
 	// Trust the on-store manifest over the log copy when present: it is
 	// committed atomically alongside the shards it describes. Stores
 	// without manifest persistence (parfs) serve from the log copy.
-	if lm, ok := store.(interface{ LoadManifest() (*shard.Manifest, error) }); ok {
+	if lm, ok := store.(interface {
+		LoadManifest() (*shard.Manifest, error)
+	}); ok {
 		if m, merr := lm.LoadManifest(); merr == nil {
 			job.manifest = m
 		}
@@ -321,10 +337,11 @@ func (s *Server) restoreJob(st *replayState) (job *Job, requeue bool, err error)
 			job.servable = false
 			return job, false, nil
 		}
-		job.bioKey = key
-		job.open = decryptOpener{sink: store, key: key}
+		job.key = key
+		job.open = plug.Opener(store, key)
 	}
-	if len(job.manifest.Shards) > 0 && store.Size(storedName(job, job.manifest.Shards[0].Name)) == 0 {
+	if len(job.manifest.Shards) > 0 &&
+		store.Size(plug.StoredName(job.manifest.Shards[0].Name, job.key != nil)) == 0 {
 		job.state = JobFailed
 		job.err = "restore: shard files missing from data dir"
 		job.servable = false
@@ -340,14 +357,6 @@ func (s *Server) nodeID() string {
 	return ""
 }
 
-// storedName maps a manifest shard name to its on-store object name
-// (bio shards rest sealed as "<name>.enc").
-func storedName(job *Job, name string) string {
-	if job.bioKey != nil {
-		return name + ".enc"
-	}
-	return name
-}
 
 // Handler returns the HTTP handler (also usable under httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -423,8 +432,8 @@ func (s *Server) runJob(job *Job) {
 		if ms, ok := store.(interface{ WriteManifest(*shard.Manifest) error }); ok && res.manifest != nil {
 			err = ms.WriteManifest(res.manifest)
 		}
-		if err == nil && res.bioKey != nil {
-			sealedKey, err = sealJobKey(s.master, res.bioKey, job.id)
+		if err == nil && res.key != nil {
+			sealedKey, err = sealJobKey(s.master, res.key, job.id)
 		}
 	}
 
@@ -448,7 +457,7 @@ func (s *Server) runJob(job *Job) {
 	job.records = res.records
 	job.manifest = res.manifest
 	job.open = res.open
-	job.bioKey = res.bioKey
+	job.key = res.key
 	job.servable = res.servable && res.manifest != nil
 	job.state = JobDone
 	job.mu.Unlock()
@@ -616,8 +625,8 @@ func (s *Server) maybeEvict() {
 		if d, ok := j.store.(interface{ Destroy() error }); ok {
 			_ = d.Destroy()
 		} else if s.opts.DataDir != "" {
-			// Restored jobs without an attached store (failed,
-			// interrupted, non-servable) may still own a shard directory.
+			// Restored jobs without an attached store (failed or
+			// interrupted) may still own a shard directory.
 			_ = os.RemoveAll(filepath.Join(s.opts.DataDir, "jobs", j.id))
 		}
 		if s.log != nil {
@@ -642,17 +651,26 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
 
-// TemplateInfo is the catalog entry served by /v1/templates.
+// TemplateInfo is the catalog entry served by /v1/templates. Kind names
+// the NDJSON payload schema /batches streams for the domain, and
+// Servable says whether completed jobs stream at all — discovery fields
+// so clients pick a decoder instead of probing for 409s.
 type TemplateInfo struct {
 	Domain      string `json:"domain"`
 	Description string `json:"description"`
+	Kind        string `json:"kind"`
+	Servable    bool   `json:"servable"`
 }
 
 func (s *Server) handleTemplates(w http.ResponseWriter, _ *http.Request) {
-	tpls := registry.Templates()
-	out := make([]TemplateInfo, len(tpls))
-	for i, t := range tpls {
-		out[i] = TemplateInfo{Domain: string(t.Domain), Description: t.Description}
+	plugs := domain.Plugins()
+	out := make([]TemplateInfo, len(plugs))
+	for i, p := range plugs {
+		info := TemplateInfo{Domain: string(p.Domain), Kind: p.Codec.Kind(), Servable: true}
+		if t, err := registry.Lookup(p.Domain); err == nil {
+			info.Description = t.Description
+		}
+		out[i] = info
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -663,7 +681,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
 		return
 	}
-	if _, err := registry.Lookup(spec.Domain); err != nil {
+	// Gate on the plugin seam (not the registry): a spec is runnable iff
+	// a domain plugin exists — the same lookup runSpec will do.
+	if _, err := domain.Lookup(spec.Domain); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -800,16 +820,6 @@ func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
 	w.Write(b)
 }
 
-// BatchWire is one streamed NDJSON line of /v1/jobs/{id}/batches. The
-// cursor names the position after this batch: pass it back as
-// ?cursor=… to resume the stream exactly there after a disconnect.
-type BatchWire struct {
-	Batch    int         `json:"batch"`
-	Cursor   string      `json:"cursor"`
-	Features [][]float32 `json:"features"`
-	Labels   []int32     `json:"labels"`
-}
-
 func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 	if s.routedElsewhere(w, r) {
 		return
@@ -818,7 +828,7 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 	if job == nil {
 		return
 	}
-	manifest, open, err := job.serveHandle()
+	manifest, open, codec, err := job.serveHandle()
 	if err != nil {
 		writeError(w, http.StatusConflict, err)
 		return
@@ -836,6 +846,27 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 	if batchSize <= 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("batch_size must be positive"))
 		return
+	}
+	maxKBps, err := queryInt(r, "max_kbps", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if maxKBps < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("max_kbps must not be negative"))
+		return
+	}
+	// Rates beyond ~1 TiB/s are indistinguishable from unpaced and
+	// would overflow the bytes/sec conversion below — treat them as no
+	// request. Applies to the operator's ceiling too.
+	const maxPaceKBps = 1 << 30
+	if maxKBps > maxPaceKBps {
+		maxKBps = 0
+	}
+	// The client may pace itself below the server-wide ceiling, never
+	// above it.
+	if lim := s.opts.ServeMaxKBps; lim > 0 && lim <= maxPaceKBps && (maxKBps <= 0 || maxKBps > lim) {
+		maxKBps = lim
 	}
 	start := Cursor{}
 	if cs := r.URL.Query().Get("cursor"); cs != "" {
@@ -855,29 +886,46 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 	cw := &countingResponseWriter{w: w}
 	enc := json.NewEncoder(cw)
 	flusher, _ := w.(http.Flusher)
+	var pace *pacer
+	if maxKBps > 0 {
+		pace = newPacer(int64(maxKBps) << 10)
+	}
 
 	served := 0
-	failed := false
-	pos := start // position after the last sample buffered for emission
-	var pending []*loader.Sample
-	emit := func(samples []*loader.Sample) error {
-		// Reference the cached feature slices directly — encoding only
-		// reads them, and copying every batch would double memory
-		// traffic on the serving hot path.
-		wire := BatchWire{Batch: served, Cursor: pos.String(),
-			Features: make([][]float32, len(samples)), Labels: make([]int32, len(samples))}
-		for i, sm := range samples {
-			wire.Features[i] = sm.Features
-			wire.Labels[i] = sm.Label
+	failed := false     // shard-read failure: error line already written
+	emitFailed := false // write/encode failure: the connection is unusable
+	pos := start        // position after the last record buffered for emission
+	var pending []any
+	emit := func(recs []any) error {
+		// The codec references the cached record slices directly —
+		// encoding only reads them, and copying every batch would double
+		// memory traffic on the serving hot path.
+		line, err := codec.Line(domain.BatchHeader{
+			Batch: served, Cursor: pos.String(), Kind: codec.Kind()}, recs)
+		if err != nil {
+			// Server-side encode failure with a healthy connection:
+			// nothing was written yet, so the client can still be told —
+			// same contract as the shard-read failure path. (Write/pace
+			// errors below get no line; that connection is already dead.)
+			s.serveErrors.Add(1)
+			el, _ := json.Marshal(map[string]string{"error": err.Error()})
+			cw.writeLine(string(el))
+			return err
 		}
-		if err := enc.Encode(&wire); err != nil {
+		before := cw.n
+		if err := enc.Encode(line); err != nil {
 			return err
 		}
 		served++
 		s.batchesServed.Add(1)
-		s.samplesServed.Add(int64(len(samples)))
+		s.samplesServed.Add(int64(len(recs)))
 		if flusher != nil {
 			flusher.Flush()
+		}
+		if pace != nil {
+			if perr := pace.pace(r.Context(), cw.n-before); perr != nil {
+				return perr
+			}
 		}
 		return nil
 	}
@@ -885,9 +933,12 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 shards:
 	for si := start.Shard; si < len(manifest.Shards); si++ {
 		info := manifest.Shards[si]
-		samples, err := s.shardSamples(job.id, manifest, info, open)
+		records, err := s.shardRecords(job.id, manifest, info, open, codec)
 		if err != nil {
-			// Headers are gone; the NDJSON error line is the only channel left.
+			// Headers are gone; the NDJSON error line is the only channel
+			// left — but the counter below makes the failure observable
+			// beyond whoever held this one connection.
+			s.serveErrors.Add(1)
 			line, _ := json.Marshal(map[string]string{"error": err.Error()})
 			cw.writeLine(string(line))
 			failed = true
@@ -896,15 +947,19 @@ shards:
 		first := 0
 		if si == start.Shard {
 			first = start.Record
-			if first > len(samples) {
-				first = len(samples)
+			if first > len(records) {
+				first = len(records)
 			}
 		}
-		for j := first; j < len(samples); j++ {
-			pending = append(pending, samples[j])
+		for j := first; j < len(records); j++ {
+			pending = append(pending, records[j])
 			pos = advanceCursor(manifest, si, j)
 			if len(pending) == batchSize {
 				if err := emit(pending); err != nil {
+					// The batch was already written (or the writer is
+					// gone): do NOT fall through to the tail emit, which
+					// would duplicate it onto a half-dead connection.
+					emitFailed = true
 					break shards
 				}
 				pending = pending[:0]
@@ -914,8 +969,11 @@ shards:
 			}
 		}
 	}
-	if !failed && len(pending) > 0 && (maxBatches <= 0 || served < maxBatches) {
+	if !failed && !emitFailed && len(pending) > 0 && (maxBatches <= 0 || served < maxBatches) {
 		_ = emit(pending)
+	}
+	if pace != nil && pace.throttled {
+		s.serveThrottled.Add(1)
 	}
 	s.bytesServed.Add(cw.n)
 	s.collector.Record(metrics.Sample{
@@ -924,28 +982,79 @@ shards:
 	})
 }
 
-// shardSamples returns one shard's decoded samples through the LRU
-// cache, verifying checksums and decoding on first access only.
-func (s *Server) shardSamples(jobID string, m *shard.Manifest, info shard.Info, open shard.Opener) ([]*loader.Sample, error) {
+// shardRecords returns one shard's decoded records through the LRU
+// cache, verifying checksums and decoding (via the domain codec) on
+// first access only.
+func (s *Server) shardRecords(jobID string, m *shard.Manifest, info shard.Info, open shard.Opener, codec domain.Codec) ([]any, error) {
 	key := jobID + "/" + info.Name
-	return s.cache.Samples(key, func() ([]*loader.Sample, int64, error) {
+	return s.cache.Records(key, func() ([]any, int64, error) {
 		one := &shard.Manifest{Prefix: m.Prefix, Compressed: m.Compressed, Shards: []shard.Info{info}}
-		var samples []*loader.Sample
+		var records []any
 		var bytes int64
 		err := shard.ReadAll(open, one, func(_ string, rec []byte) error {
-			sm, derr := loader.DecodeSample(rec)
+			decoded, n, derr := codec.Decode(rec)
 			if derr != nil {
 				return derr
 			}
-			samples = append(samples, sm)
-			bytes += int64(len(rec))
+			records = append(records, decoded)
+			bytes += n
 			return nil
 		})
 		if err != nil {
 			return nil, 0, err
 		}
-		return samples, bytes, nil
+		return records, bytes, nil
 	})
+}
+
+// pacer is a per-stream token bucket: rate bytes/second sustained, with
+// a small burst so short streams are not over-delayed by rounding.
+type pacer struct {
+	rate      float64 // bytes per second
+	burst     float64 // bucket capacity (bytes)
+	tokens    float64
+	last      time.Time
+	throttled bool
+}
+
+// newPacer returns a pacer sustaining rateBytes per second. The burst
+// is a quarter-second of rate, clamped to [4 KiB, 256 KiB], so pacing
+// engages quickly without punishing tiny responses.
+func newPacer(rateBytes int64) *pacer {
+	burst := float64(rateBytes) / 4
+	if burst < 4<<10 {
+		burst = 4 << 10
+	}
+	if burst > 256<<10 {
+		burst = 256 << 10
+	}
+	return &pacer{rate: float64(rateBytes), burst: burst, tokens: burst, last: time.Now()}
+}
+
+// pace charges n bytes against the bucket and sleeps off any deficit.
+// The sleep aborts when ctx ends (client disconnect), returning the
+// context's error so the caller stops streaming instead of pinning a
+// handler goroutine — a huge batch at a tiny rate would otherwise
+// sleep unbounded for a reader that may already be gone.
+func (p *pacer) pace(ctx context.Context, n int64) error {
+	now := time.Now()
+	p.tokens += now.Sub(p.last).Seconds() * p.rate
+	if p.tokens > p.burst {
+		p.tokens = p.burst
+	}
+	p.last = now
+	p.tokens -= float64(n)
+	if p.tokens < 0 {
+		p.throttled = true
+		t := time.NewTimer(time.Duration(-p.tokens / p.rate * float64(time.Second)))
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -969,6 +1078,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "draid_bytes_served_total %d\n", s.bytesServed.Load())
 	fmt.Fprintf(w, "draid_batches_served_total %d\n", s.batchesServed.Load())
 	fmt.Fprintf(w, "draid_samples_served_total %d\n", s.samplesServed.Load())
+	fmt.Fprintf(w, "draid_serve_errors_total %d\n", s.serveErrors.Load())
+	fmt.Fprintf(w, "draid_serve_throttled_total %d\n", s.serveThrottled.Load())
 
 	if c := s.opts.Cluster; c != nil {
 		fmt.Fprintf(w, "draid_cluster_members %d\n", len(c.Nodes()))

@@ -80,6 +80,11 @@ func TestTemplatesEndpoint(t *testing.T) {
 		if tp.Description == "" {
 			t.Fatalf("template %s lacks description", tp.Domain)
 		}
+		// Discovery contract: every template names its wire kind and is
+		// streamable, so clients choose decoders without probing 409s.
+		if tp.Kind == "" || !tp.Servable {
+			t.Fatalf("template %s lacks discovery fields: %+v", tp.Domain, tp)
+		}
 		seen[tp.Domain] = true
 	}
 	for _, d := range core.Domains() {
@@ -220,16 +225,134 @@ func TestBioServeDecryptsSealedShards(t *testing.T) {
 	}
 }
 
-// TestFusionNotSampleServable: fusion shards hold tfrecord Examples,
-// not loader samples, so the batch endpoint must refuse loudly.
-func TestFusionNotSampleServable(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 1})
+// TestFusionStreamsWindows: fusion shards hold tfrecord Examples; the
+// fusion_windows codec streams them as windowed signal batches with
+// disruption labels and horizons instead of the pre-plugin 409.
+func TestFusionStreamsWindows(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, CacheBytes: 32 << 20})
 	id, err := SubmitAndWait(ts.URL, JobSpec{Domain: core.Fusion, Shots: 6}, 60*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if code := getJSON(t, ts.URL+"/v1/jobs/"+id+"/batches", nil); code != http.StatusConflict {
-		t.Fatalf("status %d, want 409", code)
+	var st JobStatus
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+id, &st); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !st.Servable || st.Kind != "fusion_windows" || st.Shards == 0 {
+		t.Fatalf("fusion job not discoverable as streamable: %+v", st)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/batches?batch_size=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batches status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	windows, dim := 0, -1
+	for sc.Scan() {
+		var wire BatchWire
+		if err := json.Unmarshal(sc.Bytes(), &wire); err != nil {
+			t.Fatal(err)
+		}
+		if err := wire.check(); err != nil {
+			t.Fatal(err)
+		}
+		if wire.Kind != "fusion_windows" {
+			t.Fatalf("kind %q", wire.Kind)
+		}
+		if len(wire.Shots) != len(wire.Labels) || len(wire.Horizons) != len(wire.Labels) ||
+			len(wire.Starts) != len(wire.Labels) {
+			t.Fatalf("ragged fusion batch: %+v", wire)
+		}
+		for i, sig := range wire.Signals {
+			if dim == -1 {
+				dim = len(sig)
+			}
+			if len(sig) != dim || dim == 0 {
+				t.Fatalf("signal row %d has %d floats, want %d", i, len(sig), dim)
+			}
+			if l := wire.Labels[i]; l != 0 && l != 1 {
+				t.Fatalf("disruption label %d", l)
+			}
+			if wire.Horizons[i] <= 0 {
+				t.Fatalf("horizon %v not positive", wire.Horizons[i])
+			}
+			windows++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The shard set holds the train split, so the stream covers at most
+	// the job's total window count.
+	if windows == 0 || int64(windows) > st.Records {
+		t.Fatalf("streamed %d windows for %d records", windows, st.Records)
+	}
+}
+
+// TestMaterialsStreamsGraphs: materials shards hold one BP process
+// group per graph; the materials_graphs codec streams them as ragged
+// node/edge tensors.
+func TestMaterialsStreamsGraphs(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, CacheBytes: 32 << 20})
+	id, err := SubmitAndWait(ts.URL, JobSpec{Domain: core.Materials, Structures: 12}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+id, &st); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !st.Servable || st.Kind != "materials_graphs" {
+		t.Fatalf("materials job not discoverable as streamable: %+v", st)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/batches?batch_size=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batches status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	graphs := 0
+	for sc.Scan() {
+		var wire BatchWire
+		if err := json.Unmarshal(sc.Bytes(), &wire); err != nil {
+			t.Fatal(err)
+		}
+		if err := wire.check(); err != nil {
+			t.Fatal(err)
+		}
+		for _, raw := range wire.Graphs {
+			var g struct {
+				Nodes        int       `json:"nodes"`
+				FeatureDim   int       `json:"feature_dim"`
+				NodeFeatures []float64 `json:"node_features"`
+				Edges        []int64   `json:"edges"`
+				EdgeLengths  []float64 `json:"edge_lengths"`
+			}
+			if err := json.Unmarshal(raw, &g); err != nil {
+				t.Fatal(err)
+			}
+			if g.Nodes == 0 || g.FeatureDim == 0 || len(g.NodeFeatures) != g.Nodes*g.FeatureDim {
+				t.Fatalf("graph tensor shape: %+v", g)
+			}
+			if len(g.Edges) != 2*len(g.EdgeLengths) {
+				t.Fatalf("edge list %d vs %d lengths", len(g.Edges), len(g.EdgeLengths))
+			}
+			graphs++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if graphs == 0 || int64(graphs) != st.Records {
+		t.Fatalf("streamed %d graphs for %d records", graphs, st.Records)
 	}
 }
 
@@ -321,13 +444,13 @@ func TestConcurrentReadersShareCache(t *testing.T) {
 
 func TestShardCacheEviction(t *testing.T) {
 	c := NewShardCache(100)
-	load := func(n int64) func() ([]*loader.Sample, int64, error) {
-		return func() ([]*loader.Sample, int64, error) {
-			return []*loader.Sample{{Features: []float32{1}, Label: 1}}, n, nil
+	load := func(n int64) func() ([]any, int64, error) {
+		return func() ([]any, int64, error) {
+			return []any{&loader.Sample{Features: []float32{1}, Label: 1}}, n, nil
 		}
 	}
 	for i := 0; i < 5; i++ {
-		if _, err := c.Samples(fmt.Sprintf("k%d", i), load(40)); err != nil {
+		if _, err := c.Records(fmt.Sprintf("k%d", i), load(40)); err != nil {
 			t.Fatal(err)
 		}
 	}
