@@ -1,18 +1,22 @@
 // Command clustersmoke is the fleet end-to-end check CI runs on every
 // push: it launches three real draid processes sharing one data dir,
-// submits a job through every node, verifies the fleet agrees on
-// consistent-hash ownership and that proxied streams match owner-direct
-// streams byte for byte, then SIGKILLs one job's owner mid-stream and
-// requires the same cursor to resume against a survivor until every
-// job's stream completes.
+// submits a job through every node via the pkg/client SDK, verifies the
+// fleet agrees on consistent-hash ownership and that proxied streams
+// match owner-direct streams byte for byte, then SIGKILLs one job's
+// owner mid-stream and requires the same cursor to resume against a
+// survivor until every job's stream completes. The -wire flag selects
+// the stream encoding; CI runs the smoke once per wire format, so both
+// the NDJSON and the binary frame path cross the proxy, survive
+// failover, and resume by cursor.
 //
 // Usage:
 //
 //	go build -o /tmp/draid ./cmd/draid
-//	go run ./cmd/clustersmoke -draid /tmp/draid
+//	go run ./cmd/clustersmoke -draid /tmp/draid -wire frame
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,24 +29,32 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/server"
+	"repro/internal/domain"
+	"repro/pkg/client"
 )
 
 type node struct {
 	id   string
 	url  string
+	cli  *client.Client
 	cmd  *exec.Cmd
 	dead bool
 }
+
+var wire string
 
 func main() {
 	draid := flag.String("draid", "", "path to a built draid binary (required)")
 	basePort := flag.Int("base-port", 18081, "first of three consecutive listen ports")
 	keep := flag.Bool("keep", false, "keep the data dir for inspection")
+	flag.StringVar(&wire, "wire", domain.WireNDJSON, "stream wire format to exercise (ndjson|frame)")
 	flag.Parse()
 	log.SetFlags(0)
 	if *draid == "" {
 		log.Fatal("clustersmoke: -draid is required")
+	}
+	if wire != domain.WireNDJSON && wire != domain.WireFrame {
+		log.Fatalf("clustersmoke: unknown -wire %q (want ndjson|frame)", wire)
 	}
 
 	dataDir, err := os.MkdirTemp("", "clustersmoke-")
@@ -52,14 +64,14 @@ func main() {
 	if !*keep {
 		defer os.RemoveAll(dataDir)
 	}
-	log.Printf("clustersmoke: shared data dir %s", dataDir)
+	log.Printf("clustersmoke: shared data dir %s, wire %s", dataDir, wire)
 
 	nodes := make([]*node, 3)
 	var peers []string
 	for i := range nodes {
 		id := fmt.Sprintf("n%d", i+1)
 		url := fmt.Sprintf("http://127.0.0.1:%d", *basePort+i)
-		nodes[i] = &node{id: id, url: url}
+		nodes[i] = &node{id: id, url: url, cli: client.New(url, client.WithWire(wire))}
 		peers = append(peers, id+"="+url)
 	}
 	peerFlag := strings.Join(peers, ",")
@@ -91,32 +103,43 @@ func main() {
 		waitHealthy(n)
 	}
 	log.Printf("clustersmoke: fleet of %d healthy", len(nodes))
+	ctx := context.Background()
 
-	// One job submitted through each member; completion polled through
-	// the same member (routing hides where it actually runs).
+	// One job submitted through each member via the SDK; completion
+	// polled through the same member (routing hides where it runs).
 	ids := make([]string, len(nodes))
 	for i, n := range nodes {
-		id, err := server.SubmitAndWait(n.url, server.JobSpec{
+		cctx, cancel := context.WithTimeout(ctx, 120*time.Second)
+		st, err := n.cli.SubmitJob(cctx, client.JobSpec{
 			Domain: "climate", Name: fmt.Sprintf("smoke-%d", i), Seed: int64(i + 1),
-		}, 120*time.Second)
+		})
+		if err == nil {
+			st, err = n.cli.WaitDone(cctx, st.ID)
+		}
+		cancel()
 		if err != nil {
 			log.Fatalf("clustersmoke: job via %s: %v", n.id, err)
 		}
-		ids[i] = id
-		log.Printf("clustersmoke: %s done (submitted via %s)", id, n.id)
+		ids[i] = st.ID
+		log.Printf("clustersmoke: %s done (submitted via %s)", st.ID, n.id)
 	}
 
-	// Fleet-wide ownership agreement, and owner-direct == proxied bytes.
+	// Fleet-wide ownership agreement, owner-direct == proxied bytes,
+	// and a validated decode of every stream in the selected wire.
 	fullStreams := make(map[string][]byte, len(ids))
+	decoded := make(map[string][]client.BatchWire, len(ids))
 	owners := make(map[string]*node, len(ids))
 	for _, id := range ids {
 		owner := ""
 		for _, n := range nodes {
-			got := ownerOf(n.url, id)
+			info, err := n.cli.ClusterInfo(ctx, id)
+			if err != nil || info.Job == nil || info.Job.Owner == "" {
+				log.Fatalf("clustersmoke: cluster info via %s: %v (%+v)", n.id, err, info)
+			}
 			if owner == "" {
-				owner = got
-			} else if got != owner {
-				log.Fatalf("clustersmoke: fleet disagrees on owner of %s: %s vs %s", id, owner, got)
+				owner = info.Job.Owner
+			} else if info.Job.Owner != owner {
+				log.Fatalf("clustersmoke: fleet disagrees on owner of %s: %s vs %s", id, owner, info.Job.Owner)
 			}
 		}
 		for _, n := range nodes {
@@ -131,11 +154,13 @@ func main() {
 			}
 			proxied := streamBytes(n.url, id, "")
 			if string(proxied) != string(direct) {
-				log.Fatalf("clustersmoke: stream of %s via %s differs from owner-direct", id, n.id)
+				log.Fatalf("clustersmoke: %s stream of %s via %s differs from owner-direct", wire, id, n.id)
 			}
 		}
 		fullStreams[id] = direct
-		log.Printf("clustersmoke: %s owned by %s; proxied streams byte-identical", id, owner)
+		decoded[id] = streamDecoded(owners[id].cli, id, "")
+		log.Printf("clustersmoke: %s owned by %s; proxied %s streams byte-identical (%d batches)",
+			id, owner, wire, len(decoded[id]))
 	}
 
 	// Kill the owner of the first job mid-stream, then resume the same
@@ -148,11 +173,16 @@ func main() {
 			break
 		}
 	}
-	_, _, _, cursor, err := server.StreamBatchesFrom(
-		survivor.url+"/v1/jobs/"+ids[0]+"/batches?batch_size=4&max_batches=2", "")
+	const prefixBatches = 2
+	partial, err := survivor.cli.StreamBatches(ctx, ids[0],
+		client.StreamOptions{BatchSize: 4, MaxBatches: prefixBatches, MaxResumes: -1})
 	if err != nil {
 		log.Fatalf("clustersmoke: partial stream: %v", err)
 	}
+	if _, _, _, err := partial.Drain(); err != nil {
+		log.Fatalf("clustersmoke: partial stream: %v", err)
+	}
+	cursor := partial.Cursor()
 	if err := victim.cmd.Process.Signal(syscall.SIGKILL); err != nil {
 		log.Fatalf("clustersmoke: kill %s: %v", victim.id, err)
 	}
@@ -161,12 +191,12 @@ func main() {
 	log.Printf("clustersmoke: SIGKILLed %s (owner of %s); resuming cursor %s via %s",
 		victim.id, ids[0], cursor, survivor.id)
 
-	resumed := streamBytes(survivor.url, ids[0], cursor)
-	checkResume(fullStreams[ids[0]], resumed, 2, ids[0])
-	log.Printf("clustersmoke: cursor resume after owner death is byte-exact")
+	resumed := streamDecoded(survivor.cli, ids[0], cursor)
+	checkResume(decoded[ids[0]], resumed, prefixBatches, ids[0])
+	log.Printf("clustersmoke: cursor resume after owner death is exact in %s wire", wire)
 
 	// Every job — including any others the victim owned — must still
-	// stream completely via the survivors.
+	// stream completely (and byte-identically) via the survivors.
 	for _, id := range ids {
 		for _, n := range nodes {
 			if n.dead {
@@ -179,7 +209,7 @@ func main() {
 			}
 		}
 	}
-	log.Printf("clustersmoke: all %d jobs fully streamable via survivors — PASS", len(ids))
+	log.Printf("clustersmoke: all %d jobs fully streamable via survivors (%s wire) — PASS", len(ids), wire)
 }
 
 func waitHealthy(n *node) {
@@ -199,32 +229,21 @@ func waitHealthy(n *node) {
 	}
 }
 
-func ownerOf(baseURL, jobID string) string {
-	resp, err := http.Get(baseURL + "/v1/cluster?job=" + jobID)
-	if err != nil {
-		log.Fatalf("clustersmoke: cluster info: %v", err)
-	}
-	defer resp.Body.Close()
-	var info struct {
-		Job struct {
-			Owner string `json:"owner"`
-		} `json:"job"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		log.Fatalf("clustersmoke: decode cluster info: %v", err)
-	}
-	if info.Job.Owner == "" {
-		log.Fatalf("clustersmoke: no owner reported for %s", jobID)
-	}
-	return info.Job.Owner
-}
-
+// streamBytes fetches one raw stream body in the selected wire — the
+// byte-level transparency check that the SDK's decoder sits above.
 func streamBytes(baseURL, jobID, cursor string) []byte {
 	url := baseURL + "/v1/jobs/" + jobID + "/batches?batch_size=4"
 	if cursor != "" {
 		url += "&cursor=" + cursor
 	}
-	resp, err := http.Get(url)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		log.Fatalf("clustersmoke: stream %s: %v", jobID, err)
+	}
+	if wire == domain.WireFrame {
+		req.Header.Set("Accept", domain.ContentTypeFrame)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		log.Fatalf("clustersmoke: stream %s: %v", jobID, err)
 	}
@@ -236,40 +255,50 @@ func streamBytes(baseURL, jobID, cursor string) []byte {
 	if resp.StatusCode != http.StatusOK {
 		log.Fatalf("clustersmoke: stream %s: status %d: %s", jobID, resp.StatusCode, body)
 	}
-	if strings.Contains(string(body), `"error"`) {
-		log.Fatalf("clustersmoke: stream %s carried an error line: %s", jobID, body)
+	if got := resp.Header.Get(domain.HeaderWire); got != wire {
+		log.Fatalf("clustersmoke: stream %s negotiated wire %q, want %q", jobID, got, wire)
 	}
 	return body
 }
 
+// streamDecoded drains one job's stream through the SDK, validating
+// every batch (an in-band error fails the smoke).
+func streamDecoded(cli *client.Client, jobID, cursor string) []client.BatchWire {
+	st, err := cli.StreamBatches(context.Background(), jobID,
+		client.StreamOptions{BatchSize: 4, Cursor: cursor, MaxResumes: -1})
+	if err != nil {
+		log.Fatalf("clustersmoke: stream %s: %v", jobID, err)
+	}
+	var out []client.BatchWire
+	for {
+		b, err := st.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			log.Fatalf("clustersmoke: stream %s: %v", jobID, err)
+		}
+		out = append(out, *b)
+	}
+}
+
 // checkResume verifies prefix batches of the original stream plus the
-// renumbered resumed stream reproduce the original byte-for-byte.
-func checkResume(full, resumed []byte, prefixBatches int, jobID string) {
-	fullLines := strings.Split(strings.TrimSuffix(string(full), "\n"), "\n")
-	if len(fullLines) <= prefixBatches {
-		log.Fatalf("clustersmoke: %s too small to test resume (%d batches)", jobID, len(fullLines))
+// renumbered resumed stream reproduce the original record-for-record.
+func checkResume(full, resumed []client.BatchWire, prefixBatches int, jobID string) {
+	if len(full) <= prefixBatches {
+		log.Fatalf("clustersmoke: %s too small to test resume (%d batches)", jobID, len(full))
 	}
-	got := append([]string{}, fullLines[:prefixBatches]...)
-	idx := prefixBatches
-	for _, line := range strings.Split(strings.TrimSuffix(string(resumed), "\n"), "\n") {
-		if line == "" {
-			continue
-		}
-		var wire server.BatchWire
-		if err := json.Unmarshal([]byte(line), &wire); err != nil {
-			log.Fatalf("clustersmoke: resumed line unparsable: %v", err)
-		}
-		wire.Batch = idx
-		idx++
-		b, _ := json.Marshal(&wire)
-		got = append(got, string(b))
+	if len(resumed) != len(full)-prefixBatches {
+		log.Fatalf("clustersmoke: resume of %s yields %d batches, want %d",
+			jobID, len(resumed), len(full)-prefixBatches)
 	}
-	if len(got) != len(fullLines) {
-		log.Fatalf("clustersmoke: resume of %s yields %d batches, want %d", jobID, len(got), len(fullLines))
-	}
-	for i := range got {
-		if got[i] != fullLines[i] {
-			log.Fatalf("clustersmoke: batch %d of %s differs after failover", i, jobID)
+	for i, b := range resumed {
+		b.Batch += prefixBatches
+		got, _ := json.Marshal(&b)
+		want, _ := json.Marshal(&full[prefixBatches+i])
+		if string(got) != string(want) {
+			log.Fatalf("clustersmoke: batch %d of %s differs after failover:\n got  %s\n want %s",
+				prefixBatches+i, jobID, got, want)
 		}
 	}
 }

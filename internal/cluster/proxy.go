@@ -2,9 +2,12 @@
 // job either proxies the request to the owner (default — the client
 // never learns the topology) or answers 307 with the owner's URL when
 // the client asked for redirects via the X-Draid-Route header. Proxied
-// NDJSON batch streams are flushed line-granular so a tail -f style
-// consumer sees batches as the owner emits them, not when the buffer
-// fills.
+// batch streams are flushed at every read — line-granular for NDJSON,
+// frame-granular for the binary frame wire (Forward clones the request
+// headers, so Accept negotiation crosses the proxy intact and frame
+// streams relay transparently; redirects are never required for them)
+// — so a tail -f style consumer sees batches as the owner emits them,
+// not when the buffer fills.
 package cluster
 
 import (
@@ -78,7 +81,12 @@ func (c *Cluster) Forward(w http.ResponseWriter, r *http.Request, owner Node) er
 // response back — the forwarding primitive for callers (like job
 // submission) whose upstream body was already consumed and re-encoded.
 // Same error contract as Forward: a returned error means nothing was
-// written to w.
+// written to w. If the *upstream* dies after the response header was
+// relayed, the proxied connection is aborted uncleanly (no terminal
+// chunk): batches end at line/frame boundaries, so a clean end here
+// would be indistinguishable from stream completion and the client
+// would silently accept a truncated dataset instead of resuming its
+// cursor against a survivor.
 func (c *Cluster) Relay(w http.ResponseWriter, req *http.Request, owner Node) error {
 	req.Header.Set(HeaderForwarded, c.self.ID)
 	resp, err := c.client.Do(req)
@@ -97,7 +105,9 @@ func (c *Cluster) Relay(w http.ResponseWriter, req *http.Request, owner Node) er
 		h.Set(HeaderServedBy, owner.ID)
 	}
 	w.WriteHeader(resp.StatusCode)
-	flushCopy(w, resp.Body)
+	if err := flushCopy(w, resp.Body); err != nil {
+		panic(http.ErrAbortHandler)
+	}
 	return nil
 }
 
@@ -129,22 +139,29 @@ func (c *Cluster) FetchPeer(n Node, path string, timeout time.Duration) ([]byte,
 }
 
 // flushCopy relays a body, flushing after every read so streamed
-// batches cross the proxy with per-line latency.
-func flushCopy(w http.ResponseWriter, body io.Reader) {
+// batches cross the proxy with per-line (or per-frame) latency. It
+// returns the upstream read error that cut the relay short — the
+// caller turns that into an unclean downstream abort. A downstream
+// write error returns nil: that client is gone, there is nothing left
+// to signal.
+func flushCopy(w http.ResponseWriter, body io.Reader) error {
 	flusher, _ := w.(http.Flusher)
 	buf := make([]byte, 32<<10)
 	for {
 		n, err := body.Read(buf)
 		if n > 0 {
 			if _, werr := w.Write(buf[:n]); werr != nil {
-				return
+				return nil
 			}
 			if flusher != nil {
 				flusher.Flush()
 			}
 		}
+		if err == io.EOF {
+			return nil
+		}
 		if err != nil {
-			return
+			return err
 		}
 	}
 }

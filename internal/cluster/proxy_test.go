@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRelayAbortsOnUpstreamDeath: when the upstream (owner) connection
+// dies after the response header was relayed, the proxy must cut the
+// downstream connection uncleanly rather than end it like a completed
+// stream — batches end at line/frame boundaries, so a clean end would
+// make the client silently accept a truncated dataset instead of
+// resuming by cursor.
+func TestRelayAbortsOnUpstreamDeath(t *testing.T) {
+	// Upstream writes two lines, flushes, then aborts its connection —
+	// the HTTP shape of an owner SIGKILLed mid-stream.
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_, _ = w.Write([]byte("{\"batch\":0}\n{\"batch\":1}\n"))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}))
+	defer owner.Close()
+
+	c, err := New(Config{
+		Self: "a",
+		Nodes: []Node{
+			{ID: "a", URL: "http://self.invalid"},
+			{ID: "b", URL: owner.URL},
+		},
+		ProbeInterval: time.Hour, // no probing; this test drives Forward directly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := c.Forward(w, r, Node{ID: "b", URL: owner.URL}); err != nil {
+			t.Errorf("forward: %v", err)
+		}
+	}))
+	defer proxy.Close()
+
+	resp, err := http.Get(proxy.URL + "/v1/jobs/job-b-000001/batches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("proxied stream of a dead upstream ended cleanly with %d bytes — indistinguishable from completion", len(body))
+	}
+}

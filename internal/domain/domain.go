@@ -102,7 +102,8 @@ type BatchHeader struct {
 }
 
 // Codec decodes one domain's shard records into wire records and
-// assembles them into NDJSON batch lines.
+// assembles them into NDJSON batch lines or binary frame payloads —
+// both wire formats serve the same decoded records.
 type Codec interface {
 	// Kind names the wire payload schema ("samples", "fusion_windows",
 	// "materials_graphs").
@@ -113,6 +114,13 @@ type Codec interface {
 	// Line builds one marshalable NDJSON batch line from records
 	// previously produced by Decode.
 	Line(h BatchHeader, recs []any) (any, error)
+	// AppendFramePayload appends the records' packed little-endian
+	// binary frame payload (see frames.go for the per-kind layout).
+	AppendFramePayload(buf []byte, recs []any) ([]byte, error)
+	// DecodeFramePayload parses exactly count records back out of a
+	// frame payload, consuming it fully. It must tolerate hostile
+	// input: every length is validated before allocation.
+	DecodeFramePayload(payload []byte, count int) ([]any, error)
 }
 
 // Plugin wires one domain into the serving tier.

@@ -1,0 +1,576 @@
+// Binary frame wire format. NDJSON is the default, debuggable stream;
+// clients that ask for Accept: application/x-draid-frame get the same
+// batches as length-prefixed binary frames instead — a varint header
+// (kind, batch, cursor, record count) followed by the codec's packed
+// little-endian tensor payload, so float-heavy domains pay a memcpy
+// per value instead of a JSON encode/parse.
+//
+// Frame layout (all integers are unsigned LEB128 varints unless noted;
+// signed values use zigzag varints; floats are little-endian IEEE 754):
+//
+//	frame  := uvarint(len(body)) body
+//	body   := uvarint(len(kind)) kind
+//	          uvarint(batch)
+//	          uvarint(len(cursor)) cursor
+//	          uvarint(count)
+//	          payload            // count records, codec-specific
+//
+// A stream is a concatenation of frames; clean end-of-stream is EOF at
+// a frame boundary. A mid-stream failure is reported as one frame of
+// kind "error" whose payload is the message (count 0), mirroring the
+// NDJSON {"error": ...} line.
+//
+// Per-kind payloads, per record:
+//
+//	samples:          uvarint(nfeat) nfeat×f32 varint(label)
+//	fusion_windows:   uvarint(nsig) nsig×f32 varint(shot) varint(start)
+//	                  varint(label) f32(horizon)
+//	materials_graphs: uvarint(nodes) uvarint(feature_dim)
+//	                  nodes·feature_dim×f64 uvarint(edges)
+//	                  2·edges×uvarint(endpoint) edges×f64(lengths)
+//	                  f64(energy) varint(class_id)
+//
+// Every length decoded off the wire is bounds-checked against the
+// bytes actually present before anything is allocated, so a hostile
+// frame cannot balloon memory or index out of range.
+package domain
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"slices"
+
+	"repro/internal/loader"
+)
+
+// Wire format names, the values of the X-Draid-Wire response header and
+// the "wires" discovery fields.
+const (
+	WireNDJSON = "ndjson"
+	WireFrame  = "frame"
+)
+
+// HTTP surface of the negotiation.
+const (
+	ContentTypeNDJSON = "application/x-ndjson"
+	ContentTypeFrame  = "application/x-draid-frame"
+	HeaderWire        = "X-Draid-Wire"
+)
+
+// KindError tags the frame that carries a mid-stream failure message.
+const KindError = "error"
+
+// Wires lists the wire formats every batch stream can negotiate.
+func Wires() []string { return []string{WireNDJSON, WireFrame} }
+
+// Frame hardening bounds: a frame body larger than MaxFrameBytes (or
+// header fields beyond these lengths) is rejected before allocation.
+const (
+	MaxFrameBytes = 1 << 28
+	maxKindLen    = 64
+	maxCursorLen  = 128
+)
+
+// CodecByKind resolves the codec serving a wire kind across all
+// registered plugins (several domains may share one kind).
+func CodecByKind(kind string) (Codec, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	for _, p := range plugins {
+		if p.Codec.Kind() == kind {
+			return p.Codec, true
+		}
+	}
+	return nil, false
+}
+
+// StreamError is a failure the server reported in-band (an "error"
+// frame). It is terminal: reconnecting with the same cursor will hit
+// the same condition, unlike a transport error.
+type StreamError struct{ Msg string }
+
+func (e *StreamError) Error() string { return "draid stream error: " + e.Msg }
+
+// CorruptFrameError wraps a parse failure of a fully received frame.
+// It is terminal too — reconnecting replays the same bytes — unlike
+// the io.ErrUnexpectedEOF of a cut connection, which a client cures
+// by resuming from its cursor.
+type CorruptFrameError struct{ Err error }
+
+func (e *CorruptFrameError) Error() string { return e.Err.Error() }
+func (e *CorruptFrameError) Unwrap() error { return e.Err }
+
+// framePrefixLen is the buffer space EncodeFrame reserves for the
+// frame-length uvarint, so the body never needs a second copy.
+const framePrefixLen = binary.MaxVarintLen32
+
+// finishFrame writes buf's body length right-aligned into the
+// reserved prefix and returns the finished frame without copying the
+// body.
+func finishFrame(buf []byte) []byte {
+	body := len(buf) - framePrefixLen
+	var tmp [framePrefixLen]byte
+	n := binary.PutUvarint(tmp[:], uint64(body))
+	copy(buf[framePrefixLen-n:framePrefixLen], tmp[:n])
+	return buf[framePrefixLen-n:]
+}
+
+// EncodeFrame renders one complete batch frame.
+func EncodeFrame(c Codec, h BatchHeader, recs []any) ([]byte, error) {
+	buf := appendFrameHeader(make([]byte, framePrefixLen, 4096), h, len(recs))
+	buf, err := c.AppendFramePayload(buf, recs)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf)-framePrefixLen > MaxFrameBytes {
+		return nil, fmt.Errorf("domain: frame body %d bytes exceeds %d", len(buf)-framePrefixLen, MaxFrameBytes)
+	}
+	return finishFrame(buf), nil
+}
+
+// EncodeErrorFrame renders the in-band failure frame.
+func EncodeErrorFrame(msg string) []byte {
+	if len(msg) > maxCursorLen*8 {
+		msg = msg[:maxCursorLen*8]
+	}
+	buf := appendFrameHeader(make([]byte, framePrefixLen, framePrefixLen+64+len(msg)), BatchHeader{Kind: KindError}, 0)
+	return finishFrame(append(buf, msg...))
+}
+
+func appendFrameHeader(buf []byte, h BatchHeader, count int) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(h.Kind)))
+	buf = append(buf, h.Kind...)
+	buf = binary.AppendUvarint(buf, uint64(h.Batch))
+	buf = binary.AppendUvarint(buf, uint64(len(h.Cursor)))
+	buf = append(buf, h.Cursor...)
+	return binary.AppendUvarint(buf, uint64(count))
+}
+
+func prefixFrame(body []byte) []byte {
+	out := binary.AppendUvarint(make([]byte, 0, len(body)+binary.MaxVarintLen32), uint64(len(body)))
+	return append(out, body...)
+}
+
+// DecodeFrame parses one frame off the front of b, returning the
+// remainder. A truncated buffer yields io.ErrUnexpectedEOF (or io.EOF
+// when b is empty — a clean stream end); an "error" frame yields a
+// *StreamError.
+func DecodeFrame(b []byte) (BatchHeader, []any, []byte, error) {
+	if len(b) == 0 {
+		return BatchHeader{}, nil, nil, io.EOF
+	}
+	ln, sz := binary.Uvarint(b)
+	if sz == 0 {
+		return BatchHeader{}, nil, nil, io.ErrUnexpectedEOF
+	}
+	if sz < 0 || ln == 0 || ln > MaxFrameBytes {
+		return BatchHeader{}, nil, nil, fmt.Errorf("domain: bad frame length %d", ln)
+	}
+	if uint64(len(b)-sz) < ln {
+		return BatchHeader{}, nil, nil, io.ErrUnexpectedEOF
+	}
+	h, recs, err := decodeFrameBody(b[sz : sz+int(ln)])
+	return h, recs, b[sz+int(ln):], err
+}
+
+func decodeFrameBody(body []byte) (BatchHeader, []any, error) {
+	p := &frameParser{b: body}
+	kl := p.uvarint("kind length")
+	if p.err == nil && kl > maxKindLen {
+		p.fail("kind length %d exceeds %d", kl, maxKindLen)
+	}
+	kind := string(p.bytes(int(kl), "kind"))
+	batch := p.uvarint("batch index")
+	if p.err == nil && batch > math.MaxInt32 {
+		p.fail("batch index %d out of range", batch)
+	}
+	cl := p.uvarint("cursor length")
+	if p.err == nil && cl > maxCursorLen {
+		p.fail("cursor length %d exceeds %d", cl, maxCursorLen)
+	}
+	cursor := string(p.bytes(int(cl), "cursor"))
+	count := p.uvarint("record count")
+	if p.err != nil {
+		return BatchHeader{}, nil, p.err
+	}
+	h := BatchHeader{Batch: int(batch), Cursor: cursor, Kind: kind}
+	if kind == KindError {
+		return h, nil, &StreamError{Msg: string(p.b)}
+	}
+	codec, ok := CodecByKind(kind)
+	if !ok {
+		return h, nil, fmt.Errorf("domain: frame with unknown wire kind %q", kind)
+	}
+	// Every record costs at least one payload byte, so count bounds the
+	// []any allocation before the codec parses anything.
+	if count == 0 || count > uint64(len(p.b)) {
+		return h, nil, fmt.Errorf("domain: frame claims %d records in %d payload bytes", count, len(p.b))
+	}
+	recs, err := codec.DecodeFramePayload(p.b, int(count))
+	if err != nil {
+		return h, nil, err
+	}
+	return h, recs, nil
+}
+
+// FrameReader decodes a frame stream incrementally.
+type FrameReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+// NewFrameReader wraps r for frame-at-a-time reading.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// BytesRead is the total wire bytes consumed so far.
+func (f *FrameReader) BytesRead() int64 { return f.n }
+
+// Next reads one frame. io.EOF means a clean end at a frame boundary;
+// io.ErrUnexpectedEOF (and transport read errors) mean the stream was
+// cut mid-frame — the caller may resume by cursor; *StreamError
+// carries an in-band server error; *CorruptFrameError means a fully
+// received frame failed to parse — both of the latter are terminal.
+func (f *FrameReader) Next() (BatchHeader, []any, error) {
+	ln, err := binary.ReadUvarint(f.r)
+	if err != nil {
+		return BatchHeader{}, nil, err
+	}
+	if ln == 0 || ln > MaxFrameBytes {
+		return BatchHeader{}, nil, &CorruptFrameError{fmt.Errorf("domain: bad frame length %d", ln)}
+	}
+	// Grow the body buffer as bytes actually arrive instead of
+	// allocating the wire-claimed length up front: a hostile prefix
+	// claiming MaxFrameBytes followed by a stall must not cost 256 MiB
+	// per connection.
+	const chunk = 64 << 10
+	body := make([]byte, 0, min(ln, chunk))
+	for uint64(len(body)) < ln {
+		want := int(min(ln-uint64(len(body)), chunk))
+		body = slices.Grow(body, want)[:len(body)+want]
+		if _, err := io.ReadFull(f.r, body[len(body)-want:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return BatchHeader{}, nil, err
+		}
+	}
+	f.n += int64(uvarintLen(ln)) + int64(ln)
+	h, recs, err := decodeFrameBody(body)
+	if err != nil {
+		var se *StreamError
+		if !errors.As(err, &se) {
+			err = &CorruptFrameError{err}
+		}
+	}
+	return h, recs, err
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// frameParser walks a frame payload with a sticky error: every length
+// is checked against the bytes remaining before any allocation.
+type frameParser struct {
+	b   []byte
+	err error
+}
+
+func (p *frameParser) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf("domain: frame: "+format, args...)
+	}
+}
+
+func (p *frameParser) uvarint(what string) uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(p.b)
+	if n <= 0 {
+		p.fail("bad varint for %s", what)
+		return 0
+	}
+	p.b = p.b[n:]
+	return v
+}
+
+func (p *frameParser) varint(what string) int64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(p.b)
+	if n <= 0 {
+		p.fail("bad varint for %s", what)
+		return 0
+	}
+	p.b = p.b[n:]
+	return v
+}
+
+func (p *frameParser) bytes(n int, what string) []byte {
+	if p.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(p.b) {
+		p.fail("%s wants %d bytes, %d remain", what, n, len(p.b))
+		return nil
+	}
+	out := p.b[:n]
+	p.b = p.b[n:]
+	return out
+}
+
+// length reads a uvarint element count and bounds it by the payload
+// bytes remaining at elemSize bytes per element.
+func (p *frameParser) length(elemSize int, what string) int {
+	v := p.uvarint(what)
+	if p.err != nil {
+		return 0
+	}
+	if v > uint64(len(p.b))/uint64(elemSize) {
+		p.fail("%s %d exceeds %d remaining payload bytes", what, v, len(p.b))
+		return 0
+	}
+	return int(v)
+}
+
+func (p *frameParser) f32s(n int, what string) []float32 {
+	raw := p.bytes(4*n, what)
+	if p.err != nil {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out
+}
+
+func (p *frameParser) f64s(n int, what string) []float64 {
+	raw := p.bytes(8*n, what)
+	if p.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+func (p *frameParser) f32(what string) float32 {
+	v := p.f32s(1, what)
+	if p.err != nil {
+		return 0
+	}
+	return v[0]
+}
+
+func (p *frameParser) f64(what string) float64 {
+	v := p.f64s(1, what)
+	if p.err != nil {
+		return 0
+	}
+	return v[0]
+}
+
+// finish requires the payload to be fully consumed.
+func (p *frameParser) finish() error {
+	if p.err != nil {
+		return p.err
+	}
+	if len(p.b) != 0 {
+		return fmt.Errorf("domain: frame: %d trailing payload bytes", len(p.b))
+	}
+	return nil
+}
+
+// recsCap bounds the initial []any allocation: hostile counts never
+// pre-allocate more than this, growth beyond it is append-driven.
+const recsCap = 1024
+
+func frameRecs(count int) []any {
+	if count > recsCap {
+		count = recsCap
+	}
+	return make([]any, 0, count)
+}
+
+// ---- samples ----
+
+func (sampleCodec) AppendFramePayload(buf []byte, recs []any) ([]byte, error) {
+	for _, r := range recs {
+		s, ok := r.(*loader.Sample)
+		if !ok {
+			return nil, fmt.Errorf("domain: samples codec got %T", r)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(s.Features)))
+		for _, v := range s.Features {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+		buf = binary.AppendVarint(buf, int64(s.Label))
+	}
+	return buf, nil
+}
+
+func (sampleCodec) DecodeFramePayload(payload []byte, count int) ([]any, error) {
+	p := &frameParser{b: payload}
+	recs := frameRecs(count)
+	for i := 0; i < count; i++ {
+		n := p.length(4, "feature count")
+		feats := p.f32s(n, "features")
+		label := p.varint("label")
+		if p.err == nil && (label < math.MinInt32 || label > math.MaxInt32) {
+			p.fail("label %d out of int32 range", label)
+		}
+		if p.err != nil {
+			return nil, p.err
+		}
+		recs = append(recs, &loader.Sample{Features: feats, Label: int32(label)})
+	}
+	if err := p.finish(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// ---- fusion windows ----
+
+func (fusionCodec) AppendFramePayload(buf []byte, recs []any) ([]byte, error) {
+	for _, r := range recs {
+		w, ok := r.(*FusionWindow)
+		if !ok {
+			return nil, fmt.Errorf("domain: fusion codec got %T", r)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(w.Signal)))
+		for _, v := range w.Signal {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+		buf = binary.AppendVarint(buf, w.Shot)
+		buf = binary.AppendVarint(buf, w.Start)
+		buf = binary.AppendVarint(buf, w.Label)
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(w.Horizon))
+	}
+	return buf, nil
+}
+
+func (fusionCodec) DecodeFramePayload(payload []byte, count int) ([]any, error) {
+	p := &frameParser{b: payload}
+	recs := frameRecs(count)
+	for i := 0; i < count; i++ {
+		n := p.length(4, "signal length")
+		if p.err == nil && n == 0 {
+			p.fail("fusion window without signal floats")
+		}
+		w := &FusionWindow{Signal: p.f32s(n, "signal")}
+		w.Shot = p.varint("shot")
+		w.Start = p.varint("start")
+		w.Label = p.varint("label")
+		w.Horizon = p.f32("horizon")
+		if p.err != nil {
+			return nil, p.err
+		}
+		recs = append(recs, w)
+	}
+	if err := p.finish(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// ---- materials graphs ----
+
+func (materialsCodec) AppendFramePayload(buf []byte, recs []any) ([]byte, error) {
+	for _, r := range recs {
+		g, ok := r.(*WireGraph)
+		if !ok {
+			return nil, fmt.Errorf("domain: materials codec got %T", r)
+		}
+		// Decode validated these invariants; re-check cheaply so a
+		// hand-built record cannot emit a frame its own parser rejects.
+		if g.Nodes < 1 || g.FeatureDim < 1 || len(g.NodeFeatures) != g.Nodes*g.FeatureDim ||
+			len(g.Edges) != 2*len(g.EdgeLengths) {
+			return nil, fmt.Errorf("domain: inconsistent graph record (%d nodes × %d dims, %d features, %d edge ints)",
+				g.Nodes, g.FeatureDim, len(g.NodeFeatures), len(g.Edges))
+		}
+		buf = binary.AppendUvarint(buf, uint64(g.Nodes))
+		buf = binary.AppendUvarint(buf, uint64(g.FeatureDim))
+		for _, v := range g.NodeFeatures {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(g.EdgeLengths)))
+		for _, e := range g.Edges {
+			if e < 0 || e >= int64(g.Nodes) {
+				return nil, fmt.Errorf("domain: edge endpoint %d outside %d nodes", e, g.Nodes)
+			}
+			buf = binary.AppendUvarint(buf, uint64(e))
+		}
+		for _, v := range g.EdgeLengths {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(g.Energy))
+		buf = binary.AppendVarint(buf, g.ClassID)
+	}
+	return buf, nil
+}
+
+func (materialsCodec) DecodeFramePayload(payload []byte, count int) ([]any, error) {
+	p := &frameParser{b: payload}
+	recs := frameRecs(count)
+	for i := 0; i < count; i++ {
+		nodes := p.uvarint("node count")
+		dim := p.uvarint("feature dim")
+		if p.err == nil && (nodes < 1 || dim < 1 || nodes > MaxFrameBytes || dim > MaxFrameBytes) {
+			p.fail("graph shape [%d,%d] out of range", nodes, dim)
+		}
+		if p.err != nil {
+			return nil, p.err
+		}
+		// nodes and dim are each <= 2^28 here, so the product cannot
+		// overflow uint64; the byte bound then caps the allocation.
+		if nodes*dim > uint64(len(p.b))/8 {
+			p.fail("node_features [%d,%d] exceeds %d remaining payload bytes", nodes, dim, len(p.b))
+			return nil, p.err
+		}
+		g := &WireGraph{
+			Nodes:        int(nodes),
+			FeatureDim:   int(dim),
+			NodeFeatures: p.f64s(int(nodes*dim), "node_features"),
+		}
+		ne := p.length(2, "edge count") // each edge is two >=1-byte varints
+		g.Edges = make([]int64, 0, min(2*ne, recsCap))
+		for j := 0; j < 2*ne; j++ {
+			e := p.uvarint("edge endpoint")
+			if p.err == nil && e >= nodes {
+				p.fail("edge endpoint %d outside %d nodes", e, nodes)
+			}
+			if p.err != nil {
+				return nil, p.err
+			}
+			g.Edges = append(g.Edges, int64(e))
+		}
+		g.EdgeLengths = p.f64s(ne, "edge_lengths")
+		g.Energy = p.f64("energy")
+		g.ClassID = p.varint("class_id")
+		if p.err != nil {
+			return nil, p.err
+		}
+		recs = append(recs, g)
+	}
+	if err := p.finish(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

@@ -1,0 +1,239 @@
+package domain
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/loader"
+)
+
+// frameFixtures returns, per codec, shard-encoded records the way each
+// domain's shard stage writes them.
+func frameFixtures(t *testing.T) map[string][][]byte {
+	t.Helper()
+	return map[string][][]byte{
+		KindSamples: {
+			(&loader.Sample{Features: []float32{1.5, -2.25, 0}, Label: 3}).Encode(),
+			(&loader.Sample{Features: []float32{0.125}, Label: -1}).Encode(),
+			(&loader.Sample{Features: []float32{}, Label: 0}).Encode(),
+		},
+		KindFusionWindows: {
+			fusionExample([]float32{0.5, -1, 2.75}, 42, 25, 1, 0.3),
+			fusionExample([]float32{9}, -7, 0, 0, 1.25),
+		},
+		KindMaterialsGraphs: {
+			materialsRecord(t, 3, 2, [][2]int{{0, 1}, {1, 2}}, -7.25, 1),
+			materialsRecord(t, 1, 1, nil, 0, 0),
+		},
+	}
+}
+
+// TestFrameRoundTrip: for every codec, shard records decoded then
+// framed then frame-decoded reproduce the records and the header.
+func TestFrameRoundTrip(t *testing.T) {
+	for kind, raws := range frameFixtures(t) {
+		codec, ok := CodecByKind(kind)
+		if !ok {
+			t.Fatalf("no codec for kind %q", kind)
+		}
+		var recs []any
+		for _, raw := range raws {
+			r, _, err := codec.Decode(raw)
+			if err != nil {
+				t.Fatalf("%s: decode: %v", kind, err)
+			}
+			recs = append(recs, r)
+		}
+		h := BatchHeader{Batch: 7, Cursor: "3:12", Kind: kind}
+		frame, err := EncodeFrame(codec, h, recs)
+		if err != nil {
+			t.Fatalf("%s: encode frame: %v", kind, err)
+		}
+		gotH, gotRecs, rest, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("%s: decode frame: %v", kind, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%s: %d trailing bytes", kind, len(rest))
+		}
+		if gotH != h {
+			t.Fatalf("%s: header %+v, want %+v", kind, gotH, h)
+		}
+		if !reflect.DeepEqual(gotRecs, recs) {
+			t.Fatalf("%s: records differ:\n got %#v\nwant %#v", kind, gotRecs, recs)
+		}
+		// Two concatenated frames parse in sequence.
+		double := append(append([]byte{}, frame...), frame...)
+		_, _, rest, err = DecodeFrame(double)
+		if err != nil || len(rest) != len(frame) {
+			t.Fatalf("%s: concatenated frames: rest=%d err=%v", kind, len(rest), err)
+		}
+	}
+}
+
+// TestFrameNDJSONEquivalence is the cross-format acceptance proof:
+// frame decode == NDJSON decode record-for-record. Both emissions are
+// built from the same decoded records; pushing the frame-decoded
+// records back through the NDJSON line builder must reproduce the
+// original NDJSON line byte-for-byte.
+func TestFrameNDJSONEquivalence(t *testing.T) {
+	for kind, raws := range frameFixtures(t) {
+		codec, _ := CodecByKind(kind)
+		var recs []any
+		for _, raw := range raws {
+			r, _, err := codec.Decode(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs = append(recs, r)
+		}
+		h := BatchHeader{Batch: 0, Cursor: "1:0", Kind: kind}
+		line, err := codec.Line(h, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ndjson, err := json.Marshal(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, err := EncodeFrame(codec, h, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, frameRecs, _, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(frameRecs, recs) {
+			t.Fatalf("%s: frame records != shard-decoded records", kind)
+		}
+		line2, err := codec.Line(h, frameRecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ndjson2, err := json.Marshal(line2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ndjson) != string(ndjson2) {
+			t.Fatalf("%s: NDJSON from frame-decoded records differs:\n %s\n %s", kind, ndjson, ndjson2)
+		}
+	}
+}
+
+// TestErrorFrame: the in-band failure frame surfaces as *StreamError.
+func TestErrorFrame(t *testing.T) {
+	f := EncodeErrorFrame("shard s-00002 vanished")
+	_, _, _, err := DecodeFrame(f)
+	var se *StreamError
+	if !errors.As(err, &se) || se.Msg != "shard s-00002 vanished" {
+		t.Fatalf("error frame decoded as %v", err)
+	}
+}
+
+// TestFrameDecodeRejects: hostile frames — truncations, oversized
+// counts, lying lengths, bad varints, foreign kinds — error cleanly.
+func TestFrameDecodeRejects(t *testing.T) {
+	codec, _ := CodecByKind(KindSamples)
+	rec, _, err := codec.Decode((&loader.Sample{Features: []float32{1, 2}, Label: 5}).Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := EncodeFrame(codec, BatchHeader{Batch: 1, Cursor: "0:1", Kind: KindSamples}, []any{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty buffer is a clean EOF, not an error.
+	if _, _, _, err := DecodeFrame(nil); err != io.EOF {
+		t.Fatalf("empty buffer: %v", err)
+	}
+	// Every truncation of a valid frame must fail without panicking.
+	for n := 1; n < len(valid); n++ {
+		if _, _, _, err := DecodeFrame(valid[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Oversized record count.
+	body := appendFrameHeader(nil, BatchHeader{Kind: KindSamples}, 1<<30)
+	if _, _, _, err := DecodeFrame(prefixFrame(body)); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+	// Frame length beyond the cap.
+	huge := binary.AppendUvarint(nil, MaxFrameBytes+1)
+	if _, _, _, err := DecodeFrame(append(huge, 0)); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+	// Unknown kind.
+	body = appendFrameHeader(nil, BatchHeader{Kind: "astral_cubes"}, 1)
+	if _, _, _, err := DecodeFrame(prefixFrame(append(body, 0, 0))); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	// Trailing garbage after the declared records.
+	_, sz := binary.Uvarint(valid)
+	tampered := prefixFrame(append(append([]byte{}, valid[sz:]...), 0xFF))
+	if _, _, _, err := DecodeFrame(tampered); err == nil {
+		t.Fatal("trailing payload bytes accepted")
+	}
+	// A materials payload whose edge endpoint exceeds its node count
+	// must be rejected — clients index node_features by endpoints.
+	mat, _ := CodecByKind(KindMaterialsGraphs)
+	bad := binary.AppendUvarint(nil, 1) // nodes
+	bad = binary.AppendUvarint(bad, 1)  // feature_dim
+	bad = binary.LittleEndian.AppendUint64(bad, 0)
+	bad = binary.AppendUvarint(bad, 1) // one edge
+	bad = binary.AppendUvarint(bad, 5) // endpoint 5 >= 1 node
+	bad = binary.AppendUvarint(bad, 0)
+	bad = binary.LittleEndian.AppendUint64(bad, 0) // edge length
+	bad = binary.LittleEndian.AppendUint64(bad, 0) // energy
+	bad = binary.AppendVarint(bad, 0)              // class_id
+	if _, err := mat.DecodeFramePayload(bad, 1); err == nil {
+		t.Fatal("out-of-range edge endpoint accepted")
+	}
+}
+
+// FuzzFrameDecode hardens the binary frame parser — header varints and
+// all three codec payloads — against hostile bytes: it must never
+// panic or over-allocate, and whatever it accepts must re-encode.
+func FuzzFrameDecode(f *testing.F) {
+	// Valid single frames for each codec as seeds.
+	sample := &loader.Sample{Features: []float32{1, 2}, Label: 5}
+	w := &FusionWindow{Signal: []float32{0.5}, Shot: 3, Start: 1, Label: 1, Horizon: 0.2}
+	g := &WireGraph{Nodes: 2, FeatureDim: 1, NodeFeatures: []float64{1, 2},
+		Edges: []int64{0, 1}, EdgeLengths: []float64{1.5}, Energy: -3, ClassID: 1}
+	for kind, rec := range map[string]any{
+		KindSamples: sample, KindFusionWindows: w, KindMaterialsGraphs: g,
+	} {
+		codec, _ := CodecByKind(kind)
+		frame, err := EncodeFrame(codec, BatchHeader{Batch: 1, Cursor: "0:1", Kind: kind}, []any{rec})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		f.Add(frame[:len(frame)/2])
+	}
+	f.Add(EncodeErrorFrame("boom"))
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+	f.Add(binary.AppendUvarint(nil, 1<<40))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, recs, _, err := DecodeFrame(b)
+		if err != nil {
+			return
+		}
+		if len(recs) == 0 {
+			t.Fatalf("accepted data frame with no records: %+v", h)
+		}
+		codec, ok := CodecByKind(h.Kind)
+		if !ok {
+			t.Fatalf("accepted frame with unresolvable kind %q", h.Kind)
+		}
+		if _, err := EncodeFrame(codec, h, recs); err != nil {
+			t.Fatalf("accepted records fail re-encoding: %v", err)
+		}
+	})
+}

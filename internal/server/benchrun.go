@@ -6,12 +6,8 @@
 package server
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
-	"net/http"
 	"net/http/httptest"
 	"os"
 	"sort"
@@ -22,6 +18,7 @@ import (
 	"repro/internal/domain"
 	"repro/internal/parfs"
 	"repro/internal/shard"
+	"repro/pkg/client"
 )
 
 // ServeBenchResult reports one throughput run; JSON field names are the
@@ -32,6 +29,7 @@ type ServeBenchResult struct {
 	Backend       string  `json:"backend"`
 	Domain        string  `json:"domain,omitempty"`
 	Kind          string  `json:"kind,omitempty"`
+	Wire          string  `json:"wire,omitempty"`
 	Batches       int64   `json:"batches"`
 	Samples       int64   `json:"samples"`
 	Bytes         int64   `json:"bytes"`
@@ -47,6 +45,9 @@ func (r *ServeBenchResult) Render() string {
 	workload := r.Backend + " store"
 	if r.Domain != "" {
 		workload += fmt.Sprintf(", %s (%s)", r.Domain, r.Kind)
+	}
+	if r.Wire != "" {
+		workload += ", " + r.Wire + " wire"
 	}
 	return fmt.Sprintf(
 		"Serving throughput — %d concurrent clients, batch size %d, %s:\n"+
@@ -82,6 +83,8 @@ type ServeBenchConfig struct {
 	// Domain picks the streamed workload (and therefore the wire codec).
 	// Empty means climate.
 	Domain core.Domain
+	// Wire picks the stream encoding: "ndjson" (default) or "frame".
+	Wire string
 }
 
 // RunServeBenchmark measures concurrent streaming throughput: it
@@ -101,6 +104,9 @@ func RunServeBenchmark(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 	}
 	if cfg.Domain == "" {
 		cfg.Domain = core.Climate
+	}
+	if cfg.Wire == "" {
+		cfg.Wire = client.WireNDJSON
 	}
 	plug, err := domain.Lookup(cfg.Domain)
 	if err != nil {
@@ -149,8 +155,18 @@ func RunServeBenchmark(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 
 	url := fmt.Sprintf("%s/v1/jobs/%s/batches?batch_size=%d&max_batches=%d", ts.URL, id, cfg.BatchSize, cfg.MaxBatches)
 	res := &ServeBenchResult{Clients: cfg.Clients, BatchSize: cfg.BatchSize, Backend: cfg.Backend,
-		Domain: string(cfg.Domain), Kind: plug.Codec.Kind()}
-	clients, passes := cfg.Clients, cfg.Passes
+		Domain: string(cfg.Domain), Kind: plug.Codec.Kind(), Wire: cfg.Wire}
+	if err := measureStreams(res, url, cfg.Wire, cfg.Clients, cfg.Passes); err != nil {
+		return nil, err
+	}
+	cs := s.cache.Stats()
+	res.CacheHits, res.CacheMisses = cs.Hits, cs.Misses
+	return res, nil
+}
+
+// measureStreams hammers one batch URL with clients×passes concurrent
+// streams in the given wire format, filling res's throughput fields.
+func measureStreams(res *ServeBenchResult, url, wire string, clients, passes int) error {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -162,7 +178,7 @@ func RunServeBenchmark(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 		go func() {
 			defer wg.Done()
 			for p := 0; p < passes; p++ {
-				batches, samples, n, err := StreamBatches(url)
+				batches, samples, n, _, err := streamConsume(url, "", wire)
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = err
@@ -177,15 +193,24 @@ func RunServeBenchmark(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 	wg.Wait()
 	res.Seconds = time.Since(start).Seconds()
 	if firstErr != nil {
-		return nil, firstErr
+		return firstErr
 	}
 	if res.Seconds > 0 {
 		res.BytesPerSec = float64(res.Bytes) / res.Seconds
 		res.BatchesPerSec = float64(res.Batches) / res.Seconds
 	}
-	cs := s.cache.Stats()
-	res.CacheHits, res.CacheMisses = cs.Hits, cs.Misses
-	return res, nil
+	return nil
+}
+
+// WireComparison pairs one domain's NDJSON and binary-frame runs over
+// identical load, with the frame-over-NDJSON record-rate ratio — the
+// number that says what the binary negotiation buys per codec.
+type WireComparison struct {
+	NDJSON *ServeBenchResult `json:"ndjson"`
+	Frame  *ServeBenchResult `json:"frame"`
+	// FrameOverNDJSON is frame records/sec divided by NDJSON
+	// records/sec, measured in the same run.
+	FrameOverNDJSON float64 `json:"frame_over_ndjson"`
 }
 
 // ServeBenchReport pairs a same-process mem-backend and fs-backend run;
@@ -199,10 +224,11 @@ type ServeBenchReport struct {
 	// FSOverMem is samples/sec with the fs backend divided by
 	// samples/sec with the mem backend, measured in the same run.
 	FSOverMem float64 `json:"fs_over_mem"`
-	// Codecs is the per-codec throughput dimension: one mem-backend run
-	// per registered domain, keyed by domain name, each tagged with its
-	// wire kind. Informational — the regression gate stays on FSOverMem.
-	Codecs map[string]*ServeBenchResult `json:"codecs,omitempty"`
+	// Codecs is the per-codec × per-wire throughput dimension: one
+	// mem-backend NDJSON run and one frame run per registered domain,
+	// keyed by domain name. Informational — the regression gate stays
+	// on FSOverMem.
+	Codecs map[string]*WireComparison `json:"codecs,omitempty"`
 }
 
 // Render formats both runs, the gate ratio, and the per-codec sweep.
@@ -210,16 +236,22 @@ func (r *ServeBenchReport) Render() string {
 	out := r.Mem.Render() + r.FS.Render() +
 		fmt.Sprintf("fs/mem serve-throughput ratio: %.3f\n", r.FSOverMem)
 	if len(r.Codecs) > 0 {
-		out += "per-codec throughput (mem backend):\n"
+		out += "per-codec wire throughput (mem backend):\n"
 		names := make([]string, 0, len(r.Codecs))
 		for name := range r.Codecs {
 			names = append(names, name)
 		}
 		sort.Strings(names)
+		rate := func(res *ServeBenchResult) float64 {
+			if res == nil || res.Seconds == 0 {
+				return 0
+			}
+			return float64(res.Samples) / res.Seconds
+		}
 		for _, name := range names {
 			c := r.Codecs[name]
-			out += fmt.Sprintf("  %-12s %-18s %8.0f records/s, %7.2f MiB/s\n",
-				name, "("+c.Kind+")", float64(c.Samples)/c.Seconds, c.BytesPerSec/(1024*1024))
+			out += fmt.Sprintf("  %-12s %-18s ndjson %8.0f rec/s  frame %8.0f rec/s  frame/ndjson %.2fx\n",
+				name, "("+c.NDJSON.Kind+")", rate(c.NDJSON), rate(c.Frame), c.FrameOverNDJSON)
 		}
 	}
 	return out
@@ -262,27 +294,82 @@ func RunServeComparison(cfg ServeBenchConfig) (*ServeBenchReport, error) {
 	if memRate > 0 {
 		rep.FSOverMem = fsRate / memRate
 	}
-	// Per-codec dimension: every registered domain streams once against
-	// the mem backend, so codec-encode regressions are visible per wire
-	// kind rather than folded into the climate-only gate number. Climate
-	// deliberately runs again here even though rep.Mem measured it: the
-	// gate rounds are cold-cache (store-bound) while this sweep is
-	// warm-cache (codec-bound), and the sweep's four numbers must be
-	// mutually comparable.
-	rep.Codecs = make(map[string]*ServeBenchResult, len(domain.Plugins()))
+	// Per-codec × per-wire dimension: every registered domain streams
+	// against the mem backend in both wire formats, so codec-encode
+	// regressions are visible per wire kind (and the frame format's win
+	// is recorded) rather than folded into the climate-only gate
+	// number. Climate deliberately runs again here even though rep.Mem
+	// measured it: the gate rounds are cold-cache (store-bound) while
+	// this sweep is warm-cache (codec-bound), and the sweep's numbers
+	// must be mutually comparable.
+	rep.Codecs = make(map[string]*WireComparison, len(domain.Plugins()))
 	for _, plug := range domain.Plugins() {
 		codecCfg := cfg
-		codecCfg.Backend = "mem"
-		codecCfg.Passes = 1
-		codecCfg.ColdCache = false
+		codecCfg.Passes = 2
 		codecCfg.Domain = plug.Domain
-		res, err := RunServeBenchmark(codecCfg)
+		cmp, err := runWireComparison(codecCfg)
 		if err != nil {
 			return nil, fmt.Errorf("codec sweep %s: %w", plug.Domain, err)
 		}
-		rep.Codecs[string(plug.Domain)] = res
+		rep.Codecs[string(plug.Domain)] = cmp
 	}
 	return rep, nil
+}
+
+// runWireComparison measures one domain's NDJSON and frame throughput
+// against the *same* server and the same completed job, so the ratio
+// compares wire encodings over an identical dataset — some pipelines'
+// shard layouts vary run to run, and standing up a fresh job per wire
+// would fold that synthesis noise into the tracked ratio.
+func runWireComparison(cfg ServeBenchConfig) (*WireComparison, error) {
+	plug, err := domain.Lookup(cfg.Domain)
+	if err != nil {
+		return nil, err
+	}
+	s, err := New(Options{Workers: 2, CacheBytes: 64 << 20})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	id, err := SubmitAndWait(ts.URL, JobSpec{Domain: cfg.Domain, Name: "wire-bench", Seed: 1}, 60*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	url := fmt.Sprintf("%s/v1/jobs/%s/batches?batch_size=%d&max_batches=%d", ts.URL, id, cfg.BatchSize, cfg.MaxBatches)
+
+	cmp := &WireComparison{}
+	for _, wire := range domain.Wires() {
+		// One warm-up pass per wire so neither side pays the shard-
+		// decode cache fill.
+		if _, _, _, _, err := streamConsume(url, "", wire); err != nil {
+			return nil, err
+		}
+		res := &ServeBenchResult{Clients: cfg.Clients, BatchSize: cfg.BatchSize, Backend: "mem",
+			Domain: string(cfg.Domain), Kind: plug.Codec.Kind(), Wire: wire}
+		// Cache counters are server-lifetime; record this wire's delta,
+		// not the accumulated total of warm-up and earlier wires.
+		before := s.cache.Stats()
+		if err := measureStreams(res, url, wire, cfg.Clients, cfg.Passes); err != nil {
+			return nil, err
+		}
+		cs := s.cache.Stats()
+		res.CacheHits, res.CacheMisses = cs.Hits-before.Hits, cs.Misses-before.Misses
+		if wire == domain.WireFrame {
+			cmp.Frame = res
+		} else {
+			cmp.NDJSON = res
+		}
+	}
+	if cmp.NDJSON.Seconds > 0 && cmp.Frame.Seconds > 0 {
+		nd := float64(cmp.NDJSON.Samples) / cmp.NDJSON.Seconds
+		fr := float64(cmp.Frame.Samples) / cmp.Frame.Seconds
+		if nd > 0 {
+			cmp.FrameOverNDJSON = fr / nd
+		}
+	}
+	return cmp, nil
 }
 
 // serveCompareRounds is how many interleaved mem/fs rounds feed the
@@ -300,112 +387,27 @@ func median(v []float64) float64 {
 }
 
 // SubmitAndWait posts a job spec to a running draid server and polls it
-// until done, returning the job ID.
+// until done, returning the job ID — a thin wrapper over the pkg/client
+// SDK kept for the benchmark harness and tests.
 func SubmitAndWait(baseURL string, spec JobSpec, timeout time.Duration) (string, error) {
-	body, err := json.Marshal(spec)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	c := client.New(baseURL, client.WithPollInterval(5*time.Millisecond))
+	st, err := c.SubmitJob(ctx, spec)
 	if err != nil {
 		return "", err
 	}
-	resp, err := http.Post(baseURL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	done, err := c.WaitDone(ctx, st.ID)
 	if err != nil {
 		return "", err
 	}
-	var st JobStatus
-	err = json.NewDecoder(resp.Body).Decode(&st)
-	resp.Body.Close()
-	if err != nil {
-		return "", err
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		return "", fmt.Errorf("submit: status %d", resp.StatusCode)
-	}
-
-	deadline := time.Now().Add(timeout)
-	for {
-		resp, err := http.Get(baseURL + "/v1/jobs/" + st.ID)
-		if err != nil {
-			return "", err
-		}
-		var cur JobStatus
-		err = json.NewDecoder(resp.Body).Decode(&cur)
-		resp.Body.Close()
-		if err != nil {
-			return "", err
-		}
-		switch cur.State {
-		case JobDone:
-			return cur.ID, nil
-		case JobFailed:
-			return "", fmt.Errorf("job %s failed: %s", cur.ID, cur.Error)
-		}
-		if time.Now().After(deadline) {
-			return "", fmt.Errorf("job %s still %s after %s", cur.ID, cur.State, timeout)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	return done.ID, nil
 }
 
-// BatchWire is the client-side view of one streamed NDJSON line of
-// /v1/jobs/{id}/batches — the union of every kind's payload schema, so
-// generic tooling can decode any domain's stream. The field order
-// matches the per-codec server emission exactly, so unmarshal →
-// re-marshal reproduces a line byte-for-byte (the resume tests and
-// clustersmoke rely on this). Exactly one payload group is populated:
-//
-//	kind "samples":          features, labels
-//	kind "fusion_windows":   labels, signals, shots, starts, horizons
-//	kind "materials_graphs": graphs
-//
-// The cursor names the position after this batch: pass it back as
-// ?cursor=… to resume the stream exactly there after a disconnect.
-type BatchWire struct {
-	Batch    int               `json:"batch"`
-	Cursor   string            `json:"cursor"`
-	Kind     string            `json:"kind,omitempty"`
-	Features [][]float32       `json:"features,omitempty"`
-	Labels   []int64           `json:"labels,omitempty"`
-	Signals  [][]float32       `json:"signals,omitempty"`
-	Shots    []int64           `json:"shots,omitempty"`
-	Starts   []int64           `json:"starts,omitempty"`
-	Horizons []float32         `json:"horizons,omitempty"`
-	Graphs   []json.RawMessage `json:"graphs,omitempty"`
-	Error    string            `json:"error,omitempty"`
-}
-
-// Count returns the number of records in the batch, whatever its kind.
-func (w *BatchWire) Count() int {
-	if len(w.Graphs) > 0 {
-		return len(w.Graphs)
-	}
-	return len(w.Labels)
-}
-
-// check validates the batch's per-kind shape invariants.
-func (w *BatchWire) check() error {
-	if w.Error != "" {
-		return fmt.Errorf("server error: %s", w.Error)
-	}
-	switch w.Kind {
-	case "samples":
-		if len(w.Features) == 0 || len(w.Features) != len(w.Labels) {
-			return fmt.Errorf("%d feature rows vs %d labels", len(w.Features), len(w.Labels))
-		}
-	case "fusion_windows":
-		if len(w.Signals) == 0 || len(w.Signals) != len(w.Labels) ||
-			len(w.Shots) != len(w.Labels) || len(w.Starts) != len(w.Labels) ||
-			len(w.Horizons) != len(w.Labels) {
-			return fmt.Errorf("ragged fusion batch: %d signals / %d labels / %d shots / %d starts / %d horizons",
-				len(w.Signals), len(w.Labels), len(w.Shots), len(w.Starts), len(w.Horizons))
-		}
-	case "materials_graphs":
-		if len(w.Graphs) == 0 {
-			return fmt.Errorf("empty graph batch")
-		}
-	default:
-		return fmt.Errorf("unknown wire kind %q", w.Kind)
-	}
-	return nil
-}
+// BatchWire is the client-side union of every wire kind's batch
+// payload; it lives in pkg/client (the supported SDK) and is aliased
+// here for the serving tests.
+type BatchWire = client.BatchWire
 
 // StreamBatches consumes one NDJSON batch stream, validating every
 // line, and returns (batches, samples, bytes).
@@ -419,34 +421,22 @@ func StreamBatches(url string) (batches, samples, n int64, err error) {
 // after the last batch received — the value a reconnecting client
 // passes back to continue the stream.
 func StreamBatchesFrom(url, cursor string) (batches, samples, n int64, last string, err error) {
+	return streamConsume(url, cursor, client.WireNDJSON)
+}
+
+// streamConsume drains one batch stream through the SDK in the given
+// wire format, with automatic resume disabled so benchmarks and tests
+// see transport failures instead of silent reconnects.
+func streamConsume(url, cursor, wire string) (batches, samples, n int64, last string, err error) {
 	last = cursor
-	if cursor != "" {
-		url += "&cursor=" + cursor
-	}
-	resp, err := http.Get(url)
+	st, err := client.OpenStreamURL(context.Background(), nil, url, cursor, wire, -1)
 	if err != nil {
 		return 0, 0, 0, last, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		b, _ := io.ReadAll(resp.Body)
-		return 0, 0, 0, last, fmt.Errorf("stream: status %d: %s", resp.StatusCode, b)
+	defer st.Close()
+	batches, samples, n, err = st.Drain()
+	if c := st.Cursor(); c != "" {
+		last = c
 	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	for sc.Scan() {
-		line := sc.Bytes()
-		n += int64(len(line)) + 1
-		var wire BatchWire
-		if err := json.Unmarshal(line, &wire); err != nil {
-			return batches, samples, n, last, fmt.Errorf("stream: bad line: %w", err)
-		}
-		if err := wire.check(); err != nil {
-			return batches, samples, n, last, fmt.Errorf("stream: %w", err)
-		}
-		batches++
-		samples += int64(wire.Count())
-		last = wire.Cursor
-	}
-	return batches, samples, n, last, sc.Err()
+	return batches, samples, n, last, err
 }

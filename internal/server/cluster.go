@@ -122,7 +122,18 @@ func (s *Server) clusterSubmit(w http.ResponseWriter, r *http.Request, spec JobS
 			writeError(w, http.StatusInternalServerError, rerr)
 			return
 		}
-		req.Header.Set("Content-Type", "application/json")
+		// Propagate the caller's content negotiation instead of
+		// clobbering it: the terminal hop must see the same Accept (and
+		// any content-type parameters) the client sent, or forwarded
+		// requests would silently lose wire-format negotiation.
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			req.Header.Set("Content-Type", ct)
+		} else {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if accept := r.Header.Get("Accept"); accept != "" {
+			req.Header.Set("Accept", accept)
+		}
 		req.Header.Set(cluster.HeaderJobID, id)
 		if err := c.Relay(w, req, owner); err == nil {
 			s.clusterProxied.Add(1)

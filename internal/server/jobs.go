@@ -17,17 +17,22 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/provenance"
 	"repro/internal/shard"
+	"repro/pkg/client"
 )
 
+// The REST API types are owned by pkg/client — the supported SDK — so
+// the server serves exactly the structs clients decode. The aliases
+// keep this package's vocabulary.
+
 // JobState is the lifecycle position of a submitted job.
-type JobState string
+type JobState = client.JobState
 
 // Job lifecycle states.
 const (
-	JobQueued  JobState = "queued"
-	JobRunning JobState = "running"
-	JobDone    JobState = "done"
-	JobFailed  JobState = "failed"
+	JobQueued  = client.JobQueued
+	JobRunning = client.JobRunning
+	JobDone    = client.JobDone
+	JobFailed  = client.JobFailed
 )
 
 // JobSpec is the submission body: which domain template to run and how
@@ -37,33 +42,10 @@ type JobSpec = domain.Spec
 
 // TrajectoryPoint is one stage of the job's readiness trajectory — the
 // Table 2 walk exposed over the API.
-type TrajectoryPoint struct {
-	Stage     string   `json:"stage"`
-	Kind      string   `json:"kind"`
-	Level     int      `json:"level"`
-	LevelName string   `json:"level_name"`
-	Gaps      []string `json:"gaps,omitempty"`
-}
+type TrajectoryPoint = client.TrajectoryPoint
 
 // JobStatus is the JSON view of a job.
-type JobStatus struct {
-	ID        string     `json:"id"`
-	Spec      JobSpec    `json:"spec"`
-	State     JobState   `json:"state"`
-	Error     string     `json:"error,omitempty"`
-	Submitted time.Time  `json:"submitted"`
-	Started   *time.Time `json:"started,omitempty"`
-	Finished  *time.Time `json:"finished,omitempty"`
-	Records   int64      `json:"records"`
-	Shards    int        `json:"shards"`
-	// Kind names the wire payload schema /batches streams for this
-	// job's domain (see /v1/templates for the catalog).
-	Kind       string            `json:"kind,omitempty"`
-	Servable   bool              `json:"servable"`
-	Trajectory []TrajectoryPoint `json:"trajectory,omitempty"`
-	// Node is the fleet member holding the job (empty single-node).
-	Node string `json:"node,omitempty"`
-}
+type JobStatus = client.JobStatus
 
 // Job is one pipeline run owned by the server.
 type Job struct {
@@ -109,6 +91,7 @@ func (j *Job) Status() JobStatus {
 	}
 	if plug, err := domain.Lookup(j.spec.Domain); err == nil {
 		st.Kind = plug.Codec.Kind()
+		st.Wires = domain.Wires()
 	}
 	if !j.started.IsZero() {
 		t := j.started

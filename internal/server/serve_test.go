@@ -5,6 +5,8 @@
 package server
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -17,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/domain"
+	"repro/pkg/client"
 )
 
 // metricValue scrapes one counter from /metrics.
@@ -41,10 +44,48 @@ func metricValue(t *testing.T, baseURL, name string) int64 {
 	return 0
 }
 
+// streamWire decodes a batch stream into comparable lines in either
+// wire format: NDJSON is read raw off the HTTP body, frames go through
+// the SDK decoder — both land in the kind-agnostic streamLine form so
+// cross-format equality is a map comparison.
+func streamWire(t *testing.T, url, cursor, wire string) []streamLine {
+	t.Helper()
+	if wire == domain.WireNDJSON {
+		return streamFrom(t, url, cursor)
+	}
+	st, err := client.OpenStreamURL(context.Background(), nil, url, cursor, wire, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var out []streamLine
+	for {
+		b, err := st.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var payload map[string]any
+		if err := json.Unmarshal(raw, &payload); err != nil {
+			t.Fatal(err)
+		}
+		delete(payload, "batch")
+		out = append(out, streamLine{cursor: b.Cursor, kind: b.Kind, payload: payload})
+	}
+}
+
 // TestAllDomainsStreamAndResumeAcrossRestart is the acceptance path of
-// the plugin refactor: POST /v1/jobs then GET /v1/jobs/{id}/batches
-// succeeds for all four domains, and a cursor taken mid-stream resumes
-// exactly — on a freshly restarted server over the same data dir.
+// the plugin refactor and the wire negotiation: POST /v1/jobs then
+// GET /v1/jobs/{id}/batches succeeds for all four domains in both wire
+// formats — same records, same cursors — and a cursor taken mid-stream
+// resumes exactly, in either format, on a freshly restarted server
+// over the same data dir.
 func TestAllDomainsStreamAndResumeAcrossRestart(t *testing.T) {
 	dataDir := t.TempDir()
 	s1, err := New(Options{Workers: 4, DataDir: dataDir})
@@ -75,7 +116,8 @@ func TestAllDomainsStreamAndResumeAcrossRestart(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ref := streamFrom(t, ts1.URL+"/v1/jobs/"+id+"/batches?batch_size=2", "")
+		url := ts1.URL + "/v1/jobs/" + id + "/batches?batch_size=2"
+		ref := streamFrom(t, url, "")
 		if len(ref) < 3 {
 			t.Fatalf("%s: only %d batches", d, len(ref))
 		}
@@ -84,6 +126,10 @@ func TestAllDomainsStreamAndResumeAcrossRestart(t *testing.T) {
 				t.Fatalf("%s line %d kind %q, want %q", d, i, line.kind, plug.Codec.Kind())
 			}
 		}
+		// The binary frame stream must carry the same records with the
+		// same cursors as the NDJSON reference.
+		framed := streamWire(t, url, "", domain.WireFrame)
+		assertSuffix(t, fmt.Sprintf("%s frame/ndjson equivalence", d), framed, ref)
 		jobs[d] = &jobRef{id: id, kind: plug.Codec.Kind(), ref: ref, cursorAt: len(ref) / 2}
 	}
 
@@ -107,9 +153,76 @@ func TestAllDomainsStreamAndResumeAcrossRestart(t *testing.T) {
 			t.Fatalf("%s: restart status %+v", d, st)
 		}
 		// Resume from a mid-stream cursor taken before the restart: the
-		// suffix must reproduce the original stream exactly.
-		got := streamFrom(t, ts2.URL+"/v1/jobs/"+j.id+"/batches?batch_size=2", j.ref[j.cursorAt].cursor)
-		assertSuffix(t, fmt.Sprintf("%s resume across restart", d), got, j.ref[j.cursorAt+1:])
+		// suffix must reproduce the original stream exactly — in both
+		// wire formats.
+		url := ts2.URL + "/v1/jobs/" + j.id + "/batches?batch_size=2"
+		for _, wire := range domain.Wires() {
+			got := streamWire(t, url, j.ref[j.cursorAt].cursor, wire)
+			assertSuffix(t, fmt.Sprintf("%s %s resume across restart", d, wire), got, j.ref[j.cursorAt+1:])
+		}
+	}
+}
+
+// TestWireNegotiation pins the Accept-header contract: NDJSON is the
+// default (wildcard accepts included), an explicit frame Accept flips
+// the stream to frames, and both answers are labelled with
+// Content-Type and X-Draid-Wire.
+func TestWireNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, CacheBytes: 32 << 20})
+	id, err := SubmitAndWait(ts.URL, JobSpec{Domain: core.Climate, Seed: 2, Months: 12, Lat: 8, Lon: 16}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := ts.URL + "/v1/jobs/" + id + "/batches?batch_size=4"
+	for _, tc := range []struct {
+		accept   string
+		wantWire string
+		wantCT   string
+	}{
+		{"", "ndjson", "application/x-ndjson"},
+		{"*/*", "ndjson", "application/x-ndjson"},
+		{"application/json, text/plain", "ndjson", "application/x-ndjson"},
+		{"application/x-draid-frame", "frame", "application/x-draid-frame"},
+		{"APPLICATION/X-DRAID-FRAME", "frame", "application/x-draid-frame"},
+		{"application/x-draid-frame;q=1.0, application/x-ndjson;q=0.5", "frame", "application/x-draid-frame"},
+		{"application/x-ndjson, application/x-draid-frame", "frame", "application/x-draid-frame"},
+		// q=0 is an explicit refusal (RFC 9110): never serve frames.
+		{"application/x-draid-frame;q=0", "ndjson", "application/x-ndjson"},
+		{"application/x-ndjson, application/x-draid-frame;q=0.0", "ndjson", "application/x-ndjson"},
+		// A client that prefers NDJSON but tolerates frames keeps NDJSON;
+		// the reverse preference gets frames.
+		{"application/x-ndjson, application/x-draid-frame;q=0.1", "ndjson", "application/x-ndjson"},
+		{"application/x-draid-frame;q=0.5, application/x-ndjson;q=0.4", "frame", "application/x-draid-frame"},
+		{"*/*, application/x-draid-frame;q=0.5", "ndjson", "application/x-ndjson"},
+	} {
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.accept != "" {
+			req.Header.Set("Accept", tc.accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("Accept %q: status %d", tc.accept, resp.StatusCode)
+		}
+		if got := resp.Header.Get(domain.HeaderWire); got != tc.wantWire {
+			t.Fatalf("Accept %q: X-Draid-Wire %q, want %q", tc.accept, got, tc.wantWire)
+		}
+		if got := resp.Header.Get("Content-Type"); got != tc.wantCT {
+			t.Fatalf("Accept %q: Content-Type %q, want %q", tc.accept, got, tc.wantCT)
+		}
+		if len(body) == 0 {
+			t.Fatalf("Accept %q: empty stream", tc.accept)
+		}
+		if tc.wantWire == "ndjson" && body[0] != '{' {
+			t.Fatalf("Accept %q: NDJSON stream does not start with a JSON object", tc.accept)
+		}
 	}
 }
 
@@ -176,9 +289,59 @@ func TestServeErrorMetric(t *testing.T) {
 	}
 }
 
+// assertPaced sizes url's payload with an unpaced stream in the given
+// wire format, re-streams it paced at a rate making the nominal
+// full-stream time ~1 second, and requires the identical payload, a
+// real delay (at least half the nominal time beyond the pacer's
+// burst — half, to stay robust under scheduler slop; there is no
+// upper bound to check in the other direction), and a throttled-
+// counter tick. Returns the KiB/s rate it paced at.
+func assertPaced(t *testing.T, s *Server, url, wire string) int {
+	t.Helper()
+	_, _, bytes, _, err := streamConsume(url, "", wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kbps := int(bytes / 1024)
+	if kbps < 1 {
+		kbps = 1
+	}
+	throttledBefore := s.serveThrottled.Load()
+	start := time.Now()
+	_, _, paced, _, err := streamConsume(fmt.Sprintf("%s&max_kbps=%d", url, kbps), "", wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if paced != bytes {
+		t.Fatalf("paced %s stream served %d bytes, want %d", wire, paced, bytes)
+	}
+	// Recompute the pacer's burst clamp to find the paced remainder.
+	rate := float64(int64(kbps) << 10)
+	burst := rate / 4
+	if burst < 4<<10 {
+		burst = 4 << 10
+	}
+	if burst > 256<<10 {
+		burst = 256 << 10
+	}
+	rem := float64(bytes) - burst
+	if rem <= 0 {
+		t.Fatalf("%s stream too small (%d bytes) to exercise pacing beyond the %d-byte burst", wire, bytes, int64(burst))
+	}
+	if minTime := time.Duration(rem / rate / 2 * float64(time.Second)); elapsed < minTime {
+		t.Fatalf("paced %s stream of %d bytes at %d KiB/s finished in %s (< %s)", wire, bytes, kbps, elapsed, minTime)
+	}
+	if s.serveThrottled.Load() == throttledBefore {
+		t.Fatalf("paced %s stream not counted in draid_serve_throttled_total", wire)
+	}
+	return kbps
+}
+
 // TestServeRateControl: ?max_kbps= paces the stream with a token bucket
-// and the throttled-streams counter ticks. The unpaced stream finishes
-// the same payload far faster than the paced one.
+// and the throttled-streams counter ticks — in both wire formats. The
+// unpaced stream finishes the same payload far faster than the paced
+// one.
 func TestServeRateControl(t *testing.T) {
 	s, err := New(Options{Workers: 1, CacheBytes: 32 << 20})
 	if err != nil {
@@ -193,50 +356,17 @@ func TestServeRateControl(t *testing.T) {
 	}
 	url := ts.URL + "/v1/jobs/" + id + "/batches?batch_size=1"
 
-	// Unpaced reference: full stream, bytes counted.
-	_, _, bytes, err := StreamBatches(url)
-	if err != nil {
+	if _, _, _, err := StreamBatches(url); err != nil {
 		t.Fatal(err)
 	}
 	if s.serveThrottled.Load() != 0 {
 		t.Fatal("unpaced stream counted as throttled")
 	}
-	// Pace at a rate making the nominal full-stream time ~1 second.
-	kbps := int(bytes / 1024)
-	if kbps < 1 {
-		kbps = 1
-	}
-	start := time.Now()
-	_, _, paced, err := StreamBatches(fmt.Sprintf("%s&max_kbps=%d", url, kbps))
-	if err != nil {
-		t.Fatal(err)
-	}
-	elapsed := time.Since(start)
-	if paced != bytes {
-		t.Fatalf("paced stream served %d bytes, want %d", paced, bytes)
-	}
-	// Recompute the pacer's burst; bytes beyond it must take at least
-	// half their nominal time (half, to stay robust under scheduler
-	// slop in the other direction there is no upper bound to check).
-	rate := float64(int64(kbps) << 10)
-	burst := rate / 4
-	if burst < 4<<10 {
-		burst = 4 << 10
-	}
-	if burst > 256<<10 {
-		burst = 256 << 10
-	}
-	if rem := float64(bytes) - burst; rem > 0 {
-		minTime := time.Duration(rem / rate / 2 * float64(time.Second))
-		if elapsed < minTime {
-			t.Fatalf("paced stream of %d bytes at %d KiB/s finished in %s (< %s)", bytes, kbps, elapsed, minTime)
-		}
-	} else {
-		t.Fatalf("stream too small (%d bytes) to exercise pacing beyond the %d-byte burst", bytes, int64(burst))
-	}
-	if s.serveThrottled.Load() == 0 {
-		t.Fatal("paced stream not counted in draid_serve_throttled_total")
-	}
+
+	// Both wire formats are paced by the same token bucket over their
+	// own encoded bytes.
+	kbps := assertPaced(t, s, url, domain.WireNDJSON)
+	assertPaced(t, s, url, domain.WireFrame)
 
 	// The server-wide ceiling clamps client requests above it.
 	s2, err := New(Options{Workers: 1, ServeMaxKBps: kbps})

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/provenance"
 	"repro/internal/registry"
 	"repro/internal/shard"
+	"repro/pkg/client"
 )
 
 // Options tunes a Server.
@@ -357,7 +359,6 @@ func (s *Server) nodeID() string {
 	return ""
 }
 
-
 // Handler returns the HTTP handler (also usable under httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
 
@@ -651,22 +652,18 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
 
-// TemplateInfo is the catalog entry served by /v1/templates. Kind names
-// the NDJSON payload schema /batches streams for the domain, and
-// Servable says whether completed jobs stream at all — discovery fields
-// so clients pick a decoder instead of probing for 409s.
-type TemplateInfo struct {
-	Domain      string `json:"domain"`
-	Description string `json:"description"`
-	Kind        string `json:"kind"`
-	Servable    bool   `json:"servable"`
-}
+// TemplateInfo is the catalog entry served by /v1/templates: the wire
+// kind, the negotiable wire formats, and whether completed jobs stream
+// at all — discovery fields so clients pick a decoder instead of
+// probing for 409s.
+type TemplateInfo = client.TemplateInfo
 
 func (s *Server) handleTemplates(w http.ResponseWriter, _ *http.Request) {
 	plugs := domain.Plugins()
 	out := make([]TemplateInfo, len(plugs))
 	for i, p := range plugs {
-		info := TemplateInfo{Domain: string(p.Domain), Kind: p.Codec.Kind(), Servable: true}
+		info := TemplateInfo{Domain: string(p.Domain), Kind: p.Codec.Kind(),
+			Wires: domain.Wires(), Servable: true}
 		if t, err := registry.Lookup(p.Domain); err == nil {
 			info.Description = t.Description
 		}
@@ -881,7 +878,19 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 	}
 	job.touch()
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	// Content negotiation: NDJSON unless the client's Accept asks for
+	// the binary frame format. X-Draid-Wire names the format actually
+	// chosen, so clients need not re-parse the content type.
+	wire := domain.WireNDJSON
+	if acceptsFrames(r) {
+		wire = domain.WireFrame
+	}
+	if wire == domain.WireFrame {
+		w.Header().Set("Content-Type", domain.ContentTypeFrame)
+	} else {
+		w.Header().Set("Content-Type", domain.ContentTypeNDJSON)
+	}
+	w.Header().Set(domain.HeaderWire, wire)
 	w.Header().Set("X-Draid-Cursor", start.String())
 	cw := &countingResponseWriter{w: w}
 	enc := json.NewEncoder(cw)
@@ -891,30 +900,53 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 		pace = newPacer(int64(maxKBps) << 10)
 	}
 
+	// emitError reports a mid-stream failure in-band, in the stream's
+	// own format (NDJSON error line or error frame).
+	emitError := func(err error) {
+		s.serveErrors.Add(1)
+		if wire == domain.WireFrame {
+			_, _ = cw.Write(domain.EncodeErrorFrame(err.Error()))
+			return
+		}
+		line, _ := json.Marshal(map[string]string{"error": err.Error()})
+		cw.writeLine(string(line))
+	}
+
 	served := 0
-	failed := false     // shard-read failure: error line already written
+	failed := false     // shard-read failure: error already reported in-band
 	emitFailed := false // write/encode failure: the connection is unusable
 	pos := start        // position after the last record buffered for emission
 	var pending []any
 	emit := func(recs []any) error {
 		// The codec references the cached record slices directly —
 		// encoding only reads them, and copying every batch would double
-		// memory traffic on the serving hot path.
-		line, err := codec.Line(domain.BatchHeader{
-			Batch: served, Cursor: pos.String(), Kind: codec.Kind()}, recs)
-		if err != nil {
-			// Server-side encode failure with a healthy connection:
-			// nothing was written yet, so the client can still be told —
-			// same contract as the shard-read failure path. (Write/pace
-			// errors below get no line; that connection is already dead.)
-			s.serveErrors.Add(1)
-			el, _ := json.Marshal(map[string]string{"error": err.Error()})
-			cw.writeLine(string(el))
-			return err
-		}
+		// memory traffic on the serving hot path. Both formats account
+		// the codec-encoded bytes they actually put on the wire (cw.n),
+		// so ?max_kbps= pacing throttles NDJSON and frames identically.
+		h := domain.BatchHeader{Batch: served, Cursor: pos.String(), Kind: codec.Kind()}
 		before := cw.n
-		if err := enc.Encode(line); err != nil {
-			return err
+		if wire == domain.WireFrame {
+			b, err := domain.EncodeFrame(codec, h, recs)
+			if err != nil {
+				// Encode failure with a healthy connection: nothing was
+				// written yet, so the client can still be told — same
+				// contract as the shard-read failure path. (Write/pace
+				// errors below get nothing; that connection is dead.)
+				emitError(err)
+				return err
+			}
+			if _, err := cw.Write(b); err != nil {
+				return err
+			}
+		} else {
+			line, err := codec.Line(h, recs)
+			if err != nil {
+				emitError(err)
+				return err
+			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
 		}
 		served++
 		s.batchesServed.Add(1)
@@ -935,12 +967,10 @@ shards:
 		info := manifest.Shards[si]
 		records, err := s.shardRecords(job.id, manifest, info, open, codec)
 		if err != nil {
-			// Headers are gone; the NDJSON error line is the only channel
-			// left — but the counter below makes the failure observable
+			// Headers are gone; the in-band error is the only channel
+			// left — but the counter makes the failure observable
 			// beyond whoever held this one connection.
-			s.serveErrors.Add(1)
-			line, _ := json.Marshal(map[string]string{"error": err.Error()})
-			cw.writeLine(string(line))
+			emitError(err)
 			failed = true
 			break
 		}
@@ -1121,6 +1151,53 @@ func (c *countingResponseWriter) Write(p []byte) (int, error) {
 func (c *countingResponseWriter) writeLine(line string) {
 	n, _ := c.w.Write([]byte(line + "\n"))
 	c.n += int64(n)
+}
+
+// acceptsFrames reports whether the request's Accept header asks for
+// the binary frame media type at least as strongly as for NDJSON.
+// Only an explicit frame mention opts in — wildcard accepts (curl's
+// */*) keep the debuggable NDJSON default — and q-values are honoured
+// per RFC 9110: ";q=0" refuses frames, and a lower frame q than the
+// client's (explicit or wildcard) NDJSON preference keeps NDJSON.
+func acceptsFrames(r *http.Request) bool {
+	frameQ, ndjsonQ, wildQ := -1.0, -1.0, -1.0
+	for _, accept := range r.Header.Values("Accept") {
+		for _, part := range strings.Split(accept, ",") {
+			mt, params, _ := strings.Cut(part, ";")
+			q := acceptQ(params)
+			switch strings.ToLower(strings.TrimSpace(mt)) {
+			case domain.ContentTypeFrame:
+				frameQ = q
+			case domain.ContentTypeNDJSON:
+				ndjsonQ = q
+			case "*/*", "application/*":
+				wildQ = q
+			}
+		}
+	}
+	if frameQ <= 0 {
+		return false // unmentioned or explicitly refused
+	}
+	effNDJSON := ndjsonQ
+	if effNDJSON < 0 {
+		effNDJSON = wildQ // NDJSON reachable through a wildcard only
+	}
+	return frameQ >= effNDJSON
+}
+
+// acceptQ extracts a media range's q-value from its parameter list
+// (1.0 when absent or unparsable, per RFC 9110's default weight).
+func acceptQ(params string) float64 {
+	for _, param := range strings.Split(params, ";") {
+		k, v, ok := strings.Cut(param, "=")
+		if !ok || !strings.EqualFold(strings.TrimSpace(k), "q") {
+			continue
+		}
+		if q, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+			return q
+		}
+	}
+	return 1
 }
 
 func queryInt(r *http.Request, key string, def int) (int, error) {

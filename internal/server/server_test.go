@@ -257,7 +257,7 @@ func TestFusionStreamsWindows(t *testing.T) {
 		if err := json.Unmarshal(sc.Bytes(), &wire); err != nil {
 			t.Fatal(err)
 		}
-		if err := wire.check(); err != nil {
+		if err := wire.Validate(); err != nil {
 			t.Fatal(err)
 		}
 		if wire.Kind != "fusion_windows" {
@@ -325,20 +325,10 @@ func TestMaterialsStreamsGraphs(t *testing.T) {
 		if err := json.Unmarshal(sc.Bytes(), &wire); err != nil {
 			t.Fatal(err)
 		}
-		if err := wire.check(); err != nil {
+		if err := wire.Validate(); err != nil {
 			t.Fatal(err)
 		}
-		for _, raw := range wire.Graphs {
-			var g struct {
-				Nodes        int       `json:"nodes"`
-				FeatureDim   int       `json:"feature_dim"`
-				NodeFeatures []float64 `json:"node_features"`
-				Edges        []int64   `json:"edges"`
-				EdgeLengths  []float64 `json:"edge_lengths"`
-			}
-			if err := json.Unmarshal(raw, &g); err != nil {
-				t.Fatal(err)
-			}
+		for _, g := range wire.Graphs {
 			if g.Nodes == 0 || g.FeatureDim == 0 || len(g.NodeFeatures) != g.Nodes*g.FeatureDim {
 				t.Fatalf("graph tensor shape: %+v", g)
 			}

@@ -1,0 +1,104 @@
+// Package client is the supported Go SDK for the draid service. It
+// owns the REST API's wire types (the server serves exactly these
+// structs), submits and follows jobs, and streams training batches in
+// either wire format — auto-negotiating the binary frame protocol,
+// falling back to NDJSON against older servers, and resuming from the
+// last cursor when a stream is cut mid-flight.
+package client
+
+import (
+	"time"
+
+	"repro/internal/domain"
+)
+
+// JobSpec is the submission body: which domain template to run and how
+// large a synthetic input to prepare (see domain.Spec for the knobs
+// and their ceilings).
+type JobSpec = domain.Spec
+
+// JobState is the lifecycle position of a submitted job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// TrajectoryPoint is one stage of a job's readiness trajectory — the
+// Table 2 walk exposed over the API.
+type TrajectoryPoint struct {
+	Stage     string   `json:"stage"`
+	Kind      string   `json:"kind"`
+	Level     int      `json:"level"`
+	LevelName string   `json:"level_name"`
+	Gaps      []string `json:"gaps,omitempty"`
+}
+
+// JobStatus is the JSON view of a job, as served by /v1/jobs/{id}.
+type JobStatus struct {
+	ID        string     `json:"id"`
+	Spec      JobSpec    `json:"spec"`
+	State     JobState   `json:"state"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Records   int64      `json:"records"`
+	Shards    int        `json:"shards"`
+	// Kind names the wire payload schema /batches streams for this
+	// job's domain (see /v1/templates for the catalog), and Wires the
+	// formats that schema can be streamed in ("ndjson", "frame").
+	Kind       string            `json:"kind,omitempty"`
+	Wires      []string          `json:"wires,omitempty"`
+	Servable   bool              `json:"servable"`
+	Trajectory []TrajectoryPoint `json:"trajectory,omitempty"`
+	// Node is the fleet member holding the job (empty single-node).
+	Node string `json:"node,omitempty"`
+}
+
+// TemplateInfo is the catalog entry served by /v1/templates. Kind
+// names the payload schema /batches streams for the domain, Wires the
+// negotiable wire formats, and Servable says whether completed jobs
+// stream at all — discovery fields so clients pick a decoder instead
+// of probing.
+type TemplateInfo struct {
+	Domain      string   `json:"domain"`
+	Description string   `json:"description"`
+	Kind        string   `json:"kind"`
+	Wires       []string `json:"wires,omitempty"`
+	Servable    bool     `json:"servable"`
+}
+
+// ClusterMember is one fleet member's row in the /v1/cluster report.
+type ClusterMember struct {
+	ID        string    `json:"id"`
+	URL       string    `json:"url"`
+	Self      bool      `json:"self,omitempty"`
+	Alive     bool      `json:"alive"`
+	Share     float64   `json:"share"`
+	LastProbe time.Time `json:"last_probe,omitzero"`
+	Failures  int       `json:"consecutive_failures,omitempty"`
+}
+
+// JobOwnership answers /v1/cluster?job=<id>: which member owns the ID.
+type JobOwnership struct {
+	ID    string `json:"id"`
+	Owner string `json:"owner"`
+	URL   string `json:"url"`
+	Local bool   `json:"local"`
+}
+
+// ClusterInfo is the /v1/cluster document.
+type ClusterInfo struct {
+	Clustered  bool            `json:"clustered"`
+	Self       string          `json:"self,omitempty"`
+	VNodes     int             `json:"vnodes,omitempty"`
+	Members    []ClusterMember `json:"members,omitempty"`
+	JobsLocal  int             `json:"jobs_local"`
+	Registered []string        `json:"registered_nodes,omitempty"`
+	Job        *JobOwnership   `json:"job,omitempty"`
+}

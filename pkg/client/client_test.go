@@ -1,0 +1,314 @@
+// SDK acceptance tests: typed job lifecycle, wire negotiation with
+// NDJSON fallback, cross-format payload equality, and transparent
+// cursor resume when connections are cut mid-stream (in both formats).
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/server"
+	"repro/pkg/client"
+)
+
+func newServer(t *testing.T, opts server.Options) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s, err := server.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+	return s, ts
+}
+
+func submitDone(t *testing.T, c *client.Client, spec client.JobSpec) *client.JobStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	st, err := c.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := c.WaitDone(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return done
+}
+
+func drainAll(t *testing.T, st *client.Stream) []client.BatchWire {
+	t.Helper()
+	var out []client.BatchWire
+	for {
+		b, err := st.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, *b)
+	}
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	_, ts := newServer(t, server.Options{Workers: 2, CacheBytes: 32 << 20})
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	// Discovery: templates advertise kind + wires.
+	tpls, err := c.Templates(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tpls) != len(core.Domains()) {
+		t.Fatalf("%d templates", len(tpls))
+	}
+	for _, tpl := range tpls {
+		if tpl.Kind == "" || !tpl.Servable {
+			t.Fatalf("template %+v not discoverable", tpl)
+		}
+		if !slices.Equal(tpl.Wires, []string{"ndjson", "frame"}) {
+			t.Fatalf("template %s wires %v", tpl.Domain, tpl.Wires)
+		}
+	}
+
+	done := submitDone(t, c, client.JobSpec{Domain: core.Climate, Seed: 4, Months: 24, Lat: 16, Lon: 32})
+	if done.State != client.JobDone || !done.Servable || done.Kind != "samples" {
+		t.Fatalf("job %+v", done)
+	}
+	if !slices.Equal(done.Wires, []string{"ndjson", "frame"}) {
+		t.Fatalf("job wires %v", done.Wires)
+	}
+	if len(done.Trajectory) == 0 {
+		t.Fatal("no readiness trajectory over the SDK")
+	}
+
+	// Auto negotiation lands on frames against this server...
+	auto, err := c.StreamBatches(ctx, done.ID, client.StreamOptions{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Wire() != client.WireFrame {
+		t.Fatalf("auto stream negotiated %q", auto.Wire())
+	}
+	frames := drainAll(t, auto)
+
+	// ...and a pinned-NDJSON stream serves the same records with the
+	// same cursors.
+	nd, err := c.StreamBatches(ctx, done.ID, client.StreamOptions{BatchSize: 4, Wire: client.WireNDJSON})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.Wire() != client.WireNDJSON {
+		t.Fatalf("ndjson stream negotiated %q", nd.Wire())
+	}
+	lines := drainAll(t, nd)
+	if len(frames) == 0 || len(frames) != len(lines) {
+		t.Fatalf("%d frame batches vs %d ndjson batches", len(frames), len(lines))
+	}
+	for i := range frames {
+		fb, _ := json.Marshal(frames[i])
+		lb, _ := json.Marshal(lines[i])
+		if string(fb) != string(lb) {
+			t.Fatalf("batch %d differs across wires:\n frame  %s\n ndjson %s", i, fb, lb)
+		}
+	}
+
+	// Cursor restart: a fresh stream from a mid-stream cursor serves
+	// exactly the suffix, in frames too.
+	mid := len(frames) / 2
+	rest, err := c.StreamBatches(ctx, done.ID, client.StreamOptions{BatchSize: 4, Cursor: frames[mid].Cursor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suffix := drainAll(t, rest)
+	if len(suffix) != len(frames)-mid-1 {
+		t.Fatalf("resumed %d batches, want %d", len(suffix), len(frames)-mid-1)
+	}
+	for i, b := range suffix {
+		if b.Cursor != frames[mid+1+i].Cursor {
+			t.Fatalf("resume cursor %d: %s vs %s", i, b.Cursor, frames[mid+1+i].Cursor)
+		}
+	}
+
+	// Pinned frames against a job that exists works end to end; a bad
+	// job 404s through the typed error path.
+	if _, err := c.Job(ctx, "job-999999"); err == nil {
+		t.Fatal("missing job did not error")
+	}
+}
+
+// chokeHandler aborts every /batches connection after limit bytes —
+// mid-line and mid-frame cuts included — simulating flaky transport.
+func chokeHandler(next http.Handler, limit int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/templates" || r.URL.Path == "/v1/jobs" || r.Method != http.MethodGet {
+			next.ServeHTTP(w, r)
+			return
+		}
+		next.ServeHTTP(&chokeWriter{ResponseWriter: w, limit: limit}, r)
+	})
+}
+
+type chokeWriter struct {
+	http.ResponseWriter
+	n, limit int
+}
+
+func (c *chokeWriter) Write(p []byte) (int, error) {
+	if c.n+len(p) > c.limit {
+		if part := c.limit - c.n; part > 0 {
+			_, _ = c.ResponseWriter.Write(p[:part])
+		}
+		if f, ok := c.ResponseWriter.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler) // cut the connection without a clean end
+	}
+	n, err := c.ResponseWriter.Write(p)
+	c.n += n
+	return n, err
+}
+
+func (c *chokeWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestStreamResumeOnDisconnect: with every batch connection cut after
+// a few KiB, Stream.Next reconnects from the last cursor and delivers
+// the exact clean-run record sequence with contiguous batch numbering
+// — in both wire formats.
+func TestStreamResumeOnDisconnect(t *testing.T) {
+	s, err := server.New(server.Options{Workers: 2, CacheBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	clean := httptest.NewServer(s.Handler())
+	t.Cleanup(clean.Close)
+	choked := httptest.NewServer(chokeHandler(s.Handler(), 4<<10))
+	t.Cleanup(choked.Close)
+
+	done := submitDone(t, client.New(clean.URL), client.JobSpec{Domain: core.Climate, Seed: 4, Months: 24, Lat: 16, Lon: 32})
+
+	for _, wire := range domain.Wires() {
+		t.Run(wire, func(t *testing.T) {
+			ctx := context.Background()
+			ref, err := client.New(clean.URL).StreamBatches(ctx, done.ID, client.StreamOptions{BatchSize: 1, Wire: wire})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := drainAll(t, ref)
+			if len(want) < 8 {
+				t.Fatalf("reference stream too small (%d batches)", len(want))
+			}
+
+			st, err := client.New(choked.URL).StreamBatches(ctx, done.ID,
+				client.StreamOptions{BatchSize: 1, Wire: wire, MaxResumes: 10000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := drainAll(t, st)
+			if len(got) != len(want) {
+				t.Fatalf("choked stream delivered %d batches, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Batch != i {
+					t.Fatalf("batch numbering not contiguous after resume: %d at %d", got[i].Batch, i)
+				}
+				gb, _ := json.Marshal(got[i])
+				wb, _ := json.Marshal(want[i])
+				if string(gb) != string(wb) {
+					t.Fatalf("batch %d differs after resumes:\n got  %s\n want %s", i, gb, wb)
+				}
+			}
+
+			// MaxBatches is a total across resumes, not per connection:
+			// even though each resumed connection restarts the server's
+			// count, the stream must stop at the cap.
+			cap := len(want) - 2
+			capped, err := client.New(choked.URL).StreamBatches(ctx, done.ID,
+				client.StreamOptions{BatchSize: 1, Wire: wire, MaxBatches: cap, MaxResumes: 10000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := drainAll(t, capped); len(got) != cap {
+				t.Fatalf("MaxBatches=%d delivered %d batches across resumes", cap, len(got))
+			}
+		})
+	}
+}
+
+// TestStreamCorruptFrameIsTerminal: a fully received but unparsable
+// frame must surface immediately — resuming replays the same bytes,
+// so retrying would hammer the server MaxResumes times for nothing.
+func TestStreamCorruptFrameIsTerminal(t *testing.T) {
+	var requests atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/{id}/batches", func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		w.Header().Set(domain.HeaderWire, domain.WireFrame)
+		w.Header().Set("Content-Type", domain.ContentTypeFrame)
+		// A complete frame claiming an unknown kind: length 8, kind
+		// "garbage!" — parses as a frame, fails kind resolution.
+		_, _ = w.Write(append([]byte{10, 8}, []byte("garbage!\x00\x00")...))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	st, err := client.New(ts.URL).StreamBatches(context.Background(), "job-000001",
+		client.StreamOptions{Wire: client.WireFrame, MaxResumes: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.Next()
+	var cf *domain.CorruptFrameError
+	if !errors.As(err, &cf) {
+		t.Fatalf("corrupt frame surfaced as %v", err)
+	}
+	if n := requests.Load(); n != 1 {
+		t.Fatalf("corrupt frame was retried: %d requests", n)
+	}
+}
+
+// TestStreamServerErrorIsTerminal: an in-band server error must not be
+// retried — the resume loop would hammer the same failure forever.
+func TestStreamServerErrorIsTerminal(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/{id}/batches", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(domain.HeaderWire, domain.WireNDJSON)
+		w.Header().Set("Content-Type", domain.ContentTypeNDJSON)
+		_, _ = w.Write([]byte(`{"error":"shard vanished"}` + "\n"))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	st, err := client.New(ts.URL).StreamBatches(context.Background(), "job-000001",
+		client.StreamOptions{MaxResumes: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.Next()
+	if err == nil || err == io.EOF {
+		t.Fatalf("server error line not surfaced: %v", err)
+	}
+	var se *domain.StreamError
+	if !errors.As(err, &se) || se.Msg != "shard vanished" {
+		t.Fatalf("error %v not a StreamError", err)
+	}
+}

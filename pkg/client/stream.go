@@ -1,0 +1,340 @@
+// Stream: one batch stream over either wire format, with content
+// negotiation and transparent cursor resume. The client asks for
+// frames via Accept, reads the server's X-Draid-Wire / Content-Type
+// answer to pick a decoder, and — when the connection is cut mid-
+// stream — reconnects from the cursor after the last delivered batch,
+// renumbering so consumers see one contiguous stream.
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/domain"
+)
+
+// StreamOptions tunes StreamBatches.
+type StreamOptions struct {
+	// BatchSize is records per batch; <=0 takes the server default.
+	BatchSize int
+	// MaxBatches caps the stream; <=0 streams the whole shard set.
+	MaxBatches int
+	// MaxKBps asks the server to pace the stream (it may pace tighter
+	// under its own ceiling, never looser).
+	MaxKBps int
+	// Cursor resumes a previous stream at its position.
+	Cursor string
+	// Wire overrides the client's wire preference for this stream.
+	Wire string
+	// MaxResumes bounds automatic reconnect-from-cursor attempts after
+	// a transport failure. 0 means DefaultMaxResumes; negative
+	// disables resuming.
+	MaxResumes int
+}
+
+// DefaultMaxResumes is how many transparent cursor reconnects a stream
+// attempts before surfacing the transport error.
+const DefaultMaxResumes = 3
+
+// StreamBatches opens the batch stream of a completed job.
+func (c *Client) StreamBatches(ctx context.Context, jobID string, opts StreamOptions) (*Stream, error) {
+	q := url.Values{}
+	if opts.BatchSize > 0 {
+		q.Set("batch_size", strconv.Itoa(opts.BatchSize))
+	}
+	if opts.MaxBatches > 0 {
+		q.Set("max_batches", strconv.Itoa(opts.MaxBatches))
+	}
+	if opts.MaxKBps > 0 {
+		q.Set("max_kbps", strconv.Itoa(opts.MaxKBps))
+	}
+	u := c.base + "/v1/jobs/" + url.PathEscape(jobID) + "/batches"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	wire := opts.Wire
+	if wire == "" {
+		wire = c.wire
+	}
+	s, err := OpenStreamURL(ctx, c.httpc, u, opts.Cursor, wire, opts.MaxResumes)
+	if err != nil {
+		return nil, err
+	}
+	// The server's max_batches cap is per-connection; carry it on the
+	// stream so transparent resumes cannot overshoot it.
+	s.maxBatches = opts.MaxBatches
+	return s, nil
+}
+
+// OpenStreamURL opens a batch stream against an already-built
+// /batches URL (which must not carry a cursor parameter — cursor is
+// passed separately so resume can rebuild it). httpc nil uses
+// http.DefaultClient; wire "" means WireAuto; maxResumes as in
+// StreamOptions.
+func OpenStreamURL(ctx context.Context, httpc *http.Client, rawURL, cursor, wire string, maxResumes int) (*Stream, error) {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	switch wire {
+	case "":
+		wire = WireAuto
+	case WireAuto, WireNDJSON, WireFrame:
+	default:
+		return nil, fmt.Errorf("client: unknown wire format %q", wire)
+	}
+	if maxResumes == 0 {
+		maxResumes = DefaultMaxResumes
+	}
+	if maxResumes < 0 {
+		maxResumes = 0
+	}
+	s := &Stream{
+		ctx:         ctx,
+		httpc:       httpc,
+		url:         rawURL,
+		wire:        wire,
+		cursor:      cursor,
+		resumesLeft: maxResumes,
+	}
+	if err := s.connect(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Stream is an open batch stream. Read with Next until io.EOF; Close
+// is only needed to abandon a stream early.
+type Stream struct {
+	ctx   context.Context
+	httpc *http.Client
+	url   string
+	wire  string // requested: auto|ndjson|frame
+
+	negotiated string // wire in use on the current connection
+	cursor     string // position after the last delivered batch
+	delivered  int
+	maxBatches int // total delivery cap across resumes (0 = unbounded)
+	batchBase  int // renumber offset applied after a resume
+	bytes      int64
+
+	resumesLeft int
+	body        io.ReadCloser
+	sc          *bufio.Scanner
+	fr          *domain.FrameReader
+	frStart     int64
+	done        bool
+}
+
+// Wire reports the negotiated wire format ("ndjson" or "frame").
+func (s *Stream) Wire() string { return s.negotiated }
+
+// Cursor is the resume position after the last batch Next returned.
+func (s *Stream) Cursor() string { return s.cursor }
+
+// Bytes is the total wire bytes consumed so far.
+func (s *Stream) Bytes() int64 { return s.bytes }
+
+// Close abandons the stream.
+func (s *Stream) Close() error {
+	s.done = true
+	if s.body != nil {
+		return s.body.Close()
+	}
+	return nil
+}
+
+func (s *Stream) connect() error {
+	u := s.url
+	if s.cursor != "" {
+		sep := "?"
+		if strings.Contains(u, "?") {
+			sep = "&"
+		}
+		u += sep + "cursor=" + url.QueryEscape(s.cursor)
+	}
+	req, err := http.NewRequestWithContext(s.ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	switch s.wire {
+	case WireFrame:
+		req.Header.Set("Accept", domain.ContentTypeFrame)
+	case WireNDJSON:
+		req.Header.Set("Accept", domain.ContentTypeNDJSON)
+	default: // auto: prefer frames, accept anything
+		req.Header.Set("Accept", domain.ContentTypeFrame+", "+domain.ContentTypeNDJSON+";q=0.9, */*;q=0.1")
+	}
+	resp, err := s.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		return fmt.Errorf("client: stream: status %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	negotiated := resp.Header.Get(domain.HeaderWire)
+	if negotiated == "" {
+		// Pre-negotiation servers: infer from the content type.
+		if strings.HasPrefix(resp.Header.Get("Content-Type"), domain.ContentTypeFrame) {
+			negotiated = domain.WireFrame
+		} else {
+			negotiated = domain.WireNDJSON
+		}
+	}
+	if s.wire == WireFrame && negotiated != domain.WireFrame {
+		resp.Body.Close()
+		return fmt.Errorf("client: server answered wire %q, frames required", negotiated)
+	}
+	if s.wire == WireNDJSON && negotiated != domain.WireNDJSON {
+		resp.Body.Close()
+		return fmt.Errorf("client: server answered wire %q to an NDJSON request", negotiated)
+	}
+	s.negotiated = negotiated
+	s.body = resp.Body
+	s.sc, s.fr, s.frStart = nil, nil, 0
+	if negotiated == domain.WireFrame {
+		s.fr = domain.NewFrameReader(resp.Body)
+	} else {
+		s.sc = bufio.NewScanner(resp.Body)
+		s.sc.Buffer(make([]byte, 1<<20), 1<<26)
+	}
+	return nil
+}
+
+// Next returns the next batch, validated, or io.EOF at a clean end of
+// stream. Transport failures mid-stream are retried transparently by
+// reconnecting from the current cursor (bounded by MaxResumes);
+// server-reported errors and malformed batches are terminal.
+func (s *Stream) Next() (*BatchWire, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	if s.maxBatches > 0 && s.delivered >= s.maxBatches {
+		s.done = true
+		s.body.Close()
+		return nil, io.EOF
+	}
+	for {
+		w, n, err := s.readOne()
+		if err == nil {
+			s.bytes += n
+			s.delivered++
+			w.Batch += s.batchBase
+			s.cursor = w.Cursor
+			return w, nil
+		}
+		if err == io.EOF {
+			s.done = true
+			s.body.Close()
+			return nil, io.EOF
+		}
+		if terminal(err) || s.resumesLeft <= 0 {
+			s.done = true
+			s.body.Close()
+			return nil, err
+		}
+		// Transport failure: reconnect from the cursor after the last
+		// delivered batch. The resumed connection renumbers from zero,
+		// so shift its indices to continue this stream's count.
+		s.resumesLeft--
+		s.body.Close()
+		s.batchBase = s.delivered
+		if cerr := s.connect(); cerr != nil {
+			s.done = true
+			return nil, fmt.Errorf("client: resume after %v: %w", err, cerr)
+		}
+	}
+}
+
+// terminal reports whether err can never be cured by reconnecting
+// from the same cursor: in-band server errors and malformed (but
+// fully received) batches or frames, as opposed to cut connections.
+func terminal(err error) bool {
+	var se *domain.StreamError
+	if errors.As(err, &se) {
+		return true
+	}
+	var cf *domain.CorruptFrameError
+	if errors.As(err, &cf) {
+		return true
+	}
+	var be *badBatchError
+	return errors.As(err, &be)
+}
+
+// badBatchError wraps a decode/validation failure of a fully received
+// batch — retrying would replay the same bytes.
+type badBatchError struct{ err error }
+
+func (e *badBatchError) Error() string { return e.err.Error() }
+func (e *badBatchError) Unwrap() error { return e.err }
+
+// readOne reads one batch off the current connection, returning its
+// wire byte cost.
+func (s *Stream) readOne() (*BatchWire, int64, error) {
+	if s.fr != nil {
+		h, recs, err := s.fr.Next()
+		if err != nil {
+			// io.EOF only surfaces at a frame boundary (clean end);
+			// mid-frame cuts arrive as io.ErrUnexpectedEOF and resume.
+			return nil, 0, err
+		}
+		n := s.fr.BytesRead() - s.frStart
+		s.frStart = s.fr.BytesRead()
+		w, err := fromRecords(h, recs)
+		if err != nil {
+			return nil, 0, &badBatchError{err}
+		}
+		if err := w.Validate(); err != nil {
+			return nil, 0, &badBatchError{err}
+		}
+		return w, n, nil
+	}
+	if !s.sc.Scan() {
+		if err := s.sc.Err(); err != nil {
+			return nil, 0, err
+		}
+		return nil, 0, io.EOF
+	}
+	line := s.sc.Bytes()
+	var w BatchWire
+	if err := json.Unmarshal(line, &w); err != nil {
+		// A cut connection truncates the final line; json garbage on a
+		// healthy stream also lands here and is bounded by MaxResumes.
+		return nil, 0, fmt.Errorf("bad stream line: %w", err)
+	}
+	if err := w.Validate(); err != nil {
+		var se *domain.StreamError
+		if errors.As(err, &se) {
+			return nil, 0, err // in-band server error line
+		}
+		return nil, 0, &badBatchError{err}
+	}
+	return &w, int64(len(line)) + 1, nil
+}
+
+// Drain consumes the remainder of the stream, validating every batch,
+// and returns what it saw: batches, records, and wire bytes.
+func (s *Stream) Drain() (batches, samples, bytes int64, err error) {
+	start := s.bytes
+	for {
+		w, err := s.Next()
+		if err == io.EOF {
+			return batches, samples, s.bytes - start, nil
+		}
+		if err != nil {
+			return batches, samples, s.bytes - start, err
+		}
+		batches++
+		samples += int64(w.Count())
+	}
+}

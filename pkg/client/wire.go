@@ -1,0 +1,164 @@
+// BatchWire: the single client-side union of every wire kind's batch
+// payload. Both wire formats decode into it — NDJSON lines unmarshal
+// directly, binary frames are converted from the codec's typed records
+// — so generic tooling handles any domain's stream in either format.
+package client
+
+import (
+	"fmt"
+
+	"repro/internal/domain"
+	"repro/internal/loader"
+)
+
+// StreamError is a failure the server reported in-band (an error line
+// or error frame). It is terminal — reconnecting with the same cursor
+// hits the same condition — and is re-exported here so SDK consumers
+// can errors.As against it without reaching into internal packages.
+type StreamError = domain.StreamError
+
+// Wire format selectors for Client / StreamOptions.
+const (
+	// WireAuto asks for frames and falls back to NDJSON when the
+	// server does not negotiate them — the default.
+	WireAuto = "auto"
+	// WireNDJSON pins the debuggable NDJSON stream.
+	WireNDJSON = domain.WireNDJSON
+	// WireFrame requires the binary frame stream; opening fails
+	// against a server that cannot serve it.
+	WireFrame = domain.WireFrame
+)
+
+// Graph is one materials wire record: a periodic cutoff graph with
+// ragged per-graph tensors flattened row-major alongside their shapes.
+// Clients index node_features[n*feature_dim+f] and read edges as
+// interleaved (src, dst) pairs. The field order matches the server's
+// NDJSON emission exactly, so unmarshal → re-marshal reproduces a
+// graph object byte-for-byte.
+type Graph struct {
+	Nodes        int       `json:"nodes"`
+	FeatureDim   int       `json:"feature_dim"`
+	NodeFeatures []float64 `json:"node_features"`
+	Edges        []int64   `json:"edges"`
+	EdgeLengths  []float64 `json:"edge_lengths"`
+	Energy       float64   `json:"energy"`
+	ClassID      int64     `json:"class_id"`
+}
+
+// BatchWire is one streamed batch of /v1/jobs/{id}/batches — the union
+// of every kind's payload schema. The field order matches the per-kind
+// server emission exactly, so unmarshal → re-marshal reproduces an
+// NDJSON line byte-for-byte (the resume tests and clustersmoke rely on
+// this). Exactly one payload group is populated:
+//
+//	kind "samples":          features, labels
+//	kind "fusion_windows":   labels, signals, shots, starts, horizons
+//	kind "materials_graphs": graphs
+//
+// The cursor names the position after this batch: pass it back as
+// ?cursor=… (or StreamOptions.Cursor) to resume the stream exactly
+// there after a disconnect.
+type BatchWire struct {
+	Batch    int         `json:"batch"`
+	Cursor   string      `json:"cursor"`
+	Kind     string      `json:"kind,omitempty"`
+	Features [][]float32 `json:"features,omitempty"`
+	Labels   []int64     `json:"labels,omitempty"`
+	Signals  [][]float32 `json:"signals,omitempty"`
+	Shots    []int64     `json:"shots,omitempty"`
+	Starts   []int64     `json:"starts,omitempty"`
+	Horizons []float32   `json:"horizons,omitempty"`
+	Graphs   []Graph     `json:"graphs,omitempty"`
+	Error    string      `json:"error,omitempty"`
+}
+
+// Count returns the number of records in the batch, whatever its kind.
+func (w *BatchWire) Count() int {
+	if len(w.Graphs) > 0 {
+		return len(w.Graphs)
+	}
+	return len(w.Labels)
+}
+
+// Validate checks the batch's per-kind shape invariants.
+func (w *BatchWire) Validate() error {
+	if w.Error != "" {
+		return &domain.StreamError{Msg: w.Error}
+	}
+	switch w.Kind {
+	case domain.KindSamples:
+		if len(w.Features) == 0 || len(w.Features) != len(w.Labels) {
+			return fmt.Errorf("%d feature rows vs %d labels", len(w.Features), len(w.Labels))
+		}
+	case domain.KindFusionWindows:
+		if len(w.Signals) == 0 || len(w.Signals) != len(w.Labels) ||
+			len(w.Shots) != len(w.Labels) || len(w.Starts) != len(w.Labels) ||
+			len(w.Horizons) != len(w.Labels) {
+			return fmt.Errorf("ragged fusion batch: %d signals / %d labels / %d shots / %d starts / %d horizons",
+				len(w.Signals), len(w.Labels), len(w.Shots), len(w.Starts), len(w.Horizons))
+		}
+	case domain.KindMaterialsGraphs:
+		if len(w.Graphs) == 0 {
+			return fmt.Errorf("empty graph batch")
+		}
+	default:
+		return fmt.Errorf("unknown wire kind %q", w.Kind)
+	}
+	return nil
+}
+
+// fromRecords converts one decoded frame (header + codec-typed
+// records) into the BatchWire union.
+func fromRecords(h domain.BatchHeader, recs []any) (*BatchWire, error) {
+	w := &BatchWire{Batch: h.Batch, Cursor: h.Cursor, Kind: h.Kind}
+	switch h.Kind {
+	case domain.KindSamples:
+		w.Features = make([][]float32, len(recs))
+		w.Labels = make([]int64, len(recs))
+		for i, r := range recs {
+			s, ok := r.(*loader.Sample)
+			if !ok {
+				return nil, fmt.Errorf("frame record %d is %T, want sample", i, r)
+			}
+			w.Features[i] = s.Features
+			w.Labels[i] = int64(s.Label)
+		}
+	case domain.KindFusionWindows:
+		w.Labels = make([]int64, len(recs))
+		w.Signals = make([][]float32, len(recs))
+		w.Shots = make([]int64, len(recs))
+		w.Starts = make([]int64, len(recs))
+		w.Horizons = make([]float32, len(recs))
+		for i, r := range recs {
+			f, ok := r.(*domain.FusionWindow)
+			if !ok {
+				return nil, fmt.Errorf("frame record %d is %T, want fusion window", i, r)
+			}
+			w.Labels[i] = f.Label
+			w.Signals[i] = f.Signal
+			w.Shots[i] = f.Shot
+			w.Starts[i] = f.Start
+			w.Horizons[i] = f.Horizon
+		}
+	case domain.KindMaterialsGraphs:
+		w.Graphs = make([]Graph, len(recs))
+		for i, r := range recs {
+			g, ok := r.(*domain.WireGraph)
+			if !ok {
+				return nil, fmt.Errorf("frame record %d is %T, want graph", i, r)
+			}
+			w.Graphs[i] = Graph{
+				Nodes:        g.Nodes,
+				FeatureDim:   g.FeatureDim,
+				NodeFeatures: g.NodeFeatures,
+				Edges:        g.Edges,
+				EdgeLengths:  g.EdgeLengths,
+				Energy:       g.Energy,
+				ClassID:      g.ClassID,
+			}
+		}
+	default:
+		return nil, fmt.Errorf("frame with unknown wire kind %q", h.Kind)
+	}
+	return w, nil
+}
