@@ -41,13 +41,21 @@ type node struct {
 	dead bool
 }
 
-var wire string
+var (
+	wire        string
+	verifyTrace bool
+)
+
+// smokeTrace is the pinned trace ID for raw streams; every hop must
+// echo it back exactly once (a duplicate means a proxy re-stamped it).
+const smokeTrace = "clustersmoke-trace.1"
 
 func main() {
 	draid := flag.String("draid", "", "path to a built draid binary (required)")
 	basePort := flag.Int("base-port", 18081, "first of three consecutive listen ports")
 	keep := flag.Bool("keep", false, "keep the data dir for inspection")
 	flag.StringVar(&wire, "wire", domain.WireNDJSON, "stream wire format to exercise (ndjson|frame)")
+	flag.BoolVar(&verifyTrace, "verify-trace", true, "assert X-Draid-Trace IDs survive every fleet hop")
 	flag.Parse()
 	log.SetFlags(0)
 	if *draid == "" {
@@ -71,7 +79,8 @@ func main() {
 	for i := range nodes {
 		id := fmt.Sprintf("n%d", i+1)
 		url := fmt.Sprintf("http://127.0.0.1:%d", *basePort+i)
-		nodes[i] = &node{id: id, url: url, cli: client.New(url, client.WithWire(wire))}
+		nodes[i] = &node{id: id, url: url,
+			cli: client.New(url, client.WithWire(wire), client.WithTrace("smoke-"+id))}
 		peers = append(peers, id+"="+url)
 	}
 	peerFlag := strings.Join(peers, ",")
@@ -120,8 +129,12 @@ func main() {
 		if err != nil {
 			log.Fatalf("clustersmoke: job via %s: %v", n.id, err)
 		}
+		if verifyTrace && st.Trace != "smoke-"+n.id {
+			log.Fatalf("clustersmoke: submission via %s surfaced trace %q, want %q",
+				n.id, st.Trace, "smoke-"+n.id)
+		}
 		ids[i] = st.ID
-		log.Printf("clustersmoke: %s done (submitted via %s)", st.ID, n.id)
+		log.Printf("clustersmoke: %s done (submitted via %s, trace %s)", st.ID, n.id, st.Trace)
 	}
 
 	// Fleet-wide ownership agreement, owner-direct == proxied bytes,
@@ -161,6 +174,37 @@ func main() {
 		decoded[id] = streamDecoded(owners[id].cli, id, "")
 		log.Printf("clustersmoke: %s owned by %s; proxied %s streams byte-identical (%d batches)",
 			id, owner, wire, len(decoded[id]))
+	}
+
+	// Redirect path: a 307 hop must land on the owner with the client's
+	// trace intact (Go's client re-sends custom headers on 307).
+	if verifyTrace {
+		var nonOwner *node
+		for _, n := range nodes {
+			if n.id != owners[ids[0]].id {
+				nonOwner = n
+				break
+			}
+		}
+		req, err := http.NewRequest(http.MethodGet, nonOwner.url+"/v1/jobs/"+ids[0], nil)
+		if err != nil {
+			log.Fatalf("clustersmoke: redirect probe: %v", err)
+		}
+		req.Header.Set(client.TraceHeader, smokeTrace)
+		req.Header.Set("X-Draid-Route", "redirect")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatalf("clustersmoke: redirect probe: %v", err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("clustersmoke: redirect probe status %d", resp.StatusCode)
+		}
+		if got := resp.Header.Get(client.TraceHeader); got != smokeTrace {
+			log.Fatalf("clustersmoke: redirected trace %q, want %q", got, smokeTrace)
+		}
+		log.Printf("clustersmoke: trace IDs verified across submissions, proxied streams, and redirects")
 	}
 
 	// Kill the owner of the first job mid-stream, then resume the same
@@ -243,6 +287,7 @@ func streamBytes(baseURL, jobID, cursor string) []byte {
 	if wire == domain.WireFrame {
 		req.Header.Set("Accept", domain.ContentTypeFrame)
 	}
+	req.Header.Set(client.TraceHeader, smokeTrace)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		log.Fatalf("clustersmoke: stream %s: %v", jobID, err)
@@ -257,6 +302,12 @@ func streamBytes(baseURL, jobID, cursor string) []byte {
 	}
 	if got := resp.Header.Get(domain.HeaderWire); got != wire {
 		log.Fatalf("clustersmoke: stream %s negotiated wire %q, want %q", jobID, got, wire)
+	}
+	if verifyTrace {
+		if got := resp.Header.Values(client.TraceHeader); len(got) != 1 || got[0] != smokeTrace {
+			log.Fatalf("clustersmoke: stream %s via %s returned trace header %v, want exactly one %q",
+				jobID, baseURL, got, smokeTrace)
+		}
 	}
 	return body
 }

@@ -39,12 +39,18 @@
 //	GET  /v1/jobs                    list jobs (fleet-merged; ?scope=local for this node)
 //	GET  /v1/jobs/{id}               job state + readiness trajectory + wire kind
 //	GET  /v1/jobs/{id}/provenance    lineage report (JSON)
+//	GET  /v1/jobs/{id}/events        lifecycle timeline (submitted → queued → running → ...)
 //	GET  /v1/jobs/{id}/batches       stream NDJSON training batches
 //	     ?batch_size=&max_batches=&cursor=<shard>:<record>  (resume point)
 //	     &max_kbps=<KiB/s>           (token-bucket pacing, capped by -serve-max-kbps)
 //	GET  /v1/cluster                 fleet membership + ownership (?job=<id>)
 //	GET  /metrics                    serving + pipeline + cluster metrics
 //	GET  /healthz                    liveness (also the fleet probe target)
+//
+// Every request carries an X-Draid-Trace ID (inherited from the client
+// or generated) that is echoed in the response, logged, and propagated
+// across fleet hops. -debug additionally mounts /debug/pprof, exports
+// runtime gauges on /metrics, and logs per-request debug lines.
 package main
 
 import (
@@ -53,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -80,8 +87,15 @@ func main() {
 	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per fleet member on the hash ring")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "fleet liveness probe spacing")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	debug := flag.Bool("debug", false, "mount /debug/pprof, export runtime gauges, log per-request debug lines")
 	flag.Parse()
 	log.SetFlags(0)
+
+	logLevel := slog.LevelInfo
+	if *debug {
+		logLevel = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel}))
 
 	var cl *cluster.Cluster
 	if *peers != "" {
@@ -107,6 +121,8 @@ func main() {
 		MaxJobs:      *maxJobs,
 		Requeue:      *requeue,
 		Cluster:      cl,
+		Debug:        *debug,
+		Logger:       logger,
 	})
 	if err != nil {
 		log.Fatalf("draid: %v", err)

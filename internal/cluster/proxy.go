@@ -97,6 +97,12 @@ func (c *Cluster) Relay(w http.ResponseWriter, req *http.Request, owner Node) er
 
 	h := w.Header()
 	for k, vs := range resp.Header {
+		// Headers the proxying node already stamped (like the trace ID
+		// its middleware set — which the upstream echoes, since the
+		// forwarded request carried it) must not be duplicated.
+		if _, set := h[k]; set {
+			continue
+		}
 		for _, v := range vs {
 			h.Add(k, v)
 		}

@@ -38,6 +38,15 @@ type ServeBenchResult struct {
 	BatchesPerSec float64 `json:"batches_per_sec"`
 	CacheHits     int64   `json:"cache_hits"`
 	CacheMisses   int64   `json:"cache_misses"`
+	// Latency percentiles from the server's telemetry histograms
+	// (draid_first_batch_seconds, draid_batch_encode_seconds), estimated
+	// by linear interpolation within histogram buckets — the same
+	// estimate Prometheus histogram_quantile gives operators, so the
+	// benchmark and the dashboards speak one language.
+	FirstBatchP50Ms  float64 `json:"first_batch_p50_ms"`
+	FirstBatchP99Ms  float64 `json:"first_batch_p99_ms"`
+	BatchEncodeP50Us float64 `json:"batch_encode_p50_us"`
+	BatchEncodeP99Us float64 `json:"batch_encode_p99_us"`
 }
 
 // Render formats the result for benchreport's console output.
@@ -52,9 +61,11 @@ func (r *ServeBenchResult) Render() string {
 	return fmt.Sprintf(
 		"Serving throughput — %d concurrent clients, batch size %d, %s:\n"+
 			"  %d batches (%d samples, %d bytes) in %.3fs\n"+
-			"  %.2f MiB/s, %.0f batches/s; shard cache %d hits / %d misses\n",
+			"  %.2f MiB/s, %.0f batches/s; shard cache %d hits / %d misses\n"+
+			"  first batch p50 %.2fms / p99 %.2fms; batch encode p50 %.1fµs / p99 %.1fµs\n",
 		r.Clients, r.BatchSize, workload, r.Batches, r.Samples, r.Bytes, r.Seconds,
-		r.BytesPerSec/(1024*1024), r.BatchesPerSec, r.CacheHits, r.CacheMisses)
+		r.BytesPerSec/(1024*1024), r.BatchesPerSec, r.CacheHits, r.CacheMisses,
+		r.FirstBatchP50Ms, r.FirstBatchP99Ms, r.BatchEncodeP50Us, r.BatchEncodeP99Us)
 }
 
 // ServeBenchConfig parameterizes RunServeBenchmark.
@@ -161,7 +172,19 @@ func RunServeBenchmark(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 	}
 	cs := s.cache.Stats()
 	res.CacheHits, res.CacheMisses = cs.Hits, cs.Misses
+	s.fillLatencies(res)
 	return res, nil
+}
+
+// fillLatencies reads the serve-latency histogram quantiles for the
+// result's domain × wire off the server's telemetry registry.
+func (s *Server) fillLatencies(res *ServeBenchResult) {
+	fb := s.metrics.firstBatch.With(res.Domain, res.Wire)
+	res.FirstBatchP50Ms = fb.Quantile(0.5) * 1e3
+	res.FirstBatchP99Ms = fb.Quantile(0.99) * 1e3
+	enc := s.metrics.batchEncode.With(res.Domain, res.Wire)
+	res.BatchEncodeP50Us = enc.Quantile(0.5) * 1e6
+	res.BatchEncodeP99Us = enc.Quantile(0.99) * 1e6
 }
 
 // measureStreams hammers one batch URL with clients×passes concurrent
@@ -356,6 +379,10 @@ func runWireComparison(cfg ServeBenchConfig) (*WireComparison, error) {
 		}
 		cs := s.cache.Stats()
 		res.CacheHits, res.CacheMisses = cs.Hits-before.Hits, cs.Misses-before.Misses
+		// Histogram quantiles are server-lifetime, but the warm-up adds
+		// only one stream per wire against Clients×Passes measured ones —
+		// and the per-wire labels keep the two wires' samples apart.
+		s.fillLatencies(res)
 		if wire == domain.WireFrame {
 			cmp.Frame = res
 		} else {

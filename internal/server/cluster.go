@@ -21,6 +21,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/shard"
+	"repro/internal/telemetry"
+	"repro/pkg/client"
 )
 
 // clusterMode reports whether this server is a fleet member.
@@ -57,15 +59,15 @@ func (s *Server) routedElsewhere(w http.ResponseWriter, r *http.Request) bool {
 			return false
 		}
 		if cluster.WantsRedirect(r) {
-			s.clusterRedirected.Add(1)
+			s.metrics.clusterRedirected.Inc()
 			cluster.Redirect(w, r, owner)
 			return true
 		}
 		if err := c.Forward(w, r, owner); err == nil {
-			s.clusterProxied.Add(1)
+			s.metrics.clusterProxied.Inc()
 			return true
 		}
-		s.clusterRetries.Add(1)
+		s.metrics.clusterRetries.Inc()
 		c.MarkDown(owner.ID) // fires adoption via OnChange before the retry
 	}
 	return false
@@ -77,6 +79,7 @@ func (s *Server) routedElsewhere(w http.ResponseWriter, r *http.Request) bool {
 // carrying ?job_id= when the client asked for redirects.
 func (s *Server) clusterSubmit(w http.ResponseWriter, r *http.Request, spec JobSpec) {
 	c := s.opts.Cluster
+	trace := telemetry.TraceFrom(r.Context())
 	id := r.Header.Get(cluster.HeaderJobID)
 	if id == "" {
 		id = r.URL.Query().Get("job_id")
@@ -97,7 +100,7 @@ func (s *Server) clusterSubmit(w http.ResponseWriter, r *http.Request, spec JobS
 	if cluster.Forwarded(r) {
 		// Terminal hop: enqueue here even if our ring view disagrees —
 		// any member can run any job, and the ID decides routing later.
-		s.submitLocal(w, spec, id)
+		s.submitLocal(w, spec, id, trace)
 		return
 	}
 	body, err := json.Marshal(spec)
@@ -108,11 +111,11 @@ func (s *Server) clusterSubmit(w http.ResponseWriter, r *http.Request, spec JobS
 	for range c.Nodes() {
 		owner := c.Owner(id)
 		if owner.ID == c.Self().ID {
-			s.submitLocal(w, spec, id)
+			s.submitLocal(w, spec, id, trace)
 			return
 		}
 		if cluster.WantsRedirect(r) {
-			s.clusterRedirected.Add(1)
+			s.metrics.clusterRedirected.Inc()
 			w.Header().Set(cluster.HeaderServedBy, owner.ID)
 			http.Redirect(w, r, owner.URL+"/v1/jobs?job_id="+url.QueryEscape(id), http.StatusTemporaryRedirect)
 			return
@@ -135,14 +138,19 @@ func (s *Server) clusterSubmit(w http.ResponseWriter, r *http.Request, spec JobS
 			req.Header.Set("Accept", accept)
 		}
 		req.Header.Set(cluster.HeaderJobID, id)
+		// The relayed submission is a new request, not a clone — carry
+		// the trace explicitly so the owner logs the same ID.
+		if trace != "" {
+			req.Header.Set(telemetry.TraceHeader, trace)
+		}
 		if err := c.Relay(w, req, owner); err == nil {
-			s.clusterProxied.Add(1)
+			s.metrics.clusterProxied.Inc()
 			return
 		}
-		s.clusterRetries.Add(1)
+		s.metrics.clusterRetries.Inc()
 		c.MarkDown(owner.ID)
 	}
-	s.submitLocal(w, spec, id) // every peer down: degrade to local service
+	s.submitLocal(w, spec, id, trace) // every peer down: degrade to local service
 }
 
 // clusterInfo is the /v1/cluster document.
@@ -270,8 +278,11 @@ func (s *Server) adoptOrphans(filterID string) {
 		}
 		s.jobs[id] = job
 		s.order = append(s.order, id)
+		s.metrics.jobsTotal.Set(float64(len(s.jobs)))
 		s.mu.Unlock()
-		s.clusterAdopted.Add(1)
+		s.metrics.clusterAdopted.Inc()
+		s.addDurableEvent(job, client.EventAdopted, "replayed from shared log after ownership change")
+		s.logger.Info("job adopted", "job", id, "trace", job.trace)
 		if requeue {
 			s.enqueueRestored(job)
 		}

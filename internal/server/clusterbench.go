@@ -201,7 +201,7 @@ func RunClusterBenchmark(cfg ClusterBenchConfig) (*ClusterBenchResult, error) {
 		res.BatchesPerSec = float64(res.Batches) / res.Seconds
 	}
 	for _, f := range fleet {
-		res.Proxied += f.s.clusterProxied.Load()
+		res.Proxied += int64(f.s.metrics.clusterProxied.Value())
 	}
 	return res, nil
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/anonymize"
 	"repro/internal/cluster"
 	"repro/internal/shard"
+	"repro/pkg/client"
 )
 
 // Log record types, one per line of jobs.log.
@@ -32,6 +33,7 @@ const (
 	recDone      = "done"      // pipeline finished; payload fields set
 	recFailed    = "failed"    // pipeline errored (or lost to a restart)
 	recEvicted   = "evicted"   // completed job expired; shards deleted
+	recEvent     = "event"     // timeline-only transition (adoption, requeue)
 )
 
 // logRecord is one NDJSON line. Only the fields relevant to its Type
@@ -56,6 +58,14 @@ type logRecord struct {
 	// single-node logs) — observability only; ownership is always
 	// recomputed from the job ID hash.
 	Node string `json:"node,omitempty"`
+	// Trace is the request trace ID that caused the record — on
+	// submissions the client's end-to-end ID, so a job's whole timeline
+	// correlates back to the submitting request across restarts.
+	Trace string `json:"trace,omitempty"`
+	// Event names a timeline-only transition on recEvent records —
+	// lifecycle moments (adoption, requeue) that the state-bearing
+	// record types cannot reconstruct on replay.
+	Event string `json:"event,omitempty"`
 }
 
 // jobLog appends NDJSON records to jobs.log, syncing each append so a
@@ -243,6 +253,10 @@ type replayState struct {
 	sub     logRecord // the submitted record
 	hasSub  bool
 	hasTerm bool
+	// events are the recEvent records seen for the job, in merged log
+	// order — replayed into the timeline alongside the transitions
+	// synthesized from the submitted/terminal records.
+	events []logRecord
 }
 
 // replayJobs folds the log into the surviving job set, in submission
@@ -281,6 +295,8 @@ func replayJobs(recs []logRecord, selfNode string) (jobs []*replayState, maxSeq 
 			st.sub, st.hasSub = rec, true
 		case recDone, recFailed:
 			st.rec, st.hasTerm = rec, true
+		case recEvent:
+			st.events = append(st.events, rec)
 		}
 	}
 	for _, id := range order {
@@ -289,6 +305,35 @@ func replayJobs(recs []logRecord, selfNode string) (jobs []*replayState, maxSeq 
 		}
 	}
 	return jobs, maxSeq
+}
+
+// replayEvents reconstructs a job's lifecycle timeline from its log
+// records: submitted/queued from the submission record, running and the
+// terminal state from the terminal record, plus any recEvent records
+// (adoption, requeue) in between. The synthesized timeline is why the
+// hot path needs no per-transition log appends — the state-bearing
+// records already imply the transitions.
+func replayEvents(st *replayState) []JobEvent {
+	ev := []JobEvent{
+		{Event: client.EventSubmitted, Time: st.sub.Time, Node: st.sub.Node, Trace: st.sub.Trace},
+		{Event: client.EventQueued, Time: st.sub.Time, Node: st.sub.Node, Trace: st.sub.Trace},
+	}
+	if st.hasTerm {
+		rec := st.rec
+		if !rec.Started.IsZero() {
+			ev = append(ev, JobEvent{Event: client.EventRunning, Time: rec.Started, Node: rec.Node, Trace: st.sub.Trace})
+		}
+		name := client.EventDone
+		if rec.Type == recFailed {
+			name = client.EventFailed
+		}
+		ev = append(ev, JobEvent{Event: name, Time: rec.Time, Node: rec.Node, Detail: rec.Error, Trace: st.sub.Trace})
+	}
+	for _, rec := range st.events {
+		ev = append(ev, JobEvent{Event: rec.Event, Time: rec.Time, Node: rec.Node, Detail: rec.Error, Trace: rec.Trace})
+	}
+	sort.SliceStable(ev, func(i, k int) bool { return ev[i].Time.Before(ev[k].Time) })
+	return ev
 }
 
 // parseJobID splits a job ID into its allocating node and sequence:

@@ -10,6 +10,7 @@ package server
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -71,6 +72,12 @@ type Job struct {
 	// lastAccess drives TTL/LRU eviction: completion and every batch
 	// stream refresh it.
 	lastAccess time.Time
+
+	// trace is the submitting request's trace ID; events is the
+	// lifecycle timeline served by /v1/jobs/{id}/events (rebuilt from
+	// the job log on replay, so it spans restarts).
+	trace  string
+	events []JobEvent
 }
 
 // touch refreshes the eviction clock.
@@ -78,6 +85,15 @@ func (j *Job) touch() {
 	j.mu.Lock()
 	j.lastAccess = time.Now()
 	j.mu.Unlock()
+}
+
+// Events snapshots the job's lifecycle timeline in time order.
+func (j *Job) Events() []JobEvent {
+	j.mu.Lock()
+	out := append([]JobEvent(nil), j.events...)
+	j.mu.Unlock()
+	sort.SliceStable(out, func(i, k int) bool { return out[i].Time.Before(out[k].Time) })
+	return out
 }
 
 // Status snapshots the job for JSON rendering.

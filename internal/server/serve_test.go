@@ -306,7 +306,7 @@ func assertPaced(t *testing.T, s *Server, url, wire string) int {
 	if kbps < 1 {
 		kbps = 1
 	}
-	throttledBefore := s.serveThrottled.Load()
+	throttledBefore := int64(s.metrics.serveThrottled.Value())
 	start := time.Now()
 	_, _, paced, _, err := streamConsume(fmt.Sprintf("%s&max_kbps=%d", url, kbps), "", wire)
 	if err != nil {
@@ -332,7 +332,7 @@ func assertPaced(t *testing.T, s *Server, url, wire string) int {
 	if minTime := time.Duration(rem / rate / 2 * float64(time.Second)); elapsed < minTime {
 		t.Fatalf("paced %s stream of %d bytes at %d KiB/s finished in %s (< %s)", wire, bytes, kbps, elapsed, minTime)
 	}
-	if s.serveThrottled.Load() == throttledBefore {
+	if int64(s.metrics.serveThrottled.Value()) == throttledBefore {
 		t.Fatalf("paced %s stream not counted in draid_serve_throttled_total", wire)
 	}
 	return kbps
@@ -359,7 +359,7 @@ func TestServeRateControl(t *testing.T) {
 	if _, _, _, err := StreamBatches(url); err != nil {
 		t.Fatal(err)
 	}
-	if s.serveThrottled.Load() != 0 {
+	if int64(s.metrics.serveThrottled.Value()) != 0 {
 		t.Fatal("unpaced stream counted as throttled")
 	}
 
@@ -384,7 +384,7 @@ func TestServeRateControl(t *testing.T) {
 	if _, _, _, err := StreamBatches(fmt.Sprintf("%s/v1/jobs/%s/batches?batch_size=1&max_kbps=%d", ts2.URL, id2, kbps*100)); err != nil {
 		t.Fatal(err)
 	}
-	if s2.serveThrottled.Load() == 0 {
+	if int64(s2.metrics.serveThrottled.Value()) == 0 {
 		t.Fatal("server-wide ceiling did not pace a greedy client")
 	}
 
@@ -400,11 +400,11 @@ func TestServeRateControl(t *testing.T) {
 
 	// An absurd rate must not overflow into a negative bucket: the
 	// stream runs unpaced and the throttled counter stays put.
-	throttledBefore := s.serveThrottled.Load()
+	throttledBefore := int64(s.metrics.serveThrottled.Value())
 	if _, _, _, err := StreamBatches(url + "&max_kbps=9223372036854775807"); err != nil {
 		t.Fatal(err)
 	}
-	if got := s.serveThrottled.Load(); got != throttledBefore {
+	if got := int64(s.metrics.serveThrottled.Value()); got != throttledBefore {
 		t.Fatalf("overflow max_kbps ticked draid_serve_throttled_total (%d -> %d)", throttledBefore, got)
 	}
 }

@@ -4,30 +4,32 @@
 // asynchronously on a bounded worker pool, follow each job's readiness
 // trajectory and provenance, and stream training batches from completed
 // jobs' shard sets through an LRU shard cache. /metrics exposes the
-// paper-facing accounting (stage timings, jobs in flight, bytes served)
-// built on internal/metrics.
+// paper-facing accounting (latency histograms, jobs in flight, bytes
+// served) in Prometheus text format via internal/telemetry, and every
+// request carries a trace ID (X-Draid-Trace) across fleet hops.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/domain"
-	"repro/internal/metrics"
 	"repro/internal/provenance"
 	"repro/internal/registry"
 	"repro/internal/shard"
+	"repro/internal/telemetry"
 	"repro/pkg/client"
 )
 
@@ -77,14 +79,25 @@ type Options struct {
 	// of marking them failed: their partial output is wiped and the
 	// deterministic spec (seeds included) reruns on this node's pool.
 	Requeue bool
+
+	// Debug exposes /debug/pprof and the runtime gauges (goroutines,
+	// heap bytes, cumulative GC pause) on /metrics. Off by default: the
+	// runtime gauges cost a ReadMemStats per scrape and the profiler
+	// endpoints do not belong on an unguarded production port.
+	Debug bool
+	// Logger receives the server's structured log (every record carries
+	// the request trace ID and this node's fleet ID). Nil discards —
+	// embedding tests stay quiet unless they opt in.
+	Logger *slog.Logger
 }
 
 // Server is the draid HTTP service. Create with New, serve via Handler,
 // stop with Close.
 type Server struct {
-	mux   *http.ServeMux
-	cache *ShardCache
-	opts  Options
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the telemetry middleware
+	cache   *ShardCache
+	opts    Options
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -108,20 +121,11 @@ type Server struct {
 	scanSig string
 	scanIDs map[string]bool
 
-	collector         *metrics.Collector
-	jobsRunning       atomic.Int64
-	jobsDone          atomic.Int64
-	jobsFailed        atomic.Int64
-	jobsEvicted       atomic.Int64
-	bytesServed       atomic.Int64
-	batchesServed     atomic.Int64
-	samplesServed     atomic.Int64
-	serveErrors       atomic.Int64
-	serveThrottled    atomic.Int64
-	clusterProxied    atomic.Int64
-	clusterRedirected atomic.Int64
-	clusterRetries    atomic.Int64
-	clusterAdopted    atomic.Int64
+	// metrics is the server's telemetry registry: all counters and
+	// gauges move at the transition that changes them, so a /metrics
+	// scrape never takes s.mu (see TestMetricsScrapeDoesNotBlock).
+	metrics *serverMetrics
+	logger  *slog.Logger
 }
 
 // New starts a server's worker pool and registers its routes. With
@@ -135,20 +139,31 @@ func New(opts Options) (*Server, error) {
 		opts.QueueDepth = 64
 	}
 	s := &Server{
-		mux:       http.NewServeMux(),
-		cache:     NewShardCache(opts.CacheBytes),
-		opts:      opts,
-		jobs:      make(map[string]*Job),
-		queue:     make(chan *Job, opts.QueueDepth),
-		stop:      make(chan struct{}),
-		collector: metrics.NewCollector(),
+		mux:     http.NewServeMux(),
+		cache:   NewShardCache(opts.CacheBytes),
+		opts:    opts,
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, opts.QueueDepth),
+		stop:    make(chan struct{}),
+		metrics: newServerMetrics(),
+		logger:  opts.Logger,
 	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
+	// Fleet members tag every line with their ID once here, so call
+	// sites don't emit a noisy node="" in single-node mode.
+	if id := s.nodeID(); id != "" {
+		s.logger = s.logger.With("node", id)
+	}
+	s.registerCollectors()
 	if opts.DataDir != "" {
 		if err := s.openDurable(); err != nil {
 			return nil, err
 		}
 	}
 	s.routes()
+	s.handler = s.withTelemetry(s.mux)
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -238,6 +253,7 @@ func (s *Server) openDurable() error {
 	for _, job := range requeued {
 		s.enqueueRestored(job)
 	}
+	s.metrics.jobsTotal.Set(float64(len(s.jobs)))
 	return nil
 }
 
@@ -253,13 +269,17 @@ func (s *Server) enqueueRestored(job *Job) {
 	}
 	select {
 	case s.queue <- job:
+		s.metrics.jobsQueued.Add(1)
+		s.addDurableEvent(job, client.EventRequeued, "interrupted job resubmitted after restart")
+		s.logger.Info("job requeued", "job", job.id, "trace", job.trace)
 	default:
 		job.mu.Lock()
 		job.state = JobFailed
 		job.err = "requeue: job queue full"
 		job.finished = time.Now()
 		job.mu.Unlock()
-		s.jobsFailed.Add(1)
+		s.metrics.jobsFailed.Inc()
+		s.addEvent(job, client.EventFailed, "requeue: job queue full", "")
 		s.persistTerminal(job, "")
 	}
 }
@@ -275,6 +295,8 @@ func (s *Server) restoreJob(st *replayState) (job *Job, requeue bool, err error)
 		spec:       *st.sub.Spec,
 		submitted:  st.sub.Time,
 		lastAccess: st.sub.Time,
+		trace:      st.sub.Trace,
+		events:     replayEvents(st),
 	}
 	if !st.hasTerm {
 		if s.opts.Requeue {
@@ -283,6 +305,10 @@ func (s *Server) restoreJob(st *replayState) (job *Job, requeue bool, err error)
 		}
 		job.state = JobFailed
 		job.err = "interrupted by server restart"
+		job.events = append(job.events, JobEvent{
+			Event: client.EventFailed, Time: time.Now(), Node: s.nodeID(),
+			Detail: job.err, Trace: job.trace,
+		})
 		// Record the loss so the next replay converges without this branch.
 		_ = s.log.append(logRecord{Type: recFailed, ID: job.id, Time: time.Now(), Error: job.err, Node: s.nodeID()})
 		return job, false, nil
@@ -359,8 +385,10 @@ func (s *Server) nodeID() string {
 	return ""
 }
 
-// Handler returns the HTTP handler (also usable under httptest).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler (also usable under httptest): the
+// route mux wrapped in the telemetry middleware, so every request is
+// traced, latency-observed, and logged.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Close initiates graceful shutdown: no new submissions are accepted,
 // running jobs finish, and workers exit. Jobs still queued stay queued
@@ -412,18 +440,20 @@ func (s *Server) runJob(job *Job) {
 	job.state = JobRunning
 	job.started = time.Now()
 	spec := job.spec
+	trace := job.trace
 	job.mu.Unlock()
-	s.jobsRunning.Add(1)
-	defer s.jobsRunning.Add(-1)
+	s.metrics.jobsQueued.Add(-1)
+	s.metrics.jobsInFlight.Add(1)
+	defer s.metrics.jobsInFlight.Add(-1)
+	s.addEvent(job, client.EventRunning, "", "")
+	s.logger.Info("job running", "job", job.id, "domain", string(spec.Domain), "trace", trace)
 
 	var res *jobResult
 	store, err := s.newStore(job.id)
 	if err == nil {
-		err = s.collector.Time("job:"+string(spec.Domain), "pipeline", 0, 0, func() error {
-			var rerr error
-			res, rerr = runSpec(spec, store)
-			return rerr
-		})
+		pipeStart := time.Now()
+		res, err = runSpec(spec, store)
+		s.metrics.observeStage("job:"+string(spec.Domain), time.Since(pipeStart).Seconds(), 1, 0)
 	}
 	// Commit durable state before announcing success: a job is only
 	// "done" once its manifest is on disk and its key is sealable, so
@@ -450,7 +480,9 @@ func (s *Server) runJob(job *Job) {
 		job.state = JobFailed
 		job.err = err.Error()
 		job.mu.Unlock()
-		s.jobsFailed.Add(1)
+		s.metrics.jobsFailed.Inc()
+		s.addEvent(job, client.EventFailed, err.Error(), "")
+		s.logger.Info("job failed", "job", job.id, "error", err.Error(), "trace", trace)
 		s.persistTerminal(job, "")
 		s.maybeEvict()
 		return
@@ -462,17 +494,16 @@ func (s *Server) runJob(job *Job) {
 	job.servable = res.servable && res.manifest != nil
 	job.state = JobDone
 	job.mu.Unlock()
-	s.jobsDone.Add(1)
+	s.metrics.jobsDone.Inc()
+	s.addEvent(job, client.EventDone, "", "")
+	s.logger.Info("job done", "job", job.id, "records", res.records, "trace", trace)
 	s.persistTerminal(job, sealedKey)
 	s.maybeEvict()
 
-	// Fold the pipeline's per-stage timings into the server collector so
+	// Fold the pipeline's per-stage timings into the stage counters so
 	// /metrics aggregates stage cost across all jobs.
 	for _, st := range res.pipe.Collector.ByStage() {
-		s.collector.Record(metrics.Sample{
-			Stage: st.Stage, Category: "curation",
-			Duration: st.Total, Bytes: st.Bytes, Records: st.Records,
-		})
+		s.metrics.observeStage(st.Stage, st.Total.Seconds(), int64(st.Calls), st.Bytes)
 	}
 }
 
@@ -616,6 +647,7 @@ func (s *Server) maybeEvict() {
 		}
 	}
 	s.order = kept
+	s.metrics.jobsTotal.Set(float64(len(s.jobs)))
 	s.mu.Unlock()
 
 	for _, j := range released {
@@ -633,7 +665,8 @@ func (s *Server) maybeEvict() {
 		if s.log != nil {
 			_ = s.log.append(logRecord{Type: recEvicted, ID: j.id, Time: now, Node: s.nodeID()})
 		}
-		s.jobsEvicted.Add(1)
+		s.metrics.jobsEvicted.Inc()
+		s.logger.Info("job evicted", "job", j.id)
 	}
 }
 
@@ -648,8 +681,16 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/provenance", s.handleProvenance)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/batches", s.handleBatches)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opts.Debug {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // TemplateInfo is the catalog entry served by /v1/templates: the wire
@@ -692,13 +733,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.clusterSubmit(w, r, spec)
 		return
 	}
-	s.submitLocal(w, spec, "")
+	s.submitLocal(w, spec, "", telemetry.TraceFrom(r.Context()))
 }
 
 // submitLocal enqueues a job on this node. An empty id allocates the
 // next sequence number; a pre-assigned id (cluster routing) is used
-// verbatim after a collision check.
-func (s *Server) submitLocal(w http.ResponseWriter, spec JobSpec, id string) {
+// verbatim after a collision check. trace is the submitting request's
+// trace ID — recorded on the job and in its log record so the whole
+// lifecycle correlates back to the request.
+func (s *Server) submitLocal(w http.ResponseWriter, spec JobSpec, id, trace string) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -718,21 +761,30 @@ func (s *Server) submitLocal(w http.ResponseWriter, spec JobSpec, id string) {
 		spec:      spec,
 		state:     JobQueued,
 		submitted: time.Now(),
+		trace:     trace,
 	}
 	if job.spec.Name == "" {
 		job.spec.Name = job.id
+	}
+	job.events = []JobEvent{
+		{Event: client.EventSubmitted, Time: job.submitted, Node: s.nodeID(), Trace: trace},
+		{Event: client.EventQueued, Time: job.submitted, Node: s.nodeID(), Trace: trace},
 	}
 	select {
 	case s.queue <- job:
 		s.jobs[job.id] = job
 		s.order = append(s.order, job.id)
+		s.metrics.jobsTotal.Set(float64(len(s.jobs)))
 		s.mu.Unlock()
+		s.metrics.jobsQueued.Add(1)
 		if s.log != nil {
 			spec := job.spec
 			_ = s.log.append(logRecord{
-				Type: recSubmitted, ID: job.id, Time: job.submitted, Spec: &spec, Node: s.nodeID(),
+				Type: recSubmitted, ID: job.id, Time: job.submitted, Spec: &spec,
+				Node: s.nodeID(), Trace: trace,
 			})
 		}
+		s.logger.Info("job submitted", "job", job.id, "domain", string(spec.Domain), "trace", trace)
 		writeJSON(w, http.StatusAccepted, s.decorate(job.Status()))
 	default:
 		s.mu.Unlock()
@@ -821,10 +873,16 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 	if s.routedElsewhere(w, r) {
 		return
 	}
+	// Time-to-first-batch starts once the request is ours to serve —
+	// proxy hops are accounted on the node actually streaming.
+	streamStart := time.Now()
 	job := s.job(w, r)
 	if job == nil {
 		return
 	}
+	job.mu.Lock()
+	dom := string(job.spec.Domain)
+	job.mu.Unlock()
 	manifest, open, codec, err := job.serveHandle()
 	if err != nil {
 		writeError(w, http.StatusConflict, err)
@@ -893,17 +951,19 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(domain.HeaderWire, wire)
 	w.Header().Set("X-Draid-Cursor", start.String())
 	cw := &countingResponseWriter{w: w}
-	enc := json.NewEncoder(cw)
 	flusher, _ := w.(http.Flusher)
 	var pace *pacer
 	if maxKBps > 0 {
 		pace = newPacer(int64(maxKBps) << 10)
 	}
+	// Histogram children resolved once per stream, not per batch.
+	firstBatchH := s.metrics.firstBatch.With(dom, wire)
+	encodeH := s.metrics.batchEncode.With(dom, wire)
 
 	// emitError reports a mid-stream failure in-band, in the stream's
 	// own format (NDJSON error line or error frame).
 	emitError := func(err error) {
-		s.serveErrors.Add(1)
+		s.metrics.serveErrors.Inc()
 		if wire == domain.WireFrame {
 			_, _ = cw.Write(domain.EncodeErrorFrame(err.Error()))
 			return
@@ -925,6 +985,11 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 		// so ?max_kbps= pacing throttles NDJSON and frames identically.
 		h := domain.BatchHeader{Batch: served, Cursor: pos.String(), Kind: codec.Kind()}
 		before := cw.n
+		// Encode and write are timed apart: the encode histogram is
+		// codec cost only, so a slow client (or the pacer) cannot
+		// masquerade as an expensive codec.
+		encStart := time.Now()
+		var wireBytes []byte
 		if wire == domain.WireFrame {
 			b, err := domain.EncodeFrame(codec, h, recs)
 			if err != nil {
@@ -935,22 +1000,30 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 				emitError(err)
 				return err
 			}
-			if _, err := cw.Write(b); err != nil {
-				return err
-			}
+			wireBytes = b
 		} else {
 			line, err := codec.Line(h, recs)
 			if err != nil {
 				emitError(err)
 				return err
 			}
-			if err := enc.Encode(line); err != nil {
+			b, err := json.Marshal(line)
+			if err != nil {
+				emitError(err)
 				return err
 			}
+			wireBytes = append(b, '\n')
+		}
+		encodeH.Observe(time.Since(encStart).Seconds())
+		if _, err := cw.Write(wireBytes); err != nil {
+			return err
+		}
+		if served == 0 {
+			firstBatchH.Observe(time.Since(streamStart).Seconds())
 		}
 		served++
-		s.batchesServed.Add(1)
-		s.samplesServed.Add(int64(len(recs)))
+		s.metrics.batchesServed.Inc()
+		s.metrics.samplesServed.Add(float64(len(recs)))
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -965,7 +1038,7 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 shards:
 	for si := start.Shard; si < len(manifest.Shards); si++ {
 		info := manifest.Shards[si]
-		records, err := s.shardRecords(job.id, manifest, info, open, codec)
+		records, err := s.shardRecords(job.id, dom, manifest, info, open, codec)
 		if err != nil {
 			// Headers are gone; the in-band error is the only channel
 			// left — but the counter makes the failure observable
@@ -1003,21 +1076,20 @@ shards:
 		_ = emit(pending)
 	}
 	if pace != nil && pace.throttled {
-		s.serveThrottled.Add(1)
+		s.metrics.serveThrottled.Inc()
 	}
-	s.bytesServed.Add(cw.n)
-	s.collector.Record(metrics.Sample{
-		Stage: "serve:batches", Category: "serve",
-		Bytes: cw.n, Records: int64(served),
-	})
+	s.metrics.bytesServed.Add(float64(cw.n))
+	s.metrics.observeStage("serve:batches", 0, 1, cw.n)
 }
 
 // shardRecords returns one shard's decoded records through the LRU
 // cache, verifying checksums and decoding (via the domain codec) on
-// first access only.
-func (s *Server) shardRecords(jobID string, m *shard.Manifest, info shard.Info, open shard.Opener, codec domain.Codec) ([]any, error) {
+// first access only. Misses are timed into the shard-load histogram;
+// hits observe nothing — cache lookups are not loads.
+func (s *Server) shardRecords(jobID, dom string, m *shard.Manifest, info shard.Info, open shard.Opener, codec domain.Codec) ([]any, error) {
 	key := jobID + "/" + info.Name
 	return s.cache.Records(key, func() ([]any, int64, error) {
+		loadStart := time.Now()
 		one := &shard.Manifest{Prefix: m.Prefix, Compressed: m.Compressed, Shards: []shard.Info{info}}
 		var records []any
 		var bytes int64
@@ -1030,6 +1102,11 @@ func (s *Server) shardRecords(jobID string, m *shard.Manifest, info shard.Info, 
 			bytes += n
 			return nil
 		})
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+		}
+		s.metrics.shardLoad.With(dom, outcome).Observe(time.Since(loadStart).Seconds())
 		if err != nil {
 			return nil, 0, err
 		}
@@ -1087,53 +1164,15 @@ func (p *pacer) pace(ctx context.Context, n int64) error {
 	return nil
 }
 
+// handleMetrics renders the registry. It never takes s.mu: every value
+// is either updated at its state transition or collected by a callback
+// against a subsystem's own lock, so a scrape under heavy submission
+// load costs the submitters nothing (the old implementation scanned the
+// whole job table under the server mutex, stalling submissions for the
+// duration of every scrape).
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.mu.Lock()
-	queued := 0
-	for _, j := range s.jobs {
-		if st := j.Status().State; st == JobQueued {
-			queued++
-		}
-	}
-	total := len(s.jobs)
-	s.mu.Unlock()
-
-	fmt.Fprintf(w, "draid_jobs_total %d\n", total)
-	fmt.Fprintf(w, "draid_jobs_queued %d\n", queued)
-	fmt.Fprintf(w, "draid_jobs_in_flight %d\n", s.jobsRunning.Load())
-	fmt.Fprintf(w, "draid_jobs_done_total %d\n", s.jobsDone.Load())
-	fmt.Fprintf(w, "draid_jobs_failed_total %d\n", s.jobsFailed.Load())
-	fmt.Fprintf(w, "draid_jobs_evicted_total %d\n", s.jobsEvicted.Load())
-	fmt.Fprintf(w, "draid_bytes_served_total %d\n", s.bytesServed.Load())
-	fmt.Fprintf(w, "draid_batches_served_total %d\n", s.batchesServed.Load())
-	fmt.Fprintf(w, "draid_samples_served_total %d\n", s.samplesServed.Load())
-	fmt.Fprintf(w, "draid_serve_errors_total %d\n", s.serveErrors.Load())
-	fmt.Fprintf(w, "draid_serve_throttled_total %d\n", s.serveThrottled.Load())
-
-	if c := s.opts.Cluster; c != nil {
-		fmt.Fprintf(w, "draid_cluster_members %d\n", len(c.Nodes()))
-		fmt.Fprintf(w, "draid_cluster_peers_alive %d\n", c.AliveCount())
-		fmt.Fprintf(w, "draid_cluster_proxied_total %d\n", s.clusterProxied.Load())
-		fmt.Fprintf(w, "draid_cluster_redirected_total %d\n", s.clusterRedirected.Load())
-		fmt.Fprintf(w, "draid_cluster_forward_retries_total %d\n", s.clusterRetries.Load())
-		fmt.Fprintf(w, "draid_cluster_jobs_adopted_total %d\n", s.clusterAdopted.Load())
-	}
-
-	cs := s.cache.Stats()
-	fmt.Fprintf(w, "draid_shard_cache_entries %d\n", cs.Entries)
-	fmt.Fprintf(w, "draid_shard_cache_bytes %d\n", cs.Bytes)
-	fmt.Fprintf(w, "draid_shard_cache_hits_total %d\n", cs.Hits)
-	fmt.Fprintf(w, "draid_shard_cache_misses_total %d\n", cs.Misses)
-	fmt.Fprintf(w, "draid_shard_cache_evictions_total %d\n", cs.Evictions)
-
-	stats := s.collector.ByStage()
-	sort.Slice(stats, func(i, j int) bool { return stats[i].Stage < stats[j].Stage })
-	for _, st := range stats {
-		fmt.Fprintf(w, "draid_stage_seconds_total{stage=%q} %.6f\n", st.Stage, st.Total.Seconds())
-		fmt.Fprintf(w, "draid_stage_calls_total{stage=%q} %d\n", st.Stage, st.Calls)
-		fmt.Fprintf(w, "draid_stage_bytes_total{stage=%q} %d\n", st.Stage, st.Bytes)
-	}
+	s.metrics.reg.WritePrometheus(w)
 }
 
 // countingResponseWriter tracks bytes written for the serving metrics.

@@ -202,7 +202,7 @@ func TestEndToEndClimateServe(t *testing.T) {
 	if int64(samples) > st.Records {
 		t.Fatalf("served %d samples from %d records", samples, st.Records)
 	}
-	if got := s.bytesServed.Load(); got == 0 {
+	if got := int64(s.metrics.bytesServed.Value()); got == 0 {
 		t.Fatal("bytes served not accounted")
 	}
 }

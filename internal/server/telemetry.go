@@ -1,0 +1,267 @@
+// Server-side telemetry wiring: the metric families the draid service
+// exports, the HTTP middleware that stamps every request with a trace
+// ID and a latency observation, and the per-job event timeline. This
+// file is the single place a metric family is registered — the
+// metrics-hygiene test holds every name here to the README contract.
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/pkg/client"
+)
+
+// serverMetrics holds the registry plus pre-resolved children for the
+// hot paths, so serving code never does a label lookup per batch.
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	// Job lifecycle gauges, updated at state transitions — never by
+	// scanning the job table at scrape time.
+	jobsTotal    *telemetry.Gauge
+	jobsQueued   *telemetry.Gauge
+	jobsInFlight *telemetry.Gauge
+	jobsDone     *telemetry.Counter
+	jobsFailed   *telemetry.Counter
+	jobsEvicted  *telemetry.Counter
+
+	// Serving totals (unlabeled: the all-up numbers dashboards alert
+	// on; per-domain/wire splits live in the histograms' counts).
+	bytesServed    *telemetry.Counter
+	batchesServed  *telemetry.Counter
+	samplesServed  *telemetry.Counter
+	serveErrors    *telemetry.Counter
+	serveThrottled *telemetry.Counter
+
+	// Serving latency distributions.
+	requestSeconds *telemetry.HistogramVec // route × code
+	firstBatch     *telemetry.HistogramVec // domain × wire
+	batchEncode    *telemetry.HistogramVec // domain × wire
+	shardLoad      *telemetry.HistogramVec // domain × outcome
+
+	// Pipeline stage accounting, folded in at job completion.
+	stageSeconds *telemetry.CounterVec
+	stageCalls   *telemetry.CounterVec
+	stageBytes   *telemetry.CounterVec
+
+	// Cluster routing counters (registered always so the accessors are
+	// total; they only move in cluster mode).
+	clusterProxied    *telemetry.Counter
+	clusterRedirected *telemetry.Counter
+	clusterRetries    *telemetry.Counter
+	clusterAdopted    *telemetry.Counter
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := telemetry.NewRegistry()
+	m := &serverMetrics{
+		reg: reg,
+
+		jobsTotal:    reg.Gauge1("draid_jobs_total", "Jobs in the local table (all states)."),
+		jobsQueued:   reg.Gauge1("draid_jobs_queued", "Jobs waiting for a worker."),
+		jobsInFlight: reg.Gauge1("draid_jobs_in_flight", "Jobs currently executing."),
+		jobsDone:     reg.Counter1("draid_jobs_done_total", "Jobs completed successfully."),
+		jobsFailed:   reg.Counter1("draid_jobs_failed_total", "Jobs that ended in failure."),
+		jobsEvicted:  reg.Counter1("draid_jobs_evicted_total", "Completed jobs evicted by TTL or retention pressure."),
+
+		bytesServed:    reg.Counter1("draid_bytes_served_total", "Wire bytes written by batch streams."),
+		batchesServed:  reg.Counter1("draid_batches_served_total", "Batches emitted by /batches streams."),
+		samplesServed:  reg.Counter1("draid_samples_served_total", "Records emitted by /batches streams."),
+		serveErrors:    reg.Counter1("draid_serve_errors_total", "Mid-stream serving failures reported in-band."),
+		serveThrottled: reg.Counter1("draid_serve_throttled_total", "Streams that hit the pacing token bucket."),
+
+		requestSeconds: reg.Histogram("draid_request_seconds",
+			"HTTP request latency by route pattern and status code.",
+			telemetry.DefBuckets, "route", "code"),
+		firstBatch: reg.Histogram("draid_first_batch_seconds",
+			"Time from request start to the first batch on the wire.",
+			telemetry.DefBuckets, "domain", "wire"),
+		batchEncode: reg.Histogram("draid_batch_encode_seconds",
+			"Per-batch codec encode time (excludes network writes).",
+			telemetry.FastBuckets, "domain", "wire"),
+		shardLoad: reg.Histogram("draid_shard_load_seconds",
+			"Shard-cache miss load time: read, verify, decode one shard.",
+			telemetry.DefBuckets, "domain", "outcome"),
+
+		stageSeconds: reg.Counter("draid_stage_seconds_total", "Pipeline stage wall time.", "stage"),
+		stageCalls:   reg.Counter("draid_stage_calls_total", "Pipeline stage invocations.", "stage"),
+		stageBytes:   reg.Counter("draid_stage_bytes_total", "Bytes processed per pipeline stage.", "stage"),
+
+		clusterProxied:    reg.Counter1("draid_cluster_proxied_total", "Requests transparently proxied to their ring owner."),
+		clusterRedirected: reg.Counter1("draid_cluster_redirected_total", "Requests answered with a 307 to their ring owner."),
+		clusterRetries:    reg.Counter1("draid_cluster_forward_retries_total", "Forward attempts that failed and marked a peer down."),
+		clusterAdopted:    reg.Counter1("draid_cluster_jobs_adopted_total", "Jobs adopted from the shared logs after an ownership change."),
+	}
+	return m
+}
+
+// observeStage folds one stage sample into the stage counters —
+// transition-time accounting, replacing the per-scrape ByStage scan.
+func (m *serverMetrics) observeStage(stage string, seconds float64, calls, bytes int64) {
+	m.stageSeconds.With(stage).Add(seconds)
+	m.stageCalls.With(stage).Add(float64(calls))
+	if bytes > 0 {
+		m.stageBytes.With(stage).Add(float64(bytes))
+	}
+}
+
+// registerCollectors wires scrape-time collectors for state other
+// subsystems already track under their own locks. Runtime gauges ride
+// only on debug servers: they cost a stop-the-world ReadMemStats per
+// scrape.
+func (s *Server) registerCollectors() {
+	reg := s.metrics.reg
+	reg.GaugeFunc("draid_shard_cache_entries", "Decoded shards resident in the LRU cache.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	reg.GaugeFunc("draid_shard_cache_bytes", "Decoded bytes resident in the LRU cache.",
+		func() float64 { return float64(s.cache.Stats().Bytes) })
+	reg.CounterFunc("draid_shard_cache_hits_total", "Shard reads served from the cache.",
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	reg.CounterFunc("draid_shard_cache_misses_total", "Shard reads that had to load and decode.",
+		func() float64 { return float64(s.cache.Stats().Misses) })
+	reg.CounterFunc("draid_shard_cache_evictions_total", "Cached shards evicted by byte-budget pressure.",
+		func() float64 { return float64(s.cache.Stats().Evictions) })
+	if c := s.opts.Cluster; c != nil {
+		reg.GaugeFunc("draid_cluster_members", "Configured fleet size.",
+			func() float64 { return float64(len(c.Nodes())) })
+		reg.GaugeFunc("draid_cluster_peers_alive", "Fleet members currently passing probes.",
+			func() float64 { return float64(c.AliveCount()) })
+	}
+	if s.opts.Debug {
+		reg.GaugeFunc("draid_goroutines", "Live goroutines (debug servers only).",
+			func() float64 { return float64(runtime.NumGoroutine()) })
+		reg.GaugeFunc("draid_heap_alloc_bytes", "Heap bytes in use (debug servers only).",
+			func() float64 {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				return float64(ms.HeapAlloc)
+			})
+		reg.CounterFunc("draid_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time (debug servers only).",
+			func() float64 {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				return float64(ms.PauseTotalNs) / 1e9
+			})
+	}
+}
+
+// statusWriter captures the response status for the request histogram
+// while passing flushes through — batch streams flush per batch and
+// must keep doing so under the middleware.
+type statusWriter struct {
+	w      http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) Header() http.Header { return sw.w.Header() }
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.w.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.w.Write(p)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withTelemetry is the edge middleware: every request gets (or inherits
+// via X-Draid-Trace) a trace ID — set on the request header so cluster
+// forwards carry it, on the context so handlers and job records see it,
+// and on the response so callers can correlate — plus a latency
+// observation labeled by mux route pattern and status code, and a
+// structured debug log line.
+func (s *Server) withTelemetry(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace := r.Header.Get(telemetry.TraceHeader)
+		if !telemetry.ValidTraceID(trace) {
+			trace = telemetry.NewTraceID()
+		}
+		r = r.WithContext(telemetry.WithTrace(r.Context(), trace))
+		r.Header.Set(telemetry.TraceHeader, trace)
+		w.Header().Set(telemetry.TraceHeader, trace)
+		sw := &statusWriter{w: w}
+		start := time.Now()
+		// Observe in a defer so aborted proxy streams (which panic with
+		// http.ErrAbortHandler by design) are still counted.
+		defer func() {
+			code := sw.status
+			if code == 0 {
+				code = http.StatusOK
+			}
+			route := r.Pattern // set by the mux; bounded cardinality
+			if route == "" {
+				route = "unmatched"
+			}
+			elapsed := time.Since(start)
+			s.metrics.requestSeconds.With(route, strconv.Itoa(code)).Observe(elapsed.Seconds())
+			s.logger.Debug("http request",
+				"method", r.Method, "path", r.URL.Path, "status", code,
+				"ms", float64(elapsed.Microseconds())/1000,
+				"trace", trace)
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// JobEvent is one entry in a job's lifecycle timeline.
+type JobEvent = client.JobEvent
+
+// addEvent appends a lifecycle event to a job's in-memory timeline.
+// Most transitions are NOT separately persisted — replay re-derives
+// them from the submitted/terminal records already in the job log, so
+// the hot path pays no extra fsyncs. Transitions replay cannot derive
+// (adoption, requeue) go through addDurableEvent instead.
+func (s *Server) addEvent(job *Job, event, detail, trace string) {
+	now := time.Now()
+	job.mu.Lock()
+	if trace == "" {
+		trace = job.trace
+	}
+	job.events = append(job.events, JobEvent{
+		Event: event, Time: now, Node: s.nodeID(), Detail: detail, Trace: trace,
+	})
+	job.mu.Unlock()
+}
+
+// addDurableEvent records a transition replay cannot reconstruct from
+// the existing record types, persisting a recEvent line alongside the
+// in-memory append.
+func (s *Server) addDurableEvent(job *Job, event, detail string) {
+	s.addEvent(job, event, detail, "")
+	if s.log == nil {
+		return
+	}
+	job.mu.Lock()
+	trace := job.trace
+	job.mu.Unlock()
+	_ = s.log.append(logRecord{
+		Type: recEvent, ID: job.id, Time: time.Now(),
+		Event: event, Error: detail, Node: s.nodeID(), Trace: trace,
+	})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.routedElsewhere(w, r) {
+		return
+	}
+	job := s.job(w, r)
+	if job == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Events())
+}

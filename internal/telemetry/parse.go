@@ -1,0 +1,364 @@
+// A strict parser for the Prometheus text exposition format (0.0.4).
+// The tests use it to hold /metrics to the contract a real scraper
+// assumes: valid names, correct label escaping, consistent TYPE lines,
+// no duplicate series, and well-formed cumulative histograms. It is a
+// validator first and a parser second — anything a tolerant scraper
+// might quietly mis-read is an error here.
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Series is one parsed sample line.
+type Series struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// LabelString renders the labels sorted, for stable comparisons.
+func (s Series) LabelString() string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.Labels[k])
+	}
+	return b.String()
+}
+
+// ParseText parses and validates a full exposition document. Errors
+// carry the offending line number.
+func ParseText(r io.Reader) ([]Series, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<22)
+	var (
+		series []Series
+		types  = make(map[string]string) // family -> TYPE
+		helps  = make(map[string]bool)
+		seen   = make(map[string]bool) // name + sorted labels -> dup check
+		lineNo int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			if !validName(name) {
+				return nil, fmt.Errorf("line %d: HELP for invalid name %q", lineNo, name)
+			}
+			if helps[name] {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			helps[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			if !validName(name) {
+				return nil, fmt.Errorf("line %d: TYPE for invalid name %q", lineNo, name)
+			}
+			switch typ {
+			case typeCounter, typeGauge, typeHistogram, "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+			}
+			if old, ok := types[name]; ok && old != typ {
+				return nil, fmt.Errorf("line %d: %s re-typed %s -> %s", lineNo, name, old, typ)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal and ignored
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		key := s.Name + "{" + s.LabelString() + "}"
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		series = append(series, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := checkFamilies(series, types); err != nil {
+		return nil, err
+	}
+	return series, nil
+}
+
+// parseSample parses one `name{labels} value` line.
+func parseSample(line string) (Series, error) {
+	var s Series
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	// No timestamps in our exposition: a space after the value means a
+	// malformed line.
+	val, rest, _ := strings.Cut(rest, " ")
+	if rest != "" {
+		return s, fmt.Errorf("unexpected trailing content %q", rest)
+	}
+	v, err := parseValue(val)
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a leading {k="v",...} block, returning the rest.
+func parseLabels(in string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		if i >= len(in) {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if in[i] == '}' {
+			return labels, in[i+1:], nil
+		}
+		j := i
+		for j < len(in) && in[j] != '=' {
+			j++
+		}
+		name := in[i:j]
+		if name != "le" && name != "quantile" && !validLabelName(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", name)
+		}
+		if j+1 >= len(in) || in[j+1] != '"' {
+			return nil, "", fmt.Errorf("label %q: missing quoted value", name)
+		}
+		val, next, err := parseQuoted(in[j+1:])
+		if err != nil {
+			return nil, "", fmt.Errorf("label %q: %w", name, err)
+		}
+		labels[name] = val
+		i = j + 1 + next
+		if i < len(in) && in[i] == ',' {
+			i++
+		} else if i < len(in) && in[i] != '}' {
+			return nil, "", fmt.Errorf("label %q: expected ',' or '}', got %q", name, in[i])
+		}
+	}
+}
+
+// parseQuoted parses a double-quoted label value with Prometheus
+// escapes, returning the consumed length including both quotes.
+func parseQuoted(in string) (string, int, error) {
+	if len(in) == 0 || in[0] != '"' {
+		return "", 0, fmt.Errorf("missing opening quote")
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(in) {
+		c := in[i]
+		switch c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(in) {
+				return "", 0, fmt.Errorf("dangling backslash")
+			}
+			switch in[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("invalid escape \\%c", in[i+1])
+			}
+			i += 2
+		case '\n':
+			return "", 0, fmt.Errorf("raw newline in label value")
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+// parseValue parses a sample value (including +Inf/-Inf/NaN).
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	case "":
+		return 0, fmt.Errorf("missing value")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+// checkFamilies validates cross-line family invariants: every sample
+// belongs to a declared TYPE, histogram series come in complete
+// cumulative sets, and counters/gauges never grow histogram suffixes.
+func checkFamilies(series []Series, types map[string]string) error {
+	// Map each sample to its family: histogram samples use suffixes.
+	hist := make(map[string][]Series) // family -> bucket samples
+	counts := make(map[string]bool)
+	sums := make(map[string]bool)
+	for _, s := range series {
+		fam, kind := familyOf(s.Name, types)
+		if fam == "" {
+			return fmt.Errorf("series %s has no TYPE declaration", s.Name)
+		}
+		switch kind {
+		case "bucket":
+			if _, ok := s.Labels["le"]; !ok {
+				return fmt.Errorf("series %s: _bucket without le label", s.Name)
+			}
+			hist[fam+"{"+labelKeyWithout(s, "le")+"}"] = append(hist[fam+"{"+labelKeyWithout(s, "le")+"}"], s)
+		case "count":
+			counts[fam+"{"+labelKeyWithout(s, "")+"}"] = true
+		case "sum":
+			sums[fam+"{"+labelKeyWithout(s, "")+"}"] = true
+		case "plain":
+			if _, ok := s.Labels["le"]; ok && types[fam] != typeHistogram {
+				return fmt.Errorf("series %s: le label on non-histogram", s.Name)
+			}
+		}
+	}
+	for key, buckets := range hist {
+		sort.Slice(buckets, func(i, j int) bool {
+			return leBound(buckets[i]) < leBound(buckets[j])
+		})
+		last := math.Inf(-1)
+		prev := -1.0
+		sawInf := false
+		for _, b := range buckets {
+			bound := leBound(b)
+			if math.IsNaN(bound) {
+				return fmt.Errorf("histogram %s: unparsable le bound", key)
+			}
+			if bound <= last {
+				return fmt.Errorf("histogram %s: duplicate/unsorted le bound %v", key, bound)
+			}
+			last = bound
+			if b.Value < prev {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative at le=%v", key, bound)
+			}
+			prev = b.Value
+			if math.IsInf(bound, 1) {
+				sawInf = true
+			}
+		}
+		if !sawInf {
+			return fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", key)
+		}
+		if !counts[key] {
+			return fmt.Errorf("histogram %s: missing _count", key)
+		}
+		if !sums[key] {
+			return fmt.Errorf("histogram %s: missing _sum", key)
+		}
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family, classifying
+// histogram suffix samples.
+func familyOf(name string, types map[string]string) (fam, kind string) {
+	if t, ok := types[name]; ok && t != typeHistogram {
+		return name, "plain"
+	}
+	for _, suf := range []struct{ s, kind string }{
+		{"_bucket", "bucket"}, {"_count", "count"}, {"_sum", "sum"},
+	} {
+		if base, ok := strings.CutSuffix(name, suf.s); ok {
+			if types[base] == typeHistogram {
+				return base, suf.kind
+			}
+		}
+	}
+	if _, ok := types[name]; ok {
+		return name, "plain"
+	}
+	return "", ""
+}
+
+// labelKeyWithout renders a sample's labels sorted, dropping one key.
+func labelKeyWithout(s Series, drop string) string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		if k != drop {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.Labels[k])
+	}
+	return b.String()
+}
+
+// leBound parses a bucket sample's le label.
+func leBound(s Series) float64 {
+	v := s.Labels["le"]
+	if v == "+Inf" {
+		return math.Inf(1)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return f
+}

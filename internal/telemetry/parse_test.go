@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustFail(t *testing.T, doc, wantSub string) {
+	t.Helper()
+	_, err := ParseText(strings.NewReader(doc))
+	if err == nil {
+		t.Fatalf("parse accepted invalid doc:\n%s", doc)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not mention %q", err, wantSub)
+	}
+}
+
+func TestParseRejectsGoQuotingArtifacts(t *testing.T) {
+	// The old handleMetrics emitted stage labels with Go %q, which
+	// escapes non-ASCII as \x sequences — invalid in the exposition
+	// format. The strict parser must reject them.
+	mustFail(t, "# TYPE draid_x counter\ndraid_x{stage=\"a\\x00b\"} 1\n", "invalid escape")
+}
+
+func TestParseRejectsDuplicateSeries(t *testing.T) {
+	mustFail(t, "# TYPE draid_x counter\ndraid_x 1\ndraid_x 2\n", "duplicate series")
+}
+
+func TestParseRejectsUndeclaredSeries(t *testing.T) {
+	mustFail(t, "draid_mystery 1\n", "no TYPE")
+}
+
+func TestParseRejectsNonCumulativeHistogram(t *testing.T) {
+	doc := `# TYPE draid_h histogram
+draid_h_bucket{le="0.1"} 5
+draid_h_bucket{le="1"} 3
+draid_h_bucket{le="+Inf"} 5
+draid_h_sum 1
+draid_h_count 5
+`
+	mustFail(t, doc, "not cumulative")
+}
+
+func TestParseRejectsHistogramMissingInf(t *testing.T) {
+	doc := `# TYPE draid_h histogram
+draid_h_bucket{le="0.1"} 5
+draid_h_sum 1
+draid_h_count 5
+`
+	mustFail(t, doc, "+Inf")
+}
+
+func TestParseRejectsBadName(t *testing.T) {
+	mustFail(t, "# TYPE 1draid counter\n1draid 1\n", "invalid")
+}
+
+func TestParseAcceptsValidDocument(t *testing.T) {
+	doc := `# HELP draid_req_seconds Request latency.
+# TYPE draid_req_seconds histogram
+draid_req_seconds_bucket{route="/v1/jobs",code="200",le="0.1"} 3
+draid_req_seconds_bucket{route="/v1/jobs",code="200",le="+Inf"} 4
+draid_req_seconds_sum{route="/v1/jobs",code="200"} 1.25
+draid_req_seconds_count{route="/v1/jobs",code="200"} 4
+# TYPE draid_jobs_queued gauge
+draid_jobs_queued 0
+# TYPE draid_stage_seconds_total counter
+draid_stage_seconds_total{stage="job:\"x\""} 2.5
+`
+	series, err := ParseText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	var found bool
+	for _, s := range series {
+		if s.Name == "draid_stage_seconds_total" && s.Labels["stage"] == `job:"x"` {
+			found = true
+			if s.Value != 2.5 {
+				t.Errorf("value = %v, want 2.5", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("escaped stage label not decoded")
+	}
+}

@@ -1,0 +1,64 @@
+// Trace IDs: the request-correlation currency of the fleet. A trace ID
+// is minted at the first draid component a request touches (SDK or
+// server edge), carried on the X-Draid-Trace header across every
+// proxy/redirect hop, stamped into slog lines and job records, and
+// echoed back to the caller — so one grep over the fleet's logs
+// reconstructs a cross-node request.
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// TraceHeader is the HTTP header carrying the trace ID.
+const TraceHeader = "X-Draid-Trace"
+
+// maxTraceLen bounds accepted inbound trace IDs so a hostile caller
+// cannot bloat logs or job records.
+const maxTraceLen = 64
+
+// NewTraceID returns a fresh 16-hex-char trace ID (64 random bits).
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; trace IDs are not
+		// security material, so degrade to a fixed marker over panicking.
+		return "trace-rand-failed"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether an inbound trace ID is safe to adopt:
+// non-empty, bounded, and limited to URL- and log-safe characters.
+// Invalid inbound IDs are replaced, not rejected — tracing must never
+// fail a request.
+func ValidTraceID(s string) bool {
+	if s == "" || len(s) > maxTraceLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			c == '-' || c == '_' || c == '.'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// traceKey is the context key for the trace ID.
+type traceKey struct{}
+
+// WithTrace returns a context carrying the trace ID.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceFrom returns the context's trace ID, or "" when none is set.
+func TraceFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+)
+
+func TestNewTraceIDShapeAndUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q: want 16 hex chars", id)
+		}
+		if !ValidTraceID(id) {
+			t.Fatalf("generated trace ID %q fails own validation", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q in 100 draws", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	for id, want := range map[string]bool{
+		"abc123":                 true,
+		"a-b_c.d":                true,
+		"":                       false,
+		"has space":              false,
+		"has\"quote":             false,
+		"line\nbreak":            false,
+		string(make([]byte, 65)): false,
+	} {
+		if got := ValidTraceID(id); got != want {
+			t.Errorf("ValidTraceID(%q) = %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	ctx := context.Background()
+	if TraceFrom(ctx) != "" {
+		t.Fatal("empty context has a trace")
+	}
+	ctx = WithTrace(ctx, "deadbeef00000000")
+	if got := TraceFrom(ctx); got != "deadbeef00000000" {
+		t.Fatalf("TraceFrom = %q", got)
+	}
+}

@@ -58,6 +58,34 @@ type JobStatus struct {
 	Trajectory []TrajectoryPoint `json:"trajectory,omitempty"`
 	// Node is the fleet member holding the job (empty single-node).
 	Node string `json:"node,omitempty"`
+	// Trace is the request trace ID the server answered with (from the
+	// X-Draid-Trace response header, not the JSON body) — the handle for
+	// correlating this submission across fleet members' logs.
+	Trace string `json:"-"`
+}
+
+// Lifecycle event names appearing in a job's event timeline.
+const (
+	EventSubmitted = "submitted" // accepted by a fleet member
+	EventQueued    = "queued"    // waiting for a worker slot
+	EventRunning   = "running"   // pipeline started
+	EventDone      = "done"      // pipeline finished; shards servable
+	EventFailed    = "failed"    // pipeline errored or was lost
+	EventEvicted   = "evicted"   // retention removed the job
+	EventAdopted   = "adopted"   // another member took ownership after a failure
+	EventRequeued  = "requeued"  // interrupted job resubmitted for a clean rerun
+)
+
+// JobEvent is one entry in a job's lifecycle timeline, served by
+// GET /v1/jobs/{id}/events. Events survive server restarts: the
+// timeline is replayed from the persistent job log, so pre-restart
+// transitions (with the node that performed them) remain visible.
+type JobEvent struct {
+	Event  string    `json:"event"`
+	Time   time.Time `json:"time"`
+	Node   string    `json:"node,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+	Trace  string    `json:"trace,omitempty"`
 }
 
 // TemplateInfo is the catalog entry served by /v1/templates. Kind

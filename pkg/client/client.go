@@ -12,7 +12,14 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"repro/internal/telemetry"
 )
+
+// TraceHeader is the HTTP header carrying the request trace ID — on
+// requests to inherit a caller's trace, on responses to report the ID
+// the fleet actually logged under.
+const TraceHeader = telemetry.TraceHeader
 
 // Client talks to one draid base URL. Create with New; the zero value
 // is not usable.
@@ -21,6 +28,7 @@ type Client struct {
 	httpc *http.Client
 	wire  string
 	poll  time.Duration
+	trace string
 }
 
 // Option customizes a Client.
@@ -37,6 +45,28 @@ func WithWire(wire string) Option { return func(c *Client) { c.wire = wire } }
 // WithPollInterval sets WaitDone's polling cadence (default 10ms —
 // tuned for local servers; raise it for remote ones).
 func WithPollInterval(d time.Duration) Option { return func(c *Client) { c.poll = d } }
+
+// WithTrace pins every request's trace ID — for callers already inside
+// a traced operation (a training run, a workflow step) who want the
+// whole draid interaction filed under their ID. Without it each request
+// gets its own fresh trace ID. Invalid IDs (empty, too long, characters
+// outside [0-9A-Za-z._-]) are ignored.
+func WithTrace(trace string) Option {
+	return func(c *Client) {
+		if telemetry.ValidTraceID(trace) {
+			c.trace = trace
+		}
+	}
+}
+
+// newTrace is the trace ID for one request: the pinned WithTrace ID or
+// a fresh one.
+func (c *Client) newTrace() string {
+	if c.trace != "" {
+		return c.trace
+	}
+	return telemetry.NewTraceID()
+}
 
 // New returns a client for the draid server at baseURL.
 func New(baseURL string, opts ...Option) *Client {
@@ -68,19 +98,27 @@ func apiError(resp *http.Response) error {
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	_, err := c.getJSONTraced(ctx, path, out)
+	return err
+}
+
+// getJSONTraced additionally reports the trace ID the server answered
+// under, so status-shaped results can surface it.
+func (c *Client) getJSONTraced(ctx context.Context, path string, out any) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
-		return err
+		return "", err
 	}
+	req.Header.Set(TraceHeader, c.newTrace())
 	resp, err := c.httpc.Do(req)
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return apiError(resp)
+		return "", apiError(resp)
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return resp.Header.Get(TraceHeader), json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Templates lists the server's domain templates with their wire
@@ -106,6 +144,7 @@ func (c *Client) SubmitJob(ctx context.Context, spec JobSpec) (*JobStatus, error
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TraceHeader, c.newTrace())
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return nil, err
@@ -118,15 +157,33 @@ func (c *Client) SubmitJob(ctx context.Context, spec JobSpec) (*JobStatus, error
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		return nil, err
 	}
+	// Surface the trace the fleet filed the submission under. On the
+	// redirect path Go re-sends X-Draid-Trace to the owner (it is not a
+	// sensitive header), so the response echoes one end-to-end ID.
+	st.Trace = resp.Header.Get(TraceHeader)
 	return &st, nil
 }
 
-// Job fetches one job's status.
-func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
-	var st JobStatus
-	if err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(id), &st); err != nil {
+// Events fetches a job's lifecycle timeline — every state transition
+// with its timestamp, fleet node, and trace ID, including transitions
+// from before a server restart (replayed from the job log).
+func (c *Client) Events(ctx context.Context, id string) ([]JobEvent, error) {
+	var out []JobEvent
+	if err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(id)+"/events", &out); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// Job fetches one job's status. Trace carries the ID this poll was
+// answered under — the pinned WithTrace ID, or a per-request one.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	trace, err := c.getJSONTraced(ctx, "/v1/jobs/"+url.PathEscape(id), &st)
+	if err != nil {
+		return nil, err
+	}
+	st.Trace = trace
 	return &st, nil
 }
 

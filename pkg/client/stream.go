@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/domain"
+	"repro/internal/telemetry"
 )
 
 // StreamOptions tunes StreamBatches.
@@ -64,7 +65,7 @@ func (c *Client) StreamBatches(ctx context.Context, jobID string, opts StreamOpt
 	if wire == "" {
 		wire = c.wire
 	}
-	s, err := OpenStreamURL(ctx, c.httpc, u, opts.Cursor, wire, opts.MaxResumes)
+	s, err := openStream(ctx, c.httpc, u, opts.Cursor, wire, opts.MaxResumes, c.newTrace())
 	if err != nil {
 		return nil, err
 	}
@@ -80,8 +81,19 @@ func (c *Client) StreamBatches(ctx context.Context, jobID string, opts StreamOpt
 // http.DefaultClient; wire "" means WireAuto; maxResumes as in
 // StreamOptions.
 func OpenStreamURL(ctx context.Context, httpc *http.Client, rawURL, cursor, wire string, maxResumes int) (*Stream, error) {
+	return openStream(ctx, httpc, rawURL, cursor, wire, maxResumes, "")
+}
+
+// openStream is OpenStreamURL with an explicit trace ID ("" generates a
+// fresh one). The same ID rides every connection of the stream —
+// resumes included — so the whole logical stream correlates to one
+// trace across the fleet.
+func openStream(ctx context.Context, httpc *http.Client, rawURL, cursor, wire string, maxResumes int, trace string) (*Stream, error) {
 	if httpc == nil {
 		httpc = http.DefaultClient
+	}
+	if !telemetry.ValidTraceID(trace) {
+		trace = telemetry.NewTraceID()
 	}
 	switch wire {
 	case "":
@@ -103,6 +115,7 @@ func OpenStreamURL(ctx context.Context, httpc *http.Client, rawURL, cursor, wire
 		wire:        wire,
 		cursor:      cursor,
 		resumesLeft: maxResumes,
+		trace:       trace,
 	}
 	if err := s.connect(); err != nil {
 		return nil, err
@@ -119,6 +132,7 @@ type Stream struct {
 	wire  string // requested: auto|ndjson|frame
 
 	negotiated string // wire in use on the current connection
+	trace      string // trace ID stamped on every connection of the stream
 	cursor     string // position after the last delivered batch
 	delivered  int
 	maxBatches int // total delivery cap across resumes (0 = unbounded)
@@ -135,6 +149,10 @@ type Stream struct {
 
 // Wire reports the negotiated wire format ("ndjson" or "frame").
 func (s *Stream) Wire() string { return s.negotiated }
+
+// TraceID reports the trace ID this stream's requests carry — the
+// handle for finding the stream in server logs and metrics.
+func (s *Stream) TraceID() string { return s.trace }
 
 // Cursor is the resume position after the last batch Next returned.
 func (s *Stream) Cursor() string { return s.cursor }
@@ -164,6 +182,7 @@ func (s *Stream) connect() error {
 	if err != nil {
 		return err
 	}
+	req.Header.Set(TraceHeader, s.trace)
 	switch s.wire {
 	case WireFrame:
 		req.Header.Set("Accept", domain.ContentTypeFrame)
