@@ -205,5 +205,20 @@ func compareServe(cur *server.ServeBenchReport, baselinePath string, threshold f
 	if delta < -threshold {
 		return fmt.Errorf("durable serve path regressed %.1f%% relative to mem (budget %.0f%%)", -delta*100, threshold*100)
 	}
+	// Zero-copy gate: the cached-over-encode frame ratio is same-run and
+	// same-machine like fs/mem, so it gates the same way. Only enforced
+	// once the baseline carries the dimension, so older baselines keep
+	// passing until regenerated.
+	if base.FrameCached != nil && base.FrameCached.CachedOverFrame > 0 {
+		if cur.FrameCached == nil || cur.FrameCached.CachedOverFrame <= 0 {
+			return fmt.Errorf("compare: current run produced no frame_cached ratio")
+		}
+		fcDelta := cur.FrameCached.CachedOverFrame/base.FrameCached.CachedOverFrame - 1
+		fmt.Printf("serve frame_cached/frame ratio vs %s: %.3f now, %.3f baseline — %+.1f%%\n",
+			baselinePath, cur.FrameCached.CachedOverFrame, base.FrameCached.CachedOverFrame, fcDelta*100)
+		if fcDelta < -threshold {
+			return fmt.Errorf("encoded-frame cache win regressed %.1f%% (budget %.0f%%)", -fcDelta*100, threshold*100)
+		}
+	}
 	return nil
 }

@@ -76,6 +76,7 @@ func main() {
 	workers := flag.Int("workers", 4, "concurrent pipeline executions")
 	queueDepth := flag.Int("queue", 64, "max queued jobs before submissions get 429")
 	cacheMB := flag.Int64("cache-mb", 128, "decoded-shard LRU cache budget in MiB (0 disables)")
+	frameCacheMB := flag.Int64("frame-cache-mb", 128, "encoded-frame shard cache budget in MiB; frame-wire batches are served by slicing pre-encoded payload bytes (0 disables, frames encode per request)")
 	serveMaxKBps := flag.Int("serve-max-kbps", 0, "per-stream batch throughput ceiling in KiB/s (0 = unpaced; clients can lower theirs with ?max_kbps=)")
 	dataDir := flag.String("data-dir", "", "durable root for shard sets + job log (empty keeps jobs in memory)")
 	jobTTL := flag.Duration("job-ttl", 0, "evict completed jobs idle this long, deleting their shards (0 disables)")
@@ -112,17 +113,18 @@ func main() {
 	}
 
 	s, err := server.New(server.Options{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		CacheBytes:   *cacheMB << 20,
-		ServeMaxKBps: *serveMaxKBps,
-		DataDir:      *dataDir,
-		JobTTL:       *jobTTL,
-		MaxJobs:      *maxJobs,
-		Requeue:      *requeue,
-		Cluster:      cl,
-		Debug:        *debug,
-		Logger:       logger,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheBytes:      *cacheMB << 20,
+		FrameCacheBytes: *frameCacheMB << 20,
+		ServeMaxKBps:    *serveMaxKBps,
+		DataDir:         *dataDir,
+		JobTTL:          *jobTTL,
+		MaxJobs:         *maxJobs,
+		Requeue:         *requeue,
+		Cluster:         cl,
+		Debug:           *debug,
+		Logger:          logger,
 	})
 	if err != nil {
 		log.Fatalf("draid: %v", err)
@@ -138,7 +140,7 @@ func main() {
 	if cl != nil {
 		durability += fmt.Sprintf(", fleet member %s of %d", cl.Self().ID, len(cl.Nodes()))
 	}
-	log.Printf("draid: listening on %s (%d workers, %d MiB shard cache, %s)", *addr, *workers, *cacheMB, durability)
+	log.Printf("draid: listening on %s (%d workers, %d MiB shard cache, %d MiB frame cache, %s)", *addr, *workers, *cacheMB, *frameCacheMB, durability)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

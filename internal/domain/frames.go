@@ -132,6 +132,51 @@ func EncodeFrame(c Codec, h BatchHeader, recs []any) ([]byte, error) {
 	return finishFrame(buf), nil
 }
 
+// FrameEnvelope returns the wire bytes that precede a pre-encoded
+// payload of payloadLen bytes carrying count records: the frame length
+// prefix followed by the varint header under h. Appending exactly
+// payloadLen payload bytes yields the same frame EncodeFrame would
+// build for the same header and records — the header/payload split
+// that lets a cached payload be re-framed under a fresh batch index
+// and cursor without re-packing a single tensor.
+func FrameEnvelope(h BatchHeader, count, payloadLen int) ([]byte, error) {
+	if payloadLen < 0 {
+		return nil, fmt.Errorf("domain: negative payload length %d", payloadLen)
+	}
+	buf := appendFrameHeader(make([]byte, framePrefixLen, framePrefixLen+16+len(h.Kind)+len(h.Cursor)), h, count)
+	body := len(buf) - framePrefixLen + payloadLen
+	if body > MaxFrameBytes {
+		return nil, fmt.Errorf("domain: frame body %d bytes exceeds %d", body, MaxFrameBytes)
+	}
+	// finishFrame would stamp the buffered length only; the envelope's
+	// length prefix covers header plus the payload the caller streams
+	// after it.
+	var tmp [framePrefixLen]byte
+	n := binary.PutUvarint(tmp[:], uint64(body))
+	copy(buf[framePrefixLen-n:framePrefixLen], tmp[:n])
+	return buf[framePrefixLen-n:], nil
+}
+
+// EncodeRecordPayloads encodes recs into one contiguous frame payload
+// with per-record boundary offsets (len(recs)+1 entries; record i
+// occupies payload[offsets[i]:offsets[i+1]]). Every codec's batch
+// payload is the plain concatenation of its records' single-record
+// payloads (pinned by TestFramePayloadConcatenation), so any
+// contiguous record range [a,b) of the result is byte-identical to
+// AppendFramePayload over those records — the invariant the encoded-
+// frame shard cache slices batches out of.
+func EncodeRecordPayloads(c Codec, recs []any) (payload []byte, offsets []int64, err error) {
+	offsets = make([]int64, len(recs)+1)
+	for i, r := range recs {
+		payload, err = c.AppendFramePayload(payload, []any{r})
+		if err != nil {
+			return nil, nil, err
+		}
+		offsets[i+1] = int64(len(payload))
+	}
+	return payload, offsets, nil
+}
+
 // EncodeErrorFrame renders the in-band failure frame.
 func EncodeErrorFrame(msg string) []byte {
 	if len(msg) > maxCursorLen*8 {

@@ -1,6 +1,7 @@
 package domain
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -122,6 +123,82 @@ func TestFrameNDJSONEquivalence(t *testing.T) {
 		if string(ndjson) != string(ndjson2) {
 			t.Fatalf("%s: NDJSON from frame-decoded records differs:\n %s\n %s", kind, ndjson, ndjson2)
 		}
+	}
+}
+
+// TestFramePayloadConcatenation pins the invariant the encoded-frame
+// shard cache is built on: for every codec, a batch payload is exactly
+// the concatenation of its single-record payloads, so a cached
+// per-record encoding can be range-sliced into any batch and stay
+// byte-identical to encoding that batch directly. A codec that adds
+// batch-level payload state (a count prefix, inter-record framing,
+// compression across records) breaks zero-copy serving and must fail
+// here.
+func TestFramePayloadConcatenation(t *testing.T) {
+	for kind, raws := range frameFixtures(t) {
+		codec, _ := CodecByKind(kind)
+		var recs []any
+		for _, raw := range raws {
+			r, _, err := codec.Decode(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs = append(recs, r)
+		}
+
+		batch, err := codec.AppendFramePayload(nil, recs)
+		if err != nil {
+			t.Fatalf("%s: batch payload: %v", kind, err)
+		}
+		payload, offsets, err := EncodeRecordPayloads(codec, recs)
+		if err != nil {
+			t.Fatalf("%s: per-record payloads: %v", kind, err)
+		}
+		if !bytes.Equal(batch, payload) {
+			t.Fatalf("%s: concat of single-record payloads differs from batch payload", kind)
+		}
+		if len(offsets) != len(recs)+1 || offsets[0] != 0 || offsets[len(recs)] != int64(len(payload)) {
+			t.Fatalf("%s: offsets %v for %d records, payload %d bytes", kind, offsets, len(recs), len(payload))
+		}
+		// Every sub-range sliced from the cached payload equals encoding
+		// that record range directly — the cursor/batch_size freedom the
+		// serving path relies on.
+		for a := 0; a <= len(recs); a++ {
+			for b := a; b <= len(recs); b++ {
+				want, err := codec.AppendFramePayload(nil, recs[a:b])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := payload[offsets[a]:offsets[b]]; !bytes.Equal(got, want) {
+					t.Fatalf("%s: slice [%d:%d) differs from direct encoding", kind, a, b)
+				}
+			}
+		}
+
+		// FrameEnvelope over the cached payload reproduces EncodeFrame's
+		// bytes exactly: envelope + payload == full frame.
+		h := BatchHeader{Batch: 3, Cursor: "2:5", Kind: kind}
+		frame, err := EncodeFrame(codec, h, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := FrameEnvelope(h, len(recs), len(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := append(append([]byte{}, env...), payload...); !bytes.Equal(got, frame) {
+			t.Fatalf("%s: envelope+payload != EncodeFrame output (%d vs %d bytes)", kind, len(got), len(frame))
+		}
+	}
+}
+
+// TestFrameEnvelopeRejects: oversized and negative payloads error.
+func TestFrameEnvelopeRejects(t *testing.T) {
+	if _, err := FrameEnvelope(BatchHeader{Kind: KindSamples}, 1, -1); err == nil {
+		t.Fatal("negative payload length accepted")
+	}
+	if _, err := FrameEnvelope(BatchHeader{Kind: KindSamples}, 1, MaxFrameBytes); err == nil {
+		t.Fatal("over-cap frame body accepted")
 	}
 }
 

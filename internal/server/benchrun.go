@@ -96,6 +96,9 @@ type ServeBenchConfig struct {
 	Domain core.Domain
 	// Wire picks the stream encoding: "ndjson" (default) or "frame".
 	Wire string
+	// FrameCacheBytes budgets the encoded-frame shard cache; <=0 leaves
+	// it disabled so frame streams encode per request.
+	FrameCacheBytes int64
 }
 
 // RunServeBenchmark measures concurrent streaming throughput: it
@@ -123,7 +126,7 @@ func RunServeBenchmark(cfg ServeBenchConfig) (*ServeBenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := Options{Workers: 2, CacheBytes: 64 << 20}
+	opts := Options{Workers: 2, CacheBytes: 64 << 20, FrameCacheBytes: cfg.FrameCacheBytes}
 	if cfg.ColdCache {
 		opts.CacheBytes = 0
 	}
@@ -236,6 +239,18 @@ type WireComparison struct {
 	FrameOverNDJSON float64 `json:"frame_over_ndjson"`
 }
 
+// FrameCachedComparison pairs one domain's frame-wire runs with the
+// encoded-frame cache off (encode per request) and on (payload slices
+// off the cache), over the same fs-backend dataset — the number that
+// says what zero-copy serving buys.
+type FrameCachedComparison struct {
+	Frame       *ServeBenchResult `json:"frame"`
+	FrameCached *ServeBenchResult `json:"frame_cached"`
+	// CachedOverFrame is cached-frame records/sec divided by
+	// encode-per-request records/sec, measured in the same run.
+	CachedOverFrame float64 `json:"frame_cached_over_frame"`
+}
+
 // ServeBenchReport pairs a same-process mem-backend and fs-backend run;
 // it is the BENCH_serve.json schema. The CI gate compares FSOverMem —
 // how much of the in-memory serving rate survives the durable store —
@@ -252,6 +267,10 @@ type ServeBenchReport struct {
 	// keyed by domain name. Informational — the regression gate stays
 	// on FSOverMem.
 	Codecs map[string]*WireComparison `json:"codecs,omitempty"`
+	// FrameCached is the zero-copy dimension: fusion frame streams off
+	// the fs backend with the encoded-frame cache off vs on. Gated by
+	// cmd/benchreport -compare on CachedOverFrame.
+	FrameCached *FrameCachedComparison `json:"frame_cached,omitempty"`
 }
 
 // Render formats both runs, the gate ratio, and the per-codec sweep.
@@ -276,6 +295,19 @@ func (r *ServeBenchReport) Render() string {
 			out += fmt.Sprintf("  %-12s %-18s ndjson %8.0f rec/s  frame %8.0f rec/s  frame/ndjson %.2fx\n",
 				name, "("+c.NDJSON.Kind+")", rate(c.NDJSON), rate(c.Frame), c.FrameOverNDJSON)
 		}
+	}
+	if fc := r.FrameCached; fc != nil {
+		rate := func(res *ServeBenchResult) float64 {
+			if res == nil || res.Seconds == 0 {
+				return 0
+			}
+			return float64(res.Samples) / res.Seconds
+		}
+		out += fmt.Sprintf("encoded-frame cache (%s, %s backend):\n"+
+			"  per-request encode %8.0f rec/s  cached slices %8.0f rec/s  cached/encode %.2fx\n"+
+			"  encode p99 %.1fµs -> %.1fµs\n",
+			fc.Frame.Domain, fc.Frame.Backend, rate(fc.Frame), rate(fc.FrameCached),
+			fc.CachedOverFrame, fc.Frame.BatchEncodeP99Us, fc.FrameCached.BatchEncodeP99Us)
 	}
 	return out
 }
@@ -336,8 +368,128 @@ func RunServeComparison(cfg ServeBenchConfig) (*ServeBenchReport, error) {
 		}
 		rep.Codecs[string(plug.Domain)] = cmp
 	}
+	// Zero-copy dimension: what the encoded-frame cache buys over
+	// per-request encoding, on the durable backend.
+	fcCfg := cfg
+	fcCfg.Passes = 2
+	fc, err := RunFrameCachedComparison(fcCfg)
+	if err != nil {
+		return nil, fmt.Errorf("frame-cached sweep: %w", err)
+	}
+	rep.FrameCached = fc
 	return rep, nil
 }
+
+// RunFrameCachedComparison measures one domain's frame-wire throughput
+// with the encoded-frame cache off and on, over the same fs-backend
+// dataset: two servers share one data dir (the second replays the job
+// log), so the only difference between the sides is per-request tensor
+// encoding vs slicing cached payload bytes. The decoded-shard cache is
+// warm on both sides and the frame cache is pre-filled, isolating the
+// encode cost. Fusion is the default workload — its windowed signal
+// tensors have the largest per-record encode cost, so the ratio tracks
+// the win where it matters most. Like the fs/mem gate, the ratio is the
+// median of frameCachedRounds interleaved rounds.
+func RunFrameCachedComparison(cfg ServeBenchConfig) (*FrameCachedComparison, error) {
+	if cfg.Clients <= 0 {
+		return nil, fmt.Errorf("server: clients=%d must be positive", cfg.Clients)
+	}
+	if cfg.Passes <= 0 {
+		cfg.Passes = 1
+	}
+	if cfg.Domain == "" {
+		cfg.Domain = core.Fusion
+	}
+	plug, err := domain.Lookup(cfg.Domain)
+	if err != nil {
+		return nil, err
+	}
+	dir := cfg.DataDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "draid-bench-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	encSrv, err := New(Options{Workers: 2, CacheBytes: 64 << 20, DataDir: dir})
+	if err != nil {
+		return nil, err
+	}
+	defer encSrv.Close()
+	encTS := httptest.NewServer(encSrv.Handler())
+	defer encTS.Close()
+	id, err := SubmitAndWait(encTS.URL, JobSpec{Domain: cfg.Domain, Name: "frame-cache-bench", Seed: 1}, 60*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	// The cached server starts after the job completes so its job-log
+	// replay sees the finished shard set.
+	cachedSrv, err := New(Options{Workers: 2, CacheBytes: 64 << 20, FrameCacheBytes: 256 << 20, DataDir: dir})
+	if err != nil {
+		return nil, err
+	}
+	defer cachedSrv.Close()
+	cachedTS := httptest.NewServer(cachedSrv.Handler())
+	defer cachedTS.Close()
+
+	urlFor := func(base string) string {
+		return fmt.Sprintf("%s/v1/jobs/%s/batches?batch_size=%d&max_batches=%d", base, id, cfg.BatchSize, cfg.MaxBatches)
+	}
+	sides := []struct {
+		s  *Server
+		ts *httptest.Server
+	}{{encSrv, encTS}, {cachedSrv, cachedTS}}
+	// Warm-up: fills the decoded-shard cache on the encode side and the
+	// frame cache on the cached side, so neither measured stream pays a
+	// fill.
+	for _, side := range sides {
+		if _, _, _, _, err := streamConsume(urlFor(side.ts.URL), "", domain.WireFrame); err != nil {
+			return nil, err
+		}
+	}
+
+	cmp := &FrameCachedComparison{}
+	var encRates, cachedRates []float64
+	for round := 0; round < frameCachedRounds; round++ {
+		for i, side := range sides {
+			res := &ServeBenchResult{Clients: cfg.Clients, BatchSize: cfg.BatchSize, Backend: "fs",
+				Domain: string(cfg.Domain), Kind: plug.Codec.Kind(), Wire: domain.WireFrame}
+			before := side.s.cache.Stats()
+			if err := measureStreams(res, urlFor(side.ts.URL), domain.WireFrame, cfg.Clients, cfg.Passes); err != nil {
+				return nil, err
+			}
+			cs := side.s.cache.Stats()
+			res.CacheHits, res.CacheMisses = cs.Hits-before.Hits, cs.Misses-before.Misses
+			side.s.fillLatencies(res)
+			rate := 0.0
+			if res.Seconds > 0 {
+				rate = float64(res.Samples) / res.Seconds
+			}
+			if i == 0 {
+				encRates = append(encRates, rate)
+				cmp.Frame = res
+			} else {
+				cachedRates = append(cachedRates, rate)
+				cmp.FrameCached = res
+			}
+		}
+	}
+	if hits := cachedSrv.frames.Stats().Hits; hits == 0 {
+		return nil, fmt.Errorf("server: frame cache took no hits during cached rounds")
+	}
+	encRate, cachedRate := median(encRates), median(cachedRates)
+	if encRate > 0 {
+		cmp.CachedOverFrame = cachedRate / encRate
+	}
+	return cmp, nil
+}
+
+// frameCachedRounds is how many interleaved encode/cached rounds feed
+// the frame-cached ratio's median.
+const frameCachedRounds = 3
 
 // runWireComparison measures one domain's NDJSON and frame throughput
 // against the *same* server and the same completed job, so the ratio

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestShardCacheDropPrefixDuringLoad pins the eviction-vs-load race: a
+// DropPrefix that runs while a matching load is in flight must prevent
+// that load's completion from re-inserting the dropped job's data. The
+// load is gated on a channel so the interleaving is deterministic.
+func TestShardCacheDropPrefixDuringLoad(t *testing.T) {
+	c := NewShardCache[[]any](1 << 20)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	got := make(chan error, 1)
+	go func() {
+		_, err := c.Get("job1/shard-0", func() ([]any, int64, error) {
+			close(started)
+			<-release
+			return []any{"deleted-job-data"}, 10, nil
+		})
+		got <- err
+	}()
+
+	<-started
+	c.DropPrefix("job1/")
+	close(release)
+	if err := <-got; err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+
+	cs := c.Stats()
+	if cs.Entries != 0 {
+		t.Fatalf("load completed after DropPrefix resurrected the entry: %+v", cs)
+	}
+
+	// A load that starts after the DropPrefix sees the new generation and
+	// must insert normally.
+	if _, err := c.Get("job1/shard-0", func() ([]any, int64, error) {
+		return []any{"fresh"}, 10, nil
+	}); err != nil {
+		t.Fatalf("Get after drop: %v", err)
+	}
+	if cs := c.Stats(); cs.Entries != 1 {
+		t.Fatalf("post-drop load did not cache: %+v", cs)
+	}
+}
+
+// TestShardCacheDropPrefixScoped checks that an in-flight load whose key
+// does NOT match the dropped prefix still inserts.
+func TestShardCacheDropPrefixScoped(t *testing.T) {
+	c := NewShardCache[[]any](1 << 20)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := c.Get("job2/shard-0", func() ([]any, int64, error) {
+			close(started)
+			<-release
+			return []any{"other-job"}, 10, nil
+		}); err != nil {
+			t.Errorf("Get: %v", err)
+		}
+	}()
+
+	<-started
+	c.DropPrefix("job1/")
+	close(release)
+	<-done
+
+	if cs := c.Stats(); cs.Entries != 1 {
+		t.Fatalf("unrelated DropPrefix suppressed insert: %+v", cs)
+	}
+}
+
+// TestShardCacheDropPrefixRace hammers concurrent Gets against
+// DropPrefix under the race detector and asserts the invariant the
+// tombstones exist for: after the final DropPrefix with no loads in
+// flight, nothing under the dropped prefix is resident.
+func TestShardCacheDropPrefixRace(t *testing.T) {
+	c := NewShardCache[[]any](1 << 20)
+
+	const (
+		workers = 8
+		iters   = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("job%d/shard-%d", w%2, i%4)
+				if _, err := c.Get(key, func() ([]any, int64, error) {
+					return []any{key}, 16, nil
+				}); err != nil {
+					t.Errorf("Get %s: %v", key, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			c.DropPrefix("job0/")
+		}
+	}()
+	wg.Wait()
+
+	c.DropPrefix("job0/")
+	cs := c.Stats()
+	for key := range c.entries {
+		if len(key) >= 5 && key[:5] == "job0/" {
+			t.Fatalf("dropped key %s resurrected: %+v", key, cs)
+		}
+	}
+	if cs.Invalidations == 0 {
+		t.Fatalf("no invalidations recorded: %+v", cs)
+	}
+}
+
+// TestShardCacheSingleflight checks concurrent misses on one key run the
+// loader once and share the result.
+func TestShardCacheSingleflight(t *testing.T) {
+	c := NewShardCache[[]any](1 << 20)
+
+	var mu sync.Mutex
+	loads := 0
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Get("job/shard", func() ([]any, int64, error) {
+				mu.Lock()
+				loads++
+				mu.Unlock()
+				<-release
+				return []any{"v"}, 8, nil
+			})
+			if err != nil || len(v) != 1 {
+				t.Errorf("Get: %v %v", v, err)
+			}
+		}()
+	}
+	// Let the goroutines pile up on the inflight entry, then release.
+	for {
+		c.mu.Lock()
+		n := len(c.loads)
+		c.mu.Unlock()
+		if n == 1 {
+			break
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if loads != 1 {
+		t.Fatalf("loader ran %d times, want 1", loads)
+	}
+}

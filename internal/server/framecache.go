@@ -1,0 +1,73 @@
+// Encoded-frame shard cache: the zero-copy half of the serving tier.
+// The decoded-shard cache already makes shard opening cheap, but every
+// frame-wire batch was still re-encoded per request — each record's
+// tensors packed into little-endian bytes again for every client and
+// every batch size. This cache stores each shard's records in
+// frame-ready byte form exactly once: one contiguous payload buffer
+// plus per-record boundary offsets. Any batch_size/cursor combination
+// is then served by slicing byte ranges out of the buffer and writing
+// them straight to the connection under a freshly framed header
+// (domain.FrameEnvelope) — no per-request tensor marshalling, and
+// byte-identical wire output to the encode-per-request path because a
+// codec's batch payload is the concatenation of its single-record
+// payloads.
+package server
+
+import (
+	"repro/internal/domain"
+	"repro/internal/shard"
+)
+
+// encodedShard is one shard's records in frame-ready byte form.
+type encodedShard struct {
+	payload []byte
+	// offsets has len(records)+1 entries; record i occupies
+	// payload[offsets[i]:offsets[i+1]].
+	offsets []int64
+}
+
+// count is the number of records in the shard.
+func (e *encodedShard) count() int { return len(e.offsets) - 1 }
+
+// slice returns the payload bytes of the record range [a, b).
+func (e *encodedShard) slice(a, b int) []byte {
+	return e.payload[e.offsets[a]:e.offsets[b]]
+}
+
+// sliceLen is len(slice(a, b)) without materializing the slice header.
+func (e *encodedShard) sliceLen(a, b int) int {
+	return int(e.offsets[b] - e.offsets[a])
+}
+
+// memBytes is the cache accounting for this entry.
+func (e *encodedShard) memBytes() int64 {
+	return int64(len(e.payload)) + int64(len(e.offsets))*8
+}
+
+// frameRange is a contiguous record range [a, b) of one encoded shard,
+// buffered for the next batch emission. A batch that spans a shard
+// boundary holds one range per shard.
+type frameRange struct {
+	enc  *encodedShard
+	a, b int
+}
+
+// frameShard returns one shard's encoded-frame form through the frame
+// cache, encoding on first access only. The fill path reads through the
+// decoded-shard cache, so a cold shard is opened and decoded once even
+// when both caches miss at the same moment.
+func (s *Server) frameShard(jobID, dom string, m *shard.Manifest, info shard.Info, open shard.Opener, codec domain.Codec) (*encodedShard, error) {
+	key := jobID + "/" + info.Name
+	return s.frames.Get(key, func() (*encodedShard, int64, error) {
+		records, err := s.shardRecords(jobID, dom, m, info, open, codec)
+		if err != nil {
+			return nil, 0, err
+		}
+		payload, offsets, err := domain.EncodeRecordPayloads(codec, records)
+		if err != nil {
+			return nil, 0, err
+		}
+		enc := &encodedShard{payload: payload, offsets: offsets}
+		return enc, enc.memBytes(), nil
+	})
+}

@@ -1,0 +1,209 @@
+// Acceptance tests for the encoded-frame shard cache: the cached path
+// must be invisible on the wire — byte-identical frame streams, across
+// every codec, any batch size, cursor resume boundaries, and pacing —
+// while the frame cache actually takes the hits.
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/domain"
+)
+
+// rawFrameStream fetches url as a frame-wire stream and returns the raw
+// response bytes, unparsed — the unit of comparison for byte-exactness.
+func rawFrameStream(t *testing.T, url string) []byte {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", domain.ContentTypeFrame)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d: %s", url, resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(domain.HeaderWire); got != domain.WireFrame {
+		t.Fatalf("%s: X-Draid-Wire %q, want %q", url, got, domain.WireFrame)
+	}
+	return body
+}
+
+// frameCursors parses a raw frame stream into its batch cursors.
+func frameCursors(t *testing.T, stream []byte) []string {
+	t.Helper()
+	var cursors []string
+	rest := stream
+	for len(rest) > 0 {
+		h, _, r, err := domain.DecodeFrame(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cursors = append(cursors, h.Cursor)
+		rest = r
+	}
+	return cursors
+}
+
+// TestFrameCacheByteExact is the zero-copy acceptance proof: for every
+// codec, the frame stream served by slicing the encoded-frame cache is
+// byte-identical to the encode-per-request stream — cold (cache fill),
+// warm (cache hit), at a different batch size, resumed from a
+// mid-stream cursor, and under ?max_kbps= pacing. The reference bytes
+// come from a server with the frame cache disabled; the cached server
+// reads the same data dir after a restart.
+func TestFrameCacheByteExact(t *testing.T) {
+	dataDir := t.TempDir()
+	s1, err := New(Options{Workers: 4, DataDir: dataDir, CacheBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+
+	// One job per codec kind: climate (samples), fusion (windowed
+	// TFRecord examples), materials (BP graphs).
+	specs := []JobSpec{
+		{Domain: core.Climate, Seed: 3, Months: 24, Lat: 16, Lon: 32},
+		{Domain: core.Fusion, Seed: 3, Shots: 8},
+		{Domain: core.Materials, Seed: 3, Structures: 16},
+	}
+	type refStreams struct {
+		id     string
+		full   []byte // batch_size=2, whole stream
+		odd    []byte // batch_size=3, whole stream
+		cursor string // mid-stream resume point from full
+		resume []byte // batch_size=2 from cursor
+	}
+	var refs []refStreams
+	for _, spec := range specs {
+		id, err := SubmitAndWait(ts1.URL, spec, 120*time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Domain, err)
+		}
+		url := ts1.URL + "/v1/jobs/" + id + "/batches"
+		r := refStreams{id: id}
+		r.full = rawFrameStream(t, url+"?batch_size=2")
+		r.odd = rawFrameStream(t, url+"?batch_size=3")
+		cursors := frameCursors(t, r.full)
+		if len(cursors) < 3 {
+			t.Fatalf("%s: only %d batches", spec.Domain, len(cursors))
+		}
+		r.cursor = cursors[len(cursors)/2]
+		r.resume = rawFrameStream(t, url+"?batch_size=2&cursor="+r.cursor)
+		refs = append(refs, r)
+	}
+	if hits := s1.frames.Stats().Hits; hits != 0 {
+		t.Fatalf("disabled frame cache recorded %d hits", hits)
+	}
+	ts1.Close()
+	s1.Close()
+
+	s2, err := New(Options{Workers: 2, DataDir: dataDir, CacheBytes: 32 << 20, FrameCacheBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	t.Cleanup(s2.Close)
+
+	for i, r := range refs {
+		dom := specs[i].Domain
+		url := ts2.URL + "/v1/jobs/" + r.id + "/batches"
+		// Cold: this stream fills the frame cache and must already be
+		// byte-identical to the encode-per-request reference.
+		if got := rawFrameStream(t, url+"?batch_size=2"); !bytes.Equal(got, r.full) {
+			t.Fatalf("%s: cold cached stream differs from reference (%d vs %d bytes)", dom, len(got), len(r.full))
+		}
+		// Warm: same request again, now served from cached payload slices.
+		if got := rawFrameStream(t, url+"?batch_size=2"); !bytes.Equal(got, r.full) {
+			t.Fatalf("%s: warm cached stream differs from reference", dom)
+		}
+		// A different batch size re-frames the same cached payload bytes.
+		if got := rawFrameStream(t, url+"?batch_size=3"); !bytes.Equal(got, r.odd) {
+			t.Fatalf("%s: batch_size=3 cached stream differs from reference", dom)
+		}
+		// Cursor resume from a mid-stream point.
+		if got := rawFrameStream(t, url+"?batch_size=2&cursor="+r.cursor); !bytes.Equal(got, r.resume) {
+			t.Fatalf("%s: resumed cached stream differs from reference", dom)
+		}
+		// Pacing charges the sliced bytes but must not change them.
+		kbps := len(r.full)/1024 + 1
+		if got := rawFrameStream(t, fmt.Sprintf("%s?batch_size=2&max_kbps=%d", url, kbps)); !bytes.Equal(got, r.full) {
+			t.Fatalf("%s: paced cached stream differs from reference", dom)
+		}
+	}
+
+	fs := s2.frames.Stats()
+	if fs.Hits == 0 {
+		t.Fatalf("frame cache took no hits: %+v", fs)
+	}
+	if fs.Entries == 0 || fs.Bytes == 0 {
+		t.Fatalf("frame cache holds nothing after serving: %+v", fs)
+	}
+
+	// NDJSON streams never touch the frame cache: same bytes, no new
+	// cache traffic.
+	ndjsonURL := ts2.URL + "/v1/jobs/" + refs[0].id + "/batches?batch_size=2"
+	before := s2.frames.Stats()
+	resp, err := http.Get(ndjsonURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(body) == 0 || body[0] != '{' {
+		t.Fatalf("NDJSON stream looks wrong: %.60s", body)
+	}
+	after := s2.frames.Stats()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Fatalf("NDJSON stream moved frame-cache counters: %+v -> %+v", before, after)
+	}
+}
+
+// TestNegativeMaxBatchesRejected: ?max_batches=-1 is a client error,
+// not an unlimited stream.
+func TestNegativeMaxBatchesRejected(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	id, err := SubmitAndWait(ts.URL, JobSpec{Domain: core.Climate, Seed: 2, Months: 12, Lat: 8, Lon: 16}, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"max_batches=-1", "max_batches=-9000"} {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/batches?batch_size=2&" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("?%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+	// Zero and positive stay valid; zero means unlimited.
+	for _, q := range []string{"max_batches=0", "max_batches=2"} {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/batches?batch_size=2&" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("?%s: status %d, want 200", q, resp.StatusCode)
+		}
+	}
+}

@@ -194,6 +194,15 @@ func TestWireNegotiation(t *testing.T) {
 		{"application/x-ndjson, application/x-draid-frame;q=0.1", "ndjson", "application/x-ndjson"},
 		{"application/x-draid-frame;q=0.5, application/x-ndjson;q=0.4", "frame", "application/x-draid-frame"},
 		{"*/*, application/x-draid-frame;q=0.5", "ndjson", "application/x-ndjson"},
+		// Repeated media ranges take the max q per RFC 9110, not the last
+		// occurrence: a high frame q is not forgotten when a later low one
+		// repeats the range, and vice versa.
+		{"application/x-draid-frame;q=0.9, application/x-ndjson;q=0.5, application/x-draid-frame;q=0.2", "frame", "application/x-draid-frame"},
+		{"application/x-draid-frame;q=0.2, application/x-ndjson;q=0.5, application/x-draid-frame;q=0.9", "frame", "application/x-draid-frame"},
+		{"application/x-ndjson;q=0.3, application/x-draid-frame;q=0.5, application/x-ndjson;q=0.9", "ndjson", "application/x-ndjson"},
+		{"*/*;q=0.8, application/x-draid-frame;q=0.5, */*;q=0.1", "ndjson", "application/x-ndjson"},
+		// A repeated q=0 range regains service if any occurrence allows it.
+		{"application/x-draid-frame;q=0, application/x-draid-frame;q=0.9", "frame", "application/x-draid-frame"},
 	} {
 		req, err := http.NewRequest(http.MethodGet, url, nil)
 		if err != nil {
@@ -406,6 +415,27 @@ func TestServeRateControl(t *testing.T) {
 	}
 	if got := int64(s.metrics.serveThrottled.Value()); got != throttledBefore {
 		t.Fatalf("overflow max_kbps ticked draid_serve_throttled_total (%d -> %d)", throttledBefore, got)
+	}
+}
+
+// TestFrameCachedComparisonSmoke: the zero-copy bench dimension runs
+// end to end and produces a usable ratio with both sides populated.
+func TestFrameCachedComparisonSmoke(t *testing.T) {
+	cmp, err := RunFrameCachedComparison(ServeBenchConfig{Clients: 2, BatchSize: 8, Passes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Frame == nil || cmp.FrameCached == nil {
+		t.Fatalf("missing side: %+v", cmp)
+	}
+	if cmp.Frame.Batches == 0 || cmp.FrameCached.Batches == 0 {
+		t.Fatalf("empty runs: frame %+v cached %+v", cmp.Frame, cmp.FrameCached)
+	}
+	if cmp.Frame.Samples != cmp.FrameCached.Samples {
+		t.Fatalf("sides streamed different loads: %d vs %d samples", cmp.Frame.Samples, cmp.FrameCached.Samples)
+	}
+	if cmp.CachedOverFrame <= 0 {
+		t.Fatalf("no ratio: %+v", cmp)
 	}
 }
 

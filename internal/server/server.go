@@ -43,6 +43,12 @@ type Options struct {
 	QueueDepth int
 	// CacheBytes budgets the decoded-shard LRU cache. <=0 disables it.
 	CacheBytes int64
+	// FrameCacheBytes budgets the encoded-frame shard cache: each
+	// shard's records are packed into frame-ready payload bytes once,
+	// and frame-wire batches are then served by slicing byte ranges —
+	// no per-request tensor marshalling. <=0 disables it (frame batches
+	// encode per request). NDJSON streams never use it.
+	FrameCacheBytes int64
 	// ServeMaxKBps caps every batch stream's throughput (KiB/second,
 	// token bucket per stream). <=0 leaves streams unpaced. Clients may
 	// lower their own stream's cap with ?max_kbps= but never raise it
@@ -95,8 +101,9 @@ type Options struct {
 // stop with Close.
 type Server struct {
 	mux     *http.ServeMux
-	handler http.Handler // mux wrapped in the telemetry middleware
-	cache   *ShardCache
+	handler http.Handler               // mux wrapped in the telemetry middleware
+	cache   *ShardCache[[]any]         // decoded shard records
+	frames  *ShardCache[*encodedShard] // frame-ready shard payload bytes
 	opts    Options
 
 	mu     sync.Mutex
@@ -140,7 +147,8 @@ func New(opts Options) (*Server, error) {
 	}
 	s := &Server{
 		mux:     http.NewServeMux(),
-		cache:   NewShardCache(opts.CacheBytes),
+		cache:   NewShardCache[[]any](opts.CacheBytes),
+		frames:  NewShardCache[*encodedShard](opts.FrameCacheBytes),
 		opts:    opts,
 		jobs:    make(map[string]*Job),
 		queue:   make(chan *Job, opts.QueueDepth),
@@ -652,9 +660,15 @@ func (s *Server) maybeEvict() {
 
 	for _, j := range released {
 		s.cache.DropPrefix(j.id + "/")
+		s.frames.DropPrefix(j.id + "/")
 	}
 	for _, j := range victims {
-		s.cache.DropPrefix(j.id + "/")
+		// Destroy the shard files before invalidating the caches: a load
+		// that starts in the gap then either fails (files gone — nothing
+		// inserted) or completes before DropPrefix and is swept or
+		// tombstoned by it. The reverse order would let a load beginning
+		// just after DropPrefix read still-present files and cache the
+		// deleted job's records forever.
 		if d, ok := j.store.(interface{ Destroy() error }); ok {
 			_ = d.Destroy()
 		} else if s.opts.DataDir != "" {
@@ -662,6 +676,8 @@ func (s *Server) maybeEvict() {
 			// interrupted) may still own a shard directory.
 			_ = os.RemoveAll(filepath.Join(s.opts.DataDir, "jobs", j.id))
 		}
+		s.cache.DropPrefix(j.id + "/")
+		s.frames.DropPrefix(j.id + "/")
 		if s.log != nil {
 			_ = s.log.append(logRecord{Type: recEvicted, ID: j.id, Time: now, Node: s.nodeID()})
 		}
@@ -902,6 +918,12 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("batch_size must be positive"))
 		return
 	}
+	// 0 means unlimited; a negative cap is a malformed request, not a
+	// synonym for it — same contract as batch_size and max_kbps.
+	if maxBatches < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("max_batches must not be negative"))
+		return
+	}
 	maxKBps, err := queryInt(r, "max_kbps", 0)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -972,17 +994,46 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 		cw.writeLine(string(line))
 	}
 
+	// The encoded-frame cache serves frame streams by slicing byte
+	// ranges out of per-shard frame-ready payloads — zero per-request
+	// tensor marshalling. NDJSON (and servers without a frame budget)
+	// keep the encode-per-request path.
+	useFrameCache := wire == domain.WireFrame && s.opts.FrameCacheBytes > 0
+
 	served := 0
-	failed := false     // shard-read failure: error already reported in-band
-	emitFailed := false // write/encode failure: the connection is unusable
-	pos := start        // position after the last record buffered for emission
-	var pending []any
-	emit := func(recs []any) error {
+	failed := false                // shard-read failure: error already reported in-band
+	emitFailed := false            // write/encode failure: the connection is unusable
+	pos := start                   // position after the last record buffered for emission
+	var pending []any              // encode-per-request path: buffered records
+	var pendingRanges []frameRange // cached-frame path: buffered payload ranges
+	pendingCount := 0
+
+	// post is the shared per-batch bookkeeping after a successful write:
+	// latency, counters, flush, and pacing — which charges the bytes
+	// actually written since before (cw.n), so NDJSON, encoded frames,
+	// and cache-sliced frames are throttled identically.
+	post := func(before int64) error {
+		if served == 0 {
+			firstBatchH.Observe(time.Since(streamStart).Seconds())
+		}
+		served++
+		s.metrics.batchesServed.Inc()
+		s.metrics.samplesServed.Add(float64(pendingCount))
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if pace != nil {
+			if perr := pace.pace(r.Context(), cw.n-before); perr != nil {
+				return perr
+			}
+		}
+		return nil
+	}
+
+	emit := func() error {
 		// The codec references the cached record slices directly —
 		// encoding only reads them, and copying every batch would double
-		// memory traffic on the serving hot path. Both formats account
-		// the codec-encoded bytes they actually put on the wire (cw.n),
-		// so ?max_kbps= pacing throttles NDJSON and frames identically.
+		// memory traffic on the serving hot path.
 		h := domain.BatchHeader{Batch: served, Cursor: pos.String(), Kind: codec.Kind()}
 		before := cw.n
 		// Encode and write are timed apart: the encode histogram is
@@ -991,7 +1042,7 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 		encStart := time.Now()
 		var wireBytes []byte
 		if wire == domain.WireFrame {
-			b, err := domain.EncodeFrame(codec, h, recs)
+			b, err := domain.EncodeFrame(codec, h, pending)
 			if err != nil {
 				// Encode failure with a healthy connection: nothing was
 				// written yet, so the client can still be told — same
@@ -1002,7 +1053,7 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 			}
 			wireBytes = b
 		} else {
-			line, err := codec.Line(h, recs)
+			line, err := codec.Line(h, pending)
 			if err != nil {
 				emitError(err)
 				return err
@@ -1018,27 +1069,71 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 		if _, err := cw.Write(wireBytes); err != nil {
 			return err
 		}
-		if served == 0 {
-			firstBatchH.Observe(time.Since(streamStart).Seconds())
+		return post(before)
+	}
+
+	// emitCached frames the buffered payload ranges under a fresh
+	// header. The envelope is a handful of varint bytes; the payload is
+	// written straight from the cached buffers — byte-identical to what
+	// EncodeFrame would produce (a codec batch payload is the
+	// concatenation of its records' payloads), with the encode
+	// histogram collapsing to header-assembly time on hits.
+	emitCached := func() error {
+		h := domain.BatchHeader{Batch: served, Cursor: pos.String(), Kind: codec.Kind()}
+		before := cw.n
+		encStart := time.Now()
+		payloadLen := 0
+		for _, rng := range pendingRanges {
+			payloadLen += rng.enc.sliceLen(rng.a, rng.b)
 		}
-		served++
-		s.metrics.batchesServed.Inc()
-		s.metrics.samplesServed.Add(float64(len(recs)))
-		if flusher != nil {
-			flusher.Flush()
+		env, err := domain.FrameEnvelope(h, pendingCount, payloadLen)
+		if err != nil {
+			emitError(err)
+			return err
 		}
-		if pace != nil {
-			if perr := pace.pace(r.Context(), cw.n-before); perr != nil {
-				return perr
+		encodeH.Observe(time.Since(encStart).Seconds())
+		if _, err := cw.Write(env); err != nil {
+			return err
+		}
+		for _, rng := range pendingRanges {
+			if _, err := cw.Write(rng.enc.slice(rng.a, rng.b)); err != nil {
+				return err
 			}
 		}
-		return nil
+		return post(before)
+	}
+
+	flush := func() error {
+		var err error
+		if useFrameCache {
+			err = emitCached()
+			pendingRanges = pendingRanges[:0]
+		} else {
+			err = emit()
+			pending = pending[:0]
+		}
+		pendingCount = 0
+		return err
 	}
 
 shards:
 	for si := start.Shard; si < len(manifest.Shards); si++ {
 		info := manifest.Shards[si]
-		records, err := s.shardRecords(job.id, dom, manifest, info, open, codec)
+		var records []any
+		var enc *encodedShard
+		var n int
+		var err error
+		if useFrameCache {
+			enc, err = s.frameShard(job.id, dom, manifest, info, open, codec)
+			if err == nil {
+				n = enc.count()
+			}
+		} else {
+			records, err = s.shardRecords(job.id, dom, manifest, info, open, codec)
+			if err == nil {
+				n = len(records)
+			}
+		}
 		if err != nil {
 			// Headers are gone; the in-band error is the only channel
 			// left — but the counter makes the failure observable
@@ -1050,30 +1145,40 @@ shards:
 		first := 0
 		if si == start.Shard {
 			first = start.Record
-			if first > len(records) {
-				first = len(records)
+			if first > n {
+				first = n
 			}
 		}
-		for j := first; j < len(records); j++ {
-			pending = append(pending, records[j])
+		for j := first; j < n; j++ {
+			if useFrameCache {
+				// Batches may span shards; contiguous records within one
+				// shard coalesce into a single byte range.
+				if k := len(pendingRanges); k > 0 && pendingRanges[k-1].enc == enc && pendingRanges[k-1].b == j {
+					pendingRanges[k-1].b = j + 1
+				} else {
+					pendingRanges = append(pendingRanges, frameRange{enc: enc, a: j, b: j + 1})
+				}
+			} else {
+				pending = append(pending, records[j])
+			}
+			pendingCount++
 			pos = advanceCursor(manifest, si, j)
-			if len(pending) == batchSize {
-				if err := emit(pending); err != nil {
+			if pendingCount == batchSize {
+				if err := flush(); err != nil {
 					// The batch was already written (or the writer is
 					// gone): do NOT fall through to the tail emit, which
 					// would duplicate it onto a half-dead connection.
 					emitFailed = true
 					break shards
 				}
-				pending = pending[:0]
 				if maxBatches > 0 && served >= maxBatches {
 					break shards
 				}
 			}
 		}
 	}
-	if !failed && !emitFailed && len(pending) > 0 && (maxBatches <= 0 || served < maxBatches) {
-		_ = emit(pending)
+	if !failed && !emitFailed && pendingCount > 0 && (maxBatches <= 0 || served < maxBatches) {
+		_ = flush()
 	}
 	if pace != nil && pace.throttled {
 		s.metrics.serveThrottled.Inc()
@@ -1088,7 +1193,7 @@ shards:
 // hits observe nothing — cache lookups are not loads.
 func (s *Server) shardRecords(jobID, dom string, m *shard.Manifest, info shard.Info, open shard.Opener, codec domain.Codec) ([]any, error) {
 	key := jobID + "/" + info.Name
-	return s.cache.Records(key, func() ([]any, int64, error) {
+	return s.cache.Get(key, func() ([]any, int64, error) {
 		loadStart := time.Now()
 		one := &shard.Manifest{Prefix: m.Prefix, Compressed: m.Compressed, Shards: []shard.Info{info}}
 		var records []any
@@ -1200,17 +1305,26 @@ func (c *countingResponseWriter) writeLine(line string) {
 // client's (explicit or wildcard) NDJSON preference keeps NDJSON.
 func acceptsFrames(r *http.Request) bool {
 	frameQ, ndjsonQ, wildQ := -1.0, -1.0, -1.0
+	// A media range repeated across (or within) Accept headers keeps its
+	// most preferred weight, per RFC 9110's "most preferred" semantics —
+	// overwriting with the last occurrence would let a trailing ;q=0.1
+	// mask an earlier explicit preference.
+	keep := func(dst *float64, q float64) {
+		if q > *dst {
+			*dst = q
+		}
+	}
 	for _, accept := range r.Header.Values("Accept") {
 		for _, part := range strings.Split(accept, ",") {
 			mt, params, _ := strings.Cut(part, ";")
 			q := acceptQ(params)
 			switch strings.ToLower(strings.TrimSpace(mt)) {
 			case domain.ContentTypeFrame:
-				frameQ = q
+				keep(&frameQ, q)
 			case domain.ContentTypeNDJSON:
-				ndjsonQ = q
+				keep(&ndjsonQ, q)
 			case "*/*", "application/*":
-				wildQ = q
+				keep(&wildQ, q)
 			}
 		}
 	}

@@ -433,14 +433,14 @@ func TestConcurrentReadersShareCache(t *testing.T) {
 }
 
 func TestShardCacheEviction(t *testing.T) {
-	c := NewShardCache(100)
+	c := NewShardCache[[]any](100)
 	load := func(n int64) func() ([]any, int64, error) {
 		return func() ([]any, int64, error) {
 			return []any{&loader.Sample{Features: []float32{1}, Label: 1}}, n, nil
 		}
 	}
 	for i := 0; i < 5; i++ {
-		if _, err := c.Records(fmt.Sprintf("k%d", i), load(40)); err != nil {
+		if _, err := c.Get(fmt.Sprintf("k%d", i), load(40)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -450,6 +450,23 @@ func TestShardCacheEviction(t *testing.T) {
 	}
 	if cs.Evictions == 0 {
 		t.Fatalf("no evictions: %+v", cs)
+	}
+	// DropPrefix removals are invalidations, not evictions: the eviction
+	// counter must not move, and every removed entry must be counted.
+	evictionsBefore, entriesBefore := cs.Evictions, cs.Entries
+	if entriesBefore == 0 {
+		t.Fatalf("no entries resident: %+v", cs)
+	}
+	c.DropPrefix("k")
+	cs = c.Stats()
+	if cs.Entries != 0 || cs.Bytes != 0 {
+		t.Fatalf("DropPrefix left entries: %+v", cs)
+	}
+	if cs.Evictions != evictionsBefore {
+		t.Fatalf("DropPrefix counted as evictions: %+v", cs)
+	}
+	if cs.Invalidations != int64(entriesBefore) {
+		t.Fatalf("invalidations %d, want %d: %+v", cs.Invalidations, entriesBefore, cs)
 	}
 }
 

@@ -125,6 +125,20 @@ func (s *Server) registerCollectors() {
 		func() float64 { return float64(s.cache.Stats().Misses) })
 	reg.CounterFunc("draid_shard_cache_evictions_total", "Cached shards evicted by byte-budget pressure.",
 		func() float64 { return float64(s.cache.Stats().Evictions) })
+	reg.CounterFunc("draid_shard_cache_invalidations_total", "Cached shards removed by job eviction or release (DropPrefix).",
+		func() float64 { return float64(s.cache.Stats().Invalidations) })
+	reg.GaugeFunc("draid_frame_cache_entries", "Encoded-frame shards resident in the frame cache.",
+		func() float64 { return float64(s.frames.Stats().Entries) })
+	reg.GaugeFunc("draid_frame_cache_bytes", "Frame-ready payload bytes resident in the frame cache.",
+		func() float64 { return float64(s.frames.Stats().Bytes) })
+	reg.CounterFunc("draid_frame_cache_hits_total", "Frame-wire shard reads served from pre-encoded payload bytes.",
+		func() float64 { return float64(s.frames.Stats().Hits) })
+	reg.CounterFunc("draid_frame_cache_misses_total", "Frame-wire shard reads that had to encode the shard's payload.",
+		func() float64 { return float64(s.frames.Stats().Misses) })
+	reg.CounterFunc("draid_frame_cache_evictions_total", "Encoded-frame shards evicted by byte-budget pressure.",
+		func() float64 { return float64(s.frames.Stats().Evictions) })
+	reg.CounterFunc("draid_frame_cache_invalidations_total", "Encoded-frame shards removed by job eviction or release (DropPrefix).",
+		func() float64 { return float64(s.frames.Stats().Invalidations) })
 	if c := s.opts.Cluster; c != nil {
 		reg.GaugeFunc("draid_cluster_members", "Configured fleet size.",
 			func() float64 { return float64(len(c.Nodes())) })
