@@ -17,9 +17,18 @@
 //	benchreport               # run everything
 //	benchreport -exp table1   # one experiment: fig1|table1|table2|scaling|curation|feedback|serve
 //	benchreport -exp serve -compare BENCH_serve.json   # regression gate
+//	benchreport -exp trace -trace-server http://host:8080   # dump a live server's slowest trace
+//
+// The trace experiment is the odd one out: it needs a running draid
+// (-trace-server) instead of an in-process fixture, so it never runs
+// under -exp all. It fetches the fleet-assembled span tree for
+// -trace-id (default: the slowest trace the server lists) and prints
+// it as an indented tree — the "where did the time go" companion to
+// the throughput numbers the other experiments report.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,9 +36,11 @@ import (
 	"os"
 	"slices"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/server"
+	"repro/pkg/client"
 )
 
 func main() {
@@ -48,8 +59,17 @@ func main() {
 	clusterPasses := flag.Int("cluster-passes", 2, "cluster: streaming passes per client")
 	clusterBackend := flag.String("cluster-backend", "fs", "cluster: shared shard backend (fs|parfs)")
 	clusterJSON := flag.String("cluster-json", "BENCH_cluster.json", "cluster: result file (empty disables)")
+	traceServer := flag.String("trace-server", "http://localhost:8080", "trace: base URL of a running draid (any fleet member)")
+	traceID := flag.String("trace-id", "", "trace: trace ID to dump (empty picks the server's slowest listed trace)")
 	flag.Parse()
 	log.SetFlags(0)
+
+	if *exp == "trace" {
+		if err := dumpTrace(*traceServer, *traceID); err != nil {
+			log.Fatalf("benchreport trace: %v", err)
+		}
+		return
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -166,8 +186,43 @@ func main() {
 
 	known := []string{"fig1", "table1", "table2", "scaling", "curation", "feedback", "serve", "cluster"}
 	if *exp != "all" && !slices.Contains(known, *exp) {
-		log.Fatalf("benchreport: unknown experiment %q (want all|%s)", *exp, strings.Join(known, "|"))
+		log.Fatalf("benchreport: unknown experiment %q (want all|%s|trace)", *exp, strings.Join(known, "|"))
 	}
+}
+
+// dumpTrace prints the fleet-assembled span tree for one trace from a
+// live server: the named ID, or — when none is given — the slowest
+// trace the server currently lists, preferring notable (tail-sampled)
+// ones since those are the traces worth a human's attention.
+func dumpTrace(baseURL, id string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cli := client.New(baseURL)
+	if id == "" {
+		sums, err := cli.Traces(ctx, client.TraceQuery{})
+		if err != nil {
+			return fmt.Errorf("list traces on %s: %w", baseURL, err)
+		}
+		if len(sums) == 0 {
+			return fmt.Errorf("%s lists no traces yet — send it a request first", baseURL)
+		}
+		best := sums[0]
+		for _, ts := range sums[1:] {
+			if (ts.Notable && !best.Notable) ||
+				(ts.Notable == best.Notable && ts.DurationMs > best.DurationMs) {
+				best = ts
+			}
+		}
+		id = best.TraceID
+		fmt.Printf("picked %s: root %s on %s, %.2fms, notable=%t (of %d listed)\n",
+			id, best.Root, best.Node, best.DurationMs, best.Notable, len(sums))
+	}
+	view, err := cli.Trace(ctx, id)
+	if err != nil {
+		return fmt.Errorf("fetch trace %s: %w", id, err)
+	}
+	fmt.Print(view.RenderTree())
+	return nil
 }
 
 // compareServe gates the durable-serving cost against a committed

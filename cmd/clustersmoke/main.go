@@ -205,6 +205,7 @@ func main() {
 			log.Fatalf("clustersmoke: redirected trace %q, want %q", got, smokeTrace)
 		}
 		log.Printf("clustersmoke: trace IDs verified across submissions, proxied streams, and redirects")
+		verifyAssembledTrace(ctx, nodes, owners[ids[0]], ids[0])
 	}
 
 	// Kill the owner of the first job mid-stream, then resume the same
@@ -254,6 +255,104 @@ func main() {
 		}
 	}
 	log.Printf("clustersmoke: all %d jobs fully streamable via survivors (%s wire) — PASS", len(ids), wire)
+}
+
+// verifyAssembledTrace streams one job through a non-owner node under
+// a fresh pinned trace ID, then fetches the fleet-assembled span tree
+// from a third node and requires (a) spans from both the proxying node
+// and the owner under the one trace ID, and (b) the owner's server
+// span to be parented under the proxy's client span — the cross-node
+// propagation contract, exercised against real processes.
+func verifyAssembledTrace(ctx context.Context, nodes []*node, owner *node, jobID string) {
+	const spanTrace = "clustersmoke-span.1"
+	var proxy, third *node
+	for _, n := range nodes {
+		if n.id == owner.id {
+			continue
+		}
+		if proxy == nil {
+			proxy = n
+		} else if third == nil {
+			third = n
+		}
+	}
+	if third == nil {
+		third = owner // 2-node fleets: ask the owner instead
+	}
+	req, err := http.NewRequest(http.MethodGet, proxy.url+"/v1/jobs/"+jobID+"/batches?batch_size=4", nil)
+	if err != nil {
+		log.Fatalf("clustersmoke: trace stream: %v", err)
+	}
+	if wire == domain.WireFrame {
+		req.Header.Set("Accept", domain.ContentTypeFrame)
+	}
+	req.Header.Set(client.TraceHeader, spanTrace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatalf("clustersmoke: trace stream: %v", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("clustersmoke: trace stream status %d", resp.StatusCode)
+	}
+
+	// The proxy's root span records just after the response completes —
+	// poll briefly rather than assuming perfect ordering.
+	var view *client.TraceView
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		view, err = third.cli.Trace(ctx, spanTrace)
+		if err == nil && spanNodes(view)[proxy.id] && spanNodes(view)[owner.id] {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("clustersmoke: assembled trace %s missing spans (err %v, view %+v): want nodes %s and %s",
+				spanTrace, err, view, proxy.id, owner.id)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	spans := make(map[string]client.Span, len(view.Spans))
+	for _, sp := range view.Spans {
+		if sp.TraceID != spanTrace {
+			log.Fatalf("clustersmoke: assembled trace mixes IDs: %s in view of %s", sp.TraceID, spanTrace)
+		}
+		spans[sp.SpanID] = sp
+	}
+	// The owner's server span must hang off the proxy's client span,
+	// and every resolvable child must nest inside its parent.
+	linked := false
+	for _, sp := range view.Spans {
+		if sp.Node == owner.id && sp.Name == "http.request" {
+			if p, ok := spans[sp.Parent]; ok && p.Node == proxy.id && p.Name == "proxy.forward" {
+				linked = true
+			}
+		}
+		if p, ok := spans[sp.Parent]; ok {
+			if sp.Start.Before(p.Start) || sp.End.After(p.End) {
+				log.Fatalf("clustersmoke: span %s [%s] escapes its parent %s [%s]",
+					sp.Name, sp.Node, p.Name, p.Node)
+			}
+		}
+	}
+	if !linked {
+		log.Fatalf("clustersmoke: owner %s server span not parented under proxy %s client span:\n%s",
+			owner.id, proxy.id, view.RenderTree())
+	}
+	log.Printf("clustersmoke: assembled trace verified via %s (%d spans across %d nodes):\n%s",
+		third.id, len(view.Spans), len(spanNodes(view)), view.RenderTree())
+}
+
+// spanNodes is the set of fleet node IDs appearing in a trace view.
+func spanNodes(view *client.TraceView) map[string]bool {
+	out := make(map[string]bool)
+	if view == nil {
+		return out
+	}
+	for _, sp := range view.Spans {
+		out[sp.Node] = true
+	}
+	return out
 }
 
 func waitHealthy(n *node) {

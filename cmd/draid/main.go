@@ -44,13 +44,20 @@
 //	     ?batch_size=&max_batches=&cursor=<shard>:<record>  (resume point)
 //	     &max_kbps=<KiB/s>           (token-bucket pacing, capped by -serve-max-kbps)
 //	GET  /v1/cluster                 fleet membership + ownership (?job=<id>)
-//	GET  /metrics                    serving + pipeline + cluster metrics
+//	GET  /v1/traces                  this node's recent + tail-sampled traces
+//	     ?min_ms=&error=true&limit=  (slow/error filters)
+//	GET  /v1/traces/{id}             fleet-assembled span tree for one trace
+//	GET  /metrics                    serving + pipeline + cluster metrics (with exemplars)
 //	GET  /healthz                    liveness (also the fleet probe target)
 //
 // Every request carries an X-Draid-Trace ID (inherited from the client
 // or generated) that is echoed in the response, logged, and propagated
-// across fleet hops. -debug additionally mounts /debug/pprof, exports
-// runtime gauges on /metrics, and logs per-request debug lines.
+// across fleet hops — plus a span tree recording where its time went
+// (queue wait, shard loads, per-batch encodes, pacing stalls, proxy
+// hops), browsable via /v1/traces. Traces slower than -trace-slow or
+// ending in error are tail-sampled into a notable ring and logged at
+// Info. -debug additionally mounts /debug/pprof, exports runtime
+// gauges on /metrics, and logs per-request debug lines.
 package main
 
 import (
@@ -88,6 +95,9 @@ func main() {
 	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per fleet member on the hash ring")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "fleet liveness probe spacing")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "tail-sampling threshold: requests at least this slow (or erroring) keep their trace in the notable ring and log at Info")
+	traceSpans := flag.Int("trace-spans", 4096, "completed spans retained in the recent ring")
+	traceNotable := flag.Int("trace-notable", 32, "tail-sampled slow/error traces retained")
 	debug := flag.Bool("debug", false, "mount /debug/pprof, export runtime gauges, log per-request debug lines")
 	flag.Parse()
 	log.SetFlags(0)
@@ -123,6 +133,9 @@ func main() {
 		MaxJobs:         *maxJobs,
 		Requeue:         *requeue,
 		Cluster:         cl,
+		TraceSlow:       *traceSlow,
+		TraceSpans:      *traceSpans,
+		TraceNotable:    *traceNotable,
 		Debug:           *debug,
 		Logger:          logger,
 	})

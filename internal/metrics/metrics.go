@@ -60,6 +60,14 @@ func (c *Collector) Time(stage, category string, bytes, records int64, fn func()
 	return err
 }
 
+// Samples returns a copy of the recorded samples in record order —
+// the per-call view span synthesis needs (ByStage aggregates it away).
+func (c *Collector) Samples() []Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Sample(nil), c.samples...)
+}
+
 // StageStats aggregates one stage.
 type StageStats struct {
 	Stage   string

@@ -63,7 +63,7 @@ func (s *Server) routedElsewhere(w http.ResponseWriter, r *http.Request) bool {
 			cluster.Redirect(w, r, owner)
 			return true
 		}
-		if err := c.Forward(w, r, owner); err == nil {
+		if err := s.forwardSpanned(w, r, owner); err == nil {
 			s.metrics.clusterProxied.Inc()
 			return true
 		}
@@ -71,6 +71,28 @@ func (s *Server) routedElsewhere(w http.ResponseWriter, r *http.Request) bool {
 		c.MarkDown(owner.ID) // fires adoption via OnChange before the retry
 	}
 	return false
+}
+
+// forwardSpanned wraps cluster.Forward in a proxy.forward client span
+// and stamps it as the parent the owner's server span will link under
+// (Forward clones the request headers, so overwriting X-Draid-Span
+// here re-parents the downstream hop from our root to this client
+// span). The End is deferred: Forward panics with http.ErrAbortHandler
+// when the upstream dies mid-stream, and the span must record anyway.
+func (s *Server) forwardSpanned(w http.ResponseWriter, r *http.Request, owner cluster.Node) (err error) {
+	var fwd *telemetry.Span
+	if sp := telemetry.SpanFromContext(r.Context()); sp != nil {
+		fwd = s.spans.StartChild("proxy.forward", sp.Context())
+		fwd.SetAttr("peer", owner.ID)
+		r.Header.Set(telemetry.SpanHeader, fwd.Context().String())
+	}
+	defer func() {
+		if err != nil {
+			fwd.SetError(err.Error())
+		}
+		fwd.End()
+	}()
+	return s.opts.Cluster.Forward(w, r, owner)
 }
 
 // clusterSubmit routes a job submission. The receiving node allocates
@@ -139,11 +161,13 @@ func (s *Server) clusterSubmit(w http.ResponseWriter, r *http.Request, spec JobS
 		}
 		req.Header.Set(cluster.HeaderJobID, id)
 		// The relayed submission is a new request, not a clone — carry
-		// the trace explicitly so the owner logs the same ID.
+		// the trace (and our span as the parent context) explicitly so
+		// the owner logs the same ID and its server span links under
+		// this hop.
 		if trace != "" {
 			req.Header.Set(telemetry.TraceHeader, trace)
 		}
-		if err := c.Relay(w, req, owner); err == nil {
+		if err := s.relaySpanned(w, r, req, owner); err == nil {
 			s.metrics.clusterProxied.Inc()
 			return
 		}
@@ -151,6 +175,26 @@ func (s *Server) clusterSubmit(w http.ResponseWriter, r *http.Request, spec JobS
 		c.MarkDown(owner.ID)
 	}
 	s.submitLocal(w, spec, id, trace) // every peer down: degrade to local service
+}
+
+// relaySpanned wraps cluster.Relay in a proxy.submit client span. r is
+// the inbound request (the span parent); req is the outbound relay.
+// Deferred End for the same reason as forwardSpanned: Relay aborts
+// uncleanly when the upstream dies mid-response.
+func (s *Server) relaySpanned(w http.ResponseWriter, r, req *http.Request, owner cluster.Node) (err error) {
+	var rly *telemetry.Span
+	if sp := telemetry.SpanFromContext(r.Context()); sp != nil {
+		rly = s.spans.StartChild("proxy.submit", sp.Context())
+		rly.SetAttr("peer", owner.ID)
+		req.Header.Set(telemetry.SpanHeader, rly.Context().String())
+	}
+	defer func() {
+		if err != nil {
+			rly.SetError(err.Error())
+		}
+		rly.End()
+	}()
+	return s.opts.Cluster.Relay(w, req, owner)
 }
 
 // clusterInfo is the /v1/cluster document.

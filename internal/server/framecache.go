@@ -14,6 +14,9 @@
 package server
 
 import (
+	"context"
+	"time"
+
 	"repro/internal/domain"
 	"repro/internal/shard"
 )
@@ -55,11 +58,16 @@ type frameRange struct {
 // frameShard returns one shard's encoded-frame form through the frame
 // cache, encoding on first access only. The fill path reads through the
 // decoded-shard cache, so a cold shard is opened and decoded once even
-// when both caches miss at the same moment.
-func (s *Server) frameShard(jobID, dom string, m *shard.Manifest, info shard.Info, open shard.Opener, codec domain.Codec) (*encodedShard, error) {
+// when both caches miss at the same moment. Fills are spanned as
+// frame.fill under the filling request's span (with the nested
+// shard.load appearing as a sibling child of the same request — the
+// decoded-cache read happens inside this interval but parents to the
+// request span, which keeps both directly visible in the tree).
+func (s *Server) frameShard(ctx context.Context, jobID, dom string, m *shard.Manifest, info shard.Info, open shard.Opener, codec domain.Codec) (*encodedShard, error) {
 	key := jobID + "/" + info.Name
 	return s.frames.Get(key, func() (*encodedShard, int64, error) {
-		records, err := s.shardRecords(jobID, dom, m, info, open, codec)
+		fillStart := time.Now()
+		records, err := s.shardRecords(ctx, jobID, dom, m, info, open, codec)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -68,6 +76,8 @@ func (s *Server) frameShard(jobID, dom string, m *shard.Manifest, info shard.Inf
 			return nil, 0, err
 		}
 		enc := &encodedShard{payload: payload, offsets: offsets}
+		s.recordChildSpan(ctx, "frame.fill", fillStart, time.Now(),
+			map[string]string{"shard": info.Name})
 		return enc, enc.memBytes(), nil
 	})
 }

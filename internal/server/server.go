@@ -86,6 +86,18 @@ type Options struct {
 	// deterministic spec (seeds included) reruns on this node's pool.
 	Requeue bool
 
+	// TraceSlow is the tail-sampling threshold: requests whose root span
+	// lasts at least this long (or ends in error) have their whole trace
+	// retained in the notable ring and are logged at Info even without
+	// Debug. <=0 means 250ms.
+	TraceSlow time.Duration
+	// TraceSpans bounds the recent-span ring (completed spans retained
+	// per node). <=0 means 4096.
+	TraceSpans int
+	// TraceNotable bounds the tail-sampled notable-trace ring. <=0
+	// means 32.
+	TraceNotable int
+
 	// Debug exposes /debug/pprof and the runtime gauges (goroutines,
 	// heap bytes, cumulative GC pause) on /metrics. Off by default: the
 	// runtime gauges cost a ReadMemStats per scrape and the profiler
@@ -132,7 +144,12 @@ type Server struct {
 	// gauges move at the transition that changes them, so a /metrics
 	// scrape never takes s.mu (see TestMetricsScrapeDoesNotBlock).
 	metrics *serverMetrics
-	logger  *slog.Logger
+	// spans is the per-node span store behind /v1/traces. Its lock
+	// stripes are private to the store — recording on the serving hot
+	// path never contends with s.mu or any cache lock.
+	spans    *telemetry.SpanStore
+	rtSample runtimeSampler
+	logger   *slog.Logger
 }
 
 // New starts a server's worker pool and registers its routes. With
@@ -164,6 +181,7 @@ func New(opts Options) (*Server, error) {
 	if id := s.nodeID(); id != "" {
 		s.logger = s.logger.With("node", id)
 	}
+	s.spans = telemetry.NewSpanStore(s.nodeID(), opts.TraceSpans, opts.TraceNotable, opts.TraceSlow)
 	s.registerCollectors()
 	if opts.DataDir != "" {
 		if err := s.openDurable(); err != nil {
@@ -449,6 +467,8 @@ func (s *Server) runJob(job *Job) {
 	job.started = time.Now()
 	spec := job.spec
 	trace := job.trace
+	submitted := job.submitted
+	started := job.started
 	job.mu.Unlock()
 	s.metrics.jobsQueued.Add(-1)
 	s.metrics.jobsInFlight.Add(1)
@@ -456,10 +476,26 @@ func (s *Server) runJob(job *Job) {
 	s.addEvent(job, client.EventRunning, "", "")
 	s.logger.Info("job running", "job", job.id, "domain", string(spec.Domain), "trace", trace)
 
+	// Job spans live in the submission's trace but are top-level there:
+	// the submission request span ended long before the worker picked the
+	// job up, so parenting under it would violate interval nesting.
+	var runSpan *telemetry.Span
+	if telemetry.ValidTraceID(trace) {
+		s.spans.Record(telemetry.SpanData{
+			TraceID: trace, SpanID: telemetry.NewSpanID(), Name: "job.wait",
+			Start: submitted, End: started,
+			Attrs: map[string]string{"job": job.id},
+		})
+		runSpan = s.spans.StartChild("job.run", telemetry.SpanContext{TraceID: trace})
+		runSpan.SetAttr("job", job.id)
+		runSpan.SetAttr("domain", string(spec.Domain))
+	}
+
 	var res *jobResult
+	var pipeStart time.Time
 	store, err := s.newStore(job.id)
 	if err == nil {
-		pipeStart := time.Now()
+		pipeStart = time.Now()
 		res, err = runSpec(spec, store)
 		s.metrics.observeStage("job:"+string(spec.Domain), time.Since(pipeStart).Seconds(), 1, 0)
 	}
@@ -488,6 +524,8 @@ func (s *Server) runJob(job *Job) {
 		job.state = JobFailed
 		job.err = err.Error()
 		job.mu.Unlock()
+		runSpan.SetError(err.Error())
+		runSpan.End()
 		s.metrics.jobsFailed.Inc()
 		s.addEvent(job, client.EventFailed, err.Error(), "")
 		s.logger.Info("job failed", "job", job.id, "error", err.Error(), "trace", trace)
@@ -512,6 +550,28 @@ func (s *Server) runJob(job *Job) {
 	// /metrics aggregates stage cost across all jobs.
 	for _, st := range res.pipe.Collector.ByStage() {
 		s.metrics.observeStage(st.Stage, st.Total.Seconds(), int64(st.Calls), st.Bytes)
+	}
+
+	// Synthesize job.stage child spans from the pipeline's sample record:
+	// samples were taken sequentially during runSpec, so laying them end
+	// to end from the pipeline start reconstructs the stage timeline
+	// (clamped so children never escape job.run's interval).
+	if runSpan != nil {
+		parent := runSpan.Context()
+		cursor := pipeStart
+		for _, sm := range res.pipe.Collector.Samples() {
+			end := cursor.Add(sm.Duration)
+			if end.After(time.Now()) {
+				end = time.Now()
+			}
+			s.spans.Record(telemetry.SpanData{
+				TraceID: parent.TraceID, SpanID: telemetry.NewSpanID(), Parent: parent.SpanID,
+				Name: "job.stage", Start: cursor, End: end,
+				Attrs: map[string]string{"stage": sm.Stage, "category": sm.Category},
+			})
+			cursor = end
+		}
+		runSpan.End()
 	}
 }
 
@@ -699,6 +759,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/batches", s.handleBatches)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.opts.Debug {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -981,11 +1043,14 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 	// Histogram children resolved once per stream, not per batch.
 	firstBatchH := s.metrics.firstBatch.With(dom, wire)
 	encodeH := s.metrics.batchEncode.With(dom, wire)
+	trace := telemetry.TraceFrom(r.Context())
 
 	// emitError reports a mid-stream failure in-band, in the stream's
-	// own format (NDJSON error line or error frame).
+	// own format (NDJSON error line or error frame) — and fails the
+	// request's root span so the trace is tail-sampled as notable.
 	emitError := func(err error) {
 		s.metrics.serveErrors.Inc()
+		telemetry.SpanFromContext(r.Context()).SetError(err.Error())
 		if wire == domain.WireFrame {
 			_, _ = cw.Write(domain.EncodeErrorFrame(err.Error()))
 			return
@@ -1014,7 +1079,7 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 	// and cache-sliced frames are throttled identically.
 	post := func(before int64) error {
 		if served == 0 {
-			firstBatchH.Observe(time.Since(streamStart).Seconds())
+			firstBatchH.ObserveWithExemplar(time.Since(streamStart).Seconds(), trace)
 		}
 		served++
 		s.metrics.batchesServed.Inc()
@@ -1023,7 +1088,14 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 		if pace != nil {
-			if perr := pace.pace(r.Context(), cw.n-before); perr != nil {
+			stallStart := time.Now()
+			perr := pace.pace(r.Context(), cw.n-before)
+			// A pace call that actually slept becomes a span — token-bucket
+			// bookkeeping that never blocked is not a stall.
+			if d := time.Since(stallStart); d >= time.Millisecond {
+				s.recordChildSpan(r.Context(), "pace.stall", stallStart, stallStart.Add(d), nil)
+			}
+			if perr != nil {
 				return perr
 			}
 		}
@@ -1065,7 +1137,9 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 			}
 			wireBytes = append(b, '\n')
 		}
-		encodeH.Observe(time.Since(encStart).Seconds())
+		encDone := time.Now()
+		encodeH.Observe(encDone.Sub(encStart).Seconds())
+		s.recordChildSpan(r.Context(), "batch.encode", encStart, encDone, nil)
 		if _, err := cw.Write(wireBytes); err != nil {
 			return err
 		}
@@ -1091,7 +1165,9 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 			emitError(err)
 			return err
 		}
-		encodeH.Observe(time.Since(encStart).Seconds())
+		encDone := time.Now()
+		encodeH.Observe(encDone.Sub(encStart).Seconds())
+		s.recordChildSpan(r.Context(), "batch.encode", encStart, encDone, nil)
 		if _, err := cw.Write(env); err != nil {
 			return err
 		}
@@ -1124,12 +1200,12 @@ shards:
 		var n int
 		var err error
 		if useFrameCache {
-			enc, err = s.frameShard(job.id, dom, manifest, info, open, codec)
+			enc, err = s.frameShard(r.Context(), job.id, dom, manifest, info, open, codec)
 			if err == nil {
 				n = enc.count()
 			}
 		} else {
-			records, err = s.shardRecords(job.id, dom, manifest, info, open, codec)
+			records, err = s.shardRecords(r.Context(), job.id, dom, manifest, info, open, codec)
 			if err == nil {
 				n = len(records)
 			}
@@ -1189,9 +1265,10 @@ shards:
 
 // shardRecords returns one shard's decoded records through the LRU
 // cache, verifying checksums and decoding (via the domain codec) on
-// first access only. Misses are timed into the shard-load histogram;
-// hits observe nothing — cache lookups are not loads.
-func (s *Server) shardRecords(jobID, dom string, m *shard.Manifest, info shard.Info, open shard.Opener, codec domain.Codec) ([]any, error) {
+// first access only. Misses are timed into the shard-load histogram
+// (with the loading request's trace as exemplar) and spanned as
+// shard.load; hits observe nothing — cache lookups are not loads.
+func (s *Server) shardRecords(ctx context.Context, jobID, dom string, m *shard.Manifest, info shard.Info, open shard.Opener, codec domain.Codec) ([]any, error) {
 	key := jobID + "/" + info.Name
 	return s.cache.Get(key, func() ([]any, int64, error) {
 		loadStart := time.Now()
@@ -1207,15 +1284,36 @@ func (s *Server) shardRecords(jobID, dom string, m *shard.Manifest, info shard.I
 			bytes += n
 			return nil
 		})
+		loadDone := time.Now()
 		outcome := "ok"
+		attrs := map[string]string{"shard": info.Name}
 		if err != nil {
 			outcome = "error"
+			attrs["error"] = err.Error()
 		}
-		s.metrics.shardLoad.With(dom, outcome).Observe(time.Since(loadStart).Seconds())
+		s.metrics.shardLoad.With(dom, outcome).ObserveWithExemplar(
+			loadDone.Sub(loadStart).Seconds(), telemetry.TraceFrom(ctx))
+		s.recordChildSpan(ctx, "shard.load", loadStart, loadDone, attrs)
 		if err != nil {
 			return nil, 0, err
 		}
 		return records, bytes, nil
+	})
+}
+
+// recordChildSpan records a completed interval as a child of the
+// context's active span — the no-allocation-when-untraced path for
+// per-batch and cache-fill work, where a live Span object per event
+// would cost more than the work being measured.
+func (s *Server) recordChildSpan(ctx context.Context, name string, start, end time.Time, attrs map[string]string) {
+	sp := telemetry.SpanFromContext(ctx)
+	if sp == nil {
+		return
+	}
+	pc := sp.Context()
+	s.spans.Record(telemetry.SpanData{
+		TraceID: pc.TraceID, SpanID: telemetry.NewSpanID(), Parent: pc.SpanID,
+		Name: name, Start: start, End: end, Attrs: attrs,
 	})
 }
 
@@ -1276,6 +1374,12 @@ func (p *pacer) pace(ctx context.Context, n int64) error {
 // whole job table under the server mutex, stalling submissions for the
 // duration of every scrape).
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// One MemStats snapshot per scrape, shared by every runtime
+	// collector — ReadMemStats stops the world, so the collectors must
+	// never each take their own.
+	if s.opts.Debug {
+		s.rtSample.refresh()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.reg.WritePrometheus(w)
 }

@@ -6,9 +6,12 @@
 package server
 
 import (
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/telemetry"
@@ -145,22 +148,51 @@ func (s *Server) registerCollectors() {
 		reg.GaugeFunc("draid_cluster_peers_alive", "Fleet members currently passing probes.",
 			func() float64 { return float64(c.AliveCount()) })
 	}
+	reg.CounterFunc("draid_spans_recorded_total", "Completed spans recorded into the span store.",
+		func() float64 { return float64(s.spans.Stats().Recorded) })
+	reg.CounterFunc("draid_spans_dropped_total", "Recorded spans overwritten by ring pressure.",
+		func() float64 { return float64(s.spans.Stats().Dropped) })
+	reg.CounterFunc("draid_trace_notable_total", "Traces tail-sampled as notable (slow root or error).",
+		func() float64 { return float64(s.spans.Stats().Notable) })
+	reg.GaugeFunc("draid_trace_spans", "Spans currently resident in the recent ring.",
+		func() float64 { return float64(s.spans.Stats().Resident) })
 	if s.opts.Debug {
 		reg.GaugeFunc("draid_goroutines", "Live goroutines (debug servers only).",
 			func() float64 { return float64(runtime.NumGoroutine()) })
+		// Both memory collectors read the snapshot handleMetrics took for
+		// this scrape: ReadMemStats stops the world, and paying that
+		// pause once per collector doubled the scrape's STW cost.
 		reg.GaugeFunc("draid_heap_alloc_bytes", "Heap bytes in use (debug servers only).",
-			func() float64 {
-				var ms runtime.MemStats
-				runtime.ReadMemStats(&ms)
-				return float64(ms.HeapAlloc)
-			})
+			func() float64 { return s.rtSample.heapAlloc() })
 		reg.CounterFunc("draid_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time (debug servers only).",
-			func() float64 {
-				var ms runtime.MemStats
-				runtime.ReadMemStats(&ms)
-				return float64(ms.PauseTotalNs) / 1e9
-			})
+			func() float64 { return s.rtSample.gcPause() })
 	}
+}
+
+// runtimeSampler is one MemStats snapshot per /metrics scrape, shared
+// by every collector that needs it.
+type runtimeSampler struct {
+	mu sync.Mutex
+	ms runtime.MemStats
+}
+
+// refresh takes the snapshot (called once at the top of a scrape).
+func (rs *runtimeSampler) refresh() {
+	rs.mu.Lock()
+	runtime.ReadMemStats(&rs.ms)
+	rs.mu.Unlock()
+}
+
+func (rs *runtimeSampler) heapAlloc() float64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return float64(rs.ms.HeapAlloc)
+}
+
+func (rs *runtimeSampler) gcPause() float64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return float64(rs.ms.PauseTotalNs) / 1e9
 }
 
 // statusWriter captures the response status for the request histogram
@@ -193,19 +225,44 @@ func (sw *statusWriter) Flush() {
 	}
 }
 
+// spanlessPath reports whether a request path is excluded from span
+// creation: probes and scrapes arrive every few milliseconds in a
+// fleet and would evict every interesting trace from the ring, and the
+// trace endpoints reading the store must not write to it. Excluded
+// requests still get trace IDs, latency observations, and log lines.
+func spanlessPath(path string) bool {
+	return path == "/healthz" || path == "/metrics" ||
+		path == "/v1/traces" || strings.HasPrefix(path, "/v1/traces/") ||
+		strings.HasPrefix(path, "/debug/")
+}
+
 // withTelemetry is the edge middleware: every request gets (or inherits
 // via X-Draid-Trace) a trace ID — set on the request header so cluster
 // forwards carry it, on the context so handlers and job records see it,
-// and on the response so callers can correlate — plus a latency
-// observation labeled by mux route pattern and status code, and a
-// structured debug log line.
+// and on the response so callers can correlate — plus an http.request
+// root span (child of the proxying node's span when X-Draid-Span
+// names one), a latency observation labeled by mux route pattern and
+// status code with the trace as exemplar, and a structured log line:
+// Debug normally, Info for 5xx or tail-sampling-slow requests so
+// failures are visible without -debug.
 func (s *Server) withTelemetry(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		trace := r.Header.Get(telemetry.TraceHeader)
 		if !telemetry.ValidTraceID(trace) {
 			trace = telemetry.NewTraceID()
 		}
-		r = r.WithContext(telemetry.WithTrace(r.Context(), trace))
+		var span *telemetry.Span
+		if !spanlessPath(r.URL.Path) {
+			parent, _ := telemetry.ParseSpanContext(r.Header.Get(telemetry.SpanHeader))
+			span = s.spans.StartRoot("http.request", trace, parent)
+			span.SetAttr("method", r.Method)
+			span.SetAttr("path", r.URL.Path)
+			// Stamp our span as the parent for any outbound hop that
+			// clones this request's headers (cluster.Forward does).
+			r.Header.Set(telemetry.SpanHeader, span.Context().String())
+		}
+		r = r.WithContext(telemetry.ContextWithSpan(
+			telemetry.WithTrace(r.Context(), trace), span))
 		r.Header.Set(telemetry.TraceHeader, trace)
 		w.Header().Set(telemetry.TraceHeader, trace)
 		sw := &statusWriter{w: w}
@@ -222,8 +279,19 @@ func (s *Server) withTelemetry(next http.Handler) http.Handler {
 				route = "unmatched"
 			}
 			elapsed := time.Since(start)
-			s.metrics.requestSeconds.With(route, strconv.Itoa(code)).Observe(elapsed.Seconds())
-			s.logger.Debug("http request",
+			s.metrics.requestSeconds.With(route, strconv.Itoa(code)).
+				ObserveWithExemplar(elapsed.Seconds(), trace)
+			span.SetAttr("route", route)
+			span.SetAttr("code", strconv.Itoa(code))
+			if code >= 500 {
+				span.SetError(http.StatusText(code))
+			}
+			span.End()
+			level := slog.LevelDebug
+			if code >= 500 || elapsed >= s.spans.SlowThreshold() {
+				level = slog.LevelInfo
+			}
+			s.logger.Log(r.Context(), level, "http request",
 				"method", r.Method, "path", r.URL.Path, "status", code,
 				"ms", float64(elapsed.Microseconds())/1000,
 				"trace", trace)

@@ -1,0 +1,133 @@
+// Trace endpoints: /v1/traces lists this node's recent and notable
+// traces; /v1/traces/{id} returns one trace's span tree — and in a
+// fleet assembles the cross-node view by fanning out to alive peers
+// for their span fragments and merging by trace ID, so any member can
+// answer for a request that hopped through several.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/telemetry"
+	"repro/pkg/client"
+)
+
+// serverSpanNames is every span name this package emits. Bounded and
+// closed on purpose: the docs-hygiene test holds each name to the
+// README span table, and the clustersmoke trace verifier keys on them.
+var serverSpanNames = []string{
+	"http.request",  // middleware root span, one per traced request
+	"proxy.forward", // client span around a transparent proxy hop
+	"proxy.submit",  // client span around a relayed job submission
+	"job.wait",      // queue wait: submission accepted -> worker pickup
+	"job.run",       // pipeline execution on the worker
+	"job.stage",     // one pipeline stage inside job.run
+	"shard.load",    // decoded-shard cache miss: read, verify, decode
+	"frame.fill",    // frame-cache miss: encode a shard's frame payload
+	"batch.encode",  // per-batch wire encode (header-only on cache hits)
+	"pace.stall",    // token-bucket sleep inside a paced stream
+}
+
+// handleTraces serves GET /v1/traces: this node's trace summaries,
+// newest first. ?min_ms= keeps traces at least that slow, ?error=true
+// keeps only errored ones, ?limit= bounds the answer (default 100).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	minMs := 0.0
+	if v := q.Get("min_ms"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query min_ms=%q is not a non-negative number", v))
+			return
+		}
+		minMs = f
+	}
+	errorsOnly := false
+	if v := q.Get("error"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query error=%q is not a boolean", v))
+			return
+		}
+		errorsOnly = b
+	}
+	limit, err := queryInt(r, "limit", 100)
+	if err != nil || limit < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("query limit must be a non-negative integer"))
+		return
+	}
+	sums := s.spans.Summaries()
+	out := make([]telemetry.TraceSummary, 0, len(sums))
+	for _, ts := range sums {
+		if ts.DurationMs < minMs {
+			continue
+		}
+		if errorsOnly && ts.Error == "" {
+			continue
+		}
+		out = append(out, ts)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTrace serves GET /v1/traces/{id}: every span this node holds
+// for the trace, merged — unless ?scope=local or the request already
+// took its fan-out hop — with the fragments of every alive peer, so
+// one call anywhere returns the whole cross-node tree. 404 when no
+// node holds any span for the ID (never seen, or evicted unsampled).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !telemetry.ValidTraceID(id) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid trace id %q", id))
+		return
+	}
+	spans := s.spans.Trace(id)
+	if c := s.opts.Cluster; c != nil && r.URL.Query().Get("scope") != "local" && !cluster.Forwarded(r) {
+		spans = telemetry.MergeTraces(append([][]telemetry.SpanData{spans}, s.peerTraceFragments(id)...)...)
+	}
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no spans for trace %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, client.TraceView{TraceID: id, Spans: spans})
+}
+
+// peerTraceFragments collects the trace's spans from every alive peer.
+// FetchPeer marks the fetch as forwarded, so peers answer from their
+// local store and the fan-out never cascades. A dead or evicted peer
+// contributes nothing — partial assembly beats none.
+func (s *Server) peerTraceFragments(id string) [][]telemetry.SpanData {
+	c := s.opts.Cluster
+	nodes := c.Nodes()
+	frags := make([][]telemetry.SpanData, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		if n.ID == c.Self().ID || !c.Alive(n.ID) {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n cluster.Node) {
+			defer wg.Done()
+			b, err := c.FetchPeer(n, "/v1/traces/"+url.PathEscape(id)+"?scope=local", 5*time.Second)
+			if err != nil {
+				return
+			}
+			var view client.TraceView
+			if json.Unmarshal(b, &view) == nil {
+				frags[i] = view.Spans
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	return frags
+}

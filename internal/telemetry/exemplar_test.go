@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHistogramExemplarExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("draid_req_seconds", "Req.", []float64{0.01, 0.1, 1}, "route")
+	h.With("/v1/jobs").ObserveWithExemplar(0.05, "trace-slow.1")
+	h.With("/v1/jobs").ObserveWithExemplar(5, "trace-huge.2") // +Inf bucket
+	h.With("/v1/jobs").Observe(0.0001)                        // no exemplar on the 0.01 bucket
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`draid_req_seconds_bucket{route="/v1/jobs",le="0.1"} 2 # {trace_id="trace-slow.1"} 0.05`,
+		`draid_req_seconds_bucket{route="/v1/jobs",le="+Inf"} 3 # {trace_id="trace-huge.2"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `le="0.01"} 1 #`) {
+		t.Errorf("unexemplared bucket grew an exemplar:\n%s", out)
+	}
+
+	// The whole document, exemplars included, must satisfy the strict
+	// parser and surface the exemplar structurally.
+	series, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("strict parse of exemplared exposition: %v\n%s", err, out)
+	}
+	found := 0
+	for _, s := range series {
+		if s.Exemplar == nil {
+			continue
+		}
+		found++
+		if s.Exemplar.Labels["trace_id"] == "" {
+			t.Errorf("series %s%v exemplar without trace_id: %+v", s.Name, s.Labels, s.Exemplar)
+		}
+	}
+	if found != 2 {
+		t.Errorf("parser surfaced %d exemplars, want 2", found)
+	}
+}
+
+func TestObserveWithExemplarLastWriterWins(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("draid_w_seconds", "w", []float64{1}).With()
+	h.ObserveWithExemplar(0.5, "first")
+	h.ObserveWithExemplar(0.25, "second")
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `# {trace_id="second"} 0.25`) {
+		t.Errorf("latest exemplar not exposed:\n%s", out)
+	}
+	if strings.Contains(out, "first") {
+		t.Errorf("stale exemplar survived:\n%s", out)
+	}
+}
+
+func TestObserveWithExemplarRejectsInvalidTrace(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("draid_i_seconds", "i", []float64{1}).With()
+	h.ObserveWithExemplar(0.5, "")
+	h.ObserveWithExemplar(0.5, "bad id with spaces")
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	if strings.Contains(out, "trace_id") {
+		t.Errorf("invalid trace IDs produced exemplars:\n%s", out)
+	}
+	if !strings.Contains(out, `draid_i_seconds_count 2`) {
+		t.Errorf("observations lost when exemplar rejected:\n%s", out)
+	}
+}
+
+func TestParseRejectsBadExemplars(t *testing.T) {
+	cases := map[string]string{
+		"gauge exemplar": "# TYPE draid_g gauge\ndraid_g 1 # {trace_id=\"t\"} 1\n",
+		"sum exemplar": "# TYPE draid_h histogram\n" +
+			"draid_h_bucket{le=\"+Inf\"} 1\ndraid_h_sum 1 # {trace_id=\"t\"} 1\ndraid_h_count 1\n",
+		"exemplar above le bound": "# TYPE draid_h histogram\n" +
+			"draid_h_bucket{le=\"0.1\"} 1 # {trace_id=\"t\"} 5\n" +
+			"draid_h_bucket{le=\"+Inf\"} 1\ndraid_h_sum 0.05\ndraid_h_count 1\n",
+		"empty label set": "# TYPE draid_h histogram\n" +
+			"draid_h_bucket{le=\"+Inf\"} 1 # {} 1\ndraid_h_sum 1\ndraid_h_count 1\n",
+		"missing value": "# TYPE draid_h histogram\n" +
+			"draid_h_bucket{le=\"+Inf\"} 1 # {trace_id=\"t\"}\ndraid_h_sum 1\ndraid_h_count 1\n",
+		"trailing junk": "# TYPE draid_h histogram\n" +
+			"draid_h_bucket{le=\"+Inf\"} 1 # {trace_id=\"t\"} 1 extra\ndraid_h_sum 1\ndraid_h_count 1\n",
+		"no hash prefix": "# TYPE draid_g gauge\ndraid_g 1 {trace_id=\"t\"} 1\n",
+	}
+	for name, doc := range cases {
+		if _, err := ParseText(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: strict parser accepted\n%s", name, doc)
+		}
+	}
+}
+
+func TestParseAcceptsCounterExemplar(t *testing.T) {
+	doc := "# TYPE draid_x_total counter\ndraid_x_total 5 # {trace_id=\"abc\"} 1\n"
+	series, err := ParseText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("counter exemplar rejected: %v", err)
+	}
+	if len(series) != 1 || series[0].Exemplar == nil || series[0].Exemplar.Labels["trace_id"] != "abc" {
+		t.Fatalf("parsed series = %+v", series)
+	}
+}

@@ -21,6 +21,15 @@ type Series struct {
 	Name   string
 	Labels map[string]string
 	Value  float64
+	// Exemplar holds the OpenMetrics exemplar trailing the sample, when
+	// present (histogram bucket lines only in our exposition).
+	Exemplar *ParsedExemplar
+}
+
+// ParsedExemplar is a parsed `# {labels} value` exemplar suffix.
+type ParsedExemplar struct {
+	Labels map[string]string
+	Value  float64
 }
 
 // LabelString renders the labels sorted, for stable comparisons.
@@ -134,11 +143,15 @@ func parseSample(line string) (Series, error) {
 		rest = tail
 	}
 	rest = strings.TrimPrefix(rest, " ")
-	// No timestamps in our exposition: a space after the value means a
-	// malformed line.
+	// No timestamps in our exposition: after the value the only legal
+	// continuation is an OpenMetrics exemplar (` # {labels} value`).
 	val, rest, _ := strings.Cut(rest, " ")
 	if rest != "" {
-		return s, fmt.Errorf("unexpected trailing content %q", rest)
+		ex, err := parseExemplar(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Exemplar = ex
 	}
 	v, err := parseValue(val)
 	if err != nil {
@@ -146,6 +159,40 @@ func parseSample(line string) (Series, error) {
 	}
 	s.Value = v
 	return s, nil
+}
+
+// parseExemplar parses the `# {labels} value` suffix trailing a sample
+// value. Anything else after a value is an error — this exposition
+// never emits timestamps.
+func parseExemplar(in string) (*ParsedExemplar, error) {
+	rest, ok := strings.CutPrefix(in, "# ")
+	if !ok || !strings.HasPrefix(rest, "{") {
+		return nil, fmt.Errorf("unexpected trailing content %q", in)
+	}
+	labels, tail, err := parseLabels(rest)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: %w", err)
+	}
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("exemplar: empty label set")
+	}
+	for name := range labels {
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("exemplar: invalid label name %q", name)
+		}
+	}
+	tail, ok = strings.CutPrefix(tail, " ")
+	if !ok || tail == "" {
+		return nil, fmt.Errorf("exemplar: missing value")
+	}
+	if strings.ContainsRune(tail, ' ') {
+		return nil, fmt.Errorf("exemplar: unexpected trailing content %q", tail)
+	}
+	v, err := parseValue(tail)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: %w", err)
+	}
+	return &ParsedExemplar{Labels: labels, Value: v}, nil
 }
 
 // parseLabels parses a leading {k="v",...} block, returning the rest.
@@ -256,6 +303,20 @@ func checkFamilies(series []Series, types map[string]string) error {
 		fam, kind := familyOf(s.Name, types)
 		if fam == "" {
 			return fmt.Errorf("series %s has no TYPE declaration", s.Name)
+		}
+		if s.Exemplar != nil {
+			// OpenMetrics allows exemplars on histogram buckets and
+			// counters only; a bucket exemplar must fit its bucket.
+			switch {
+			case kind == "bucket":
+				if b := leBound(s); !math.IsNaN(b) && s.Exemplar.Value > b {
+					return fmt.Errorf("series %s: exemplar value %v exceeds le=%v",
+						s.Name, s.Exemplar.Value, b)
+				}
+			case kind == "plain" && types[fam] == typeCounter:
+			default:
+				return fmt.Errorf("series %s: exemplar on non-bucket, non-counter sample", s.Name)
+			}
 		}
 		switch kind {
 		case "bucket":

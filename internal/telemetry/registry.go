@@ -283,13 +283,23 @@ var FastBuckets = []float64{
 	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.25,
 }
 
+// Exemplar links one observed value to the trace that produced it —
+// rendered OpenMetrics-style after the bucket's sample so a p99 bucket
+// carries the trace ID of a real offending request.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+}
+
 // Histogram is a fixed-bucket distribution. Observations update one
-// bucket counter, the count, and the sum — all atomically.
+// bucket counter, the count, and the sum — all atomically. Each bucket
+// (including +Inf) keeps the latest exemplar via an atomic pointer.
 type Histogram struct {
-	buckets []float64 // upper bounds, ascending; +Inf implicit
-	counts  []atomic.Uint64
-	count   atomic.Uint64
-	sumBits atomic.Uint64
+	buckets   []float64 // upper bounds, ascending; +Inf implicit
+	counts    []atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar] // one per bucket + one for +Inf
+	count     atomic.Uint64
+	sumBits   atomic.Uint64
 }
 
 // Observe records one value.
@@ -306,6 +316,19 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveWithExemplar records one value and stamps its bucket's
+// exemplar with the trace that produced it (last writer wins — the
+// freshest offender is the useful one). An empty trace ID degrades to
+// a plain Observe.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" || !ValidTraceID(traceID) {
+		return
+	}
+	i := sort.SearchFloat64s(h.buckets, v) // i == len(buckets) means +Inf
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
 }
 
 // Count returns the number of observations.
@@ -362,13 +385,24 @@ func (h *Histogram) write(w io.Writer, fam *family, values []string) {
 	var cum uint64
 	for i, bound := range h.buckets {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket%s %d\n",
-			fam.name, renderLabelsExtra(fam.labels, values, "le", formatValue(bound)), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			fam.name, renderLabelsExtra(fam.labels, values, "le", formatValue(bound)), cum,
+			renderExemplar(h.exemplars[i].Load()))
 	}
-	fmt.Fprintf(w, "%s_bucket%s %d\n",
-		fam.name, renderLabelsExtra(fam.labels, values, "le", "+Inf"), h.count.Load())
+	fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+		fam.name, renderLabelsExtra(fam.labels, values, "le", "+Inf"), h.count.Load(),
+		renderExemplar(h.exemplars[len(h.buckets)].Load()))
 	fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, renderLabels(fam.labels, values), formatValue(h.Sum()))
 	fmt.Fprintf(w, "%s_count%s %d\n", fam.name, renderLabels(fam.labels, values), h.count.Load())
+}
+
+// renderExemplar renders an OpenMetrics exemplar suffix
+// (` # {trace_id="..."} value`), or "" for nil.
+func renderExemplar(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return ` # {trace_id="` + EscapeLabelValue(e.TraceID) + `"} ` + formatValue(e.Value)
 }
 
 // HistogramVec is a histogram family; With selects one labeled child.
@@ -378,8 +412,9 @@ type HistogramVec struct{ fam *family }
 func (v *HistogramVec) With(labelValues ...string) *Histogram {
 	return v.fam.child(labelValues, func() metric {
 		return &Histogram{
-			buckets: v.fam.buckets,
-			counts:  make([]atomic.Uint64, len(v.fam.buckets)),
+			buckets:   v.fam.buckets,
+			counts:    make([]atomic.Uint64, len(v.fam.buckets)),
+			exemplars: make([]atomic.Pointer[Exemplar], len(v.fam.buckets)+1),
 		}
 	}).(*Histogram)
 }

@@ -1,0 +1,537 @@
+// Spans: the structured half of the fleet's tracing story. The flat
+// X-Draid-Trace ID answers "which logs belong to this request"; spans
+// answer "where did the time go" — every request gets a tree of timed
+// operations (queue wait, shard load, per-batch encode, pacing stalls,
+// proxy hops) recorded into a bounded per-node ring store, with parent
+// context propagated across fleet hops via the X-Draid-Span header so
+// one trace ID assembles into a single cross-node tree.
+//
+// Recording is deliberately cheap and isolated: completed spans go
+// into a lock-striped ring (stripe chosen by trace ID, so a whole
+// trace stays collectible from one stripe) whose mutexes are private
+// to the store — nothing here is ever held together with a serving or
+// job-table lock. Boring traffic overwrites itself; traces whose root
+// span is slow or errored are tail-sampled into a separate "notable"
+// ring at root End, so the interesting 1% survives eviction by the
+// boring 99%.
+package telemetry
+
+import (
+	"context"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanHeader is the HTTP header carrying the parent span context
+// ("<traceID>:<spanID>") across fleet hops: the proxying node stamps
+// its client span, and the receiving node starts its server span as a
+// child of it.
+const SpanHeader = "X-Draid-Span"
+
+// SpanContext identifies one span within one trace — what crosses the
+// wire in SpanHeader.
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// Valid reports whether both halves are present and well-formed.
+func (sc SpanContext) Valid() bool {
+	return ValidTraceID(sc.TraceID) && ValidTraceID(sc.SpanID)
+}
+
+// String renders the header form "<traceID>:<spanID>".
+func (sc SpanContext) String() string { return sc.TraceID + ":" + sc.SpanID }
+
+// ParseSpanContext parses a SpanHeader value. Anything malformed
+// returns ok=false — like trace IDs, span propagation degrades to a
+// fresh root rather than failing a request.
+func ParseSpanContext(s string) (SpanContext, bool) {
+	traceID, spanID, found := strings.Cut(s, ":")
+	sc := SpanContext{TraceID: traceID, SpanID: spanID}
+	return sc, found && sc.Valid()
+}
+
+// NewSpanID mints a fresh 16-hex-char span ID (same alphabet and
+// entropy as trace IDs; spans and traces share the validator).
+func NewSpanID() string { return NewTraceID() }
+
+// SpanData is one completed span — the JSON document /v1/traces serves
+// and peers exchange during cross-node assembly.
+type SpanData struct {
+	TraceID string            `json:"trace"`
+	SpanID  string            `json:"span"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	Node    string            `json:"node,omitempty"`
+	Start   time.Time         `json:"start"`
+	End     time.Time         `json:"end"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Error   string            `json:"error,omitempty"`
+	// Root marks the span a request root on its node (the middleware
+	// span). Root Ends drive tail sampling and the trace list.
+	Root bool `json:"root,omitempty"`
+}
+
+// Duration is the span's wall-clock extent.
+func (d SpanData) Duration() time.Duration { return d.End.Sub(d.Start) }
+
+// TraceSummary is one row of the trace list: the root span's identity
+// and outcome plus how much of the trace this node holds.
+type TraceSummary struct {
+	TraceID    string    `json:"trace"`
+	Root       string    `json:"root"`
+	Node       string    `json:"node,omitempty"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+	Error      string    `json:"error,omitempty"`
+	Spans      int       `json:"spans"`
+	Notable    bool      `json:"notable,omitempty"`
+}
+
+// Span is a live (unended) span. The zero/nil span is a valid no-op:
+// every method tolerates a nil receiver, so instrumentation sites never
+// need to check whether tracing is wired up.
+type Span struct {
+	store *SpanStore
+
+	mu    sync.Mutex
+	data  SpanData
+	ended bool
+}
+
+// Context returns the span's propagation context (zero when nil).
+func (sp *Span) Context() SpanContext {
+	if sp == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: sp.data.TraceID, SpanID: sp.data.SpanID}
+}
+
+// SetAttr attaches one key=value attribute.
+func (sp *Span) SetAttr(k, v string) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.data.Attrs == nil {
+		sp.data.Attrs = make(map[string]string, 4)
+	}
+	sp.data.Attrs[k] = v
+	sp.mu.Unlock()
+}
+
+// SetError marks the span failed. A failed root makes its whole trace
+// notable at End.
+func (sp *Span) SetError(msg string) {
+	if sp == nil || msg == "" {
+		return
+	}
+	sp.mu.Lock()
+	sp.data.Error = msg
+	sp.mu.Unlock()
+}
+
+// End stamps the end time and records the completed span into the
+// store. Idempotent: only the first End records.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.ended {
+		sp.mu.Unlock()
+		return
+	}
+	sp.ended = true
+	sp.data.End = time.Now()
+	d := sp.data
+	sp.mu.Unlock()
+	sp.store.Record(d)
+}
+
+// spanCtxKey carries the active span through a context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying sp as the active span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the context's active span (nil when none).
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// StartSpan starts a child of the context's active span, returning a
+// context carrying the child. With no active span it returns the
+// context unchanged and a nil (no-op) span — callers instrument
+// unconditionally.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.store.start(name, parent.Context(), parent.data.Node, false)
+	return ContextWithSpan(ctx, child), child
+}
+
+// spanStripes fixes the store's lock striping. A power of two; spans
+// stripe by trace ID so one trace's spans collect under one lock.
+const spanStripes = 16
+
+// spanStripe is one ring of completed spans under its own mutex.
+type spanStripe struct {
+	mu   sync.Mutex
+	ring []SpanData
+	next int
+}
+
+// notableTrace is one tail-sampled trace in the notable ring.
+type notableTrace struct {
+	traceID string
+	spans   []SpanData
+}
+
+// SpanStoreStats is the store's scrape-time accounting.
+type SpanStoreStats struct {
+	Recorded uint64 // spans recorded since start
+	Dropped  uint64 // spans overwritten by ring pressure
+	Notable  uint64 // traces tail-sampled as notable
+	Resident int    // spans currently held in the recent rings
+}
+
+// SpanStore is a bounded per-node store of completed spans: a
+// lock-striped recent ring plus a tail-sampled notable ring. Safe for
+// concurrent use; none of its locks are shared with any caller.
+type SpanStore struct {
+	node       string
+	slow       time.Duration
+	stripes    [spanStripes]spanStripe
+	maxNotable int
+
+	notableMu sync.Mutex
+	notable   []notableTrace // newest last
+
+	recorded atomic.Uint64
+	dropped  atomic.Uint64
+	notables atomic.Uint64
+}
+
+// NewSpanStore returns a store retaining up to capacity recent spans
+// (<=0 means 4096) and maxNotable tail-sampled traces (<=0 means 32).
+// Roots lasting at least slow — or ending in error — make their trace
+// notable; slow <= 0 means 250ms.
+func NewSpanStore(node string, capacity, maxNotable int, slow time.Duration) *SpanStore {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if maxNotable <= 0 {
+		maxNotable = 32
+	}
+	if slow <= 0 {
+		slow = 250 * time.Millisecond
+	}
+	perStripe := capacity / spanStripes
+	if perStripe < 4 {
+		perStripe = 4
+	}
+	st := &SpanStore{node: node, slow: slow, maxNotable: maxNotable}
+	for i := range st.stripes {
+		st.stripes[i].ring = make([]SpanData, perStripe)
+	}
+	return st
+}
+
+// SlowThreshold reports the tail-sampling latency threshold.
+func (st *SpanStore) SlowThreshold() time.Duration { return st.slow }
+
+// StartRoot starts a request root span. A valid parent (the proxying
+// node's span, from SpanHeader) links the root under it and adopts its
+// trace ID; otherwise trace falls back to the given request trace ID
+// (or a fresh one). Root Ends apply tail sampling.
+func (st *SpanStore) StartRoot(name, traceID string, parent SpanContext) *Span {
+	if parent.Valid() {
+		return st.start(name, parent, st.node, true)
+	}
+	if !ValidTraceID(traceID) {
+		traceID = NewTraceID()
+	}
+	return st.start(name, SpanContext{TraceID: traceID}, st.node, true)
+}
+
+// StartChild starts a span under an explicit parent context — for work
+// that outlives the request that caused it (job execution under the
+// submission's span context). The parent may already have ended.
+func (st *SpanStore) StartChild(name string, parent SpanContext) *Span {
+	return st.start(name, parent, st.node, false)
+}
+
+func (st *SpanStore) start(name string, parent SpanContext, node string, root bool) *Span {
+	if st == nil {
+		return nil
+	}
+	traceID := parent.TraceID
+	if !ValidTraceID(traceID) {
+		traceID = NewTraceID()
+	}
+	return &Span{
+		store: st,
+		data: SpanData{
+			TraceID: traceID,
+			SpanID:  NewSpanID(),
+			Parent:  parent.SpanID,
+			Name:    name,
+			Node:    node,
+			Start:   time.Now(),
+			Root:    root,
+		},
+	}
+}
+
+// Record inserts one completed span (End must not precede Start; such
+// spans are clamped to zero duration rather than rejected — tracing
+// never fails the traced operation). Recording a root applies the
+// tail-sampling rule: a slow or errored root copies its trace's spans
+// into the notable ring.
+func (st *SpanStore) Record(d SpanData) {
+	if st == nil || d.TraceID == "" || d.SpanID == "" {
+		return
+	}
+	if d.End.Before(d.Start) {
+		d.End = d.Start
+	}
+	if d.Node == "" {
+		d.Node = st.node
+	}
+	s := &st.stripes[stripeOf(d.TraceID)]
+	s.mu.Lock()
+	if s.ring[s.next].SpanID != "" {
+		st.dropped.Add(1)
+	}
+	s.ring[s.next] = d
+	s.next = (s.next + 1) % len(s.ring)
+	var captured []SpanData
+	if d.Root && (d.Error != "" || d.End.Sub(d.Start) >= st.slow) {
+		// Collect the trace's spans while still holding the stripe —
+		// they all live here, by construction of the striping.
+		for _, sp := range s.ring {
+			if sp.TraceID == d.TraceID && sp.SpanID != "" {
+				captured = append(captured, sp)
+			}
+		}
+	}
+	s.mu.Unlock()
+	st.recorded.Add(1)
+	if captured != nil {
+		st.capture(d.TraceID, captured)
+	}
+}
+
+// capture files a trace into the notable ring, replacing an existing
+// entry for the same trace (a trace can go notable more than once —
+// e.g. two slow requests sharing a pinned ID) and evicting the oldest
+// notable when full.
+func (st *SpanStore) capture(traceID string, spans []SpanData) {
+	st.notableMu.Lock()
+	defer st.notableMu.Unlock()
+	for i := range st.notable {
+		if st.notable[i].traceID == traceID {
+			st.notable[i].spans = mergeSpans(st.notable[i].spans, spans)
+			return
+		}
+	}
+	st.notables.Add(1)
+	st.notable = append(st.notable, notableTrace{traceID: traceID, spans: spans})
+	if len(st.notable) > st.maxNotable {
+		st.notable = st.notable[len(st.notable)-st.maxNotable:]
+	}
+}
+
+// mergeSpans unions two span sets by span ID, keeping a's entries.
+func mergeSpans(a, b []SpanData) []SpanData {
+	seen := make(map[string]bool, len(a))
+	for _, sp := range a {
+		seen[sp.SpanID] = true
+	}
+	for _, sp := range b {
+		if !seen[sp.SpanID] {
+			a = append(a, sp)
+		}
+	}
+	return a
+}
+
+// Trace returns every span this node holds for one trace ID — recent
+// ring and notable ring merged, deduplicated by span ID, sorted by
+// start time. Empty when the node never saw (or already evicted) the
+// trace.
+func (st *SpanStore) Trace(traceID string) []SpanData {
+	if st == nil || traceID == "" {
+		return nil
+	}
+	var out []SpanData
+	s := &st.stripes[stripeOf(traceID)]
+	s.mu.Lock()
+	for _, sp := range s.ring {
+		if sp.TraceID == traceID && sp.SpanID != "" {
+			out = append(out, sp)
+		}
+	}
+	s.mu.Unlock()
+	st.notableMu.Lock()
+	for _, nt := range st.notable {
+		if nt.traceID == traceID {
+			out = mergeSpans(out, nt.spans)
+		}
+	}
+	st.notableMu.Unlock()
+	sortSpans(out)
+	return out
+}
+
+// Summaries lists the traces this node knows about — one row per root
+// span, notable traces flagged — newest first.
+func (st *SpanStore) Summaries() []TraceSummary {
+	if st == nil {
+		return nil
+	}
+	notableIDs := make(map[string]bool)
+	var out []TraceSummary
+	seen := make(map[string]bool)
+	counted := make(map[string]bool)  // span IDs tallied into counts
+	counts := make(map[string]int)    // trace ID -> resident span count
+	tally := func(sp SpanData) {
+		if sp.SpanID == "" || counted[sp.TraceID+"/"+sp.SpanID] {
+			return
+		}
+		counted[sp.TraceID+"/"+sp.SpanID] = true
+		counts[sp.TraceID]++
+	}
+	add := func(sp SpanData, notable bool) {
+		tally(sp)
+		if !sp.Root || sp.SpanID == "" || seen[sp.SpanID] {
+			return
+		}
+		seen[sp.SpanID] = true
+		out = append(out, TraceSummary{
+			TraceID:    sp.TraceID,
+			Root:       sp.Name,
+			Node:       sp.Node,
+			Start:      sp.Start,
+			DurationMs: float64(sp.End.Sub(sp.Start).Microseconds()) / 1000,
+			Error:      sp.Error,
+			Notable:    notable,
+		})
+	}
+	st.notableMu.Lock()
+	for _, nt := range st.notable {
+		notableIDs[nt.traceID] = true
+		for _, sp := range nt.spans {
+			add(sp, true)
+		}
+	}
+	st.notableMu.Unlock()
+	for i := range st.stripes {
+		s := &st.stripes[i]
+		s.mu.Lock()
+		for _, sp := range s.ring {
+			add(sp, notableIDs[sp.TraceID])
+		}
+		s.mu.Unlock()
+	}
+	for i := range out {
+		out[i].Spans = counts[out[i].TraceID]
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.After(out[j].Start)
+		}
+		return out[i].TraceID < out[j].TraceID
+	})
+	return out
+}
+
+// Names returns the distinct span names currently resident — the
+// documentation-hygiene hook (every emitted name must appear in the
+// README's span table).
+func (st *SpanStore) Names() []string {
+	names := make(map[string]bool)
+	for i := range st.stripes {
+		s := &st.stripes[i]
+		s.mu.Lock()
+		for _, sp := range s.ring {
+			if sp.SpanID != "" {
+				names[sp.Name] = true
+			}
+		}
+		s.mu.Unlock()
+	}
+	st.notableMu.Lock()
+	for _, nt := range st.notable {
+		for _, sp := range nt.spans {
+			names[sp.Name] = true
+		}
+	}
+	st.notableMu.Unlock()
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats snapshots the store's counters.
+func (st *SpanStore) Stats() SpanStoreStats {
+	resident := 0
+	for i := range st.stripes {
+		s := &st.stripes[i]
+		s.mu.Lock()
+		for _, sp := range s.ring {
+			if sp.SpanID != "" {
+				resident++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return SpanStoreStats{
+		Recorded: st.recorded.Load(),
+		Dropped:  st.dropped.Load(),
+		Notable:  st.notables.Load(),
+		Resident: resident,
+	}
+}
+
+// sortSpans orders spans by start time (span ID tiebreak) — the order
+// /v1/traces serves and trees render from.
+func sortSpans(spans []SpanData) {
+	sort.Slice(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+}
+
+// MergeTraces unions span fragments from several nodes into one
+// sorted, deduplicated trace — the cross-node assembly primitive.
+func MergeTraces(fragments ...[]SpanData) []SpanData {
+	var out []SpanData
+	for _, f := range fragments {
+		out = mergeSpans(out, f)
+	}
+	sortSpans(out)
+	return out
+}
+
+func stripeOf(traceID string) int {
+	h := fnv.New32a()
+	h.Write([]byte(traceID))
+	return int(h.Sum32() % spanStripes)
+}

@@ -1,0 +1,272 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	if !sc.Valid() {
+		t.Fatalf("fresh context %v not valid", sc)
+	}
+	got, ok := ParseSpanContext(sc.String())
+	if !ok || got != sc {
+		t.Fatalf("ParseSpanContext(%q) = %v, %t; want %v, true", sc.String(), got, ok, sc)
+	}
+	for _, bad := range []string{"", "abc", ":", "abc:", ":def", "has space:def", "trace:span:extra"} {
+		if _, ok := ParseSpanContext(bad); ok {
+			t.Errorf("ParseSpanContext(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var sp *Span
+	sp.SetAttr("k", "v")
+	sp.SetError("boom")
+	sp.End()
+	if sp.Context().Valid() {
+		t.Fatalf("nil span has valid context")
+	}
+	ctx, child := StartSpan(context.Background(), "work")
+	if child != nil {
+		t.Fatalf("StartSpan with no active span returned non-nil %v", child)
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatalf("context unexpectedly carries a span")
+	}
+}
+
+func TestSpanTreeRecording(t *testing.T) {
+	st := NewSpanStore("n1", 0, 0, time.Hour)
+	root := st.StartRoot("http.request", "trace-1", SpanContext{})
+	root.SetAttr("method", "GET")
+	ctx := ContextWithSpan(context.Background(), root)
+	ctx2, child := StartSpan(ctx, "shard.load")
+	if SpanFromContext(ctx2) != child {
+		t.Fatalf("child not active in derived context")
+	}
+	_, grand := StartSpan(ctx2, "batch.encode")
+	grand.End()
+	child.End()
+	root.End()
+	root.End() // idempotent: second End must not double-record
+
+	spans := st.Trace("trace-1")
+	if len(spans) != 3 {
+		t.Fatalf("Trace returned %d spans, want 3: %+v", len(spans), spans)
+	}
+	byName := make(map[string]SpanData)
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+		if sp.TraceID != "trace-1" {
+			t.Errorf("span %s trace %q, want trace-1", sp.Name, sp.TraceID)
+		}
+		if sp.Node != "n1" {
+			t.Errorf("span %s node %q, want n1", sp.Name, sp.Node)
+		}
+	}
+	if byName["shard.load"].Parent != byName["http.request"].SpanID {
+		t.Errorf("shard.load parent %q, want root %q", byName["shard.load"].Parent, byName["http.request"].SpanID)
+	}
+	if byName["batch.encode"].Parent != byName["shard.load"].SpanID {
+		t.Errorf("batch.encode parent %q, want shard.load %q", byName["batch.encode"].Parent, byName["shard.load"].SpanID)
+	}
+	if !byName["http.request"].Root {
+		t.Errorf("http.request not marked root")
+	}
+	if byName["http.request"].Attrs["method"] != "GET" {
+		t.Errorf("root attrs = %v", byName["http.request"].Attrs)
+	}
+	if got := st.Stats(); got.Recorded != 3 {
+		t.Errorf("Stats().Recorded = %d, want 3", got.Recorded)
+	}
+	sums := st.Summaries()
+	if len(sums) != 1 {
+		t.Fatalf("Summaries() = %d rows, want 1: %+v", len(sums), sums)
+	}
+	if sums[0].Root != "http.request" || sums[0].Spans != 3 {
+		t.Errorf("summary = %+v, want root http.request with 3 spans", sums[0])
+	}
+}
+
+func TestStartRootAdoptsParentTrace(t *testing.T) {
+	st := NewSpanStore("n2", 0, 0, time.Hour)
+	parent := SpanContext{TraceID: "up-trace", SpanID: "aaaabbbbccccdddd"}
+	root := st.StartRoot("http.request", "other-trace", parent)
+	root.End()
+	spans := st.Trace("up-trace")
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans under parent trace, want 1", len(spans))
+	}
+	if spans[0].Parent != parent.SpanID {
+		t.Errorf("root parent %q, want %q", spans[0].Parent, parent.SpanID)
+	}
+	if len(st.Trace("other-trace")) != 0 {
+		t.Errorf("span recorded under the discarded trace ID")
+	}
+}
+
+func TestTailSamplingKeepsSlowAndErrored(t *testing.T) {
+	st := NewSpanStore("n1", 64, 4, 10*time.Millisecond)
+	now := time.Now()
+
+	// Boring root: fast and clean — must not be captured.
+	st.Record(SpanData{TraceID: "fast", SpanID: "s1", Name: "http.request", Root: true, Start: now, End: now.Add(time.Millisecond)})
+	// Slow root crosses the threshold.
+	st.Record(SpanData{TraceID: "slow", SpanID: "s2", Name: "http.request", Root: true, Start: now, End: now.Add(50 * time.Millisecond)})
+	// Fast but errored root.
+	st.Record(SpanData{TraceID: "bad", SpanID: "s3", Name: "http.request", Root: true, Start: now, End: now.Add(time.Millisecond), Error: "boom"})
+
+	if got := st.Stats().Notable; got != 2 {
+		t.Fatalf("Stats().Notable = %d, want 2", got)
+	}
+	notable := make(map[string]bool)
+	for _, ts := range st.Summaries() {
+		notable[ts.TraceID] = ts.Notable
+	}
+	if notable["fast"] || !notable["slow"] || !notable["bad"] {
+		t.Fatalf("notable flags = %v, want slow+bad only", notable)
+	}
+}
+
+// TestNotableSurvivesRingPressure proves the tail-sampling contract:
+// a captured slow trace remains fetchable after enough boring traffic
+// has cycled the recent ring to evict every one of its spans.
+func TestNotableSurvivesRingPressure(t *testing.T) {
+	st := NewSpanStore("n1", spanStripes*4, 8, 10*time.Millisecond) // minimum rings: 4 slots per stripe
+	now := time.Now()
+
+	slowRoot := SpanData{TraceID: "slow-trace", SpanID: "root", Name: "http.request", Root: true,
+		Start: now, End: now.Add(time.Second)}
+	st.Record(SpanData{TraceID: "slow-trace", SpanID: "kid", Parent: "root", Name: "shard.load",
+		Start: now, End: now.Add(time.Millisecond)})
+	st.Record(slowRoot)
+
+	// Flood every stripe until the slow trace's stripe has certainly
+	// wrapped several times.
+	for i := 0; i < spanStripes*4*8; i++ {
+		id := fmt.Sprintf("boring-%d", i)
+		st.Record(SpanData{TraceID: id, SpanID: id, Name: "http.request", Root: true, Start: now, End: now})
+	}
+	if st.Stats().Dropped == 0 {
+		t.Fatalf("flood did not wrap the ring — test is not exercising eviction")
+	}
+
+	spans := st.Trace("slow-trace")
+	if len(spans) != 2 {
+		t.Fatalf("after flood Trace(slow-trace) = %d spans, want 2 (root+child): %+v", len(spans), spans)
+	}
+	var foundRoot, foundKid bool
+	for _, sp := range spans {
+		foundRoot = foundRoot || sp.SpanID == "root"
+		foundKid = foundKid || sp.SpanID == "kid"
+	}
+	if !foundRoot || !foundKid {
+		t.Fatalf("notable trace lost spans: root=%t kid=%t", foundRoot, foundKid)
+	}
+
+	// And the notable ring itself is bounded: drown it in slow traces.
+	for i := 0; i < 32; i++ {
+		id := fmt.Sprintf("alsoslow-%d", i)
+		st.Record(SpanData{TraceID: id, SpanID: id, Name: "http.request", Root: true,
+			Start: now, End: now.Add(time.Second)})
+	}
+	notable := 0
+	for _, ts := range st.Summaries() {
+		if ts.Notable {
+			notable++
+		}
+	}
+	if notable > 8 {
+		t.Fatalf("notable ring grew to %d traces, cap is 8", notable)
+	}
+	if len(st.Trace("slow-trace")) != 0 {
+		t.Fatalf("oldest notable trace not evicted by newer notables")
+	}
+}
+
+func TestMergeTracesDeduplicates(t *testing.T) {
+	now := time.Now()
+	a := []SpanData{
+		{TraceID: "t", SpanID: "1", Name: "http.request", Start: now.Add(time.Millisecond)},
+		{TraceID: "t", SpanID: "2", Name: "proxy.forward", Start: now.Add(2 * time.Millisecond)},
+	}
+	b := []SpanData{
+		{TraceID: "t", SpanID: "2", Name: "proxy.forward", Start: now.Add(2 * time.Millisecond)},
+		{TraceID: "t", SpanID: "3", Name: "http.request", Start: now},
+	}
+	got := MergeTraces(a, b)
+	if len(got) != 3 {
+		t.Fatalf("merged %d spans, want 3: %+v", len(got), got)
+	}
+	if got[0].SpanID != "3" || got[1].SpanID != "1" || got[2].SpanID != "2" {
+		t.Fatalf("merge not sorted by start: %+v", got)
+	}
+}
+
+func TestSpanStoreNames(t *testing.T) {
+	st := NewSpanStore("n1", 0, 0, time.Hour)
+	for _, name := range []string{"b.second", "a.first", "b.second"} {
+		sp := st.StartRoot(name, NewTraceID(), SpanContext{})
+		sp.End()
+	}
+	got := st.Names()
+	want := []string{"a.first", "b.second"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}
+
+// TestSpanStoreConcurrency hammers every public store surface at once
+// under the race detector: span start/attr/end on shared traces,
+// raw Records, trace reads, summary/name/stat scrapes.
+func TestSpanStoreConcurrency(t *testing.T) {
+	st := NewSpanStore("n1", 128, 8, time.Microsecond) // tiny slow => constant tail-sampling
+	const workers = 8
+	const iters = 200
+	traces := []string{"shared-a", "shared-b", "shared-c"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				trace := traces[(w+i)%len(traces)]
+				root := st.StartRoot("http.request", trace, SpanContext{})
+				root.SetAttr("worker", "w")
+				ctx := ContextWithSpan(context.Background(), root)
+				_, child := StartSpan(ctx, "shard.load")
+				child.SetAttr("i", "x")
+				if i%3 == 0 {
+					child.SetError("induced")
+				}
+				child.End()
+				st.Record(SpanData{TraceID: trace, SpanID: NewSpanID(), Parent: root.Context().SpanID,
+					Name: "batch.encode", Start: time.Now(), End: time.Now()})
+				root.End()
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				st.Trace(traces[i%len(traces)])
+				st.Summaries()
+				st.Names()
+				st.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	stats := st.Stats()
+	if want := uint64(workers * iters * 3); stats.Recorded != want {
+		t.Fatalf("Stats().Recorded = %d, want %d", stats.Recorded, want)
+	}
+}

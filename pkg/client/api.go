@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/domain"
+	"repro/internal/telemetry"
 )
 
 // JobSpec is the submission body: which domain template to run and how
@@ -99,6 +100,25 @@ type TemplateInfo struct {
 	Kind        string   `json:"kind"`
 	Wires       []string `json:"wires,omitempty"`
 	Servable    bool     `json:"servable"`
+}
+
+// Span is one completed span of a distributed trace, as served by
+// GET /v1/traces/{id}: the operation name, the node that ran it, its
+// wall-clock interval, and its position in the tree (Parent is the
+// span ID of the enclosing operation, empty for top-level spans).
+type Span = telemetry.SpanData
+
+// TraceSummary is one row of GET /v1/traces: the trace's root
+// operation, where and when it ran, how long it took, and whether the
+// tail sampler kept it as notable.
+type TraceSummary = telemetry.TraceSummary
+
+// TraceView is the assembled cross-node trace served by
+// GET /v1/traces/{id}: every span any fleet member recorded under the
+// trace ID, deduplicated and sorted by start time.
+type TraceView struct {
+	TraceID string `json:"trace"`
+	Spans   []Span `json:"spans"`
 }
 
 // ClusterMember is one fleet member's row in the /v1/cluster report.
