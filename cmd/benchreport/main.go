@@ -33,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"maps"
 	"os"
 	"slices"
 	"strings"
@@ -254,26 +255,65 @@ func compareServe(cur *server.ServeBenchReport, baselinePath string, threshold f
 	if baseRatio > 1 {
 		baseRatio = 1
 	}
-	delta := cur.FSOverMem/baseRatio - 1
-	fmt.Printf("serve fs/mem ratio vs %s: %.3f now, %.3f baseline (capped %.3f) — %+.1f%%\n",
-		baselinePath, cur.FSOverMem, base.FSOverMem, baseRatio, delta*100)
-	if delta < -threshold {
-		return fmt.Errorf("durable serve path regressed %.1f%% relative to mem (budget %.0f%%)", -delta*100, threshold*100)
-	}
-	// Zero-copy gate: the cached-over-encode frame ratio is same-run and
-	// same-machine like fs/mem, so it gates the same way. Only enforced
-	// once the baseline carries the dimension, so older baselines keep
-	// passing until regenerated.
+	gates := []ratioGate{{
+		dim:  "fs_over_mem",
+		what: "durable serve path (fs/mem throughput)",
+		cur:  cur.FSOverMem, base: baseRatio,
+	}}
+	// The remaining dimensions gate only once the baseline carries them,
+	// so older baselines keep passing until regenerated. A baseline that
+	// has a dimension the current run failed to produce is itself a
+	// failure — a silently vanished dimension is a regression.
 	if base.FrameCached != nil && base.FrameCached.CachedOverFrame > 0 {
 		if cur.FrameCached == nil || cur.FrameCached.CachedOverFrame <= 0 {
-			return fmt.Errorf("compare: current run produced no frame_cached ratio")
+			return fmt.Errorf("compare: baseline %s carries frame_cached (%.3f) but the current run produced no frame_cached ratio",
+				baselinePath, base.FrameCached.CachedOverFrame)
 		}
-		fcDelta := cur.FrameCached.CachedOverFrame/base.FrameCached.CachedOverFrame - 1
-		fmt.Printf("serve frame_cached/frame ratio vs %s: %.3f now, %.3f baseline — %+.1f%%\n",
-			baselinePath, cur.FrameCached.CachedOverFrame, base.FrameCached.CachedOverFrame, fcDelta*100)
-		if fcDelta < -threshold {
-			return fmt.Errorf("encoded-frame cache win regressed %.1f%% (budget %.0f%%)", -fcDelta*100, threshold*100)
+		gates = append(gates, ratioGate{
+			dim:  "frame_cached",
+			what: "encoded-frame cache win (cached/encode throughput)",
+			cur:  cur.FrameCached.CachedOverFrame, base: base.FrameCached.CachedOverFrame,
+		})
+	}
+	for _, dom := range slices.Sorted(maps.Keys(base.FrameDisk)) {
+		bfd := base.FrameDisk[dom]
+		if bfd == nil || bfd.DiskOverEncode <= 0 {
+			continue
+		}
+		cfd := cur.FrameDisk[dom]
+		if cfd == nil || cfd.DiskOverEncode <= 0 {
+			return fmt.Errorf("compare: baseline %s carries frame_disk[%s] (%.3f) but the current run produced no frame_disk ratio for %s",
+				baselinePath, dom, bfd.DiskOverEncode, dom)
+		}
+		gates = append(gates, ratioGate{
+			dim:  "frame_disk[" + dom + "]",
+			what: "frame sidecar disk tier win (" + dom + " disk/encode throughput)",
+			cur:  cfd.DiskOverEncode, base: bfd.DiskOverEncode,
+		})
+	}
+	var failures []string
+	for _, g := range gates {
+		delta := g.cur/g.base - 1
+		fmt.Printf("serve %-22s vs %s: %.3f now, %.3f baseline — %+.1f%%\n",
+			g.dim, baselinePath, g.cur, g.base, delta*100)
+		if delta < -threshold {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %s regressed %.1f%% — %.3f now vs %.3f baseline (budget %.0f%%)",
+				g.dim, g.what, -delta*100, g.cur, g.base, threshold*100))
 		}
 	}
+	if len(failures) > 0 {
+		return fmt.Errorf("compare: %d dimension(s) breached the gate:\n  %s",
+			len(failures), strings.Join(failures, "\n  "))
+	}
 	return nil
+}
+
+// ratioGate is one gated dimension of the serve report: a same-run,
+// same-machine throughput ratio whose fresh value must not fall more
+// than the threshold below its (possibly capped) baseline value.
+type ratioGate struct {
+	dim       string // dimension name, as it appears in BENCH_serve.json
+	what      string // what a regression on this dimension means
+	cur, base float64
 }

@@ -82,8 +82,9 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 4, "concurrent pipeline executions")
 	queueDepth := flag.Int("queue", 64, "max queued jobs before submissions get 429")
-	cacheMB := flag.Int64("cache-mb", 128, "decoded-shard LRU cache budget in MiB (0 disables)")
-	frameCacheMB := flag.Int64("frame-cache-mb", 128, "encoded-frame shard cache budget in MiB; frame-wire batches are served by slicing pre-encoded payload bytes (0 disables, frames encode per request)")
+	cacheMB := flag.Int64("cache-mb", 128, "deprecated: use -serve-cache-mb; decoded-shard cache budget in MiB, summed with -frame-cache-mb into the unified serve cache")
+	frameCacheMB := flag.Int64("frame-cache-mb", 128, "deprecated: use -serve-cache-mb; encoded-frame cache budget in MiB, summed with -cache-mb into the unified serve cache")
+	serveCacheMB := flag.Int64("serve-cache-mb", 256, "unified serving-cache budget in MiB, shared by the decoded-shard and encoded-frame caches under weighted eviction (0 disables both)")
 	serveMaxKBps := flag.Int("serve-max-kbps", 0, "per-stream batch throughput ceiling in KiB/s (0 = unpaced; clients can lower theirs with ?max_kbps=)")
 	dataDir := flag.String("data-dir", "", "durable root for shard sets + job log (empty keeps jobs in memory)")
 	jobTTL := flag.Duration("job-ttl", 0, "evict completed jobs idle this long, deleting their shards (0 disables)")
@@ -101,6 +102,17 @@ func main() {
 	debug := flag.Bool("debug", false, "mount /debug/pprof, export runtime gauges, log per-request debug lines")
 	flag.Parse()
 	log.SetFlags(0)
+
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	serveCacheBytes, cacheNote, err := resolveCacheBudget(*serveCacheMB, *cacheMB, *frameCacheMB,
+		setFlags["serve-cache-mb"], setFlags["cache-mb"] || setFlags["frame-cache-mb"])
+	if err != nil {
+		log.Fatalf("draid: %v", err)
+	}
+	if cacheNote != "" {
+		log.Printf("draid: %s", cacheNote)
+	}
 
 	logLevel := slog.LevelInfo
 	if *debug {
@@ -125,8 +137,7 @@ func main() {
 	s, err := server.New(server.Options{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
-		CacheBytes:      *cacheMB << 20,
-		FrameCacheBytes: *frameCacheMB << 20,
+		ServeCacheBytes: serveCacheBytes,
 		ServeMaxKBps:    *serveMaxKBps,
 		DataDir:         *dataDir,
 		JobTTL:          *jobTTL,
@@ -153,7 +164,7 @@ func main() {
 	if cl != nil {
 		durability += fmt.Sprintf(", fleet member %s of %d", cl.Self().ID, len(cl.Nodes()))
 	}
-	log.Printf("draid: listening on %s (%d workers, %d MiB shard cache, %d MiB frame cache, %s)", *addr, *workers, *cacheMB, *frameCacheMB, durability)
+	log.Printf("draid: listening on %s (%d workers, %d MiB serve cache, %s)", *addr, *workers, serveCacheBytes>>20, durability)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -172,6 +183,39 @@ func main() {
 		s.Close()
 		log.Printf("draid: stopped")
 	}
+}
+
+// resolveCacheBudget maps the cache flags onto the server's unified
+// serving-cache budget (bytes). -serve-cache-mb wins when set
+// explicitly; the deprecated split flags (-cache-mb, -frame-cache-mb)
+// otherwise sum into the budget so existing invocations keep roughly
+// the memory ceiling they asked for. Negative values on any cache flag
+// are rejected up front — a negative MiB count shifted left silently
+// becomes a huge positive byte budget otherwise. The returned note, if
+// non-empty, is a compatibility message to log at startup.
+func resolveCacheBudget(serveMB, cacheMB, frameMB int64, serveSet, splitSet bool) (int64, string, error) {
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"-serve-cache-mb", serveMB}, {"-cache-mb", cacheMB}, {"-frame-cache-mb", frameMB},
+	} {
+		if f.v < 0 {
+			return 0, "", fmt.Errorf("%s must be >= 0 (MiB), got %d", f.name, f.v)
+		}
+	}
+	if serveSet {
+		note := ""
+		if splitSet {
+			note = "-cache-mb/-frame-cache-mb are deprecated and ignored because -serve-cache-mb is set"
+		}
+		return serveMB << 20, note, nil
+	}
+	if splitSet {
+		return (cacheMB + frameMB) << 20, fmt.Sprintf(
+			"-cache-mb/-frame-cache-mb are deprecated; using their sum as -serve-cache-mb %d", cacheMB+frameMB), nil
+	}
+	return serveMB << 20, "", nil
 }
 
 // buildCluster parses "-peers id=url,..." into a fleet view. Self is

@@ -136,6 +136,11 @@ type Plugin struct {
 	// (nil when the domain stores plaintext shards; then the identity
 	// is used).
 	WrapOpener func(open shard.Opener, key []byte) shard.Opener
+	// WrapSink is WrapOpener's write-path mirror: it wraps a raw sink
+	// so late-written objects (frame sidecars) are sealed under the
+	// same per-job key as the shards themselves (nil for plaintext
+	// domains).
+	WrapSink func(sink shard.Sink, key []byte) shard.Sink
 	// SealedSuffix is appended to manifest shard names to obtain the
 	// stored object name when the job has a key ("" for plaintext).
 	SealedSuffix string
@@ -158,6 +163,15 @@ func (p Plugin) Opener(open shard.Opener, key []byte) shard.Opener {
 		return open
 	}
 	return p.WrapOpener(open, key)
+}
+
+// Sink returns the write path over a job's shard store: the identity
+// for plaintext domains, the key-wrapping (sealing) sink otherwise.
+func (p Plugin) Sink(sink shard.Sink, key []byte) shard.Sink {
+	if p.WrapSink == nil || key == nil {
+		return sink
+	}
+	return p.WrapSink(sink, key)
 }
 
 var (

@@ -84,6 +84,59 @@ func (o decryptOpener) Open(name string) (io.ReadCloser, error) {
 	return io.NopCloser(bytes.NewReader(plain)), nil
 }
 
+// encryptSink is decryptOpener's write-path mirror: objects created
+// under a plaintext name are sealed on Close and stored as
+// "<name><suffix>", bound to the plaintext name exactly the way the
+// pipeline seals shards — so decryptOpener reopens them unchanged.
+type encryptSink struct {
+	sink   shard.Sink
+	key    []byte
+	suffix string
+}
+
+// Create implements shard.Sink. The sealed blob is written in one shot
+// at Close, so an underlying exists/collision error also surfaces
+// there.
+func (s encryptSink) Create(name string) (io.WriteCloser, error) {
+	return &encryptShard{sink: s.sink, key: s.key, name: name, stored: name + s.suffix}, nil
+}
+
+type encryptShard struct {
+	sink   shard.Sink
+	key    []byte
+	name   string
+	stored string
+	buf    bytes.Buffer
+	done   bool
+}
+
+func (w *encryptShard) Write(p []byte) (int, error) {
+	if w.done {
+		return 0, fmt.Errorf("domain: write to sealed shard %q after close", w.name)
+	}
+	return w.buf.Write(p)
+}
+
+func (w *encryptShard) Close() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	sealed, err := anonymize.EncryptShard(w.key, w.name, w.buf.Bytes())
+	if err != nil {
+		return err
+	}
+	wc, err := w.sink.Create(w.stored)
+	if err != nil {
+		return err
+	}
+	if _, err := wc.Write(sealed); err != nil {
+		wc.Close()
+		return err
+	}
+	return wc.Close()
+}
+
 func init() {
 	must := func(err error) {
 		if err != nil {
@@ -176,6 +229,9 @@ func init() {
 		Manifest: manifestOf(func(p *bio.Product) *shard.Manifest { return p.Manifest }),
 		WrapOpener: func(open shard.Opener, key []byte) shard.Opener {
 			return decryptOpener{sink: open, key: key, suffix: bioSealedSuffix}
+		},
+		WrapSink: func(sink shard.Sink, key []byte) shard.Sink {
+			return encryptSink{sink: sink, key: key, suffix: bioSealedSuffix}
 		},
 	}))
 	must(Register(Plugin{

@@ -180,6 +180,45 @@ func (fs *FS) ReadFile(name string) ([]byte, error) {
 	return data, nil
 }
 
+// ReadAt serves a byte range of a file, charging only the OSTs whose
+// stripes the range covers — and each only for its covered bytes. This
+// is what makes sidecar range serving cheap on a striped store: a
+// small range touches one OST for a fraction of a stripe instead of
+// replaying the whole file's stripe schedule the way ReadFile does.
+func (fs *FS) ReadAt(name string, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("parfs: negative read offset %d", off)
+	}
+	fs.mu.Lock()
+	f, ok := fs.files[name]
+	fs.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("parfs: %q not found", name)
+	}
+	f.mu.Lock()
+	if off > int64(len(f.data)) {
+		f.mu.Unlock()
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[off:])
+	f.mu.Unlock()
+	stripe := int64(fs.cfg.StripeSize)
+	for k, end := int(off/stripe), off+int64(n); int64(k)*stripe < end; k++ {
+		lo, hi := int64(k)*stripe, int64(k+1)*stripe
+		if lo < off {
+			lo = off
+		}
+		if hi > end {
+			hi = end
+		}
+		fs.charge(fs.ostFor(name, k), int(hi-lo))
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
 // Size returns a file's stored byte size without charging I/O (a
 // metadata operation, like stat on a real parallel FS).
 func (fs *FS) Size(name string) int64 {
@@ -334,3 +373,8 @@ func (s *SubFS) List() []string {
 
 // Size returns a file's size under the prefix (0 if absent).
 func (s *SubFS) Size(name string) int64 { return s.fs.Size(s.prefix + name) }
+
+// ReadAt serves a byte range under the prefix with striped accounting.
+func (s *SubFS) ReadAt(name string, p []byte, off int64) (int, error) {
+	return s.fs.ReadAt(s.prefix+name, p, off)
+}

@@ -251,6 +251,19 @@ type FrameCachedComparison struct {
 	CachedOverFrame float64 `json:"frame_cached_over_frame"`
 }
 
+// FrameDiskComparison pairs one domain's fully-cold frame-wire runs —
+// both caches empty on every request — served by decode+encode vs by
+// streaming the on-store frame sidecar (domain.Sidecar), over the same
+// fs-backend dataset. The ratio says what the disk tier buys when
+// nothing is warm.
+type FrameDiskComparison struct {
+	Encode *ServeBenchResult `json:"encode"`
+	Disk   *ServeBenchResult `json:"disk"`
+	// DiskOverEncode is sidecar-served records/sec divided by cold
+	// decode+encode records/sec, measured in the same run.
+	DiskOverEncode float64 `json:"frame_disk_over_encode"`
+}
+
 // ServeBenchReport pairs a same-process mem-backend and fs-backend run;
 // it is the BENCH_serve.json schema. The CI gate compares FSOverMem —
 // how much of the in-memory serving rate survives the durable store —
@@ -271,6 +284,11 @@ type ServeBenchReport struct {
 	// the fs backend with the encoded-frame cache off vs on. Gated by
 	// cmd/benchreport -compare on CachedOverFrame.
 	FrameCached *FrameCachedComparison `json:"frame_cached,omitempty"`
+	// FrameDisk is the disk-tier dimension: fully-cold frame streams off
+	// the fs backend served from shard sidecars vs by decode+encode,
+	// keyed by domain name. Gated by cmd/benchreport -compare on
+	// DiskOverEncode once the baseline carries it.
+	FrameDisk map[string]*FrameDiskComparison `json:"frame_disk,omitempty"`
 }
 
 // Render formats both runs, the gate ratio, and the per-codec sweep.
@@ -308,6 +326,25 @@ func (r *ServeBenchReport) Render() string {
 			"  encode p99 %.1fµs -> %.1fµs\n",
 			fc.Frame.Domain, fc.Frame.Backend, rate(fc.Frame), rate(fc.FrameCached),
 			fc.CachedOverFrame, fc.Frame.BatchEncodeP99Us, fc.FrameCached.BatchEncodeP99Us)
+	}
+	if len(r.FrameDisk) > 0 {
+		rate := func(res *ServeBenchResult) float64 {
+			if res == nil || res.Seconds == 0 {
+				return 0
+			}
+			return float64(res.Samples) / res.Seconds
+		}
+		out += "frame sidecar disk tier (cold caches, fs backend):\n"
+		names := make([]string, 0, len(r.FrameDisk))
+		for name := range r.FrameDisk {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fd := r.FrameDisk[name]
+			out += fmt.Sprintf("  %-12s cold encode %8.0f rec/s  sidecar stream %8.0f rec/s  disk/encode %.2fx\n",
+				name, rate(fd.Encode), rate(fd.Disk), fd.DiskOverEncode)
+		}
 	}
 	return out
 }
@@ -377,6 +414,20 @@ func RunServeComparison(cfg ServeBenchConfig) (*ServeBenchReport, error) {
 		return nil, fmt.Errorf("frame-cached sweep: %w", err)
 	}
 	rep.FrameCached = fc
+	// Disk-tier dimension: fully-cold frame streams served from shard
+	// sidecars vs decode+encode. Fusion and materials bracket the codec
+	// cost spectrum (heaviest tensor encode vs graph records).
+	rep.FrameDisk = make(map[string]*FrameDiskComparison, 2)
+	for _, dom := range []core.Domain{core.Fusion, core.Materials} {
+		fdCfg := cfg
+		fdCfg.Passes = 2
+		fdCfg.Domain = dom
+		fd, err := RunFrameDiskComparison(fdCfg)
+		if err != nil {
+			return nil, fmt.Errorf("frame-disk sweep %s: %w", dom, err)
+		}
+		rep.FrameDisk[string(dom)] = fd
+	}
 	return rep, nil
 }
 
@@ -414,7 +465,10 @@ func RunFrameCachedComparison(cfg ServeBenchConfig) (*FrameCachedComparison, err
 		dir = tmp
 	}
 
-	encSrv, err := New(Options{Workers: 2, CacheBytes: 64 << 20, DataDir: dir})
+	// DisableFrameStore keeps the encode side a true per-request-encode
+	// reference; with the disk tier on it would serve cold frames from
+	// sidecars and the ratio would measure the wrong thing.
+	encSrv, err := New(Options{Workers: 2, CacheBytes: 64 << 20, DataDir: dir, DisableFrameStore: true})
 	if err != nil {
 		return nil, err
 	}
@@ -490,6 +544,118 @@ func RunFrameCachedComparison(cfg ServeBenchConfig) (*FrameCachedComparison, err
 // frameCachedRounds is how many interleaved encode/cached rounds feed
 // the frame-cached ratio's median.
 const frameCachedRounds = 3
+
+// RunFrameDiskComparison measures one domain's fully-cold frame-wire
+// throughput — decoded and frame caches disabled on both sides, so
+// every request goes to the store — served by per-request decode+encode
+// vs by streaming the shard's frame sidecar, over the same fs-backend
+// dataset. The job is built on the disk side (which writes sidecars at
+// completion); the encode side replays the same job log with the frame
+// store disabled, so the only difference between the sides is how cold
+// bytes reach the wire. Like the other gates, the ratio is the median
+// of frameDiskRounds interleaved rounds.
+func RunFrameDiskComparison(cfg ServeBenchConfig) (*FrameDiskComparison, error) {
+	if cfg.Clients <= 0 {
+		return nil, fmt.Errorf("server: clients=%d must be positive", cfg.Clients)
+	}
+	if cfg.Passes <= 0 {
+		cfg.Passes = 1
+	}
+	if cfg.Domain == "" {
+		cfg.Domain = core.Fusion
+	}
+	plug, err := domain.Lookup(cfg.Domain)
+	if err != nil {
+		return nil, err
+	}
+	dir := cfg.DataDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "draid-bench-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	// The job builds on the disk side so completion writes the sidecars
+	// the measured streams will serve from.
+	diskSrv, err := New(Options{Workers: 2, CacheBytes: 0, DataDir: dir})
+	if err != nil {
+		return nil, err
+	}
+	defer diskSrv.Close()
+	diskTS := httptest.NewServer(diskSrv.Handler())
+	defer diskTS.Close()
+	id, err := SubmitAndWait(diskTS.URL, JobSpec{Domain: cfg.Domain, Name: "frame-disk-bench", Seed: 1}, 60*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	// The encode side starts after the job completes so its job-log
+	// replay sees the finished shard set; DisableFrameStore keeps it a
+	// true cold decode+encode reference.
+	encSrv, err := New(Options{Workers: 2, CacheBytes: 0, DataDir: dir, DisableFrameStore: true})
+	if err != nil {
+		return nil, err
+	}
+	defer encSrv.Close()
+	encTS := httptest.NewServer(encSrv.Handler())
+	defer encTS.Close()
+
+	urlFor := func(base string) string {
+		return fmt.Sprintf("%s/v1/jobs/%s/batches?batch_size=%d&max_batches=%d", base, id, cfg.BatchSize, cfg.MaxBatches)
+	}
+	sides := []struct {
+		s  *Server
+		ts *httptest.Server
+	}{{encSrv, encTS}, {diskSrv, diskTS}}
+	// One warm-up stream per side: with both caches off nothing warms,
+	// but this surfaces stream errors before the measured rounds.
+	for _, side := range sides {
+		if _, _, _, _, err := streamConsume(urlFor(side.ts.URL), "", domain.WireFrame); err != nil {
+			return nil, err
+		}
+	}
+
+	cmp := &FrameDiskComparison{}
+	var encRates, diskRates []float64
+	for round := 0; round < frameDiskRounds; round++ {
+		for i, side := range sides {
+			res := &ServeBenchResult{Clients: cfg.Clients, BatchSize: cfg.BatchSize, Backend: "fs",
+				Domain: string(cfg.Domain), Kind: plug.Codec.Kind(), Wire: domain.WireFrame}
+			before := side.s.cache.Stats()
+			if err := measureStreams(res, urlFor(side.ts.URL), domain.WireFrame, cfg.Clients, cfg.Passes); err != nil {
+				return nil, err
+			}
+			cs := side.s.cache.Stats()
+			res.CacheHits, res.CacheMisses = cs.Hits-before.Hits, cs.Misses-before.Misses
+			side.s.fillLatencies(res)
+			rate := 0.0
+			if res.Seconds > 0 {
+				rate = float64(res.Samples) / res.Seconds
+			}
+			if i == 0 {
+				encRates = append(encRates, rate)
+				cmp.Encode = res
+			} else {
+				diskRates = append(diskRates, rate)
+				cmp.Disk = res
+			}
+		}
+	}
+	if hits := diskSrv.metrics.frameStoreHits.Value(); hits == 0 {
+		return nil, fmt.Errorf("server: no frame stream was sidecar-served during disk rounds")
+	}
+	encRate, diskRate := median(encRates), median(diskRates)
+	if encRate > 0 {
+		cmp.DiskOverEncode = diskRate / encRate
+	}
+	return cmp, nil
+}
+
+// frameDiskRounds is how many interleaved encode/disk rounds feed the
+// disk-tier ratio's median.
+const frameDiskRounds = 3
 
 // runWireComparison measures one domain's NDJSON and frame throughput
 // against the *same* server and the same completed job, so the ratio

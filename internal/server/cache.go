@@ -61,6 +61,12 @@ type ShardCache[V any] struct {
 	gen   int64
 	tombs []tombstone
 
+	// arena, when set, couples this cache with its sibling under one
+	// shared byte budget: after every insert the arena rebalances both
+	// caches back under the joint budget (weighted eviction), replacing
+	// the independent per-cache ceilings.
+	arena *cacheArena
+
 	hits, misses, evictions, invalidations int64
 }
 
@@ -115,8 +121,38 @@ func (c *ShardCache[V]) Get(key string, load func() (V, int64, error)) (V, error
 	if len(c.loads) == 0 {
 		c.tombs = nil
 	}
+	arena := c.arena
 	c.mu.Unlock()
+	if arena != nil && fl.err == nil {
+		// Outside c.mu: rebalance locks the arena and then each member
+		// cache in turn, so no lock is ever taken while holding c.mu.
+		arena.rebalance()
+	}
 	return fl.val, fl.err
+}
+
+// usedBytes reports the cache's current resident size (arena hook).
+func (c *ShardCache[V]) usedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// evictOne removes the least-recently-used entry, reporting whether
+// there was one to evict (arena hook).
+func (c *ShardCache[V]) evictOne() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tail := c.lru.Back()
+	if tail == nil {
+		return false
+	}
+	victim := tail.Value.(*shardEntry[V])
+	c.lru.Remove(tail)
+	delete(c.entries, victim.key)
+	c.size -= victim.bytes
+	c.evictions++
+	return true
 }
 
 // droppedSince reports whether a DropPrefix covering key ran after a

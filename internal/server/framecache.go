@@ -15,6 +15,7 @@ package server
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"repro/internal/domain"
@@ -47,27 +48,54 @@ func (e *encodedShard) memBytes() int64 {
 	return int64(len(e.payload)) + int64(len(e.offsets))*8
 }
 
-// frameRange is a contiguous record range [a, b) of one encoded shard,
-// buffered for the next batch emission. A batch that spans a shard
-// boundary holds one range per shard.
+// writeRange completes frameSource over in-memory payload bytes.
+func (e *encodedShard) rangeLen(a, b int) int { return e.sliceLen(a, b) }
+
+func (e *encodedShard) writeRange(w io.Writer, a, b int) error {
+	_, err := w.Write(e.slice(a, b))
+	return err
+}
+
+// frameRange is a contiguous record range [a, b) of one shard's frame
+// source, buffered for the next batch emission. A batch that spans a
+// shard boundary holds one range per shard.
 type frameRange struct {
-	enc  *encodedShard
+	src  frameSource
 	a, b int
 }
 
 // frameShard returns one shard's encoded-frame form through the frame
-// cache, encoding on first access only. The fill path reads through the
-// decoded-shard cache, so a cold shard is opened and decoded once even
-// when both caches miss at the same moment. Fills are spanned as
-// frame.fill under the filling request's span (with the nested
-// shard.load appearing as a sibling child of the same request — the
-// decoded-cache read happens inside this interval but parents to the
-// request span, which keeps both directly visible in the tree).
-func (s *Server) frameShard(ctx context.Context, jobID, dom string, m *shard.Manifest, info shard.Info, open shard.Opener, codec domain.Codec) (*encodedShard, error) {
-	key := jobID + "/" + info.Name
+// cache, filling on first access only. The fill prefers the shard's
+// on-store sidecar — one read plus a CRC check, zero codec calls —
+// and only decodes+encodes (through the decoded-shard cache, then
+// backfilling the sidecar) when no usable sidecar exists. Fills are
+// spanned as frame.fill under the filling request's span (with the
+// nested shard.load appearing as a sibling child of the same request —
+// the decoded-cache read happens inside this interval but parents to
+// the request span, which keeps both directly visible in the tree).
+func (s *Server) frameShard(ctx context.Context, job *Job, dom string, m *shard.Manifest, info shard.Info, open shard.Opener, codec domain.Codec) (*encodedShard, error) {
+	key := job.id + "/" + info.Name
 	return s.frames.Get(key, func() (*encodedShard, int64, error) {
 		fillStart := time.Now()
-		records, err := s.shardRecords(ctx, jobID, dom, m, info, open, codec)
+		if !s.opts.DisableFrameStore {
+			if sc, closer, ok := s.openFrameSidecar(job, info, codec); ok {
+				payload, perr := sc.Payload()
+				closer.Close()
+				if perr == nil {
+					enc := &encodedShard{payload: payload, offsets: sc.Offsets()}
+					s.metrics.frameStoreHits.Inc()
+					s.metrics.frameStoreBytes.Add(float64(len(payload)))
+					s.recordChildSpan(ctx, "frame.fill", fillStart, time.Now(),
+						map[string]string{"shard": info.Name, "source": "sidecar"})
+					return enc, enc.memBytes(), nil
+				}
+				s.metrics.frameStoreErrors.Inc()
+				s.logger.Warn("frame sidecar payload corrupt; re-encoding",
+					"job", job.id, "shard", info.Name, "error", perr.Error())
+			}
+			s.metrics.frameStoreMisses.Inc()
+		}
+		records, err := s.shardRecords(ctx, job.id, dom, m, info, open, codec)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -76,8 +104,11 @@ func (s *Server) frameShard(ctx context.Context, jobID, dom string, m *shard.Man
 			return nil, 0, err
 		}
 		enc := &encodedShard{payload: payload, offsets: offsets}
+		if !s.opts.DisableFrameStore {
+			s.backfillSidecar(job, info, codec, payload, offsets)
+		}
 		s.recordChildSpan(ctx, "frame.fill", fillStart, time.Now(),
-			map[string]string{"shard": info.Name})
+			map[string]string{"shard": info.Name, "source": "encode"})
 		return enc, enc.memBytes(), nil
 	})
 }

@@ -69,7 +69,9 @@ func frameCursors(t *testing.T, stream []byte) []string {
 // reads the same data dir after a restart.
 func TestFrameCacheByteExact(t *testing.T) {
 	dataDir := t.TempDir()
-	s1, err := New(Options{Workers: 4, DataDir: dataDir, CacheBytes: 32 << 20})
+	// DisableFrameStore keeps s1 a true encode-per-request reference:
+	// with the disk tier on it would serve cold frames from sidecars.
+	s1, err := New(Options{Workers: 4, DataDir: dataDir, CacheBytes: 32 << 20, DisableFrameStore: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -47,8 +48,23 @@ type Options struct {
 	// shard's records are packed into frame-ready payload bytes once,
 	// and frame-wire batches are then served by slicing byte ranges —
 	// no per-request tensor marshalling. <=0 disables it (frame batches
-	// encode per request). NDJSON streams never use it.
+	// serve from on-store sidecars, or encode per request). NDJSON
+	// streams never use it.
 	FrameCacheBytes int64
+	// ServeCacheBytes, when positive, replaces the independent
+	// CacheBytes/FrameCacheBytes budgets with ONE byte budget shared by
+	// the decoded-shard and encoded-frame caches (the -serve-cache-mb
+	// arena). Eviction is weighted: encoded payloads are cheap to
+	// refill from frame sidecars, so they are evicted preferentially;
+	// decoded entries only pay once frames hold a small fraction of the
+	// resident bytes. <=0 keeps the split budgets.
+	ServeCacheBytes int64
+	// DisableFrameStore turns the on-store frame sidecar tier off
+	// entirely: sidecars are neither written at job completion, nor
+	// read, nor backfilled — every cold frame stream pays the full
+	// decode+encode. Benchmarks and byte-exactness tests use it as the
+	// encode-per-request reference; production servers leave it off.
+	DisableFrameStore bool
 	// ServeMaxKBps caps every batch stream's throughput (KiB/second,
 	// token bucket per stream). <=0 leaves streams unpaced. Clients may
 	// lower their own stream's cap with ?max_kbps= but never raise it
@@ -117,6 +133,10 @@ type Server struct {
 	cache   *ShardCache[[]any]         // decoded shard records
 	frames  *ShardCache[*encodedShard] // frame-ready shard payload bytes
 	opts    Options
+	// frameCacheOn records whether the frame cache has a byte budget
+	// (its own or the shared arena's) — the frame-wire serving path's
+	// cache-vs-disk switch.
+	frameCacheOn bool
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -162,16 +182,28 @@ func New(opts Options) (*Server, error) {
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 64
 	}
+	// The unified arena gives each cache the full joint budget as its
+	// individual ceiling; the arena's weighted rebalance is what keeps
+	// their sum under it.
+	cacheBytes, frameBytes := opts.CacheBytes, opts.FrameCacheBytes
+	if opts.ServeCacheBytes > 0 {
+		cacheBytes, frameBytes = opts.ServeCacheBytes, opts.ServeCacheBytes
+	}
 	s := &Server{
 		mux:     http.NewServeMux(),
-		cache:   NewShardCache[[]any](opts.CacheBytes),
-		frames:  NewShardCache[*encodedShard](opts.FrameCacheBytes),
+		cache:   NewShardCache[[]any](cacheBytes),
+		frames:  NewShardCache[*encodedShard](frameBytes),
 		opts:    opts,
 		jobs:    make(map[string]*Job),
 		queue:   make(chan *Job, opts.QueueDepth),
 		stop:    make(chan struct{}),
 		metrics: newServerMetrics(),
 		logger:  opts.Logger,
+	}
+	s.frameCacheOn = frameBytes > 0
+	if opts.ServeCacheBytes > 0 {
+		arena := &cacheArena{budget: opts.ServeCacheBytes, frames: s.frames, decoded: s.cache}
+		s.cache.arena, s.frames.arena = arena, arena
 	}
 	if s.logger == nil {
 		s.logger = slog.New(slog.DiscardHandler)
@@ -510,6 +542,13 @@ func (s *Server) runJob(job *Job) {
 		if err == nil && res.key != nil {
 			sealedKey, err = sealJobKey(s.master, res.key, job.id)
 		}
+	}
+	// Frame-ready sidecars ride along with the sealed shard set so the
+	// first cold frame stream already serves from the disk tier. Best
+	// effort: a failed build costs decode+encode (and a lazy backfill)
+	// later, never the job.
+	if err == nil && res != nil && res.servable && res.manifest != nil {
+		s.buildJobSidecars(job, store, res.manifest, res.key)
 	}
 
 	job.mu.Lock()
@@ -1059,18 +1098,26 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 		cw.writeLine(string(line))
 	}
 
-	// The encoded-frame cache serves frame streams by slicing byte
-	// ranges out of per-shard frame-ready payloads — zero per-request
-	// tensor marshalling. NDJSON (and servers without a frame budget)
-	// keep the encode-per-request path.
-	useFrameCache := wire == domain.WireFrame && s.opts.FrameCacheBytes > 0
+	// Frame streams are served by slicing byte ranges out of per-shard
+	// frame sources — cached payload bytes, on-store sidecars, or a
+	// per-request encode, resolved per shard by frameSourceFor — so a
+	// single emission path covers warm, disk-tier, and fallback
+	// serving. NDJSON keeps the encode-per-request path. Sources backed
+	// by open store handles are closed when the stream ends.
+	useFrames := wire == domain.WireFrame
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
 
 	served := 0
 	failed := false                // shard-read failure: error already reported in-band
 	emitFailed := false            // write/encode failure: the connection is unusable
 	pos := start                   // position after the last record buffered for emission
-	var pending []any              // encode-per-request path: buffered records
-	var pendingRanges []frameRange // cached-frame path: buffered payload ranges
+	var pending []any              // NDJSON path: buffered records
+	var pendingRanges []frameRange // frame path: buffered payload ranges
 	pendingCount := 0
 
 	// post is the shared per-batch bookkeeping after a successful write:
@@ -1112,31 +1159,21 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 		// codec cost only, so a slow client (or the pacer) cannot
 		// masquerade as an expensive codec.
 		encStart := time.Now()
-		var wireBytes []byte
-		if wire == domain.WireFrame {
-			b, err := domain.EncodeFrame(codec, h, pending)
-			if err != nil {
-				// Encode failure with a healthy connection: nothing was
-				// written yet, so the client can still be told — same
-				// contract as the shard-read failure path. (Write/pace
-				// errors below get nothing; that connection is dead.)
-				emitError(err)
-				return err
-			}
-			wireBytes = b
-		} else {
-			line, err := codec.Line(h, pending)
-			if err != nil {
-				emitError(err)
-				return err
-			}
-			b, err := json.Marshal(line)
-			if err != nil {
-				emitError(err)
-				return err
-			}
-			wireBytes = append(b, '\n')
+		line, err := codec.Line(h, pending)
+		if err != nil {
+			// Encode failure with a healthy connection: nothing was
+			// written yet, so the client can still be told — same
+			// contract as the shard-read failure path. (Write/pace
+			// errors below get nothing; that connection is dead.)
+			emitError(err)
+			return err
 		}
+		b, err := json.Marshal(line)
+		if err != nil {
+			emitError(err)
+			return err
+		}
+		wireBytes := append(b, '\n')
 		encDone := time.Now()
 		encodeH.Observe(encDone.Sub(encStart).Seconds())
 		s.recordChildSpan(r.Context(), "batch.encode", encStart, encDone, nil)
@@ -1146,19 +1183,20 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 		return post(before)
 	}
 
-	// emitCached frames the buffered payload ranges under a fresh
+	// emitFrame frames the buffered payload ranges under a fresh
 	// header. The envelope is a handful of varint bytes; the payload is
-	// written straight from the cached buffers — byte-identical to what
-	// EncodeFrame would produce (a codec batch payload is the
-	// concatenation of its records' payloads), with the encode
-	// histogram collapsing to header-assembly time on hits.
-	emitCached := func() error {
+	// written straight from each source — cached buffers, or io.CopyN
+	// off an on-store sidecar — byte-identical to what EncodeFrame
+	// would produce (a codec batch payload is the concatenation of its
+	// records' payloads), with the encode histogram collapsing to
+	// header-assembly time.
+	emitFrame := func() error {
 		h := domain.BatchHeader{Batch: served, Cursor: pos.String(), Kind: codec.Kind()}
 		before := cw.n
 		encStart := time.Now()
 		payloadLen := 0
 		for _, rng := range pendingRanges {
-			payloadLen += rng.enc.sliceLen(rng.a, rng.b)
+			payloadLen += rng.src.rangeLen(rng.a, rng.b)
 		}
 		env, err := domain.FrameEnvelope(h, pendingCount, payloadLen)
 		if err != nil {
@@ -1172,7 +1210,7 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 			return err
 		}
 		for _, rng := range pendingRanges {
-			if _, err := cw.Write(rng.enc.slice(rng.a, rng.b)); err != nil {
+			if err := rng.src.writeRange(cw, rng.a, rng.b); err != nil {
 				return err
 			}
 		}
@@ -1181,8 +1219,8 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 
 	flush := func() error {
 		var err error
-		if useFrameCache {
-			err = emitCached()
+		if useFrames {
+			err = emitFrame()
 			pendingRanges = pendingRanges[:0]
 		} else {
 			err = emit()
@@ -1196,13 +1234,13 @@ shards:
 	for si := start.Shard; si < len(manifest.Shards); si++ {
 		info := manifest.Shards[si]
 		var records []any
-		var enc *encodedShard
+		var src frameSource
 		var n int
 		var err error
-		if useFrameCache {
-			enc, err = s.frameShard(r.Context(), job.id, dom, manifest, info, open, codec)
+		if useFrames {
+			src, err = s.frameSourceFor(r.Context(), job, dom, manifest, info, open, codec, &closers)
 			if err == nil {
-				n = enc.count()
+				n = src.count()
 			}
 		} else {
 			records, err = s.shardRecords(r.Context(), job.id, dom, manifest, info, open, codec)
@@ -1226,13 +1264,13 @@ shards:
 			}
 		}
 		for j := first; j < n; j++ {
-			if useFrameCache {
+			if useFrames {
 				// Batches may span shards; contiguous records within one
 				// shard coalesce into a single byte range.
-				if k := len(pendingRanges); k > 0 && pendingRanges[k-1].enc == enc && pendingRanges[k-1].b == j {
+				if k := len(pendingRanges); k > 0 && pendingRanges[k-1].src == src && pendingRanges[k-1].b == j {
 					pendingRanges[k-1].b = j + 1
 				} else {
-					pendingRanges = append(pendingRanges, frameRange{enc: enc, a: j, b: j + 1})
+					pendingRanges = append(pendingRanges, frameRange{src: src, a: j, b: j + 1})
 				}
 			} else {
 				pending = append(pending, records[j])

@@ -40,6 +40,14 @@ type serverMetrics struct {
 	serveErrors    *telemetry.Counter
 	serveThrottled *telemetry.Counter
 
+	// Frame-store (on-disk sidecar) traffic: the disk tier of the
+	// zero-copy frame path.
+	frameStoreHits      *telemetry.Counter
+	frameStoreMisses    *telemetry.Counter
+	frameStoreBackfills *telemetry.Counter
+	frameStoreBytes     *telemetry.Counter
+	frameStoreErrors    *telemetry.Counter
+
 	// Serving latency distributions.
 	requestSeconds *telemetry.HistogramVec // route × code
 	firstBatch     *telemetry.HistogramVec // domain × wire
@@ -76,6 +84,12 @@ func newServerMetrics() *serverMetrics {
 		samplesServed:  reg.Counter1("draid_samples_served_total", "Records emitted by /batches streams."),
 		serveErrors:    reg.Counter1("draid_serve_errors_total", "Mid-stream serving failures reported in-band."),
 		serveThrottled: reg.Counter1("draid_serve_throttled_total", "Streams that hit the pacing token bucket."),
+
+		frameStoreHits:      reg.Counter1("draid_frame_store_hits_total", "Frame-wire shard reads served from an on-store sidecar (zero codec calls)."),
+		frameStoreMisses:    reg.Counter1("draid_frame_store_misses_total", "Frame-wire shard reads that found no usable sidecar and fell back to decode+encode."),
+		frameStoreBackfills: reg.Counter1("draid_frame_store_backfills_total", "Sidecars lazily materialized for shards that lacked one (replayed jobs, recovered corruption)."),
+		frameStoreBytes:     reg.Counter1("draid_frame_store_bytes_total", "Payload bytes read from frame sidecars."),
+		frameStoreErrors:    reg.Counter1("draid_frame_store_errors_total", "Sidecars rejected as torn/corrupt or failed to build (served by decode+encode instead)."),
 
 		requestSeconds: reg.Histogram("draid_request_seconds",
 			"HTTP request latency by route pattern and status code.",

@@ -35,6 +35,22 @@ type Opener interface {
 	Open(name string) (io.ReadCloser, error)
 }
 
+// ReaderAtCloser is a random-access read handle on one stored object.
+type ReaderAtCloser interface {
+	io.ReaderAt
+	io.Closer
+}
+
+// RangeOpener is the optional random-access side of a store: stores
+// that can serve byte ranges without materializing whole objects
+// (FSSink via pread, ParfsSink via striped range reads, MemSink
+// trivially) expose it so the serving tier's disk-tier frame path can
+// io.CopyN payload ranges straight off the store. Callers type-assert;
+// absence falls back to Open + ReadAll.
+type RangeOpener interface {
+	OpenRange(name string) (ReaderAtCloser, int64, error)
+}
+
 // Store is full shard storage: creation, read-back, and enumeration.
 // Implementations: MemSink (in-memory), FSSink (durable files under a
 // root directory), ParfsSink (simulated striped parallel filesystem).
@@ -107,6 +123,24 @@ func (s *MemSink) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// memRange is a no-op-close ReaderAt over a finished shard's bytes.
+type memRange struct{ *bytes.Reader }
+
+func (memRange) Close() error { return nil }
+
+// OpenRange implements RangeOpener. The returned handle reads the
+// buffer as of open time; finished in-memory shards are never
+// rewritten in place, so that snapshot is stable.
+func (s *MemSink) OpenRange(name string) (ReaderAtCloser, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf, ok := s.shards[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("shard: %q not found", name)
+	}
+	return memRange{bytes.NewReader(buf.Bytes())}, int64(buf.Len()), nil
 }
 
 // Size returns the stored byte size of a shard (0 if absent).

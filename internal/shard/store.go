@@ -143,6 +143,24 @@ func (s *FSSink) Open(name string) (io.ReadCloser, error) {
 	return f, nil
 }
 
+// OpenRange implements RangeOpener: an os.File is already an
+// io.ReaderAt, so range reads map straight to pread.
+func (s *FSSink) OpenRange(name string) (ReaderAtCloser, int64, error) {
+	if err := validName(name); err != nil {
+		return nil, 0, err
+	}
+	f, err := os.Open(filepath.Join(s.root, name))
+	if err != nil {
+		return nil, 0, fmt.Errorf("shard: %q not found: %w", name, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("shard: stat %q: %w", name, err)
+	}
+	return f, fi.Size(), nil
+}
+
 // Names lists committed shard files, sorted. The manifest and temp
 // files are excluded.
 func (s *FSSink) Names() []string {
@@ -254,9 +272,42 @@ func (p ParfsSink) Names() []string { return p.FS.List() }
 // Size returns a shard's stored byte size (0 if absent).
 func (p ParfsSink) Size(name string) int64 { return p.FS.Size(name) }
 
+// stripedRangeFS is the optional random-access extension of StripedFS.
+// *parfs.FS satisfies it with stripe-accurate accounting: a range read
+// charges only the OSTs whose stripes the range covers.
+type stripedRangeFS interface {
+	ReadAt(name string, p []byte, off int64) (int, error)
+}
+
+// parfsRange adapts a striped filesystem's named ReadAt to io.ReaderAt.
+type parfsRange struct {
+	fs   stripedRangeFS
+	name string
+}
+
+func (r parfsRange) ReadAt(p []byte, off int64) (int, error) { return r.fs.ReadAt(r.name, p, off) }
+func (r parfsRange) Close() error                            { return nil }
+
+// OpenRange implements RangeOpener when the underlying striped
+// filesystem supports range reads.
+func (p ParfsSink) OpenRange(name string) (ReaderAtCloser, int64, error) {
+	rfs, ok := p.FS.(stripedRangeFS)
+	if !ok {
+		return nil, 0, fmt.Errorf("shard: %T supports no range reads", p.FS)
+	}
+	size := p.FS.Size(name)
+	if size == 0 {
+		return nil, 0, fmt.Errorf("shard: %q not found", name)
+	}
+	return parfsRange{fs: rfs, name: name}, size, nil
+}
+
 // Interface conformance.
 var (
-	_ Store = (*MemSink)(nil)
-	_ Store = (*FSSink)(nil)
-	_ Store = ParfsSink{}
+	_ Store       = (*MemSink)(nil)
+	_ Store       = (*FSSink)(nil)
+	_ Store       = ParfsSink{}
+	_ RangeOpener = (*MemSink)(nil)
+	_ RangeOpener = (*FSSink)(nil)
+	_ RangeOpener = ParfsSink{}
 )
