@@ -40,12 +40,13 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/ledger"
 	"repro/internal/server"
 	"repro/pkg/client"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig1|table1|table2|scaling|curation|feedback|serve|cluster")
+	exp := flag.String("exp", "all", "experiment: all|fig1|table1|table2|scaling|curation|feedback|serve|cluster|ledger")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	scaleMB := flag.Int("scale-mb", 16, "C1: megabytes to shard")
 	shots := flag.Int("curation-shots", 8, "C2: shots in the curation comparison")
@@ -60,6 +61,11 @@ func main() {
 	clusterPasses := flag.Int("cluster-passes", 2, "cluster: streaming passes per client")
 	clusterBackend := flag.String("cluster-backend", "fs", "cluster: shared shard backend (fs|parfs)")
 	clusterJSON := flag.String("cluster-json", "BENCH_cluster.json", "cluster: result file (empty disables)")
+	ledgerRecords := flag.Int("ledger-records", 2000, "ledger: audit records appended per mode")
+	ledgerAppenders := flag.Int("ledger-appenders", 64, "ledger: concurrent appender goroutines (group commit only coalesces concurrent arrivals)")
+	ledgerBatch := flag.Int("ledger-batch", 64, "ledger: Merkle batch size")
+	ledgerJSON := flag.String("ledger-json", "BENCH_ledger.json", "ledger: result file (empty disables)")
+	ledgerCompare := flag.String("ledger-compare", "", "ledger: baseline BENCH_ledger.json to gate against (empty disables)")
 	traceServer := flag.String("trace-server", "http://localhost:8080", "trace: base URL of a running draid (any fleet member)")
 	traceID := flag.String("trace-id", "", "trace: trace ID to dump (empty picks the server's slowest listed trace)")
 	flag.Parse()
@@ -185,7 +191,31 @@ func main() {
 		return nil
 	})
 
-	known := []string{"fig1", "table1", "table2", "scaling", "curation", "feedback", "serve", "cluster"}
+	run("ledger", func() error {
+		rep, err := ledger.RunLedgerBenchmark(ledger.BenchConfig{
+			Records: *ledgerRecords, Appenders: *ledgerAppenders, BatchSize: *ledgerBatch,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Render())
+		if *ledgerJSON != "" {
+			b, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*ledgerJSON, append(b, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *ledgerJSON)
+		}
+		if *ledgerCompare != "" {
+			return compareLedger(rep, *ledgerCompare, *compareThreshold)
+		}
+		return nil
+	})
+
+	known := []string{"fig1", "table1", "table2", "scaling", "curation", "feedback", "serve", "cluster", "ledger"}
 	if *exp != "all" && !slices.Contains(known, *exp) {
 		log.Fatalf("benchreport: unknown experiment %q (want all|%s|trace)", *exp, strings.Join(known, "|"))
 	}
@@ -305,6 +335,42 @@ func compareServe(cur *server.ServeBenchReport, baselinePath string, threshold f
 	if len(failures) > 0 {
 		return fmt.Errorf("compare: %d dimension(s) breached the gate:\n  %s",
 			len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// compareLedger gates the audit ledger's group-commit win against a
+// committed baseline, by the same same-run-ratio logic as compareServe:
+// both sides of batched/direct are measured in one process on one
+// machine, so the gate tracks what the code does to the append path. A
+// fresh ratio more than threshold below the baseline's fails the
+// process; improvements always pass.
+func compareLedger(cur *ledger.BenchReport, baselinePath string, threshold float64) error {
+	b, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	var base ledger.BenchReport
+	if err := json.Unmarshal(b, &base); err != nil {
+		return fmt.Errorf("compare: decode %s: %w", baselinePath, err)
+	}
+	if base.BatchedOverDirect <= 0 {
+		return fmt.Errorf("compare: baseline %s has no batched/direct ratio — regenerate it with -exp ledger", baselinePath)
+	}
+	if cur.BatchedOverDirect <= 0 {
+		return fmt.Errorf("compare: current run produced no batched/direct ratio")
+	}
+	g := ratioGate{
+		dim:  "batched_over_direct",
+		what: "audit ledger group-commit win (batched/direct append throughput)",
+		cur:  cur.BatchedOverDirect, base: base.BatchedOverDirect,
+	}
+	delta := g.cur/g.base - 1
+	fmt.Printf("ledger %-20s vs %s: %.3f now, %.3f baseline — %+.1f%%\n",
+		g.dim, baselinePath, g.cur, g.base, delta*100)
+	if delta < -threshold {
+		return fmt.Errorf("compare: %s: %s regressed %.1f%% — %.3f now vs %.3f baseline (budget %.0f%%)",
+			g.dim, g.what, -delta*100, g.cur, g.base, threshold*100)
 	}
 	return nil
 }

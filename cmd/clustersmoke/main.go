@@ -9,10 +9,19 @@
 // the NDJSON and the binary frame path cross the proxy, survive
 // failover, and resume by cursor.
 //
+// With -tenancy the smoke instead exercises the multi-tenant fleet:
+// every node runs with a -tenants registry, and the smoke requires
+// cross-tenant 403s to hold on the owner-direct, proxied, AND
+// redirected paths (identity must survive fleet hops), admin tokens to
+// see across tenants, and the owner's audit ledger to hold the
+// submission and stream records with inclusion proofs that verify
+// against its published Merkle roots.
+//
 // Usage:
 //
 //	go build -o /tmp/draid ./cmd/draid
 //	go run ./cmd/clustersmoke -draid /tmp/draid -wire frame
+//	go run ./cmd/clustersmoke -draid /tmp/draid -tenancy
 package main
 
 import (
@@ -25,11 +34,13 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/domain"
+	"repro/internal/ledger"
 	"repro/pkg/client"
 )
 
@@ -54,6 +65,7 @@ func main() {
 	draid := flag.String("draid", "", "path to a built draid binary (required)")
 	basePort := flag.Int("base-port", 18081, "first of three consecutive listen ports")
 	keep := flag.Bool("keep", false, "keep the data dir for inspection")
+	tenancy := flag.Bool("tenancy", false, "run the multi-tenant smoke instead (auth, cross-tenant 403s across proxy and redirect, audit proofs)")
 	flag.StringVar(&wire, "wire", domain.WireNDJSON, "stream wire format to exercise (ndjson|frame)")
 	flag.BoolVar(&verifyTrace, "verify-trace", true, "assert X-Draid-Trace IDs survive every fleet hop")
 	flag.Parse()
@@ -83,16 +95,25 @@ func main() {
 			cli: client.New(url, client.WithWire(wire), client.WithTrace("smoke-"+id))}
 		peers = append(peers, id+"="+url)
 	}
+	var tenantsPath string
+	if *tenancy {
+		tenantsPath = filepath.Join(dataDir, "tenants.json")
+		writeTenantsFile(tenantsPath)
+	}
 	peerFlag := strings.Join(peers, ",")
 	for i, n := range nodes {
-		n.cmd = exec.Command(*draid,
+		args := []string{
 			"-addr", fmt.Sprintf("127.0.0.1:%d", *basePort+i),
 			"-data-dir", dataDir,
 			"-node-id", n.id,
 			"-peers", peerFlag,
 			"-probe-interval", "200ms",
 			"-workers", "2",
-		)
+		}
+		if *tenancy {
+			args = append(args, "-tenants", tenantsPath)
+		}
+		n.cmd = exec.Command(*draid, args...)
 		n.cmd.Stdout = os.Stderr
 		n.cmd.Stderr = os.Stderr
 		if err := n.cmd.Start(); err != nil {
@@ -113,6 +134,11 @@ func main() {
 	}
 	log.Printf("clustersmoke: fleet of %d healthy", len(nodes))
 	ctx := context.Background()
+
+	if *tenancy {
+		tenancySmoke(ctx, nodes)
+		return
+	}
 
 	// One job submitted through each member via the SDK; completion
 	// polled through the same member (routing hides where it runs).
@@ -255,6 +281,197 @@ func main() {
 		}
 	}
 	log.Printf("clustersmoke: all %d jobs fully streamable via survivors (%s wire) — PASS", len(ids), wire)
+}
+
+// Tenancy smoke tokens — throwaway credentials for the local fleet the
+// smoke itself launches.
+const (
+	aliceToken = "smoke-alice-token-1"
+	bobToken   = "smoke-bob-token-22"
+	rootToken  = "smoke-root-token-33"
+)
+
+// writeTenantsFile writes the -tenants registry for the tenancy smoke:
+// two plain tenants and an admin, 0600 as the server demands.
+func writeTenantsFile(path string) {
+	cfg := `[
+  {"id": "alice", "token": "` + aliceToken + `", "weight": 3},
+  {"id": "bob", "token": "` + bobToken + `"},
+  {"id": "root", "token": "` + rootToken + `", "admin": true}
+]`
+	if err := os.WriteFile(path, []byte(cfg), 0o600); err != nil {
+		log.Fatalf("clustersmoke: write tenants file: %v", err)
+	}
+}
+
+// authedStatus performs one request with a bearer token (empty sends
+// none) and optional route header, draining the body and returning the
+// status code. The default client follows 307s, re-sending the
+// Authorization header because every hop shares a hostname.
+func authedStatus(url, token, route string) int {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		log.Fatalf("clustersmoke: %s: %v", url, err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	if route != "" {
+		req.Header.Set("X-Draid-Route", route)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatalf("clustersmoke: %s: %v", url, err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// tenancySmoke is the -tenancy variant: a three-node authenticated
+// fleet where tenant isolation must hold on every routing path and the
+// audit ledger must certify what happened.
+func tenancySmoke(ctx context.Context, nodes []*node) {
+	alice := client.New(nodes[0].url, client.WithToken(aliceToken))
+	cctx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	defer cancel()
+	st, err := alice.SubmitJob(cctx, client.JobSpec{Domain: "climate", Name: "tenancy-smoke", Seed: 1})
+	if err != nil {
+		log.Fatalf("clustersmoke: alice submit: %v", err)
+	}
+	if _, err := alice.WaitDone(cctx, st.ID); err != nil {
+		log.Fatalf("clustersmoke: alice job: %v", err)
+	}
+	info, err := alice.ClusterInfo(ctx, st.ID)
+	if err != nil || info.Job == nil || info.Job.Owner == "" {
+		log.Fatalf("clustersmoke: cluster info: %v (%+v)", err, info)
+	}
+	var owner, proxy *node
+	for _, n := range nodes {
+		if n.id == info.Job.Owner {
+			owner = n
+		} else if proxy == nil {
+			proxy = n
+		}
+	}
+	if owner == nil || proxy == nil {
+		log.Fatalf("clustersmoke: owner %s not in fleet", info.Job.Owner)
+	}
+	log.Printf("clustersmoke: tenancy job %s owned by %s; probing via proxy %s", st.ID, owner.id, proxy.id)
+
+	// The contract, on every routing path: no credential 401s, bob's
+	// credential 403s, alice's 200s. "proxy" hits a non-owner that
+	// forwards to the owner (identity rides the peer hop), "redirect"
+	// forces the 307 path (the client re-presents its own credential to
+	// the owner).
+	jobPath := "/v1/jobs/" + st.ID
+	for _, probe := range []struct {
+		name  string
+		base  string
+		route string
+	}{
+		{"owner-direct", owner.url, ""},
+		{"proxied", proxy.url, ""},
+		{"redirected", proxy.url, "redirect"},
+	} {
+		if got := authedStatus(probe.base+jobPath, "", probe.route); got != http.StatusUnauthorized {
+			log.Fatalf("clustersmoke: %s unauthenticated read: status %d, want 401", probe.name, got)
+		}
+		if got := authedStatus(probe.base+jobPath, bobToken, probe.route); got != http.StatusForbidden {
+			log.Fatalf("clustersmoke: %s cross-tenant read as bob: status %d, want 403", probe.name, got)
+		}
+		if got := authedStatus(probe.base+jobPath+"/batches?max_batches=1", bobToken, probe.route); got != http.StatusForbidden {
+			log.Fatalf("clustersmoke: %s cross-tenant stream as bob: status %d, want 403", probe.name, got)
+		}
+		if got := authedStatus(probe.base+jobPath, aliceToken, probe.route); got != http.StatusOK {
+			log.Fatalf("clustersmoke: %s owner-tenant read as alice: status %d, want 200", probe.name, got)
+		}
+	}
+	log.Printf("clustersmoke: cross-tenant 403s hold owner-direct, proxied, and redirected")
+
+	// Alice's stream flows end to end through the proxy with her token
+	// riding every hop (including resumes).
+	aliceViaProxy := client.New(proxy.url, client.WithToken(aliceToken))
+	stream, err := aliceViaProxy.StreamBatches(ctx, st.ID, client.StreamOptions{BatchSize: 4, MaxResumes: -1})
+	if err != nil {
+		log.Fatalf("clustersmoke: alice proxied stream: %v", err)
+	}
+	batches, _, _, err := stream.Drain()
+	if err != nil || batches == 0 {
+		log.Fatalf("clustersmoke: alice proxied stream: %d batches, err %v", batches, err)
+	}
+	log.Printf("clustersmoke: alice streamed %d batches through the proxy", batches)
+
+	// Listings scope: bob sees nothing anywhere, the admin sees alice's
+	// job from every node (the cluster-merged view carries tenant
+	// ownership across the fleet).
+	for _, n := range nodes {
+		bobJobs, err := client.New(n.url, client.WithToken(bobToken)).Jobs(ctx)
+		if err != nil || len(bobJobs) != 0 {
+			log.Fatalf("clustersmoke: bob list via %s: %d jobs, err %v (want 0)", n.id, len(bobJobs), err)
+		}
+		rootJobs, err := client.New(n.url, client.WithToken(rootToken)).Jobs(ctx)
+		if err != nil || len(rootJobs) == 0 {
+			log.Fatalf("clustersmoke: admin list via %s: %d jobs, err %v (want >=1)", n.id, len(rootJobs), err)
+		}
+	}
+	log.Printf("clustersmoke: listings scoped (bob empty, admin cluster-wide)")
+
+	// The owner's audit ledger certifies the submission and the stream
+	// open, each with an inclusion proof that verifies against the
+	// published Merkle roots; bob cannot prove alice's records.
+	rootCli := client.New(owner.url, client.WithToken(rootToken))
+	sub := findAuditSmoke(ctx, rootCli, ledger.TypeSubmit, st.ID)
+	str := findAuditSmoke(ctx, rootCli, ledger.TypeStream, st.ID)
+	for _, rec := range []*client.AuditProof{sub, str} {
+		if rec.Record.Tenant != "alice" {
+			log.Fatalf("clustersmoke: audit %s record tenant %q, want alice", rec.Record.Type, rec.Record.Tenant)
+		}
+	}
+	proofURL := fmt.Sprintf("%s/v1/audit/proof?seq=%d", owner.url, sub.Record.Seq)
+	if got := authedStatus(proofURL, bobToken, ""); got != http.StatusForbidden {
+		log.Fatalf("clustersmoke: bob proving alice's audit record: status %d, want 403", got)
+	}
+	log.Printf("clustersmoke: audit trail verified on %s (submit seq %d, stream seq %d) — tenancy PASS",
+		owner.id, sub.Record.Seq, str.Record.Seq)
+}
+
+// findAuditSmoke scans the node's audit ledger through the SDK for the
+// first record of the given type and job, verifying every inclusion
+// proof against the published roots on the way. Polls briefly: audit
+// appends are asynchronous with respect to the HTTP responses that
+// caused them.
+func findAuditSmoke(ctx context.Context, cli *client.Client, typ, job string) *client.AuditProof {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		roots, err := cli.AuditRoots(ctx)
+		if err != nil {
+			log.Fatalf("clustersmoke: audit roots: %v", err)
+		}
+		byBatch := make(map[int]client.AuditBatchRoot, len(roots.Roots))
+		for _, r := range roots.Roots {
+			byBatch[r.Batch] = r
+		}
+		for seq := uint64(1); seq <= roots.Records; seq++ {
+			proof, err := cli.AuditProof(ctx, seq)
+			if err != nil {
+				log.Fatalf("clustersmoke: audit proof seq %d: %v", seq, err)
+			}
+			if err := proof.Verify(); err != nil {
+				log.Fatalf("clustersmoke: audit proof seq %d: %v", seq, err)
+			}
+			if root, ok := byBatch[proof.Batch]; !ok || root.Root != proof.Root {
+				log.Fatalf("clustersmoke: audit proof seq %d: root %s not among published roots", seq, proof.Root)
+			}
+			if proof.Record.Type == typ && proof.Record.Job == job {
+				return proof
+			}
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("clustersmoke: no %s audit record for job %s among %d records", typ, job, roots.Records)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 }
 
 // verifyAssembledTrace streams one job through a non-owner node under

@@ -47,8 +47,19 @@
 //	GET  /v1/traces                  this node's recent + tail-sampled traces
 //	     ?min_ms=&error=true&limit=  (slow/error filters)
 //	GET  /v1/traces/{id}             fleet-assembled span tree for one trace
+//	GET  /v1/audit/roots             this node's published Merkle audit roots
+//	GET  /v1/audit/proof?seq=N       inclusion proof for one audit record
 //	GET  /metrics                    serving + pipeline + cluster metrics (with exemplars)
 //	GET  /healthz                    liveness (also the fleet probe target)
+//
+// With -tenants, every request (bar /healthz and /metrics) must carry a
+// registered tenant's bearer token; jobs, traces, and audit records are
+// scoped to the owning tenant (admin tenants see everything), per-tenant
+// job/byte quotas apply, and -serve-budget-kbps splits a global bandwidth
+// budget across active tenants by weight. With -data-dir, every
+// submission, stream open, eviction, and auth failure is appended to a
+// hash-chained audit ledger whose Merkle batch roots are published on
+// /v1/audit/roots for offline verification.
 //
 // Every request carries an X-Draid-Trace ID (inherited from the client
 // or generated) that is echoed in the response, logged, and propagated
@@ -76,6 +87,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/server"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -86,6 +98,10 @@ func main() {
 	frameCacheMB := flag.Int64("frame-cache-mb", 128, "deprecated: use -serve-cache-mb; encoded-frame cache budget in MiB, summed with -cache-mb into the unified serve cache")
 	serveCacheMB := flag.Int64("serve-cache-mb", 256, "unified serving-cache budget in MiB, shared by the decoded-shard and encoded-frame caches under weighted eviction (0 disables both)")
 	serveMaxKBps := flag.Int("serve-max-kbps", 0, "per-stream batch throughput ceiling in KiB/s (0 = unpaced; clients can lower theirs with ?max_kbps=)")
+	serveBudgetKBps := flag.Int("serve-budget-kbps", 0, "global weighted-fair bandwidth budget in KiB/s shared by all batch streams: split across active tenants by weight, then evenly across each tenant's streams (0 = per-stream pacing only)")
+	tenantsFile := flag.String("tenants", "", "tenant config file (JSON: id, token, weight, admin, quotas); enables bearer-token auth and per-tenant scoping — the file must be chmod 0600")
+	ledgerBatch := flag.Int("ledger-batch", 0, "audit ledger Merkle batch size in records per published root (0 = default 64; requires -data-dir)")
+	ledgerFlush := flag.Duration("ledger-flush", 0, "audit ledger group-commit window: how long the first appender waits for followers before one fsync covers all (0 = default 2ms; negative syncs every append)")
 	dataDir := flag.String("data-dir", "", "durable root for shard sets + job log (empty keeps jobs in memory)")
 	jobTTL := flag.Duration("job-ttl", 0, "evict completed jobs idle this long, deleting their shards (0 disables)")
 	maxJobs := flag.Int("max-jobs", 0, "max retained completed jobs; least recently served evicted first (0 = unbounded)")
@@ -120,6 +136,15 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel}))
 
+	var reg *tenant.Registry
+	if *tenantsFile != "" {
+		var err error
+		reg, err = tenant.Load(*tenantsFile)
+		if err != nil {
+			log.Fatalf("draid: %v", err)
+		}
+	}
+
 	var cl *cluster.Cluster
 	if *peers != "" {
 		var err error
@@ -139,6 +164,10 @@ func main() {
 		QueueDepth:      *queueDepth,
 		ServeCacheBytes: serveCacheBytes,
 		ServeMaxKBps:    *serveMaxKBps,
+		ServeBudgetKBps: *serveBudgetKBps,
+		Tenants:         reg,
+		LedgerBatch:     *ledgerBatch,
+		LedgerFlushWait: *ledgerFlush,
 		DataDir:         *dataDir,
 		JobTTL:          *jobTTL,
 		MaxJobs:         *maxJobs,

@@ -72,6 +72,12 @@ type Cluster struct {
 	probe map[string]time.Time
 	ring  *Ring // over alive members; rebuilt on transitions
 
+	// peerAuth, when set, is stamped on every outbound relay and peer
+	// fetch (X-Draid-Peer-Auth) so receivers can tell fleet-internal
+	// requests from client ones. Set once at startup via SetPeerAuth,
+	// before any traffic.
+	peerAuth string
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -174,6 +180,13 @@ func (c *Cluster) VNodes() int { return c.cfg.VNodes }
 // before Start and before routing traffic — it is not synchronized
 // against in-flight transitions.
 func (c *Cluster) SetOnChange(fn func()) { c.cfg.OnChange = fn }
+
+// SetPeerAuth installs the fleet-internal authentication secret
+// stamped on outbound relays and peer fetches. The server derives it
+// from the shared master key, so every member of one data dir holds
+// the same secret and nothing new needs distributing. Call before
+// Start, alongside SetOnChange — it is not synchronized either.
+func (c *Cluster) SetPeerAuth(secret string) { c.peerAuth = secret }
 
 // ValidNodeID restricts member IDs to a charset safe for embedding in
 // job IDs, log file names, and lock file names on the shared dir.

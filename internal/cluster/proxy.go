@@ -33,6 +33,15 @@ const (
 	HeaderJobID = "X-Draid-Job-Id"
 	// HeaderServedBy names the node that actually answered.
 	HeaderServedBy = "X-Draid-Served-By"
+	// HeaderPeerAuth authenticates node-to-node requests (see
+	// Cluster.SetPeerAuth). Mirrored by internal/tenant so the server's
+	// auth middleware and this package agree on the name without a
+	// dependency between them.
+	HeaderPeerAuth = "X-Draid-Peer-Auth"
+	// HeaderTenant carries the authenticated tenant across fleet hops.
+	// Receivers trust it only alongside a valid HeaderPeerAuth (or a
+	// client credential that re-authenticates to the same identity).
+	HeaderTenant = "X-Draid-Tenant"
 )
 
 // RouteRedirect is the HeaderRoute value selecting 307 redirects.
@@ -89,6 +98,9 @@ func (c *Cluster) Forward(w http.ResponseWriter, r *http.Request, owner Node) er
 // cursor against a survivor.
 func (c *Cluster) Relay(w http.ResponseWriter, req *http.Request, owner Node) error {
 	req.Header.Set(HeaderForwarded, c.self.ID)
+	if c.peerAuth != "" {
+		req.Header.Set(HeaderPeerAuth, c.peerAuth)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("cluster: forward to %s: %w", owner.ID, err)
@@ -120,8 +132,11 @@ func (c *Cluster) Relay(w http.ResponseWriter, req *http.Request, owner Node) er
 // FetchPeer GETs a path on a peer with the forwarded-hop header set (so
 // the peer answers from local state instead of fanning out again) and a
 // hard timeout — the building block for merged fleet views like the
-// cluster-wide job list.
-func (c *Cluster) FetchPeer(n Node, path string, timeout time.Duration) ([]byte, error) {
+// cluster-wide job list. tenantID, when non-empty, rides along as the
+// authenticated tenant the fan-out acts for, so peers scope their
+// answers exactly as the originating node would; it is only honoured
+// because the peer-auth secret rides with it.
+func (c *Cluster) FetchPeer(n Node, path, tenantID string, timeout time.Duration) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+path, nil)
@@ -129,6 +144,12 @@ func (c *Cluster) FetchPeer(n Node, path string, timeout time.Duration) ([]byte,
 		return nil, err
 	}
 	req.Header.Set(HeaderForwarded, c.self.ID)
+	if c.peerAuth != "" {
+		req.Header.Set(HeaderPeerAuth, c.peerAuth)
+	}
+	if tenantID != "" {
+		req.Header.Set(HeaderTenant, tenantID)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,210 @@
+// Audit-ledger benchmark harness: hammers Append with concurrent
+// writers under the two durability designs — direct (every append pays
+// its own fsync) and Merkle-batched group commit (appenders share one
+// fsync per coalescing window) — and reports the throughput ratio.
+// Shared by the Go benchmark and cmd/benchreport's BENCH_ledger.json
+// artifact, so the cost of the audit trail is tracked the same way as
+// serving throughput.
+package ledger
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// BenchConfig parameterizes RunLedgerBenchmark.
+type BenchConfig struct {
+	// Records is the total audit records appended per mode (required).
+	Records int
+	// Appenders is the number of concurrent appender goroutines —
+	// model the submit handlers of a busy server. Group commit can only
+	// coalesce what arrives concurrently, so this is the lever that
+	// separates the two designs. <=0 means 64.
+	Appenders int
+	// BatchSize is the Merkle batch size of the batched mode (<=0 uses
+	// the ledger default, 64).
+	BatchSize int
+	// FlushWait is the batched mode's group-commit window (0 uses the
+	// ledger default, 2ms).
+	FlushWait time.Duration
+	// Dir roots the ledger files; empty uses a temp dir that is
+	// removed afterwards.
+	Dir string
+}
+
+// BenchMode is one mode's measurement; JSON field names are the
+// BENCH_ledger.json schema.
+type BenchMode struct {
+	Mode           string  `json:"mode"` // "direct" or "batched"
+	Seconds        float64 `json:"seconds"`
+	RecordsPerSec  float64 `json:"records_per_sec"`
+	Syncs          int64   `json:"syncs"`
+	RecordsPerSync float64 `json:"records_per_sync"`
+	Bytes          int64   `json:"bytes"`
+}
+
+// BenchReport compares the two durability designs over an identical
+// concurrent workload. BatchedOverDirect is the gated dimension: the
+// batched design's append throughput as a multiple of direct's, >1
+// meaning group commit pays off (it must, materially — that ratio is
+// the reason the audit trail can sit on the submit path at all).
+type BenchReport struct {
+	Records           int        `json:"records"`
+	Appenders         int        `json:"appenders"`
+	BatchSize         int        `json:"batch_size"`
+	FlushWaitMs       float64    `json:"flush_wait_ms"`
+	Direct            *BenchMode `json:"direct"`
+	Batched           *BenchMode `json:"batched"`
+	BatchedOverDirect float64    `json:"batched_over_direct"`
+	// ProofsVerified counts the post-run integrity check: every Nth
+	// record of the batched ledger proven against its published root.
+	ProofsVerified int `json:"proofs_verified"`
+}
+
+// Render formats the report for benchreport's console output.
+func (r *BenchReport) Render() string {
+	line := func(m *BenchMode) string {
+		return fmt.Sprintf("  %-7s %8.0f records/s (%d records in %.3fs, %d fsyncs, %.1f records/fsync)\n",
+			m.Mode, m.RecordsPerSec, r.Records, m.Seconds, m.Syncs, m.RecordsPerSync)
+	}
+	return fmt.Sprintf(
+		"Audit ledger throughput — %d appenders, %d records/mode, Merkle batch %d, flush wait %.1fms:\n",
+		r.Appenders, r.Records, r.BatchSize, r.FlushWaitMs) +
+		line(r.Direct) + line(r.Batched) +
+		fmt.Sprintf("  batched/direct ratio %.2fx; %d inclusion proofs verified against published roots\n",
+			r.BatchedOverDirect, r.ProofsVerified)
+}
+
+// RunLedgerBenchmark appends cfg.Records audit records from
+// cfg.Appenders concurrent goroutines twice — once against a direct
+// ledger, once against a Merkle-batched group-commit ledger — then
+// verifies a sample of inclusion proofs on the batched ledger against
+// its published roots.
+func RunLedgerBenchmark(cfg BenchConfig) (*BenchReport, error) {
+	if cfg.Records <= 0 {
+		return nil, fmt.Errorf("ledger: bench records=%d must be positive", cfg.Records)
+	}
+	if cfg.Appenders <= 0 {
+		cfg.Appenders = 64
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.FlushWait == 0 {
+		cfg.FlushWait = 2 * time.Millisecond
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "draid-ledger-bench-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+
+	direct, _, err := benchMode(cfg, Config{
+		Path: filepath.Join(dir, "audit-direct.log"), Node: "bench",
+		BatchSize: cfg.BatchSize, Direct: true,
+	}, "direct")
+	if err != nil {
+		return nil, err
+	}
+	batched, bled, err := benchMode(cfg, Config{
+		Path: filepath.Join(dir, "audit-batched.log"), Node: "bench",
+		BatchSize: cfg.BatchSize, FlushWait: cfg.FlushWait,
+	}, "batched")
+	if err != nil {
+		return nil, err
+	}
+
+	// Integrity spot check: the speedup would be worthless if batching
+	// weakened what the ledger certifies. Prove every batch-size-th
+	// record and check each proof both self-verifies and matches the
+	// root the ledger publishes for its batch.
+	roots := bled.Roots()
+	proofs := 0
+	for seq := uint64(1); seq <= bled.Len(); seq += uint64(cfg.BatchSize) {
+		p, err := bled.Prove(seq)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: bench prove seq %d: %w", seq, err)
+		}
+		if err := p.Verify(); err != nil {
+			return nil, fmt.Errorf("ledger: bench proof seq %d: %w", seq, err)
+		}
+		if p.Batch >= len(roots) || roots[p.Batch].Root != p.Root {
+			return nil, fmt.Errorf("ledger: bench proof seq %d: root not among published roots", seq)
+		}
+		proofs++
+	}
+	if err := bled.Close(); err != nil {
+		return nil, err
+	}
+
+	ratio := 0.0
+	if direct.RecordsPerSec > 0 {
+		ratio = batched.RecordsPerSec / direct.RecordsPerSec
+	}
+	return &BenchReport{
+		Records: cfg.Records, Appenders: cfg.Appenders,
+		BatchSize: cfg.BatchSize, FlushWaitMs: float64(cfg.FlushWait) / float64(time.Millisecond),
+		Direct: direct, Batched: batched,
+		BatchedOverDirect: ratio, ProofsVerified: proofs,
+	}, nil
+}
+
+// benchMode runs one mode's workload: cfg.Appenders goroutines share
+// cfg.Records appends as evenly as division allows. The direct mode's
+// ledger is closed here; the batched mode's is returned open so the
+// caller can run the proof check against it.
+func benchMode(cfg BenchConfig, lc Config, mode string) (*BenchMode, *Ledger, error) {
+	l, err := Open(lc)
+	if err != nil {
+		return nil, nil, err
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	start := time.Now()
+	for a := 0; a < cfg.Appenders; a++ {
+		n := cfg.Records / cfg.Appenders
+		if a < cfg.Records%cfg.Appenders {
+			n++
+		}
+		wg.Add(1)
+		go func(a, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if _, err := l.Append(TypeSubmit, "bench", fmt.Sprintf("job-%d-%d", a, i), "bench workload"); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+			}
+		}(a, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if firstErr != nil {
+		l.Close()
+		return nil, nil, fmt.Errorf("ledger: bench %s append: %w", mode, firstErr)
+	}
+	st := l.Stats()
+	m := &BenchMode{
+		Mode: mode, Seconds: elapsed,
+		RecordsPerSec: float64(st.Records) / elapsed,
+		Syncs:         st.Syncs, Bytes: st.Bytes,
+	}
+	if st.Syncs > 0 {
+		m.RecordsPerSync = float64(st.Records) / float64(st.Syncs)
+	}
+	if mode == "direct" {
+		err := l.Close()
+		return m, nil, err
+	}
+	return m, l, nil
+}

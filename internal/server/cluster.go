@@ -22,6 +22,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/pkg/client"
 )
 
@@ -102,6 +103,7 @@ func (s *Server) forwardSpanned(w http.ResponseWriter, r *http.Request, owner cl
 func (s *Server) clusterSubmit(w http.ResponseWriter, r *http.Request, spec JobSpec) {
 	c := s.opts.Cluster
 	trace := telemetry.TraceFrom(r.Context())
+	tenantID := tenant.FromContext(r.Context()).ID
 	id := r.Header.Get(cluster.HeaderJobID)
 	if id == "" {
 		id = r.URL.Query().Get("job_id")
@@ -122,7 +124,7 @@ func (s *Server) clusterSubmit(w http.ResponseWriter, r *http.Request, spec JobS
 	if cluster.Forwarded(r) {
 		// Terminal hop: enqueue here even if our ring view disagrees —
 		// any member can run any job, and the ID decides routing later.
-		s.submitLocal(w, spec, id, trace)
+		s.submitLocal(w, spec, id, trace, tenantID)
 		return
 	}
 	body, err := json.Marshal(spec)
@@ -133,7 +135,7 @@ func (s *Server) clusterSubmit(w http.ResponseWriter, r *http.Request, spec JobS
 	for range c.Nodes() {
 		owner := c.Owner(id)
 		if owner.ID == c.Self().ID {
-			s.submitLocal(w, spec, id, trace)
+			s.submitLocal(w, spec, id, trace, tenantID)
 			return
 		}
 		if cluster.WantsRedirect(r) {
@@ -163,9 +165,13 @@ func (s *Server) clusterSubmit(w http.ResponseWriter, r *http.Request, spec JobS
 		// The relayed submission is a new request, not a clone — carry
 		// the trace (and our span as the parent context) explicitly so
 		// the owner logs the same ID and its server span links under
-		// this hop.
+		// this hop. The authenticated tenant rides the same way (Relay
+		// stamps the peer secret that makes it trustworthy).
 		if trace != "" {
 			req.Header.Set(telemetry.TraceHeader, trace)
+		}
+		if tenantID != "" {
+			req.Header.Set(cluster.HeaderTenant, tenantID)
 		}
 		if err := s.relaySpanned(w, r, req, owner); err == nil {
 			s.metrics.clusterProxied.Inc()
@@ -174,7 +180,7 @@ func (s *Server) clusterSubmit(w http.ResponseWriter, r *http.Request, spec JobS
 		s.metrics.clusterRetries.Inc()
 		c.MarkDown(owner.ID)
 	}
-	s.submitLocal(w, spec, id, trace) // every peer down: degrade to local service
+	s.submitLocal(w, spec, id, trace, tenantID) // every peer down: degrade to local service
 }
 
 // relaySpanned wraps cluster.Relay in a proxy.submit client span. r is
@@ -237,6 +243,19 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		info.Registered = shard.ListNodeLocks(filepath.Join(s.opts.DataDir, "nodes"))
 	}
 	if id := r.URL.Query().Get("job"); id != "" {
+		// Ownership lookups are scoped like the job itself: placement
+		// reveals which member holds a tenant's data.
+		if s.tenants != nil {
+			s.mu.Lock()
+			job, held := s.jobs[id]
+			s.mu.Unlock()
+			if held {
+				if ident := tenant.FromContext(r.Context()); !ident.CanAccess(job.tenant) {
+					writeError(w, http.StatusForbidden, fmt.Errorf("job %q belongs to another tenant", id))
+					return
+				}
+			}
+		}
 		owner := c.Owner(id)
 		info.Job = &jobOwnership{ID: id, Owner: owner.ID, URL: owner.URL, Local: owner.ID == c.Self().ID}
 	}
@@ -378,7 +397,9 @@ func jobLogSig(dataDir string) string {
 // their local views with ours, deduplicated by job ID (after a
 // failover-and-return, two members can briefly hold the same job — the
 // current ring owner's copy wins) and ordered by submission time.
-func (s *Server) mergeClusterList(out []JobStatus) []JobStatus {
+// tenantID is the requesting identity, carried to each peer so its
+// local view is scoped exactly as ours was ("" = admin or auth off).
+func (s *Server) mergeClusterList(out []JobStatus, tenantID string) []JobStatus {
 	c := s.opts.Cluster
 	nodes := c.Nodes()
 	perPeer := make([][]JobStatus, len(nodes))
@@ -390,7 +411,7 @@ func (s *Server) mergeClusterList(out []JobStatus) []JobStatus {
 		wg.Add(1)
 		go func(i int, n cluster.Node) {
 			defer wg.Done()
-			b, err := c.FetchPeer(n, "/v1/jobs?scope=local", 5*time.Second)
+			b, err := c.FetchPeer(n, "/v1/jobs?scope=local", tenantID, 5*time.Second)
 			if err != nil {
 				return // a dying peer hides its jobs until adoption catches up
 			}

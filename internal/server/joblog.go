@@ -66,6 +66,10 @@ type logRecord struct {
 	// lifecycle moments (adoption, requeue) that the state-bearing
 	// record types cannot reconstruct on replay.
 	Event string `json:"event,omitempty"`
+	// Tenant owns the job (submission records; empty with auth off).
+	// Persisted so ownership — and therefore visibility scoping and
+	// quota charging — survives replay, adoption, and fleet restarts.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // jobLog appends NDJSON records to jobs.log, syncing each append so a
@@ -187,6 +191,14 @@ func loadOrCreateMasterKey(dataDir string) ([]byte, error) {
 	for attempt := 0; attempt < 2; attempt++ {
 		b, err := os.ReadFile(path)
 		if err == nil {
+			// The key seals every job key and derives the fleet's peer-auth
+			// secret: a group- or world-readable copy is a credential leak,
+			// and refusing to start is the only response that gets noticed.
+			if fi, serr := os.Stat(path); serr == nil {
+				if mode := fi.Mode().Perm(); mode&0o077 != 0 {
+					return nil, fmt.Errorf("server: %s is group/world-readable (mode %04o); chmod it to 0600", path, mode)
+				}
+			}
 			key, derr := hex.DecodeString(strings.TrimSpace(string(b)))
 			if derr != nil || len(key) != 32 {
 				return nil, fmt.Errorf("server: %s is not a hex-encoded 32-byte key", path)

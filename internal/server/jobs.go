@@ -78,6 +78,11 @@ type Job struct {
 	// the job log on replay, so it spans restarts).
 	trace  string
 	events []JobEvent
+
+	// tenant owns the job ("" = submitted with auth off). Immutable
+	// after construction — set before the job is published to the
+	// table, so readers need no lock.
+	tenant string
 }
 
 // touch refreshes the eviction clock.
@@ -104,6 +109,7 @@ func (j *Job) Status() JobStatus {
 		ID: j.id, Spec: j.spec, State: j.state, Error: j.err,
 		Submitted: j.submitted, Records: j.records, Servable: j.servable,
 		Trajectory: append([]TrajectoryPoint(nil), j.trajectory...),
+		Tenant:     j.tenant,
 	}
 	if plug, err := domain.Lookup(j.spec.Domain); err == nil {
 		st.Kind = plug.Codec.Kind()

@@ -27,10 +27,12 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/domain"
+	"repro/internal/ledger"
 	"repro/internal/provenance"
 	"repro/internal/registry"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/pkg/client"
 )
 
@@ -70,6 +72,30 @@ type Options struct {
 	// lower their own stream's cap with ?max_kbps= but never raise it
 	// above this server-wide ceiling.
 	ServeMaxKBps int
+	// ServeBudgetKBps is the global weighted-fair bandwidth budget
+	// (KiB/second) shared by ALL batch streams: split across active
+	// tenants by their configured weights, then evenly across each
+	// tenant's streams, re-evaluated continuously as streams open and
+	// close. A per-stream ?max_kbps= (or ServeMaxKBps) still caps a
+	// stream below its fair share, never above. <=0 keeps the
+	// independent per-stream pacing only.
+	ServeBudgetKBps int
+
+	// Tenants enables bearer-token authentication: every request (bar
+	// /healthz and /metrics) must present a registered tenant's token,
+	// job visibility is scoped to the owning tenant, and per-tenant
+	// quotas and weights apply. Nil keeps the server open — existing
+	// single-user behavior, byte for byte.
+	Tenants *tenant.Registry
+	// LedgerBatch is the audit ledger's Merkle batch size (records per
+	// published root). <=0 uses the ledger default (64). Only
+	// meaningful with DataDir set — the ledger lives there.
+	LedgerBatch int
+	// LedgerFlushWait is the audit ledger's group-commit window: how
+	// long the first appender waits for followers before one fsync
+	// covers them all. 0 uses the default (2ms); negative syncs every
+	// append individually.
+	LedgerFlushWait time.Duration
 
 	// DataDir makes the server durable: job shard sets are written to
 	// DataDir/jobs/<id> (FSSink) and every job transition is appended to
@@ -152,6 +178,20 @@ type Server struct {
 	log      *jobLog
 	master   []byte
 	nodeLock *shard.NodeLock
+	// ledger is the append-only audit log (nil without DataDir);
+	// peerAuth is the master-key-derived fleet-internal secret.
+	ledger   *ledger.Ledger
+	peerAuth string
+
+	// Tenancy (tenants nil = open server). fair is the global
+	// weighted-fair bandwidth pool (nil without ServeBudgetKBps).
+	tenants *tenant.Registry
+	fair    *fairShare
+	// tenantMu guards the quota counters below; it is a leaf lock
+	// (see auth.go).
+	tenantMu    sync.Mutex
+	tenantJobs  map[string]int   // tenant -> jobs queued or running
+	tenantBytes map[string]int64 // tenant -> retained shard bytes of done jobs
 
 	// adoptMu serializes shared-log adoption scans (probe callbacks and
 	// request-path misses can race into adoptOrphans) and guards the
@@ -190,15 +230,21 @@ func New(opts Options) (*Server, error) {
 		cacheBytes, frameBytes = opts.ServeCacheBytes, opts.ServeCacheBytes
 	}
 	s := &Server{
-		mux:     http.NewServeMux(),
-		cache:   NewShardCache[[]any](cacheBytes),
-		frames:  NewShardCache[*encodedShard](frameBytes),
-		opts:    opts,
-		jobs:    make(map[string]*Job),
-		queue:   make(chan *Job, opts.QueueDepth),
-		stop:    make(chan struct{}),
-		metrics: newServerMetrics(),
-		logger:  opts.Logger,
+		mux:         http.NewServeMux(),
+		cache:       NewShardCache[[]any](cacheBytes),
+		frames:      NewShardCache[*encodedShard](frameBytes),
+		opts:        opts,
+		jobs:        make(map[string]*Job),
+		queue:       make(chan *Job, opts.QueueDepth),
+		stop:        make(chan struct{}),
+		metrics:     newServerMetrics(),
+		logger:      opts.Logger,
+		tenants:     opts.Tenants,
+		tenantJobs:  make(map[string]int),
+		tenantBytes: make(map[string]int64),
+	}
+	if opts.ServeBudgetKBps > 0 {
+		s.fair = newFairShare(int64(opts.ServeBudgetKBps) << 10)
 	}
 	s.frameCacheOn = frameBytes > 0
 	if opts.ServeCacheBytes > 0 {
@@ -221,12 +267,15 @@ func New(opts Options) (*Server, error) {
 		}
 	}
 	s.routes()
-	s.handler = s.withTelemetry(s.mux)
+	// Auth sits inside telemetry so 401s are traced and latency-counted
+	// like everything else, but outside the mux so no handler ever runs
+	// without an identity when tenancy is on.
+	s.handler = s.withTelemetry(s.withAuth(s.mux))
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	if opts.JobTTL > 0 || opts.MaxJobs > 0 {
+	if opts.JobTTL > 0 || opts.MaxJobs > 0 || s.tenantByteQuotas() {
 		s.wg.Add(1)
 		go s.evictLoop()
 	}
@@ -266,10 +315,18 @@ func (s *Server) openDurable() error {
 		return err
 	}
 	s.master = master
-	selfID, logName := "", "jobs.log"
+	// Fleet-internal requests authenticate with a secret derived from
+	// the shared master key — every member of this data dir computes the
+	// same value, so peer hops survive tenancy without key distribution.
+	s.peerAuth = peerAuthSecret(master)
+	if c := s.opts.Cluster; c != nil {
+		c.SetPeerAuth(s.peerAuth)
+	}
+	selfID, logName, ledgerName := "", "jobs.log", "audit.log"
 	if c := s.opts.Cluster; c != nil {
 		selfID = c.Self().ID
 		logName = "jobs-" + selfID + ".log"
+		ledgerName = "audit-" + selfID + ".log"
 		lock, err := shard.AcquireNodeLock(filepath.Join(s.opts.DataDir, "nodes"), selfID, c.Self().URL, nodeLockStale)
 		if err != nil {
 			return err
@@ -285,6 +342,16 @@ func (s *Server) openDurable() error {
 		return err
 	}
 	s.log = log
+	led, err := ledger.Open(ledger.Config{
+		Path:      filepath.Join(s.opts.DataDir, ledgerName),
+		Node:      selfID,
+		BatchSize: s.opts.LedgerBatch,
+		FlushWait: s.opts.LedgerFlushWait,
+	})
+	if err != nil {
+		return err
+	}
+	s.ledger = led
 	states, maxSeq := replayJobs(recs, selfID)
 	s.seq = maxSeq
 	var requeued []*Job
@@ -304,6 +371,9 @@ func (s *Server) openDurable() error {
 		}
 		s.jobs[job.id] = job
 		s.order = append(s.order, job.id)
+		if job.state == JobDone {
+			s.quotaRetain(job.tenant, manifestStoredBytes(job.manifest))
+		}
 		if requeue {
 			requeued = append(requeued, job)
 		}
@@ -327,6 +397,7 @@ func (s *Server) enqueueRestored(job *Job) {
 	}
 	select {
 	case s.queue <- job:
+		s.quotaActivate(job.tenant)
 		s.metrics.jobsQueued.Add(1)
 		s.addDurableEvent(job, client.EventRequeued, "interrupted job resubmitted after restart")
 		s.logger.Info("job requeued", "job", job.id, "trace", job.trace)
@@ -354,6 +425,7 @@ func (s *Server) restoreJob(st *replayState) (job *Job, requeue bool, err error)
 		submitted:  st.sub.Time,
 		lastAccess: st.sub.Time,
 		trace:      st.sub.Trace,
+		tenant:     st.sub.Tenant,
 		events:     replayEvents(st),
 	}
 	if !st.hasTerm {
@@ -468,6 +540,9 @@ func (s *Server) Close() {
 	if s.log != nil {
 		_ = s.log.close()
 	}
+	if s.ledger != nil {
+		_ = s.ledger.Close()
+	}
 	if s.nodeLock != nil {
 		_ = s.nodeLock.Release()
 	}
@@ -563,6 +638,7 @@ func (s *Server) runJob(job *Job) {
 		job.state = JobFailed
 		job.err = err.Error()
 		job.mu.Unlock()
+		s.quotaDeactivate(job.tenant)
 		runSpan.SetError(err.Error())
 		runSpan.End()
 		s.metrics.jobsFailed.Inc()
@@ -579,6 +655,8 @@ func (s *Server) runJob(job *Job) {
 	job.servable = res.servable && res.manifest != nil
 	job.state = JobDone
 	job.mu.Unlock()
+	s.quotaDeactivate(job.tenant)
+	s.quotaRetain(job.tenant, manifestStoredBytes(res.manifest))
 	s.metrics.jobsDone.Inc()
 	s.addEvent(job, client.EventDone, "", "")
 	s.logger.Info("job done", "job", job.id, "records", res.records, "trace", trace)
@@ -684,7 +762,7 @@ func (s *Server) evictLoop() {
 // uncached shard read — the same contract as any storage eviction.
 func (s *Server) maybeEvict() {
 	ttl, maxJobs := s.opts.JobTTL, s.opts.MaxJobs
-	if ttl <= 0 && maxJobs <= 0 {
+	if ttl <= 0 && maxJobs <= 0 && !s.tenantByteQuotas() {
 		return
 	}
 	now := time.Now()
@@ -734,6 +812,52 @@ func (s *Server) maybeEvict() {
 			victims = append(victims, c.job)
 		}
 	}
+	if s.tenants != nil {
+		// Tenant byte-quota pressure: a tenant past its retained-bytes cap
+		// has its least recently served completed jobs evicted until it
+		// fits again, so over-quota hoarding degrades into LRU turnover
+		// instead of freezing the tenant's submissions forever. Reading a
+		// victim's manifest without its lock is safe here: the state read
+		// above confirmed the job terminal under job.mu, after which the
+		// manifest never changes.
+		chosen := make(map[string]bool, len(victims))
+		for _, j := range victims {
+			chosen[j.id] = true
+		}
+		over := make(map[string]int64)
+		for _, t := range s.tenants.Tenants() {
+			if t.MaxShardBytes <= 0 {
+				continue
+			}
+			usage := s.tenantRetained(t.ID)
+			for _, j := range victims {
+				if j.tenant == t.ID {
+					usage -= manifestStoredBytes(j.manifest)
+				}
+			}
+			if usage > t.MaxShardBytes {
+				over[t.ID] = usage - t.MaxShardBytes
+			}
+		}
+		if len(over) > 0 {
+			sort.Slice(completed, func(i, k int) bool {
+				return completed[i].last.Before(completed[k].last)
+			})
+			for _, c := range completed {
+				j := c.job
+				if chosen[j.id] || over[j.tenant] <= 0 {
+					continue
+				}
+				bytes := manifestStoredBytes(j.manifest)
+				if bytes <= 0 {
+					continue
+				}
+				victims = append(victims, j)
+				chosen[j.id] = true
+				over[j.tenant] -= bytes
+			}
+		}
+	}
 	if len(victims) == 0 && len(released) == 0 {
 		s.mu.Unlock()
 		return
@@ -760,6 +884,9 @@ func (s *Server) maybeEvict() {
 	for _, j := range released {
 		s.cache.DropPrefix(j.id + "/")
 		s.frames.DropPrefix(j.id + "/")
+		// The ring owner re-retains these bytes on its side; this copy no
+		// longer charges the tenant here.
+		s.quotaRelease(j.tenant, manifestStoredBytes(j.manifest))
 	}
 	for _, j := range victims {
 		// Destroy the shard files before invalidating the caches: a load
@@ -780,6 +907,8 @@ func (s *Server) maybeEvict() {
 		if s.log != nil {
 			_ = s.log.append(logRecord{Type: recEvicted, ID: j.id, Time: now, Node: s.nodeID()})
 		}
+		s.quotaRelease(j.tenant, manifestStoredBytes(j.manifest))
+		s.audit(ledger.TypeEvict, j.tenant, j.id, "retention")
 		s.metrics.jobsEvicted.Inc()
 		s.logger.Info("job evicted", "job", j.id)
 	}
@@ -798,6 +927,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/batches", s.handleBatches)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("GET /v1/audit/roots", s.handleAuditRoots)
+	s.mux.HandleFunc("GET /v1/audit/proof", s.handleAuditProof)
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -850,15 +981,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.clusterSubmit(w, r, spec)
 		return
 	}
-	s.submitLocal(w, spec, "", telemetry.TraceFrom(r.Context()))
+	s.submitLocal(w, spec, "", telemetry.TraceFrom(r.Context()), tenant.FromContext(r.Context()).ID)
 }
 
 // submitLocal enqueues a job on this node. An empty id allocates the
 // next sequence number; a pre-assigned id (cluster routing) is used
 // verbatim after a collision check. trace is the submitting request's
 // trace ID — recorded on the job and in its log record so the whole
-// lifecycle correlates back to the request.
-func (s *Server) submitLocal(w http.ResponseWriter, spec JobSpec, id, trace string) {
+// lifecycle correlates back to the request. tenantID is the
+// authenticated submitter ("" with auth off): it owns the job for
+// scoping, is charged for it under quotas, and rides on the log record
+// so ownership survives replay and adoption.
+func (s *Server) submitLocal(w http.ResponseWriter, spec JobSpec, id, trace, tenantID string) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -873,12 +1007,25 @@ func (s *Server) submitLocal(w http.ResponseWriter, spec JobSpec, id, trace stri
 		writeError(w, http.StatusConflict, fmt.Errorf("job %q already exists", id))
 		return
 	}
+	var ten *tenant.Tenant
+	if s.tenants != nil && tenantID != "" {
+		if t, ok := s.tenants.Get(tenantID); ok {
+			ten = t
+		}
+	}
+	if err := s.quotaAdmit(ten); err != nil {
+		s.mu.Unlock()
+		s.metrics.tenantQuotaRejections.Inc()
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
 	job := &Job{
 		id:        id,
 		spec:      spec,
 		state:     JobQueued,
 		submitted: time.Now(),
 		trace:     trace,
+		tenant:    tenantID,
 	}
 	if job.spec.Name == "" {
 		job.spec.Name = job.id
@@ -898,13 +1045,17 @@ func (s *Server) submitLocal(w http.ResponseWriter, spec JobSpec, id, trace stri
 			spec := job.spec
 			_ = s.log.append(logRecord{
 				Type: recSubmitted, ID: job.id, Time: job.submitted, Spec: &spec,
-				Node: s.nodeID(), Trace: trace,
+				Node: s.nodeID(), Trace: trace, Tenant: tenantID,
 			})
 		}
+		s.audit(ledger.TypeSubmit, tenantID, job.id, string(spec.Domain))
 		s.logger.Info("job submitted", "job", job.id, "domain", string(spec.Domain), "trace", trace)
 		writeJSON(w, http.StatusAccepted, s.decorate(job.Status()))
 	default:
 		s.mu.Unlock()
+		if ten != nil {
+			s.quotaDeactivate(ten.ID)
+		}
 		writeError(w, http.StatusTooManyRequests, fmt.Errorf("job queue full (%d waiting)", cap(s.queue)))
 	}
 }
@@ -916,18 +1067,22 @@ func (s *Server) decorate(st JobStatus) JobStatus {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	ident := tenant.FromContext(r.Context())
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.order))
 	for _, id := range s.order {
 		jobs = append(jobs, s.jobs[id])
 	}
 	s.mu.Unlock()
-	out := make([]JobStatus, len(jobs))
-	for i, j := range jobs {
-		out[i] = s.decorate(j.Status())
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		if s.tenants != nil && !ident.CanAccess(j.tenant) {
+			continue
+		}
+		out = append(out, s.decorate(j.Status()))
 	}
 	if s.clusterMode() && r.URL.Query().Get("scope") != "local" && !cluster.Forwarded(r) {
-		out = s.mergeClusterList(out)
+		out = s.mergeClusterList(out, ident.ID)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -949,6 +1104,15 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) *Job {
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
 		return nil
+	}
+	if s.tenants != nil {
+		if ident := tenant.FromContext(r.Context()); !ident.CanAccess(job.tenant) {
+			// 403 (not a job-hiding 404): the ID namespace is sequential
+			// and node-prefixed, so existence is not a secret — but the
+			// job's spec, events, and batches are.
+			writeError(w, http.StatusForbidden, fmt.Errorf("job %q belongs to another tenant", id))
+			return nil
+		}
 	}
 	return job
 }
@@ -1058,6 +1222,8 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	job.touch()
+	ident := tenant.FromContext(r.Context())
+	s.audit(ledger.TypeStream, ident.ID, job.id, "cursor="+start.String()+" batch_size="+strconv.Itoa(batchSize))
 
 	// Content negotiation: NDJSON unless the client's Accept asks for
 	// the binary frame format. X-Draid-Wire names the format actually
@@ -1075,8 +1241,32 @@ func (s *Server) handleBatches(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Draid-Cursor", start.String())
 	cw := &countingResponseWriter{w: w}
 	flusher, _ := w.(http.Flusher)
+	// Pacing: with a global fair-share budget every stream gets a
+	// dynamic pacer tracking its live share (capped by any per-stream
+	// ?max_kbps= / server ceiling resolved above); without one, the
+	// per-stream cap alone paces, exactly as before.
 	var pace *pacer
-	if maxKBps > 0 {
+	if s.fair != nil {
+		weight := 1
+		if s.tenants != nil {
+			if t, ok := s.tenants.Get(ident.ID); ok {
+				weight = t.EffectiveWeight()
+			}
+		}
+		fairRate, release := s.fair.acquire(ident.ID, weight)
+		defer release()
+		capBytes := float64(0)
+		if maxKBps > 0 {
+			capBytes = float64(int64(maxKBps) << 10)
+		}
+		pace = newDynamicPacer(func() float64 {
+			rate := fairRate()
+			if capBytes > 0 && capBytes < rate {
+				rate = capBytes
+			}
+			return rate
+		})
+	} else if maxKBps > 0 {
 		pace = newPacer(int64(maxKBps) << 10)
 	}
 	// Histogram children resolved once per stream, not per batch.
@@ -1363,19 +1553,15 @@ type pacer struct {
 	tokens    float64
 	last      time.Time
 	throttled bool
+	// rateFn, when set, re-resolves the rate at every pace call — the
+	// weighted-fair share moves as streams open and close elsewhere.
+	rateFn func() float64
 }
 
-// newPacer returns a pacer sustaining rateBytes per second. The burst
-// is a quarter-second of rate, clamped to [4 KiB, 256 KiB], so pacing
-// engages quickly without punishing tiny responses.
+// newPacer returns a pacer sustaining rateBytes per second, with the
+// pacerBurst capacity for that rate.
 func newPacer(rateBytes int64) *pacer {
-	burst := float64(rateBytes) / 4
-	if burst < 4<<10 {
-		burst = 4 << 10
-	}
-	if burst > 256<<10 {
-		burst = 256 << 10
-	}
+	burst := pacerBurst(float64(rateBytes))
 	return &pacer{rate: float64(rateBytes), burst: burst, tokens: burst, last: time.Now()}
 }
 
@@ -1385,6 +1571,15 @@ func newPacer(rateBytes int64) *pacer {
 // handler goroutine — a huge batch at a tiny rate would otherwise
 // sleep unbounded for a reader that may already be gone.
 func (p *pacer) pace(ctx context.Context, n int64) error {
+	if p.rateFn != nil {
+		if r := p.rateFn(); r > 0 && r != p.rate {
+			p.rate = r
+			p.burst = pacerBurst(r)
+			if p.tokens > p.burst {
+				p.tokens = p.burst
+			}
+		}
+	}
 	now := time.Now()
 	p.tokens += now.Sub(p.last).Seconds() * p.rate
 	if p.tokens > p.burst {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/pkg/client"
 )
 
@@ -65,6 +66,11 @@ type serverMetrics struct {
 	clusterRedirected *telemetry.Counter
 	clusterRetries    *telemetry.Counter
 	clusterAdopted    *telemetry.Counter
+
+	// Tenancy counters (registered always, moving only with -tenants:
+	// same always-total contract as the cluster counters).
+	tenantAuthFailures    *telemetry.Counter
+	tenantQuotaRejections *telemetry.Counter
 }
 
 func newServerMetrics() *serverMetrics {
@@ -112,6 +118,9 @@ func newServerMetrics() *serverMetrics {
 		clusterRedirected: reg.Counter1("draid_cluster_redirected_total", "Requests answered with a 307 to their ring owner."),
 		clusterRetries:    reg.Counter1("draid_cluster_forward_retries_total", "Forward attempts that failed and marked a peer down."),
 		clusterAdopted:    reg.Counter1("draid_cluster_jobs_adopted_total", "Jobs adopted from the shared logs after an ownership change."),
+
+		tenantAuthFailures:    reg.Counter1("draid_tenant_auth_failures_total", "Requests rejected 401 for a missing or invalid bearer token."),
+		tenantQuotaRejections: reg.Counter1("draid_tenant_quota_rejections_total", "Submissions rejected 429 by a per-tenant job or byte quota."),
 	}
 	return m
 }
@@ -162,6 +171,37 @@ func (s *Server) registerCollectors() {
 		reg.GaugeFunc("draid_cluster_peers_alive", "Fleet members currently passing probes.",
 			func() float64 { return float64(c.AliveCount()) })
 	}
+	// Tenancy/ledger collectors are registered unconditionally (nil-
+	// guarded) so the family set — and the docs-hygiene contract over
+	// it — does not depend on server configuration.
+	reg.GaugeFunc("draid_tenant_active_streams", "Batch streams currently drawing from the weighted-fair bandwidth budget.",
+		func() float64 {
+			if s.fair == nil {
+				return 0
+			}
+			return float64(s.fair.activeStreams())
+		})
+	reg.CounterFunc("draid_ledger_records_total", "Records appended to the audit ledger.",
+		func() float64 {
+			if s.ledger == nil {
+				return 0
+			}
+			return float64(s.ledger.Stats().Records)
+		})
+	reg.CounterFunc("draid_ledger_syncs_total", "fsync calls issued by the audit ledger (group commit amortizes these).",
+		func() float64 {
+			if s.ledger == nil {
+				return 0
+			}
+			return float64(s.ledger.Stats().Syncs)
+		})
+	reg.CounterFunc("draid_ledger_bytes_total", "Bytes appended to the audit ledger.",
+		func() float64 {
+			if s.ledger == nil {
+				return 0
+			}
+			return float64(s.ledger.Stats().Bytes)
+		})
 	reg.CounterFunc("draid_spans_recorded_total", "Completed spans recorded into the span store.",
 		func() float64 { return float64(s.spans.Stats().Recorded) })
 	reg.CounterFunc("draid_spans_dropped_total", "Recorded spans overwritten by ring pressure.",
@@ -265,12 +305,15 @@ func (s *Server) withTelemetry(next http.Handler) http.Handler {
 		if !telemetry.ValidTraceID(trace) {
 			trace = telemetry.NewTraceID()
 		}
+		// Span attributes and log lines record the redacted path: a
+		// ?access_token= credential must never rest in the span store or
+		// the debug log (Authorization headers are never logged at all).
 		var span *telemetry.Span
 		if !spanlessPath(r.URL.Path) {
 			parent, _ := telemetry.ParseSpanContext(r.Header.Get(telemetry.SpanHeader))
 			span = s.spans.StartRoot("http.request", trace, parent)
 			span.SetAttr("method", r.Method)
-			span.SetAttr("path", r.URL.Path)
+			span.SetAttr("path", tenant.RedactedPath(r))
 			// Stamp our span as the parent for any outbound hop that
 			// clones this request's headers (cluster.Forward does).
 			r.Header.Set(telemetry.SpanHeader, span.Context().String())
@@ -306,7 +349,7 @@ func (s *Server) withTelemetry(next http.Handler) http.Handler {
 				level = slog.LevelInfo
 			}
 			s.logger.Log(r.Context(), level, "http request",
-				"method", r.Method, "path", r.URL.Path, "status", code,
+				"method", r.Method, "path", tenant.RedactedPath(r), "status", code,
 				"ms", float64(elapsed.Microseconds())/1000,
 				"trace", trace)
 		}()

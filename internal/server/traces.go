@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/pkg/client"
 )
 
@@ -63,6 +64,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("query limit must be a non-negative integer"))
 		return
 	}
+	ident := tenant.FromContext(r.Context())
 	sums := s.spans.Summaries()
 	out := make([]telemetry.TraceSummary, 0, len(sums))
 	for _, ts := range sums {
@@ -70,6 +72,11 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if errorsOnly && ts.Error == "" {
+			continue
+		}
+		// Tenants see their own traces only (the root span records the
+		// authenticated tenant); admin and open servers see everything.
+		if s.tenants != nil && !ident.CanAccess(ts.Tenant) {
 			continue
 		}
 		out = append(out, ts)
@@ -91,13 +98,24 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid trace id %q", id))
 		return
 	}
+	ident := tenant.FromContext(r.Context())
 	spans := s.spans.Trace(id)
 	if c := s.opts.Cluster; c != nil && r.URL.Query().Get("scope") != "local" && !cluster.Forwarded(r) {
-		spans = telemetry.MergeTraces(append([][]telemetry.SpanData{spans}, s.peerTraceFragments(id)...)...)
+		spans = telemetry.MergeTraces(append([][]telemetry.SpanData{spans}, s.peerTraceFragments(id, ident.ID)...)...)
 	}
 	if len(spans) == 0 {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no spans for trace %q", id))
 		return
+	}
+	// A trace belongs to whoever's request rooted it: the entry node's
+	// root span carries the authenticated tenant as an attribute.
+	if s.tenants != nil {
+		for _, sp := range spans {
+			if sp.Parent == "" && !ident.CanAccess(sp.Attrs["tenant"]) {
+				writeError(w, http.StatusForbidden, fmt.Errorf("trace %q belongs to another tenant", id))
+				return
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, client.TraceView{TraceID: id, Spans: spans})
 }
@@ -106,7 +124,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // FetchPeer marks the fetch as forwarded, so peers answer from their
 // local store and the fan-out never cascades. A dead or evicted peer
 // contributes nothing — partial assembly beats none.
-func (s *Server) peerTraceFragments(id string) [][]telemetry.SpanData {
+func (s *Server) peerTraceFragments(id, tenantID string) [][]telemetry.SpanData {
 	c := s.opts.Cluster
 	nodes := c.Nodes()
 	frags := make([][]telemetry.SpanData, len(nodes))
@@ -118,7 +136,7 @@ func (s *Server) peerTraceFragments(id string) [][]telemetry.SpanData {
 		wg.Add(1)
 		go func(i int, n cluster.Node) {
 			defer wg.Done()
-			b, err := c.FetchPeer(n, "/v1/traces/"+url.PathEscape(id)+"?scope=local", 5*time.Second)
+			b, err := c.FetchPeer(n, "/v1/traces/"+url.PathEscape(id)+"?scope=local", tenantID, 5*time.Second)
 			if err != nil {
 				return
 			}

@@ -91,6 +91,10 @@ type TraceSummary struct {
 	Error      string    `json:"error,omitempty"`
 	Spans      int       `json:"spans"`
 	Notable    bool      `json:"notable,omitempty"`
+	// Tenant is the authenticated tenant of the root span's request
+	// (from the root's "tenant" attribute; empty when auth is off) —
+	// what lets /v1/traces scope its listing per tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Span is a live (unended) span. The zero/nil span is a valid no-op:
@@ -404,8 +408,8 @@ func (st *SpanStore) Summaries() []TraceSummary {
 	notableIDs := make(map[string]bool)
 	var out []TraceSummary
 	seen := make(map[string]bool)
-	counted := make(map[string]bool)  // span IDs tallied into counts
-	counts := make(map[string]int)    // trace ID -> resident span count
+	counted := make(map[string]bool) // span IDs tallied into counts
+	counts := make(map[string]int)   // trace ID -> resident span count
 	tally := func(sp SpanData) {
 		if sp.SpanID == "" || counted[sp.TraceID+"/"+sp.SpanID] {
 			return
@@ -427,6 +431,7 @@ func (st *SpanStore) Summaries() []TraceSummary {
 			DurationMs: float64(sp.End.Sub(sp.Start).Microseconds()) / 1000,
 			Error:      sp.Error,
 			Notable:    notable,
+			Tenant:     sp.Attrs["tenant"],
 		})
 	}
 	st.notableMu.Lock()

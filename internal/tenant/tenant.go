@@ -1,0 +1,269 @@
+// Package tenant is draid's multi-tenancy boundary: bearer-token
+// authentication against a registry loaded from the -tenants config
+// file, the per-tenant identity threaded through request contexts and
+// fleet hops, and the credential-redaction helpers that keep tokens
+// out of logs, spans, and error bodies.
+//
+// The config file is a JSON array of tenants:
+//
+//	[
+//	  {"id": "acme", "token": "s3cret", "weight": 2,
+//	   "max_jobs": 8, "max_shard_bytes": 1073741824},
+//	  {"id": "ops", "token": "t0psecret", "admin": true}
+//	]
+//
+// Tokens are compared in constant time (SHA-256 digests under
+// crypto/subtle), and the file must not be group/world-readable — the
+// same posture the server enforces for master.key.
+package tenant
+
+import (
+	"context"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+)
+
+// Fleet headers. Both are stamped only by authenticated parties: the
+// server overwrites any client-supplied HeaderTenant with the identity
+// its token actually authenticated, and HeaderPeerAuth carries a
+// secret derived from the shared master key that only fleet members
+// hold — a request presenting it may speak for any tenant (it is a
+// node relaying an already-authenticated request).
+const (
+	// HeaderTenant names the authenticated tenant on fleet-internal
+	// hops, so ownership survives proxy/redirect forwarding without
+	// re-sending the client credential.
+	HeaderTenant = "X-Draid-Tenant"
+	// HeaderPeerAuth authenticates node-to-node requests.
+	HeaderPeerAuth = "X-Draid-Peer-Auth"
+)
+
+// Tenant is one row of the -tenants config file.
+type Tenant struct {
+	// ID is the tenant's stable name — stamped on jobs, audit records,
+	// traces, and log lines.
+	ID string `json:"id"`
+	// Token is the bearer credential (Authorization: Bearer <token>,
+	// or ?access_token= for clients that cannot set headers).
+	Token string `json:"token"`
+	// Weight is the tenant's share of the -serve-budget-kbps bandwidth
+	// budget relative to other active tenants (<=0 means 1).
+	Weight int `json:"weight,omitempty"`
+	// Admin grants cross-tenant visibility: unscoped listings, any
+	// job's streams, every audit proof.
+	Admin bool `json:"admin,omitempty"`
+	// MaxJobs caps the tenant's queued+running jobs (0 = unbounded).
+	MaxJobs int `json:"max_jobs,omitempty"`
+	// MaxShardBytes caps the tenant's retained completed-job shard
+	// bytes; enforced at submit and fed into eviction (0 = unbounded).
+	MaxShardBytes int64 `json:"max_shard_bytes,omitempty"`
+}
+
+// EffectiveWeight is the tenant's bandwidth weight with the default
+// applied.
+func (t *Tenant) EffectiveWeight() int {
+	if t == nil || t.Weight <= 0 {
+		return 1
+	}
+	return t.Weight
+}
+
+// Registry is the set of configured tenants, indexed for constant-time
+// token authentication.
+type Registry struct {
+	tenants []*Tenant
+	byID    map[string]*Tenant
+	digests [][sha256.Size]byte // digests[i] = SHA-256(tenants[i].Token)
+}
+
+// Load reads and validates the -tenants config file. The file must be
+// private to the server user: a group/world-readable token file is a
+// startup error, not a warning.
+func Load(path string) (*Registry, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: stat %s: %w", path, err)
+	}
+	if mode := fi.Mode().Perm(); mode&0o077 != 0 {
+		return nil, fmt.Errorf("tenant: %s is group/world-readable (mode %04o); chmod it to 0600 — it holds bearer tokens", path, mode)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: read %s: %w", path, err)
+	}
+	var tenants []*Tenant
+	if err := json.Unmarshal(b, &tenants); err != nil {
+		return nil, fmt.Errorf("tenant: parse %s: %w", path, err)
+	}
+	return NewRegistry(tenants)
+}
+
+// NewRegistry builds a registry from an in-memory tenant list (the
+// seam tests and benchmarks use instead of a config file).
+func NewRegistry(tenants []*Tenant) (*Registry, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("tenant: no tenants configured")
+	}
+	r := &Registry{byID: make(map[string]*Tenant, len(tenants))}
+	seenTok := make(map[[sha256.Size]byte]string, len(tenants))
+	for i, t := range tenants {
+		if t == nil || t.ID == "" {
+			return nil, fmt.Errorf("tenant: entry %d has no id", i)
+		}
+		if strings.ContainsAny(t.ID, " \t\n/") {
+			return nil, fmt.Errorf("tenant: id %q contains whitespace or '/'", t.ID)
+		}
+		if len(t.Token) < 8 {
+			return nil, fmt.Errorf("tenant: %s: token must be at least 8 characters", t.ID)
+		}
+		if _, dup := r.byID[t.ID]; dup {
+			return nil, fmt.Errorf("tenant: duplicate id %q", t.ID)
+		}
+		d := sha256.Sum256([]byte(t.Token))
+		if prev, dup := seenTok[d]; dup {
+			return nil, fmt.Errorf("tenant: %s and %s share a token", prev, t.ID)
+		}
+		seenTok[d] = t.ID
+		r.byID[t.ID] = t
+		r.tenants = append(r.tenants, t)
+		r.digests = append(r.digests, d)
+	}
+	return r, nil
+}
+
+// Authenticate resolves a presented bearer token to its tenant. The
+// scan compares SHA-256 digests with subtle.ConstantTimeCompare for
+// every configured tenant — no early exit — so timing reveals neither
+// which tenant matched nor how close a guess came.
+func (r *Registry) Authenticate(token string) (*Tenant, bool) {
+	if r == nil || token == "" {
+		return nil, false
+	}
+	d := sha256.Sum256([]byte(token))
+	var found *Tenant
+	for i := range r.digests {
+		if subtle.ConstantTimeCompare(d[:], r.digests[i][:]) == 1 {
+			found = r.tenants[i]
+		}
+	}
+	return found, found != nil
+}
+
+// Get resolves a tenant by ID — the lookup for identities already
+// authenticated elsewhere (peer-forwarded requests, replayed jobs).
+func (r *Registry) Get(id string) (*Tenant, bool) {
+	if r == nil {
+		return nil, false
+	}
+	t, ok := r.byID[id]
+	return t, ok
+}
+
+// Tenants lists the registry in config order.
+func (r *Registry) Tenants() []*Tenant {
+	if r == nil {
+		return nil
+	}
+	return append([]*Tenant(nil), r.tenants...)
+}
+
+// Identity is the authenticated principal a request acts as.
+type Identity struct {
+	// ID is the tenant ID ("" for fleet-internal peer requests that
+	// carry no tenant — maintenance fan-outs).
+	ID string
+	// Admin grants cross-tenant access (admin tokens, and peer
+	// requests without a tenant, which act for the fleet itself).
+	Admin bool
+}
+
+type ctxKey struct{}
+
+// WithIdentity stamps the authenticated identity on a context.
+func WithIdentity(ctx context.Context, id Identity) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// FromContext returns the request's authenticated identity. The zero
+// Identity means authentication is disabled (no -tenants file) — every
+// caller may do everything, today's open behavior.
+func FromContext(ctx context.Context) Identity {
+	id, _ := ctx.Value(ctxKey{}).(Identity)
+	return id
+}
+
+// CanAccess reports whether the identity may touch a resource owned by
+// tenant owner. Empty owner (pre-tenancy jobs) is accessible to every
+// authenticated caller.
+func (id Identity) CanAccess(owner string) bool {
+	return id.Admin || owner == "" || id.ID == owner
+}
+
+// TokenFromRequest extracts the presented bearer credential:
+// "Authorization: Bearer <token>" or the ?access_token= query
+// fallback. Empty means no credential was presented.
+func TokenFromRequest(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if tok, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(tok)
+		}
+		return ""
+	}
+	return r.URL.Query().Get("access_token")
+}
+
+// redactedParams are query parameters whose values are credentials.
+var redactedParams = []string{"access_token", "token"}
+
+// RedactQuery returns the query string with credential parameter
+// values replaced, for logs and span attributes. Empty stays empty.
+func RedactQuery(q url.Values) string {
+	if len(q) == 0 {
+		return ""
+	}
+	clean := url.Values{}
+	for k, vs := range q {
+		redact := false
+		for _, p := range redactedParams {
+			if strings.EqualFold(k, p) {
+				redact = true
+				break
+			}
+		}
+		for _, v := range vs {
+			if redact && v != "" {
+				v = "REDACTED"
+			}
+			clean.Add(k, v)
+		}
+	}
+	return clean.Encode()
+}
+
+// RedactedPath renders a request's path plus redacted query — the
+// form every log line and span attribute must use, so -debug logging
+// never leaks a credential verbatim.
+func RedactedPath(r *http.Request) string {
+	if q := RedactQuery(r.URL.Query()); q != "" {
+		return r.URL.Path + "?" + q
+	}
+	return r.URL.Path
+}
+
+// RedactHeaderValue redacts an Authorization-style header value while
+// keeping its scheme visible ("Bearer REDACTED").
+func RedactHeaderValue(v string) string {
+	if v == "" {
+		return ""
+	}
+	if scheme, _, ok := strings.Cut(v, " "); ok {
+		return scheme + " REDACTED"
+	}
+	return "REDACTED"
+}

@@ -1,0 +1,148 @@
+package tenant
+
+import (
+	"context"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTenants(t *testing.T, mode os.FileMode) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	body := `[
+		{"id": "acme", "token": "acme-secret-token", "weight": 2, "max_jobs": 3},
+		{"id": "ops", "token": "ops-secret-token", "admin": true}
+	]`
+	if err := os.WriteFile(path, []byte(body), mode); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadAndAuthenticate(t *testing.T) {
+	reg, err := Load(writeTenants(t, 0o600))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	tn, ok := reg.Authenticate("acme-secret-token")
+	if !ok || tn.ID != "acme" || tn.Admin {
+		t.Fatalf("Authenticate(acme token) = %+v, %v", tn, ok)
+	}
+	if tn.EffectiveWeight() != 2 {
+		t.Fatalf("weight = %d, want 2", tn.EffectiveWeight())
+	}
+	admin, ok := reg.Authenticate("ops-secret-token")
+	if !ok || !admin.Admin {
+		t.Fatalf("admin token did not authenticate as admin: %+v, %v", admin, ok)
+	}
+	for _, bad := range []string{"", "wrong", "acme-secret-token "} {
+		if _, ok := reg.Authenticate(bad); ok {
+			t.Fatalf("token %q authenticated", bad)
+		}
+	}
+	if got, ok := reg.Get("acme"); !ok || got.ID != "acme" {
+		t.Fatalf("Get(acme) = %+v, %v", got, ok)
+	}
+}
+
+func TestLoadRejectsLooseFilePermissions(t *testing.T) {
+	for _, mode := range []os.FileMode{0o644, 0o640, 0o604} {
+		if _, err := Load(writeTenants(t, mode)); err == nil ||
+			!strings.Contains(err.Error(), "group/world-readable") {
+			t.Fatalf("mode %04o accepted: err=%v", mode, err)
+		}
+	}
+	if _, err := Load(writeTenants(t, 0o600)); err != nil {
+		t.Fatalf("mode 0600 rejected: %v", err)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		tenants []*Tenant
+		wantErr string
+	}{
+		{"empty", nil, "no tenants"},
+		{"no id", []*Tenant{{Token: "long-enough-token"}}, "no id"},
+		{"short token", []*Tenant{{ID: "a", Token: "short"}}, "at least 8"},
+		{"dup id", []*Tenant{
+			{ID: "a", Token: "token-aaaaaa"}, {ID: "a", Token: "token-bbbbbb"},
+		}, "duplicate id"},
+		{"shared token", []*Tenant{
+			{ID: "a", Token: "token-shared"}, {ID: "b", Token: "token-shared"},
+		}, "share a token"},
+	}
+	for _, tc := range cases {
+		if _, err := NewRegistry(tc.tenants); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want contains %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestIdentityAccess(t *testing.T) {
+	cases := []struct {
+		id    Identity
+		owner string
+		want  bool
+	}{
+		{Identity{ID: "acme"}, "acme", true},
+		{Identity{ID: "acme"}, "rival", false},
+		{Identity{ID: "acme"}, "", true}, // pre-tenancy job
+		{Identity{ID: "ops", Admin: true}, "acme", true},
+		{Identity{Admin: true}, "acme", true}, // fleet-internal peer
+	}
+	for _, tc := range cases {
+		if got := tc.id.CanAccess(tc.owner); got != tc.want {
+			t.Errorf("%+v.CanAccess(%q) = %v, want %v", tc.id, tc.owner, got, tc.want)
+		}
+	}
+	ctx := WithIdentity(context.Background(), Identity{ID: "acme"})
+	if got := FromContext(ctx); got.ID != "acme" {
+		t.Fatalf("FromContext = %+v", got)
+	}
+	if got := FromContext(context.Background()); got.ID != "" || got.Admin {
+		t.Fatalf("zero identity = %+v", got)
+	}
+}
+
+func TestTokenFromRequest(t *testing.T) {
+	r := httptest.NewRequest("GET", "/v1/jobs", nil)
+	r.Header.Set("Authorization", "Bearer tok-123")
+	if got := TokenFromRequest(r); got != "tok-123" {
+		t.Fatalf("bearer token = %q", got)
+	}
+	r = httptest.NewRequest("GET", "/v1/jobs?access_token=tok-456", nil)
+	if got := TokenFromRequest(r); got != "tok-456" {
+		t.Fatalf("query token = %q", got)
+	}
+	r = httptest.NewRequest("GET", "/v1/jobs", nil)
+	r.Header.Set("Authorization", "Basic dXNlcjpwYXNz")
+	if got := TokenFromRequest(r); got != "" {
+		t.Fatalf("non-bearer scheme yielded token %q", got)
+	}
+}
+
+func TestRedaction(t *testing.T) {
+	r := httptest.NewRequest("GET", "/v1/jobs/j1/batches?access_token=tok-secret&batch_size=8", nil)
+	got := RedactedPath(r)
+	if strings.Contains(got, "tok-secret") {
+		t.Fatalf("redacted path leaks token: %s", got)
+	}
+	if !strings.Contains(got, "access_token=REDACTED") || !strings.Contains(got, "batch_size=8") {
+		t.Fatalf("redacted path mangled: %s", got)
+	}
+	if q := RedactQuery(url.Values{}); q != "" {
+		t.Fatalf("empty query redacted to %q", q)
+	}
+	if v := RedactHeaderValue("Bearer tok-secret"); v != "Bearer REDACTED" {
+		t.Fatalf("RedactHeaderValue = %q", v)
+	}
+	if v := RedactHeaderValue(""); v != "" {
+		t.Fatalf("RedactHeaderValue(empty) = %q", v)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/domain"
+	"repro/internal/ledger"
 	"repro/internal/telemetry"
 )
 
@@ -59,6 +60,9 @@ type JobStatus struct {
 	Trajectory []TrajectoryPoint `json:"trajectory,omitempty"`
 	// Node is the fleet member holding the job (empty single-node).
 	Node string `json:"node,omitempty"`
+	// Tenant owns the job on a multi-tenant server (empty with auth
+	// off, or for jobs submitted before tenancy was enabled).
+	Tenant string `json:"tenant,omitempty"`
 	// Trace is the request trace ID the server answered with (from the
 	// X-Draid-Trace response header, not the JSON body) — the handle for
 	// correlating this submission across fleet members' logs.
@@ -138,6 +142,27 @@ type JobOwnership struct {
 	Owner string `json:"owner"`
 	URL   string `json:"url"`
 	Local bool   `json:"local"`
+}
+
+// AuditRecord is one hash-chained entry of a node's audit ledger.
+type AuditRecord = ledger.Record
+
+// AuditBatchRoot is one published Merkle batch root of the ledger —
+// the anchor an inclusion proof is verified against.
+type AuditBatchRoot = ledger.BatchRoot
+
+// AuditProof is a Merkle inclusion proof for one audit record; its
+// Verify method checks it end to end, and comparing its Root against
+// an independently fetched AuditRoots entry completes the audit.
+type AuditProof = ledger.Proof
+
+// AuditRoots is the GET /v1/audit/roots document: which node's ledger
+// answered, how many records it holds, and every batch root (the final
+// entry may be a provisional root over the unsealed tail).
+type AuditRoots struct {
+	Node    string           `json:"node"`
+	Records uint64           `json:"records"`
+	Roots   []AuditBatchRoot `json:"roots"`
 }
 
 // ClusterInfo is the /v1/cluster document.

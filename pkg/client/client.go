@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -29,6 +30,7 @@ type Client struct {
 	wire  string
 	poll  time.Duration
 	trace string
+	token string
 }
 
 // Option customizes a Client.
@@ -59,6 +61,12 @@ func WithTrace(trace string) Option {
 	}
 }
 
+// WithToken attaches a tenant bearer token: every request (including
+// batch-stream reconnects after a resume) carries it as
+// "Authorization: Bearer <token>". Required against servers started
+// with -tenants; ignored by open servers.
+func WithToken(token string) Option { return func(c *Client) { c.token = token } }
+
 // newTrace is the trace ID for one request: the pinned WithTrace ID or
 // a fresh one.
 func (c *Client) newTrace() string {
@@ -66,6 +74,13 @@ func (c *Client) newTrace() string {
 		return c.trace
 	}
 	return telemetry.NewTraceID()
+}
+
+// authorize stamps the bearer token on a request (no-op without one).
+func (c *Client) authorize(req *http.Request) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
 }
 
 // New returns a client for the draid server at baseURL.
@@ -110,6 +125,7 @@ func (c *Client) getJSONTraced(ctx context.Context, path string, out any) (strin
 		return "", err
 	}
 	req.Header.Set(TraceHeader, c.newTrace())
+	c.authorize(req)
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return "", err
@@ -145,6 +161,7 @@ func (c *Client) SubmitJob(ctx context.Context, spec JobSpec) (*JobStatus, error
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(TraceHeader, c.newTrace())
+	c.authorize(req)
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return nil, err
@@ -227,6 +244,29 @@ func (c *Client) Provenance(ctx context.Context, id string) (json.RawMessage, er
 		return nil, err
 	}
 	return out, nil
+}
+
+// AuditRoots fetches the serving node's published Merkle batch roots
+// from its audit ledger. Errors when the server runs without a data
+// directory (no ledger).
+func (c *Client) AuditRoots(ctx context.Context) (*AuditRoots, error) {
+	var out AuditRoots
+	if err := c.getJSON(ctx, "/v1/audit/roots", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AuditProof fetches the Merkle inclusion proof for one audit record
+// (seq is 1-based). Call Verify on the result and compare its Root
+// against an AuditRoots entry fetched separately — that comparison is
+// what makes the audit independent of the node being audited.
+func (c *Client) AuditProof(ctx context.Context, seq uint64) (*AuditProof, error) {
+	var out AuditProof
+	if err := c.getJSON(ctx, "/v1/audit/proof?seq="+strconv.FormatUint(seq, 10), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // ClusterInfo reports fleet membership. jobID non-empty additionally

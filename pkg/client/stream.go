@@ -65,7 +65,7 @@ func (c *Client) StreamBatches(ctx context.Context, jobID string, opts StreamOpt
 	if wire == "" {
 		wire = c.wire
 	}
-	s, err := openStream(ctx, c.httpc, u, opts.Cursor, wire, opts.MaxResumes, c.newTrace())
+	s, err := openStream(ctx, c.httpc, u, opts.Cursor, wire, opts.MaxResumes, c.newTrace(), c.token)
 	if err != nil {
 		return nil, err
 	}
@@ -81,14 +81,15 @@ func (c *Client) StreamBatches(ctx context.Context, jobID string, opts StreamOpt
 // http.DefaultClient; wire "" means WireAuto; maxResumes as in
 // StreamOptions.
 func OpenStreamURL(ctx context.Context, httpc *http.Client, rawURL, cursor, wire string, maxResumes int) (*Stream, error) {
-	return openStream(ctx, httpc, rawURL, cursor, wire, maxResumes, "")
+	return openStream(ctx, httpc, rawURL, cursor, wire, maxResumes, "", "")
 }
 
 // openStream is OpenStreamURL with an explicit trace ID ("" generates a
-// fresh one). The same ID rides every connection of the stream —
-// resumes included — so the whole logical stream correlates to one
-// trace across the fleet.
-func openStream(ctx context.Context, httpc *http.Client, rawURL, cursor, wire string, maxResumes int, trace string) (*Stream, error) {
+// fresh one) and bearer token ("" sends no Authorization). The same ID
+// and token ride every connection of the stream — resumes included —
+// so the whole logical stream correlates to one trace across the fleet
+// and reconnects re-authenticate instead of dying with 401.
+func openStream(ctx context.Context, httpc *http.Client, rawURL, cursor, wire string, maxResumes int, trace, token string) (*Stream, error) {
 	if httpc == nil {
 		httpc = http.DefaultClient
 	}
@@ -116,6 +117,7 @@ func openStream(ctx context.Context, httpc *http.Client, rawURL, cursor, wire st
 		cursor:      cursor,
 		resumesLeft: maxResumes,
 		trace:       trace,
+		token:       token,
 	}
 	if err := s.connect(); err != nil {
 		return nil, err
@@ -133,6 +135,7 @@ type Stream struct {
 
 	negotiated string // wire in use on the current connection
 	trace      string // trace ID stamped on every connection of the stream
+	token      string // bearer token re-sent on every connection (resumes too)
 	cursor     string // position after the last delivered batch
 	delivered  int
 	maxBatches int // total delivery cap across resumes (0 = unbounded)
@@ -183,6 +186,9 @@ func (s *Stream) connect() error {
 		return err
 	}
 	req.Header.Set(TraceHeader, s.trace)
+	if s.token != "" {
+		req.Header.Set("Authorization", "Bearer "+s.token)
+	}
 	switch s.wire {
 	case WireFrame:
 		req.Header.Set("Accept", domain.ContentTypeFrame)
